@@ -1,0 +1,357 @@
+// Benchmarks backing the experiment index in DESIGN.md: one benchmark per
+// reproduced complexity claim or simulation study. go test -bench=.
+// -benchmem regenerates the raw numbers; cmd/wdmbench renders the derived
+// tables.
+package wdm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wdmsched/internal/async"
+	"wdmsched/internal/bipartite"
+	"wdmsched/internal/core"
+	"wdmsched/internal/fabric"
+	"wdmsched/internal/interconnect"
+	"wdmsched/internal/traffic"
+	"wdmsched/internal/wavelength"
+)
+
+// benchVector builds a deterministic random request vector.
+func benchVector(k, maxPer int, seed uint64) []int {
+	rng := traffic.NewRNG(seed)
+	vec := make([]int, k)
+	for i := range vec {
+		vec[i] = rng.Intn(maxPer + 1)
+	}
+	return vec
+}
+
+// benchScheduler runs one scheduler over a fixed vector; the hot path of
+// every per-slot decision (experiment P7).
+func benchScheduler(b *testing.B, s core.Scheduler, k, maxPer int) {
+	b.Helper()
+	vec := benchVector(k, maxPer, 1)
+	res := core.NewResult(k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(vec, nil, res)
+	}
+}
+
+// BenchmarkFirstAvailable — P5/P7: the O(k) exact scheduler for
+// non-circular conversion (paper Table 2).
+func BenchmarkFirstAvailable(b *testing.B) {
+	for _, k := range []int{8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			conv := wavelength.MustNew(wavelength.NonCircular, k, 2, 2)
+			s, err := core.NewFirstAvailable(conv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchScheduler(b, s, k, 3)
+		})
+	}
+}
+
+// BenchmarkBreakAndFirstAvailable — P6/P7: the O(dk) exact scheduler for
+// circular conversion (paper Table 3).
+func BenchmarkBreakAndFirstAvailable(b *testing.B) {
+	for _, k := range []int{8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			conv := wavelength.MustNew(wavelength.Circular, k, 2, 2)
+			s, err := core.NewBreakFirstAvailable(conv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchScheduler(b, s, k, 3)
+		})
+	}
+}
+
+// BenchmarkScalingD — P7b: BFA cost grows linearly in the conversion
+// degree d at fixed k.
+func BenchmarkScalingD(b *testing.B) {
+	const k = 64
+	for _, d := range []int{3, 5, 9, 17, 33} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			e := (d - 1) / 2
+			conv := wavelength.MustNew(wavelength.Circular, k, e, e)
+			s, err := core.NewBreakFirstAvailable(conv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchScheduler(b, s, k, 3)
+		})
+	}
+}
+
+// BenchmarkScalingN — P7c: per-fiber request counts grow with the
+// interconnect size N; the distributed scheduler stays flat while the
+// Hopcroft–Karp baseline grows (the paper's O(dk) vs O(N^1.5 k^1.5 d)
+// comparison).
+func BenchmarkScalingN(b *testing.B) {
+	const k = 16
+	conv := wavelength.MustNew(wavelength.Circular, k, 1, 1)
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		maxPer := n/4 + 1
+		b.Run(fmt.Sprintf("BFA/N=%d", n), func(b *testing.B) {
+			s, err := core.NewBreakFirstAvailable(conv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchScheduler(b, s, k, maxPer)
+		})
+		b.Run(fmt.Sprintf("HopcroftKarp/N=%d", n), func(b *testing.B) {
+			benchScheduler(b, core.NewBaseline(conv), k, maxPer)
+		})
+	}
+}
+
+// BenchmarkParallelBFA — S9: the Section IV-B d-worker variant. The
+// goroutine fan-out costs more than the sequential loop at software
+// scales; the experiment's point is identical results, mirroring the
+// paper's "d units of hardware" trade.
+func BenchmarkParallelBFA(b *testing.B) {
+	for _, k := range []int{16, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			conv := wavelength.MustNew(wavelength.Circular, k, 2, 2)
+			s, err := core.NewParallelBreakFirstAvailable(conv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchScheduler(b, s, k, 3)
+		})
+	}
+}
+
+// BenchmarkPriorityScheduler — S6: strict-priority QoS over two classes.
+func BenchmarkPriorityScheduler(b *testing.B) {
+	const k = 32
+	conv := wavelength.MustNew(wavelength.Circular, k, 1, 1)
+	ps, err := core.NewPriorityScheduler(conv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	high := benchVector(k, 2, 1)
+	low := benchVector(k, 2, 2)
+	results := []*core.Result{core.NewResult(k), core.NewResult(k)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ps.ScheduleClasses([][]int{high, low}, nil, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAsyncArrival — S10: event-driven asynchronous mode, cost per
+// connection arrival (1000 arrivals per iteration).
+func BenchmarkAsyncArrival(b *testing.B) {
+	conv := wavelength.MustNew(wavelength.Circular, 16, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := async.Run(async.Config{
+			Conv: conv, ArrivalRate: 10, MeanHold: 1, Seed: uint64(i),
+		}, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHardwareFirstAvailable — the §III register-level datapath, one
+// slot (k cycles) per iteration.
+func BenchmarkHardwareFirstAvailable(b *testing.B) {
+	const n, k = 8, 32
+	hw, err := fabric.NewHardwareFirstAvailable(n, k, 1, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := traffic.NewRNG(9)
+	var grants []fabric.Grant
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for in := 0; in < n; in++ {
+			for w := 0; w < k; w++ {
+				if rng.Float64() < 0.3 {
+					hw.Register().Mark(in, w)
+				}
+			}
+		}
+		grants, err = hw.Schedule(nil, grants[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShortestEdgeBreak — P8/S2: the O(k) single-break approximation
+// (paper Section IV-C).
+func BenchmarkShortestEdgeBreak(b *testing.B) {
+	for _, k := range []int{16, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			conv := wavelength.MustNew(wavelength.Circular, k, 2, 2)
+			s, err := core.NewShortestEdge(conv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchScheduler(b, s, k, 3)
+		})
+	}
+}
+
+// BenchmarkFullRange — the trivial scheduler, the paper's d = k special
+// case.
+func BenchmarkFullRange(b *testing.B) {
+	for _, k := range []int{16, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			conv := wavelength.MustNew(wavelength.Full, k, 0, 0)
+			s, err := core.NewFullRange(conv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchScheduler(b, s, k, 3)
+		})
+	}
+}
+
+// BenchmarkHopcroftKarpBaseline — the general bipartite matching
+// comparator on request graphs.
+func BenchmarkHopcroftKarpBaseline(b *testing.B) {
+	for _, k := range []int{16, 64} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			conv := wavelength.MustNew(wavelength.Circular, k, 2, 2)
+			benchScheduler(b, core.NewBaseline(conv), k, 3)
+		})
+	}
+}
+
+// BenchmarkOccupiedChannels — P9: scheduling with Section V occupancy.
+func BenchmarkOccupiedChannels(b *testing.B) {
+	const k = 32
+	conv := wavelength.MustNew(wavelength.Circular, k, 1, 1)
+	s, err := core.NewBreakFirstAvailable(conv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vec := benchVector(k, 3, 1)
+	occ := make([]bool, k)
+	rng := traffic.NewRNG(2)
+	for i := range occ {
+		occ[i] = rng.Float64() < 0.4
+	}
+	res := core.NewResult(k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(vec, occ, res)
+	}
+}
+
+// BenchmarkGloverHeap — the convex-graph matching substrate (paper
+// Table 1 and its Lipski–Preparata realization).
+func BenchmarkGloverHeap(b *testing.B) {
+	const nLeft, nRight = 256, 128
+	rng := traffic.NewRNG(3)
+	begin := make([]int, nLeft)
+	end := make([]int, nLeft)
+	for a := range begin {
+		begin[a] = rng.Intn(nRight)
+		end[a] = begin[a] + rng.Intn(nRight-begin[a])
+	}
+	c, err := bipartite.NewConvexGraph(nRight, begin, end)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("literal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Glover()
+		}
+	})
+	b.Run("heap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.GloverHeap()
+		}
+	})
+}
+
+// benchSwitch runs whole-interconnect slots — S1/S4.
+func benchSwitch(b *testing.B, distributed bool) {
+	b.Helper()
+	const n, k, slots = 8, 16, 64
+	conv := wavelength.MustNew(wavelength.Circular, k, 1, 1)
+	tcfg := traffic.Config{N: n, K: k, Seed: 5}
+	gen, err := traffic.NewBernoulli(tcfg, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := traffic.Record(gen, tcfg, slots)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw, err := interconnect.New(interconnect.Config{
+			N: n, Conv: conv, Seed: 5, Distributed: distributed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep := tr.Replay()
+		var buf []traffic.Packet
+		for s := 0; s < slots; s++ {
+			buf = rep.Generate(s, buf[:0])
+			if err := sw.RunSlot(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSimulatedSlot — S1: sequential whole-switch slots (64 slots per
+// iteration, N=8, k=16, load 1.0).
+func BenchmarkSimulatedSlot(b *testing.B) { benchSwitch(b, false) }
+
+// BenchmarkDistributedSlot — S4: goroutine-per-port whole-switch slots.
+func BenchmarkDistributedSlot(b *testing.B) { benchSwitch(b, true) }
+
+// BenchmarkTrafficBernoulli — workload generation cost.
+func BenchmarkTrafficBernoulli(b *testing.B) {
+	gen, err := traffic.NewBernoulli(traffic.Config{N: 16, K: 32, Seed: 7}, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf []traffic.Packet
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = gen.Generate(i, buf[:0])
+	}
+}
+
+// BenchmarkSelector — S5 fairness layer cost.
+func BenchmarkSelector(b *testing.B) {
+	requesters := []int{0, 2, 3, 5, 8, 9, 11, 13}
+	b.Run("round-robin", func(b *testing.B) {
+		s := fabric.NewRoundRobin(4)
+		var dst []int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = s.Pick(1, requesters, 3, dst[:0])
+		}
+	})
+	b.Run("random", func(b *testing.B) {
+		s := fabric.NewRandom(11)
+		var dst []int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = s.Pick(1, requesters, 3, dst[:0])
+		}
+	})
+}

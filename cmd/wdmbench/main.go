@@ -1,0 +1,100 @@
+// Command wdmbench regenerates every table and figure of the reproduction
+// (see DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured
+// notes).
+//
+// Usage:
+//
+//	wdmbench                 # run every experiment, ASCII tables
+//	wdmbench -exp P8         # one experiment
+//	wdmbench -csv            # CSV output
+//	wdmbench -quick          # reduced sizes (seconds instead of minutes)
+//	wdmbench -list           # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	wdm "wdmsched"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against the given argument list and streams;
+// it returns the process exit code. Extracted from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdmbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp    = fs.String("exp", "", "experiment ID to run (default: all)")
+		csv    = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
+		quick  = fs.Bool("quick", false, "reduced sweep sizes")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		slots  = fs.Int("slots", 0, "simulation slots per data point (0 = default)")
+		trials = fs.Int("trials", 0, "random trials per data point (0 = default)")
+		seed   = fs.Uint64("seed", 0, "random seed (0 = default)")
+		outDir = fs.String("o", "", "also write one CSV file per table into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range wdm.Experiments() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	cfg := wdm.ExperimentConfig{Quick: *quick, Slots: *slots, Trials: *trials, Seed: *seed}
+	var toRun []wdm.Experiment
+	if *exp == "" {
+		toRun = wdm.Experiments()
+	} else {
+		for _, e := range wdm.Experiments() {
+			if e.ID == *exp {
+				toRun = []wdm.Experiment{e}
+				break
+			}
+		}
+		if len(toRun) == 0 {
+			fmt.Fprintf(stderr, "wdmbench: unknown experiment %q (try -list)\n", *exp)
+			return 2
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "wdmbench: %v\n", err)
+			return 1
+		}
+	}
+	for _, e := range toRun {
+		fmt.Fprintf(stdout, "### %s — %s\n\n", e.ID, e.Title)
+		tables, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "wdmbench: %s failed: %v\n", e.ID, err)
+			return 1
+		}
+		for ti, t := range tables {
+			if *csv {
+				fmt.Fprintf(stdout, "# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Fprintln(stdout, t.ASCII())
+			}
+			if *outDir != "" {
+				name := fmt.Sprintf("%s_%d.csv", e.ID, ti)
+				if err := os.WriteFile(filepath.Join(*outDir, name), []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(stderr, "wdmbench: writing %s: %v\n", name, err)
+					return 1
+				}
+			}
+		}
+	}
+	return 0
+}

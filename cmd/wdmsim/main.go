@@ -1,0 +1,187 @@
+// Command wdmsim simulates an N×N wavelength convertible WDM optical
+// interconnect for a configurable workload and prints the run statistics.
+//
+// Example — 16×16 switch, 32 wavelengths, circular conversion d=3, exact
+// scheduling at load 0.9 with multi-slot bursts:
+//
+//	wdmsim -n 16 -k 32 -kind circular -d 3 -load 0.9 -hold 4 -slots 20000
+//
+// The -async flag switches to the paper's asynchronous wavelength-routing
+// mode (one output fiber, Poisson arrivals, FCFS assignment):
+//
+//	wdmsim -async -k 16 -d 3 -erlangs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	wdm "wdmsched"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command; extracted from main for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		n           = fs.Int("n", 8, "fibers per side")
+		k           = fs.Int("k", 16, "wavelengths per fiber")
+		kindFlag    = fs.String("kind", "circular", "conversion kind: circular, noncircular, full")
+		d           = fs.Int("d", 3, "conversion degree (odd; ignored for kind=full)")
+		scheduler   = fs.String("scheduler", "exact", "scheduler: exact, first-available, break-first-available, parallel-break-first-available, shortest-edge, delta-break(δ), full-range, hopcroft-karp")
+		selector    = fs.String("selector", "round-robin", "tie-break: round-robin, random or fixed-priority")
+		workload    = fs.String("workload", "bernoulli", "workload: bernoulli, hotspot, bursty")
+		load        = fs.Float64("load", 0.8, "offered load per input channel (bernoulli/hotspot)")
+		hot         = fs.Int("hot", 0, "hot output fiber (hotspot)")
+		hotFrac     = fs.Float64("hotfrac", 0.5, "fraction of traffic to the hot fiber (hotspot)")
+		meanOn      = fs.Float64("on", 8, "mean burst length in slots (bursty)")
+		meanOff     = fs.Float64("off", 8, "mean idle length in slots (bursty)")
+		hold        = fs.Float64("hold", 1, "mean connection holding time in slots")
+		holdDet     = fs.Bool("holddet", false, "deterministic holding time instead of geometric")
+		disturb     = fs.Bool("disturb", false, "disturb mode: reschedule held connections (Section V)")
+		distributed = fs.Bool("distributed", false, "one goroutine per output fiber")
+		validate    = fs.Bool("validate", false, "route every slot through the datapath model")
+		slots       = fs.Int("slots", 10000, "slots to simulate")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		classes     = fs.Int("classes", 1, "strict-priority QoS classes (>1 marks packets uniformly high=20%/rest split)")
+		asyncMode   = fs.Bool("async", false, "asynchronous wavelength-routing mode (paper §I)")
+		erlangs     = fs.Float64("erlangs", 10, "offered Erlangs λ/µ in -async mode")
+		arrivals    = fs.Int("arrivals", 200000, "connection arrivals to simulate in -async mode")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "wdmsim: %v\n", err)
+		return 1
+	}
+
+	kind, err := wdm.ParseKind(*kindFlag)
+	if err != nil {
+		return fail(err)
+	}
+	var conv wdm.Conversion
+	if kind == wdm.Full {
+		conv, err = wdm.NewConversion(wdm.Full, *k, 0, 0)
+	} else {
+		conv, err = wdm.NewSymmetricConversion(kind, *k, *d)
+	}
+	if err != nil {
+		return fail(err)
+	}
+
+	if *asyncMode {
+		if err := runAsync(stdout, conv, *erlangs, *arrivals, *seed); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+
+	tcfg := wdm.TrafficConfig{
+		N: *n, K: *k, Seed: *seed,
+		Hold: wdm.HoldingTime{Mean: *hold, Deterministic: *holdDet},
+	}
+	var gen wdm.Generator
+	switch *workload {
+	case "bernoulli":
+		gen, err = wdm.NewBernoulliTraffic(tcfg, *load)
+	case "hotspot":
+		gen, err = wdm.NewHotspotTraffic(tcfg, *load, *hot, *hotFrac)
+	case "bursty":
+		gen, err = wdm.NewBurstyTraffic(tcfg, *meanOn, *meanOff)
+	default:
+		err = fmt.Errorf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if *classes > 1 {
+		// 20% to the highest class, the rest split evenly.
+		probs := make([]float64, *classes)
+		probs[0] = 0.2
+		for c := 1; c < *classes; c++ {
+			probs[c] = 0.8 / float64(*classes-1)
+		}
+		gen, err = wdm.NewPrioritizedTraffic(gen, probs, *seed+1)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	sw, err := wdm.NewSwitch(wdm.SwitchConfig{
+		N: *n, Conv: conv,
+		Scheduler: *scheduler, Selector: *selector,
+		Seed: *seed, Disturb: *disturb,
+		Distributed: *distributed, ValidateFabric: *validate,
+		PriorityClasses: *classes,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	st, err := sw.Run(gen, *slots)
+	if err != nil {
+		return fail(err)
+	}
+
+	fmt.Fprintf(stdout, "interconnect   %dx%d, %v\n", *n, *n, conv)
+	fmt.Fprintf(stdout, "scheduler      %s, selector %s, disturb=%v, distributed=%v\n",
+		*scheduler, *selector, *disturb, *distributed)
+	fmt.Fprintf(stdout, "workload       %s, mean hold %.1f slots, %d slots simulated\n",
+		*workload, *hold, *slots)
+	fmt.Fprintf(stdout, "offered        %d packets\n", st.Offered.Value())
+	fmt.Fprintf(stdout, "granted        %d packets (acceptance %.4f)\n", st.Granted.Value(), st.AcceptanceRate())
+	fmt.Fprintf(stdout, "dropped        %d output contention, %d input blocked\n",
+		st.OutputDropped.Value(), st.InputBlocked.Value())
+	if *disturb {
+		fmt.Fprintf(stdout, "preempted      %d held connections\n", st.Preempted.Value())
+	}
+	if *classes > 1 {
+		for c := 0; c < *classes; c++ {
+			fmt.Fprintf(stdout, "class %d        loss %.6f (%d offered)\n",
+				c, st.ClassLossRate(c), st.PerClassOffered[c])
+		}
+	}
+	fmt.Fprintf(stdout, "loss rate      %.6f\n", st.LossRate())
+	fmt.Fprintf(stdout, "throughput     %.4f granted packets per channel-slot\n", st.Throughput(*n, *k))
+	fmt.Fprintf(stdout, "utilization    %.4f busy channel-slots fraction\n", st.Utilization(*n, *k))
+	fmt.Fprintf(stdout, "fairness       %.4f Jain index over input fibers\n", st.FairnessJain())
+	fmt.Fprintf(stdout, "match size     mean %.2f, p99 %d (per output fiber per slot)\n",
+		st.MatchSizes.Mean(), st.MatchSizes.Quantile(0.99))
+	return 0
+}
+
+// runAsync simulates the asynchronous (wavelength routing) mode at one
+// output fiber and prints blocking statistics with the Erlang-B reference
+// for the two conversion extremes.
+func runAsync(stdout io.Writer, conv wdm.Conversion, erlangs float64, arrivals int, seed uint64) error {
+	st, err := wdm.RunAsync(wdm.AsyncConfig{
+		Conv: conv, ArrivalRate: erlangs, MeanHold: 1,
+		Policy: wdm.FirstFit, Seed: seed,
+	}, arrivals)
+	if err != nil {
+		return err
+	}
+	k := conv.K()
+	e1, err := wdm.ErlangB(1, erlangs/float64(k))
+	if err != nil {
+		return err
+	}
+	ek, err := wdm.ErlangB(k, erlangs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "asynchronous wavelength routing, one output fiber, %v\n", conv)
+	fmt.Fprintf(stdout, "offered        %.1f Erlangs, %d arrivals, FCFS first-fit\n", erlangs, st.Offered)
+	fmt.Fprintf(stdout, "blocked        %d connections\n", st.Blocked)
+	fmt.Fprintf(stdout, "blocking prob  %.6f\n", st.BlockingProbability())
+	fmt.Fprintf(stdout, "carried        %.3f Erlangs over %.1f time units\n", st.CarriedErlangs, st.Duration)
+	fmt.Fprintf(stdout, "Erlang-B refs  d=1: %.6f   full range: %.6f\n", e1, ek)
+	return nil
+}

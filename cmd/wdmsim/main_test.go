@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSyncRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "4", "-k", "8", "-slots", "50", "-validate"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"interconnect   4x4", "loss rate", "fairness", "match size"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAsyncRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-async", "-k", "8", "-erlangs", "5", "-arrivals", "5000"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"asynchronous wavelength routing", "blocking prob", "Erlang-B refs"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestWorkloadVariants(t *testing.T) {
+	for _, wl := range []string{"hotspot", "bursty"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-workload", wl, "-n", "4", "-k", "4", "-slots", "30"}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", wl, code, errb.String())
+		}
+	}
+}
+
+func TestDisturbFlagShowsPreemptions(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-disturb", "-hold", "3", "-n", "4", "-k", "4", "-slots", "50"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "preempted") {
+		t.Fatalf("disturb output missing preempted line:\n%s", out.String())
+	}
+}
+
+func TestPriorityClassesFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-classes", "2", "-n", "4", "-k", "4", "-slots", "50"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"class 0", "class 1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "bogus"},
+		{"-workload", "bogus"},
+		{"-scheduler", "bogus"},
+		{"-d", "4"},            // even degree
+		{"-k", "2", "-d", "5"}, // degree > k
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 1 {
+			t.Fatalf("%v: exit %d, want 1 (stderr: %s)", args, code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "wdmsim:") {
+			t.Fatalf("%v: stderr missing prefix: %s", args, errb.String())
+		}
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}

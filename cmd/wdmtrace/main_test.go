@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenAndInfoRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	var out, errb bytes.Buffer
+	code := run([]string{"-gen", "-o", path, "-n", "4", "-k", "8", "-slots", "50", "-load", "0.7"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("gen exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Fatalf("gen output: %s", out.String())
+	}
+
+	out.Reset()
+	code = run([]string{"-info", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("info exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"N=4, k=8, 50 slots", "offered load"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("info output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGenWorkloadVariants(t *testing.T) {
+	for _, wl := range []string{"hotspot", "bursty"} {
+		path := filepath.Join(t.TempDir(), wl+".bin")
+		var out, errb bytes.Buffer
+		code := run([]string{"-gen", "-o", path, "-workload", wl, "-n", "2", "-k", "4", "-slots", "20"}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", wl, code, errb.String())
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Fatalf("no mode: exit %d, want 2", code)
+	}
+	if code := run([]string{"-info", "/does/not/exist"}, &out, &errb); code != 1 {
+		t.Fatalf("missing file: exit %d, want 1", code)
+	}
+	if code := run([]string{"-gen", "-workload", "bogus"}, &out, &errb); code != 1 {
+		t.Fatalf("bad workload: exit %d, want 1", code)
+	}
+	if code := run([]string{"-gen", "-o", "/no/such/dir/x.bin", "-slots", "1", "-n", "2", "-k", "2"}, &out, &errb); code != 1 {
+		t.Fatalf("unwritable output: exit %d, want 1", code)
+	}
+	if code := run([]string{"-zzz"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestInfoRejectsGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.bin")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-info", path}, &out, &errb); code != 1 {
+		t.Fatalf("garbage trace: exit %d, want 1", code)
+	}
+}

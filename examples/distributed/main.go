@@ -1,0 +1,69 @@
+// Distributed: demonstrates the paper's central architectural claim
+// (Section I): because a connection request belongs to exactly one output
+// fiber's subset, scheduling decomposes into N independent per-fiber
+// problems. The simulator's distributed mode runs one goroutine per output
+// port and — since the ports share no state — produces results identical
+// to the sequential mode, while the per-port algorithms stay O(dk),
+// independent of the interconnect size N.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	wdm "wdmsched"
+)
+
+func main() {
+	const (
+		k     = 16
+		load  = 1.0
+		slots = 1500
+		seed  = 99
+	)
+	conv, err := wdm.NewSymmetricConversion(wdm.Circular, k, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("distributed vs sequential scheduling, k=%d, d=3, load %.1f\n\n", k, load)
+	fmt.Printf("%-6s %14s %14s %12s %10s\n", "N", "seq µs/slot", "dist µs/slot", "granted", "identical")
+
+	for _, n := range []int{4, 8, 16, 32} {
+		tcfg := wdm.TrafficConfig{N: n, K: k, Seed: seed}
+		gen, err := wdm.NewBernoulliTraffic(tcfg, load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trace, err := wdm.RecordTrace(gen, tcfg, slots)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		run := func(distributed bool) (*wdm.Stats, float64) {
+			sw, err := wdm.NewSwitch(wdm.SwitchConfig{
+				N: n, Conv: conv, Seed: seed,
+				Distributed: distributed, ValidateFabric: !distributed && n <= 8,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			st, err := sw.Run(trace.Replay(), slots)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return st, float64(time.Since(start).Microseconds()) / float64(slots)
+		}
+		seq, seqT := run(false)
+		dist, distT := run(true)
+		identical := seq.Granted.Value() == dist.Granted.Value() &&
+			seq.OutputDropped.Value() == dist.OutputDropped.Value()
+		fmt.Printf("%-6d %14.1f %14.1f %12d %10v\n", n, seqT, distT, dist.Granted.Value(), identical)
+		if !identical {
+			log.Fatal("distributed and sequential runs diverged — per-port independence violated")
+		}
+	}
+	fmt.Println("\nidentical results confirm the per-output-fiber partition argument of Section I")
+}

@@ -1,0 +1,131 @@
+// Figures: renders the repository's two headline curves as ASCII figures
+// through the public API —
+//
+//  1. synchronous packet loss vs offered load for several conversion
+//     degrees (the S1 study: small-d limited range approaches full range),
+//     with the exact analytical endpoints overlaid; and
+//  2. asynchronous FCFS blocking vs conversion degree against the
+//     Erlang-B reference points (the S10 study).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	wdm "wdmsched"
+)
+
+func main() {
+	syncFigure()
+	asyncFigure()
+}
+
+func syncFigure() {
+	const n, k, slots = 8, 16, 1500
+	loads := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+
+	variants := []struct {
+		name string
+		conv wdm.Conversion
+	}{
+		{"d=1", mustConv(wdm.Circular, k, 1)},
+		{"d=3", mustConv(wdm.Circular, k, 3)},
+		{"full", mustFull(k)},
+	}
+	var series []*wdm.Series
+	for vi, v := range variants {
+		s := &wdm.Series{Name: v.name}
+		for _, load := range loads {
+			gen, err := wdm.NewBernoulliTraffic(wdm.TrafficConfig{N: n, K: k, Seed: uint64(vi + 1)}, load)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sw, err := wdm.NewSwitch(wdm.SwitchConfig{N: n, Conv: v.conv, Seed: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			st, err := sw.Run(gen, slots)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s.Add(load, st.LossRate())
+		}
+		series = append(series, s)
+	}
+	// Analytical endpoints for the extremes.
+	model1 := &wdm.Series{Name: "model d=1"}
+	modelF := &wdm.Series{Name: "model full"}
+	for _, load := range loads {
+		m1, err := wdm.NoConversionLoss(n, k, load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mf, err := wdm.FullRangeLoss(n, k, load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		model1.Add(load, m1)
+		modelF.Add(load, mf)
+	}
+	series = append(series, model1, modelF)
+
+	fmt.Printf("Figure A — loss vs offered load (N=%d, k=%d, synchronous)\n\n", n, k)
+	fmt.Println(wdm.PlotASCII(56, 16, series...))
+}
+
+func asyncFigure() {
+	const k = 16
+	degrees := []int{1, 3, 5, 7, 9, 11, 16}
+	const erlangs = 10.0
+
+	sim := &wdm.Series{Name: "simulated (first-fit FCFS)"}
+	for _, d := range degrees {
+		var conv wdm.Conversion
+		var err error
+		if d >= k {
+			conv, err = wdm.NewConversion(wdm.Full, k, 0, 0)
+		} else {
+			conv, err = wdm.NewSymmetricConversion(wdm.Circular, k, d)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := wdm.RunAsync(wdm.AsyncConfig{
+			Conv: conv, ArrivalRate: erlangs, MeanHold: 1, Seed: 3, Policy: wdm.FirstFit,
+		}, 150000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.Add(float64(d), st.BlockingProbability())
+	}
+	ref := &wdm.Series{Name: "Erlang-B endpoints"}
+	e1, err := wdm.ErlangB(1, erlangs/k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ek, err := wdm.ErlangB(k, erlangs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref.Add(1, e1)
+	ref.Add(float64(k), ek)
+
+	fmt.Printf("Figure B — asynchronous blocking vs conversion degree (k=%d, A=%.0f Erlangs)\n\n", k, erlangs)
+	fmt.Println(wdm.PlotASCII(56, 14, sim, ref))
+}
+
+func mustConv(kind wdm.Kind, k, d int) wdm.Conversion {
+	c, err := wdm.NewSymmetricConversion(kind, k, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}
+
+func mustFull(k int) wdm.Conversion {
+	c, err := wdm.NewConversion(wdm.Full, k, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return c
+}

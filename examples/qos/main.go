@@ -1,0 +1,59 @@
+// QoS: the paper's Section VI future work ("incorporating different QoS
+// requirements, such as different priorities among connection requests, in
+// the scheduling algorithm") implemented end to end: packets carry a
+// priority class, and each output fiber schedules classes in strict
+// priority order — every class running the exact maximum-matching
+// algorithm on the channels left by higher classes.
+//
+// The demonstration overloads the switch and shows that the high class's
+// loss stays near zero while the low class absorbs the contention.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	wdm "wdmsched"
+)
+
+func main() {
+	const (
+		n       = 8
+		k       = 16
+		slots   = 3000
+		seed    = 77
+		classes = 3
+	)
+	conv, err := wdm.NewSymmetricConversion(wdm.Circular, k, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("strict-priority QoS on a %d×%d interconnect, %v, %d classes (10%%/30%%/60%%)\n\n",
+		n, n, conv, classes)
+	fmt.Printf("%-12s %12s %12s %12s %12s\n", "total load", "class 0 loss", "class 1 loss", "class 2 loss", "overall")
+
+	for _, load := range []float64{0.5, 0.7, 0.9, 1.0} {
+		base, err := wdm.NewBernoulliTraffic(wdm.TrafficConfig{N: n, K: k, Seed: seed}, load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := wdm.NewPrioritizedTraffic(base, []float64{0.1, 0.3, 0.6}, seed+1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sw, err := wdm.NewSwitch(wdm.SwitchConfig{
+			N: n, Conv: conv, Seed: seed, PriorityClasses: classes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := sw.Run(gen, slots)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12.1f %12.5f %12.5f %12.5f %12.5f\n",
+			load, st.ClassLossRate(0), st.ClassLossRate(1), st.ClassLossRate(2), st.LossRate())
+	}
+	fmt.Println("\nhigher classes are isolated from lower-class load — the strict-priority property")
+}

@@ -1,0 +1,3 @@
+module wdmsched
+
+go 1.24

@@ -1,0 +1,210 @@
+// Package async simulates the paper's other operating mode: asynchronous
+// wavelength routing (Section I — "similar to electrical circuit switching
+// networks"). Connections arrive at arbitrary times, are assigned a free
+// output channel within their conversion window immediately ("first come
+// first served", as in the analyses the paper cites: Tripathi & Sivarajan
+// [11], Ramaswami & Sasaki [13]) and hold it for an exponential duration.
+// There is no slotted scheduling — the request order resolves contention —
+// which is exactly why the paper's synchronous setting needs the matching
+// algorithms this repository is about; the asynchronous simulator exists
+// to reproduce the motivating claim that small conversion degrees already
+// capture most of full range conversion's benefit, and to cross-check
+// against the Erlang-B formulas in package analysis.
+//
+// Because output fibers are statistically independent under unicast
+// traffic (the paper's Section I partition argument applies here too), the
+// simulator models a single output fiber: Poisson connection arrivals of
+// total rate λ, each on a uniform input wavelength, exponential holding
+// times of mean 1/µ, k output channels, limited range conversion.
+package async
+
+import (
+	"container/heap"
+	"fmt"
+
+	"wdmsched/internal/traffic"
+	"wdmsched/internal/wavelength"
+)
+
+// Policy selects the channel for an admitted connection among the free
+// channels of its conversion window.
+type Policy int
+
+const (
+	// FirstFit takes the first free channel in window order (minus end
+	// first) — the natural hardware policy.
+	FirstFit Policy = iota
+	// RandomFit takes a uniformly random free window channel.
+	RandomFit
+)
+
+// String names the policy for tables.
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case RandomFit:
+		return "random-fit"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes one single-output-fiber run.
+type Config struct {
+	// Conv is the conversion model (k channels).
+	Conv wavelength.Conversion
+	// ArrivalRate λ is the total connection arrival rate at this output
+	// fiber (connections per unit time).
+	ArrivalRate float64
+	// MeanHold is the mean holding time 1/µ.
+	MeanHold float64
+	// Policy is the channel assignment rule.
+	Policy Policy
+	// Seed drives the run.
+	Seed uint64
+}
+
+// Stats reports an asynchronous run.
+type Stats struct {
+	Offered int64
+	Blocked int64
+	// CarriedErlangs is the time-average number of busy channels.
+	CarriedErlangs float64
+	// Duration is the simulated time span.
+	Duration float64
+}
+
+// BlockingProbability is Blocked/Offered.
+func (s Stats) BlockingProbability() float64 {
+	if s.Offered == 0 {
+		return 0
+	}
+	return float64(s.Blocked) / float64(s.Offered)
+}
+
+// departure is a scheduled channel release.
+type departure struct {
+	at      float64
+	channel int
+}
+
+type departureHeap []departure
+
+func (h departureHeap) Len() int            { return len(h) }
+func (h departureHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates arrivals connections and returns the run statistics.
+func Run(cfg Config, arrivals int) (Stats, error) {
+	if cfg.ArrivalRate <= 0 || cfg.MeanHold <= 0 {
+		return Stats{}, fmt.Errorf("async: rates must be positive, got λ=%v hold=%v", cfg.ArrivalRate, cfg.MeanHold)
+	}
+	if arrivals < 0 {
+		return Stats{}, fmt.Errorf("async: negative arrival count %d", arrivals)
+	}
+	if cfg.Policy != FirstFit && cfg.Policy != RandomFit {
+		return Stats{}, fmt.Errorf("async: unknown policy %v", cfg.Policy)
+	}
+	k := cfg.Conv.K()
+	rng := traffic.NewRNG(cfg.Seed)
+	busy := make([]bool, k)
+	nBusy := 0
+	var dep departureHeap
+	var st Stats
+	var now, lastEvent, busyIntegral float64
+	free := make([]int, 0, k) // scratch for RandomFit
+
+	advance := func(to float64) {
+		busyIntegral += float64(nBusy) * (to - lastEvent)
+		lastEvent = to
+	}
+
+	for i := 0; i < arrivals; i++ {
+		now += rng.Exp(cfg.ArrivalRate)
+		// Release every channel whose connection ended before now.
+		for len(dep) > 0 && dep[0].at <= now {
+			d := heap.Pop(&dep).(departure)
+			advance(d.at)
+			busy[d.channel] = false
+			nBusy--
+		}
+		advance(now)
+		st.Offered++
+		w := wavelength.Wavelength(rng.Intn(k))
+		ch := -1
+		switch cfg.Policy {
+		case FirstFit:
+			cfg.Conv.Adjacency(w).Each(func(b int) {
+				if ch < 0 && !busy[b] {
+					ch = b
+				}
+			})
+		case RandomFit:
+			free = free[:0]
+			cfg.Conv.Adjacency(w).Each(func(b int) {
+				if !busy[b] {
+					free = append(free, b)
+				}
+			})
+			if len(free) > 0 {
+				ch = free[rng.Intn(len(free))]
+			}
+		}
+		if ch < 0 {
+			st.Blocked++
+			continue
+		}
+		busy[ch] = true
+		nBusy++
+		heap.Push(&dep, departure{at: now + rng.Exp(1/cfg.MeanHold), channel: ch})
+	}
+	// Drain remaining departures to close the busy-time integral.
+	for len(dep) > 0 {
+		d := heap.Pop(&dep).(departure)
+		advance(d.at)
+		busy[d.channel] = false
+		nBusy--
+	}
+	st.Duration = lastEvent
+	if st.Duration > 0 {
+		st.CarriedErlangs = busyIntegral / st.Duration
+	}
+	return st, nil
+}
+
+// Sweep runs Run for each conversion degree in degrees (odd values,
+// symmetric reach; d = k is full range) and returns the blocking
+// probabilities in order. Shared seed: every degree sees an identical
+// arrival process, so differences are due to conversion reach alone.
+func Sweep(kind wavelength.Kind, k int, degrees []int, cfg Config, arrivals int) ([]float64, error) {
+	out := make([]float64, 0, len(degrees))
+	for _, d := range degrees {
+		var conv wavelength.Conversion
+		var err error
+		if d >= k {
+			conv, err = wavelength.New(wavelength.Full, k, 0, 0)
+		} else {
+			conv, err = wavelength.NewSymmetric(kind, k, d)
+		}
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Conv = conv
+		st, err := Run(c, arrivals)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st.BlockingProbability())
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package async
+
+import (
+	"math"
+	"testing"
+
+	"wdmsched/internal/analysis"
+	"wdmsched/internal/wavelength"
+)
+
+func full(k int) wavelength.Conversion {
+	return wavelength.MustNew(wavelength.Full, k, 0, 0)
+}
+
+func TestRunValidation(t *testing.T) {
+	conv := full(4)
+	if _, err := Run(Config{Conv: conv, ArrivalRate: 0, MeanHold: 1}, 10); err == nil {
+		t.Fatal("zero arrival rate accepted")
+	}
+	if _, err := Run(Config{Conv: conv, ArrivalRate: 1, MeanHold: 0}, 10); err == nil {
+		t.Fatal("zero hold accepted")
+	}
+	if _, err := Run(Config{Conv: conv, ArrivalRate: 1, MeanHold: 1}, -1); err == nil {
+		t.Fatal("negative arrivals accepted")
+	}
+	if _, err := Run(Config{Conv: conv, ArrivalRate: 1, MeanHold: 1, Policy: Policy(9)}, 10); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestZeroArrivals(t *testing.T) {
+	st, err := Run(Config{Conv: full(4), ArrivalRate: 1, MeanHold: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offered != 0 || st.Blocked != 0 || st.BlockingProbability() != 0 {
+		t.Fatalf("empty run not empty: %+v", st)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Conv: full(8), ArrivalRate: 10, MeanHold: 1, Seed: 7}
+	a, err := Run(cfg, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestFullRangeMatchesErlangB: full range conversion at one output fiber
+// is an M/M/k/k loss system, so the simulated blocking probability must
+// match Erlang-B.
+func TestFullRangeMatchesErlangB(t *testing.T) {
+	const k = 8
+	for _, a := range []float64{4, 8, 12} { // offered Erlangs
+		cfg := Config{Conv: full(k), ArrivalRate: a, MeanHold: 1, Seed: 11}
+		st, err := Run(cfg, 400000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := analysis.ErlangB(k, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := st.BlockingProbability()
+		if math.Abs(got-want) > 0.01+0.05*want {
+			t.Fatalf("A=%v: blocking %v, Erlang-B %v", a, got, want)
+		}
+		// Carried load = A(1−B) by Little's law.
+		carried := a * (1 - want)
+		if math.Abs(st.CarriedErlangs-carried) > 0.05*carried+0.1 {
+			t.Fatalf("A=%v: carried %v, want ≈%v", a, st.CarriedErlangs, carried)
+		}
+	}
+}
+
+// TestNoConversionMatchesPerChannelErlangB: with d = 1 each wavelength is
+// an independent M/M/1/1 offered A/k Erlangs.
+func TestNoConversionMatchesPerChannelErlangB(t *testing.T) {
+	const k = 8
+	conv := wavelength.MustNew(wavelength.Circular, k, 0, 0)
+	a := 6.0
+	st, err := Run(Config{Conv: conv, ArrivalRate: a, MeanHold: 1, Seed: 13}, 400000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := analysis.ErlangB(1, a/k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := st.BlockingProbability()
+	if math.Abs(got-want) > 0.01+0.05*want {
+		t.Fatalf("blocking %v, Erlang-B(1, A/k) %v", got, want)
+	}
+}
+
+// TestBlockingMonotoneInDegree reproduces the paper's motivating claim:
+// blocking falls as conversion degree grows and saturates quickly — small
+// d already achieves close to full range performance.
+func TestBlockingMonotoneInDegree(t *testing.T) {
+	// Moderate load (A = 10 Erlangs on k = 16 channels, ~62% occupancy):
+	// the regime the paper's cited analyses [11][13] discuss. At heavy
+	// overload the gap between small d and full range closes more slowly.
+	const k = 16
+	degrees := []int{1, 3, 5, 7, k}
+	cfg := Config{ArrivalRate: 10, MeanHold: 1, Seed: 17}
+	probs, err := Sweep(wavelength.Circular, k, degrees, cfg, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(probs); i++ {
+		if probs[i] > probs[i-1]+0.01 {
+			t.Fatalf("blocking not monotone in d: %v", probs)
+		}
+	}
+	if probs[0] < 5*probs[len(probs)-1] {
+		t.Fatalf("d=1 should block far more than full range: %v", probs)
+	}
+	// Saturation: most of the d=1 → full-range improvement is already
+	// captured by d=7 (under FCFS first-fit; the paper's cited analyses
+	// use the same qualitative claim).
+	if probs[3] > 0.2*probs[0] {
+		t.Fatalf("d=7 captured too little of the conversion benefit: %v", probs)
+	}
+}
+
+// TestPoliciesBothFeasible: both policies run and produce comparable
+// blocking on the same arrival process.
+func TestPoliciesBothFeasible(t *testing.T) {
+	conv, err := wavelength.NewSymmetric(wavelength.Circular, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probs []float64
+	for _, p := range []Policy{FirstFit, RandomFit} {
+		st, err := Run(Config{Conv: conv, ArrivalRate: 7, MeanHold: 1, Seed: 19, Policy: p}, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probs = append(probs, st.BlockingProbability())
+	}
+	if math.Abs(probs[0]-probs[1]) > 0.05 {
+		t.Fatalf("policies diverge too much: %v", probs)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FirstFit.String() != "first-fit" || RandomFit.String() != "random-fit" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy must still render")
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	if _, err := Sweep(wavelength.Circular, 8, []int{2}, Config{ArrivalRate: 1, MeanHold: 1}, 10); err == nil {
+		t.Fatal("even degree accepted")
+	}
+}

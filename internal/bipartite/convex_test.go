@@ -1,0 +1,162 @@
+package bipartite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewConvexGraphValidation(t *testing.T) {
+	if _, err := NewConvexGraph(4, []int{0, 1}, []int{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewConvexGraph(4, []int{-1}, []int{2}); err == nil {
+		t.Fatal("negative begin accepted")
+	}
+	if _, err := NewConvexGraph(4, []int{0}, []int{4}); err == nil {
+		t.Fatal("end ≥ nRight accepted")
+	}
+	// Empty neighborhood (begin > end) is explicitly legal.
+	c, err := NewConvexGraph(4, []int{3}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph().NumEdges() != 0 {
+		t.Fatal("empty interval produced edges")
+	}
+}
+
+func TestConvexGraphExpansion(t *testing.T) {
+	c, err := NewConvexGraph(4, []int{0, 1}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := c.Graph()
+	if g.NumEdges() != 6 {
+		t.Fatalf("NumEdges = %d, want 6", g.NumEdges())
+	}
+	for b := 0; b <= 2; b++ {
+		if !g.HasEdge(0, b) {
+			t.Fatalf("missing edge (0,%d)", b)
+		}
+	}
+}
+
+// TestGloverPaperTable1 checks Glover on the paper's non-circular request
+// graph of Fig. 3(b): request vector [2,1,0,1,1,2], k = 6, e = f = 1.
+// Requests (in order) arrive on wavelengths 0,0,1,3,4,5,5 so the intervals
+// are clamped [w−1, w+1]. The maximum matching has 6 edges (Fig. 4(b)).
+func TestGloverPaperTable1(t *testing.T) {
+	begin := []int{0, 0, 0, 2, 3, 4, 4}
+	end := []int{1, 1, 2, 4, 5, 5, 5}
+	c, err := NewConvexGraph(6, begin, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]Matching{
+		"Glover":     c.Glover(),
+		"GloverHeap": c.GloverHeap(),
+	} {
+		if err := m.Validate(c.Graph()); err != nil {
+			t.Fatalf("%s: invalid: %v", name, err)
+		}
+		if m.Size() != 6 {
+			t.Fatalf("%s: size = %d, want 6", name, m.Size())
+		}
+	}
+}
+
+func TestGloverSmallCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		nRight int
+		begin  []int
+		end    []int
+		want   int
+	}{
+		{"empty", 3, nil, nil, 0},
+		{"single", 3, []int{1}, []int{1}, 1},
+		{"all same column", 3, []int{1, 1, 1}, []int{1, 1, 1}, 1},
+		{"nested intervals", 4, []int{0, 1}, []int{3, 2}, 2},
+		{"disjoint", 4, []int{0, 2}, []int{1, 3}, 2},
+		{"greedy trap", 2, []int{0, 0}, []int{1, 0}, 2},
+		{"more lefts than rights", 2, []int{0, 0, 0}, []int{1, 1, 1}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := NewConvexGraph(tc.nRight, tc.begin, tc.end)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := c.Glover().Size(); got != tc.want {
+				t.Fatalf("Glover size = %d, want %d", got, tc.want)
+			}
+			if got := c.GloverHeap().Size(); got != tc.want {
+				t.Fatalf("GloverHeap size = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// randomConvex builds a random interval bipartite graph.
+func randomConvex(rng *rand.Rand, nL, nR int) *ConvexGraph {
+	begin := make([]int, nL)
+	end := make([]int, nL)
+	for a := 0; a < nL; a++ {
+		if nR == 0 || rng.Intn(8) == 0 {
+			begin[a], end[a] = 1, 0 // empty neighborhood
+			continue
+		}
+		begin[a] = rng.Intn(nR)
+		end[a] = begin[a] + rng.Intn(nR-begin[a])
+	}
+	c, err := NewConvexGraph(nR, begin, end)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Property P5 support: Glover (both forms) is optimal on convex graphs —
+// cardinality equals Hopcroft–Karp on the expanded graph.
+func TestGloverOptimalRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		c := randomConvex(rng, rng.Intn(14), rng.Intn(10))
+		g := c.Graph()
+		want := HopcroftKarp(g).Size()
+		gl := c.Glover()
+		gh := c.GloverHeap()
+		if err := gl.Validate(g); err != nil {
+			t.Fatalf("trial %d: Glover invalid: %v", trial, err)
+		}
+		if err := gh.Validate(g); err != nil {
+			t.Fatalf("trial %d: GloverHeap invalid: %v", trial, err)
+		}
+		if gl.Size() != want || gh.Size() != want {
+			t.Fatalf("trial %d: Glover %d / Heap %d, want %d (begin=%v end=%v)",
+				trial, gl.Size(), gh.Size(), want, c.Begin, c.End)
+		}
+	}
+}
+
+// Property: GloverHeap produces exactly the same matching (not just the same
+// cardinality) as the literal Table 1 algorithm, because both use the same
+// min-END tie-break by vertex index.
+func TestGloverHeapIdenticalToLiteral(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomConvex(rng, rng.Intn(10), rng.Intn(8))
+		a := c.Glover()
+		b := c.GloverHeap()
+		for i := range a.LeftOf {
+			if a.LeftOf[i] != b.LeftOf[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

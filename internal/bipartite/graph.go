@@ -1,0 +1,188 @@
+// Package bipartite provides bipartite graphs and maximum matching
+// algorithms: Hopcroft–Karp (the paper's general-case baseline, [1] in the
+// paper's references), a simple augmenting-path matcher (test oracle),
+// Glover's algorithm for convex bipartite graphs ([2], paper Table 1), and
+// verification utilities (matching validity, König-style optimality
+// certificates).
+//
+// Left vertices are 0..NLeft−1 and right vertices are 0..NRight−1. The
+// request graphs of the paper map connection requests to left vertices and
+// output wavelength channels to right vertices.
+package bipartite
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Unmatched marks a vertex with no partner in a Matching. It corresponds to
+// the paper's MATCH[i] = ∅.
+const Unmatched = -1
+
+// Graph is a bipartite graph stored as left-side adjacency lists.
+// The zero value is an empty graph.
+type Graph struct {
+	nLeft, nRight int
+	adj           [][]int // adj[a] lists right vertices adjacent to left vertex a
+	edges         int
+}
+
+// NewGraph returns an empty bipartite graph with the given part sizes.
+func NewGraph(nLeft, nRight int) *Graph {
+	if nLeft < 0 || nRight < 0 {
+		panic(fmt.Sprintf("bipartite: negative part size (%d, %d)", nLeft, nRight))
+	}
+	return &Graph{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
+}
+
+// NLeft reports the number of left vertices.
+func (g *Graph) NLeft() int { return g.nLeft }
+
+// NRight reports the number of right vertices.
+func (g *Graph) NRight() int { return g.nRight }
+
+// NumEdges reports the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// AddEdge inserts edge (a, b). Duplicate edges are ignored. Panics on
+// out-of-range endpoints, which indicates a construction bug in the caller.
+func (g *Graph) AddEdge(a, b int) {
+	if a < 0 || a >= g.nLeft || b < 0 || b >= g.nRight {
+		panic(fmt.Sprintf("bipartite: edge (%d,%d) out of range %dx%d", a, b, g.nLeft, g.nRight))
+	}
+	for _, x := range g.adj[a] {
+		if x == b {
+			return
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.edges++
+}
+
+// HasEdge reports whether edge (a, b) exists.
+func (g *Graph) HasEdge(a, b int) bool {
+	if a < 0 || a >= g.nLeft {
+		return false
+	}
+	for _, x := range g.adj[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Adj returns the right vertices adjacent to left vertex a. The returned
+// slice is owned by the graph and must not be modified.
+func (g *Graph) Adj(a int) []int { return g.adj[a] }
+
+// SortAdj sorts every adjacency list ascending. Deterministic iteration
+// order simplifies golden tests.
+func (g *Graph) SortAdj() {
+	for _, l := range g.adj {
+		sort.Ints(l)
+	}
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.nLeft, g.nRight)
+	for a, l := range g.adj {
+		c.adj[a] = append([]int(nil), l...)
+	}
+	c.edges = g.edges
+	return c
+}
+
+// Matching is a set of vertex-disjoint edges, stored from both sides:
+// LeftOf[b] is the left partner of right vertex b (or Unmatched) and
+// RightOf[a] is the right partner of left vertex a (or Unmatched).
+// LeftOf follows the paper's MATCH[] array convention.
+type Matching struct {
+	LeftOf  []int
+	RightOf []int
+}
+
+// NewMatching returns an empty matching for a graph with the given part
+// sizes.
+func NewMatching(nLeft, nRight int) Matching {
+	m := Matching{
+		LeftOf:  make([]int, nRight),
+		RightOf: make([]int, nLeft),
+	}
+	for i := range m.LeftOf {
+		m.LeftOf[i] = Unmatched
+	}
+	for i := range m.RightOf {
+		m.RightOf[i] = Unmatched
+	}
+	return m
+}
+
+// Size returns the number of matched edges.
+func (m Matching) Size() int {
+	n := 0
+	for _, a := range m.LeftOf {
+		if a != Unmatched {
+			n++
+		}
+	}
+	return n
+}
+
+// Add records matched edge (a, b), overwriting nothing: it panics if either
+// endpoint is already matched, which indicates an algorithm bug.
+func (m Matching) Add(a, b int) {
+	if m.RightOf[a] != Unmatched || m.LeftOf[b] != Unmatched {
+		panic(fmt.Sprintf("bipartite: Add(%d,%d) collides with existing matching", a, b))
+	}
+	m.RightOf[a] = b
+	m.LeftOf[b] = a
+}
+
+// Edges returns the matched edges as (left, right) pairs sorted by left
+// vertex.
+func (m Matching) Edges() [][2]int {
+	var out [][2]int
+	for a, b := range m.RightOf {
+		if b != Unmatched {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+// Validate checks that m is a well-formed matching of g: consistent mirror
+// arrays, every matched pair an edge of g, and vertex-disjointness.
+func (m Matching) Validate(g *Graph) error {
+	if len(m.RightOf) != g.NLeft() || len(m.LeftOf) != g.NRight() {
+		return fmt.Errorf("bipartite: matching shape %dx%d does not fit graph %dx%d",
+			len(m.RightOf), len(m.LeftOf), g.NLeft(), g.NRight())
+	}
+	for a, b := range m.RightOf {
+		if b == Unmatched {
+			continue
+		}
+		if b < 0 || b >= g.NRight() {
+			return fmt.Errorf("bipartite: left %d matched to out-of-range right %d", a, b)
+		}
+		if m.LeftOf[b] != a {
+			return fmt.Errorf("bipartite: mirror mismatch at (%d,%d): LeftOf[%d]=%d", a, b, b, m.LeftOf[b])
+		}
+		if !g.HasEdge(a, b) {
+			return fmt.Errorf("bipartite: matched pair (%d,%d) is not an edge", a, b)
+		}
+	}
+	for b, a := range m.LeftOf {
+		if a == Unmatched {
+			continue
+		}
+		if a < 0 || a >= g.NLeft() {
+			return fmt.Errorf("bipartite: right %d matched to out-of-range left %d", b, a)
+		}
+		if m.RightOf[a] != b {
+			return fmt.Errorf("bipartite: mirror mismatch at right %d", b)
+		}
+	}
+	return nil
+}

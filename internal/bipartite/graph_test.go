@@ -1,0 +1,309 @@
+package bipartite
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestNewGraphPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewGraph(-1, 2)
+}
+
+func TestAddEdgeDedup(t *testing.T) {
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 0)
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 0) || g.HasEdge(1, 0) {
+		t.Fatal("HasEdge mismatch")
+	}
+	if g.HasEdge(-1, 0) || g.HasEdge(5, 0) {
+		t.Fatal("out-of-range HasEdge must be false")
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	g := NewGraph(2, 2)
+	for _, e := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("AddEdge(%v) should panic", e)
+				}
+			}()
+			g.AddEdge(e[0], e[1])
+		}()
+	}
+}
+
+func TestSortAdjAndClone(t *testing.T) {
+	g := NewGraph(1, 4)
+	g.AddEdge(0, 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	c := g.Clone()
+	g.SortAdj()
+	if !reflect.DeepEqual(g.Adj(0), []int{1, 2, 3}) {
+		t.Fatalf("sorted adj = %v", g.Adj(0))
+	}
+	if !reflect.DeepEqual(c.Adj(0), []int{3, 1, 2}) {
+		t.Fatalf("clone should be unaffected, got %v", c.Adj(0))
+	}
+	c.AddEdge(0, 0)
+	if g.HasEdge(0, 0) {
+		t.Fatal("clone edge leaked into original")
+	}
+}
+
+func TestMatchingBasics(t *testing.T) {
+	m := NewMatching(3, 4)
+	if m.Size() != 0 {
+		t.Fatal("fresh matching not empty")
+	}
+	m.Add(1, 2)
+	m.Add(0, 3)
+	if m.Size() != 2 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	want := [][2]int{{0, 3}, {1, 2}}
+	if got := m.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestMatchingAddCollisionPanics(t *testing.T) {
+	m := NewMatching(2, 2)
+	m.Add(0, 0)
+	for _, e := range [][2]int{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Add(%v) should panic", e)
+				}
+			}()
+			m.Add(e[0], e[1])
+		}()
+	}
+}
+
+func TestMatchingValidate(t *testing.T) {
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 1)
+
+	good := NewMatching(2, 2)
+	good.Add(0, 0)
+	if err := good.Validate(g); err != nil {
+		t.Fatalf("valid matching rejected: %v", err)
+	}
+
+	shape := NewMatching(3, 2)
+	if err := shape.Validate(g); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+
+	nonEdge := NewMatching(2, 2)
+	nonEdge.Add(0, 1) // (0,1) is not an edge
+	if err := nonEdge.Validate(g); err == nil {
+		t.Fatal("non-edge matching accepted")
+	}
+
+	broken := NewMatching(2, 2)
+	broken.RightOf[0] = 0 // mirror not set
+	if err := broken.Validate(g); err == nil {
+		t.Fatal("mirror mismatch accepted")
+	}
+
+	brokenR := NewMatching(2, 2)
+	brokenR.LeftOf[0] = 1 // mirror not set on the left
+	if err := brokenR.Validate(g); err == nil {
+		t.Fatal("right-side mirror mismatch accepted")
+	}
+
+	oob := NewMatching(2, 2)
+	oob.RightOf[0] = 7
+	if err := oob.Validate(g); err == nil {
+		t.Fatal("out-of-range partner accepted")
+	}
+}
+
+// randomGraph builds a random bipartite graph with edge probability p.
+func randomGraph(rng *rand.Rand, nL, nR int, p float64) *Graph {
+	g := NewGraph(nL, nR)
+	for a := 0; a < nL; a++ {
+		for b := 0; b < nR; b++ {
+			if rng.Float64() < p {
+				g.AddEdge(a, b)
+			}
+		}
+	}
+	return g
+}
+
+func TestHopcroftKarpKnownCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		nL    int
+		nR    int
+		edges [][2]int
+		want  int
+	}{
+		{"empty", 0, 0, nil, 0},
+		{"no edges", 3, 3, nil, 0},
+		{"perfect diag", 3, 3, [][2]int{{0, 0}, {1, 1}, {2, 2}}, 3},
+		{"star", 3, 1, [][2]int{{0, 0}, {1, 0}, {2, 0}}, 1},
+		{"augment needed", 2, 2, [][2]int{{0, 0}, {0, 1}, {1, 0}}, 2},
+		{"complete 3x2", 3, 2, [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}}, 2},
+		{
+			// The paper's running example: 7 requests on 6 wavelengths.
+			// Requests on λ0,λ0,λ1,λ3,λ4,λ5,λ5 with circular d=3
+			// conversion; maximum matching is 6 (Fig. 4).
+			"paper fig4", 7, 6,
+			[][2]int{
+				{0, 5}, {0, 0}, {0, 1},
+				{1, 5}, {1, 0}, {1, 1},
+				{2, 0}, {2, 1}, {2, 2},
+				{3, 2}, {3, 3}, {3, 4},
+				{4, 3}, {4, 4}, {4, 5},
+				{5, 4}, {5, 5}, {5, 0},
+				{6, 4}, {6, 5}, {6, 0},
+			},
+			6,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGraph(tc.nL, tc.nR)
+			for _, e := range tc.edges {
+				g.AddEdge(e[0], e[1])
+			}
+			m := HopcroftKarp(g)
+			if err := m.Validate(g); err != nil {
+				t.Fatalf("invalid matching: %v", err)
+			}
+			if m.Size() != tc.want {
+				t.Fatalf("size = %d, want %d", m.Size(), tc.want)
+			}
+			if !IsMaximum(g, m) {
+				t.Fatal("IsMaximum rejected the HK matching")
+			}
+		})
+	}
+}
+
+func TestHopcroftKarpAgainstAugmentingPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		nL := rng.Intn(12)
+		nR := rng.Intn(12)
+		g := randomGraph(rng, nL, nR, rng.Float64())
+		hk := HopcroftKarp(g)
+		ap := AugmentingPath(g)
+		if err := hk.Validate(g); err != nil {
+			t.Fatalf("trial %d: HK invalid: %v", trial, err)
+		}
+		if err := ap.Validate(g); err != nil {
+			t.Fatalf("trial %d: AP invalid: %v", trial, err)
+		}
+		if hk.Size() != ap.Size() {
+			t.Fatalf("trial %d: HK %d vs AP %d", trial, hk.Size(), ap.Size())
+		}
+		if !IsMaximum(g, hk) || !IsMaximum(g, ap) {
+			t.Fatalf("trial %d: IsMaximum disagrees", trial)
+		}
+	}
+}
+
+func TestIsMaximumDetectsNonMaximum(t *testing.T) {
+	// Graph where greedy-by-first-edge is suboptimal: 0–{0,1}, 1–{0}.
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	sub := NewMatching(2, 2)
+	sub.Add(0, 0) // blocks left 1; size 1 < max 2
+	if IsMaximum(g, sub) {
+		t.Fatal("IsMaximum accepted a non-maximum matching")
+	}
+}
+
+// TestHallDeficiencyFormula cross-checks Hopcroft–Karp against a third,
+// structurally different oracle: the König–Egerváry / defect Hall theorem,
+// max matching = |A| − max over S ⊆ A of (|S| − |N(S)|), evaluated by
+// exhaustive subset enumeration on small graphs.
+func TestHallDeficiencyFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 150; trial++ {
+		nL := rng.Intn(11) // ≤ 10 left vertices → ≤ 1024 subsets
+		nR := rng.Intn(8)
+		g := randomGraph(rng, nL, nR, rng.Float64())
+		maxDef := 0
+		for mask := 0; mask < 1<<nL; mask++ {
+			size := 0
+			var nbr uint64
+			for a := 0; a < nL; a++ {
+				if mask&(1<<a) == 0 {
+					continue
+				}
+				size++
+				for _, b := range g.Adj(a) {
+					nbr |= 1 << uint(b)
+				}
+			}
+			nbrCount := 0
+			for x := nbr; x != 0; x &= x - 1 {
+				nbrCount++
+			}
+			if d := size - nbrCount; d > maxDef {
+				maxDef = d
+			}
+		}
+		want := nL - maxDef
+		if got := HopcroftKarp(g).Size(); got != want {
+			t.Fatalf("trial %d: HK %d, Hall formula %d", trial, got, want)
+		}
+	}
+}
+
+func TestMinVertexCoverCertifiesOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nL := rng.Intn(10) + 1
+		nR := rng.Intn(10) + 1
+		g := randomGraph(rng, nL, nR, rng.Float64())
+		m := HopcroftKarp(g)
+		left, right := MinVertexCover(g, m)
+		// 1. Cover size equals matching size (König's theorem).
+		size := 0
+		for _, v := range left {
+			if v {
+				size++
+			}
+		}
+		for _, v := range right {
+			if v {
+				size++
+			}
+		}
+		if size != m.Size() {
+			t.Fatalf("trial %d: |cover| = %d, |matching| = %d", trial, size, m.Size())
+		}
+		// 2. Every edge covered.
+		for a := 0; a < nL; a++ {
+			for _, b := range g.Adj(a) {
+				if !left[a] && !right[b] {
+					t.Fatalf("trial %d: edge (%d,%d) uncovered", trial, a, b)
+				}
+			}
+		}
+	}
+}

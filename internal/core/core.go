@@ -1,0 +1,160 @@
+// Package core implements the paper's contribution: the distributed
+// scheduling algorithms that resolve output contention in a wavelength
+// convertible WDM optical interconnect (Zhang & Yang, IPDPS 2003).
+//
+// One scheduler instance serves one output fiber. Its input each time slot
+// is the request vector — how many connection requests arrived on each
+// input wavelength destined to this fiber — plus optionally a mask of
+// output channels still occupied by connections from earlier slots
+// (Section V). Its output is a wavelength assignment that realizes a
+// maximum matching of the request graph: the largest contention-free subset
+// of requests (Section II-B).
+//
+// Schedulers:
+//
+//   - FirstAvailable — Table 2; exact for non-circular symmetrical
+//     conversion, O(k) per slot.
+//   - BreakFirstAvailable — Table 3; exact for circular symmetrical
+//     conversion, O(dk) per slot.
+//   - DeltaBreak — Section IV-C; single-break approximation for circular
+//     conversion, O(k) per slot, within max{δ−1, d−δ} of optimal
+//     (Theorem 3). With δ = (d+1)/2 (the "shortest edge") the gap is at
+//     most (d−1)/2 (Corollary 1).
+//   - FullRange — the trivial exact scheduler for full range conversion.
+//   - Baseline — Hopcroft–Karp on the expanded request graph, the paper's
+//     general-case comparator.
+//
+// A scheduler carries preallocated scratch sized to its conversion model
+// and is NOT safe for concurrent use; the intended deployment (and the
+// paper's "distributed" claim) is one scheduler per output fiber, which
+// package interconnect realizes with one goroutine per fiber.
+package core
+
+import (
+	"fmt"
+
+	"wdmsched/internal/wavelength"
+)
+
+// Unassigned marks an output channel with no granted request in a Result.
+const Unassigned = -1
+
+// Result is one slot's scheduling decision for one output fiber.
+type Result struct {
+	// ByOutput[b] is the input wavelength granted output channel b, or
+	// Unassigned. Occupied channels are always Unassigned.
+	ByOutput []int
+	// Granted[w] counts the requests granted per input wavelength; the
+	// fairness layer expands these counts to concrete requests.
+	Granted []int
+	// Size is the matching cardinality: number of granted requests.
+	Size int
+}
+
+// NewResult allocates an empty Result for k wavelengths (all channels
+// Unassigned).
+func NewResult(k int) *Result {
+	r := &Result{ByOutput: make([]int, k), Granted: make([]int, k)}
+	r.Reset()
+	return r
+}
+
+// Reset clears the result for reuse.
+func (r *Result) Reset() {
+	for i := range r.ByOutput {
+		r.ByOutput[i] = Unassigned
+		r.Granted[i] = 0
+	}
+	r.Size = 0
+}
+
+// CopyFrom copies src into r. Both must have the same k.
+func (r *Result) CopyFrom(src *Result) {
+	copy(r.ByOutput, src.ByOutput)
+	copy(r.Granted, src.Granted)
+	r.Size = src.Size
+}
+
+// Scheduler is one output fiber's contention resolver. Schedule reads the
+// request vector count (len k) and the occupancy mask occupied (len k, or
+// nil meaning all channels available) and writes the decision into res,
+// which must have been created with NewResult(k). Implementations reuse
+// internal scratch and are not safe for concurrent use.
+type Scheduler interface {
+	Name() string
+	Conversion() wavelength.Conversion
+	Schedule(count []int, occupied []bool, res *Result)
+}
+
+// checkInput panics on malformed scheduler input: scheduling runs per time
+// slot in a hot loop and malformed shapes are caller bugs, not runtime
+// conditions.
+func checkInput(conv wavelength.Conversion, count []int, occupied []bool, res *Result) {
+	k := conv.K()
+	if len(count) != k {
+		panic(fmt.Sprintf("core: count length %d != k %d", len(count), k))
+	}
+	if occupied != nil && len(occupied) != k {
+		panic(fmt.Sprintf("core: occupied length %d != k %d", len(occupied), k))
+	}
+	if res == nil || len(res.ByOutput) != k || len(res.Granted) != k {
+		panic(fmt.Sprintf("core: result not sized for k=%d", k))
+	}
+	for w, c := range count {
+		if c < 0 {
+			panic(fmt.Sprintf("core: negative request count %d at wavelength %d", c, w))
+		}
+	}
+}
+
+// Validate checks that res is a feasible assignment for the given request
+// vector and occupancy under conv: every grant convertible, no occupied
+// channel assigned, per-wavelength grants within the request counts, and
+// Size consistent. It returns nil for feasible results. Unlike checkInput
+// this returns an error: it judges scheduler output, which tests and the
+// fabric feasibility layer want to report rather than crash on.
+func Validate(conv wavelength.Conversion, count []int, occupied []bool, res *Result) error {
+	k := conv.K()
+	if len(res.ByOutput) != k || len(res.Granted) != k {
+		return fmt.Errorf("core: result not sized for k=%d", k)
+	}
+	granted := make([]int, k)
+	size := 0
+	for b, w := range res.ByOutput {
+		if w == Unassigned {
+			continue
+		}
+		if w < 0 || w >= k {
+			return fmt.Errorf("core: channel %d assigned invalid wavelength %d", b, w)
+		}
+		if occupied != nil && occupied[b] {
+			return fmt.Errorf("core: occupied channel %d assigned wavelength %d", b, w)
+		}
+		if !conv.CanConvert(wavelength.Wavelength(w), wavelength.Wavelength(b)) {
+			return fmt.Errorf("core: grant λ%d→channel %d not convertible under %v", w, b, conv)
+		}
+		granted[w]++
+		size++
+	}
+	for w := 0; w < k; w++ {
+		if granted[w] != res.Granted[w] {
+			return fmt.Errorf("core: Granted[%d]=%d but ByOutput implies %d", w, res.Granted[w], granted[w])
+		}
+		if granted[w] > count[w] {
+			return fmt.Errorf("core: wavelength %d granted %d of %d requests", w, granted[w], count[w])
+		}
+	}
+	if size != res.Size {
+		return fmt.Errorf("core: Size=%d but ByOutput implies %d", res.Size, size)
+	}
+	return nil
+}
+
+// TotalRequests sums a request vector.
+func TotalRequests(count []int) int {
+	n := 0
+	for _, c := range count {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"wdmsched/internal/wavelength"
+)
+
+// NewExact returns the paper's exact scheduler for the given conversion
+// model: FullRange for full range conversion (including circular models
+// whose degree spans the ring), FirstAvailable for non-circular
+// symmetrical conversion, BreakFirstAvailable for circular symmetrical
+// conversion.
+func NewExact(conv wavelength.Conversion) (Scheduler, error) {
+	switch {
+	case conv.IsFullRange():
+		return NewFullRange(conv)
+	case conv.Kind() == wavelength.NonCircular:
+		return NewFirstAvailable(conv)
+	case conv.Kind() == wavelength.Circular:
+		return NewBreakFirstAvailable(conv)
+	default:
+		return nil, fmt.Errorf("core: no exact scheduler for %v", conv)
+	}
+}
+
+// NewByName constructs a scheduler by its flag/table name. Recognized
+// names: "exact" (dispatch by conversion kind), "first-available",
+// "break-first-available", "parallel-break-first-available",
+// "shortest-edge", "delta-break(<δ>)" via NewDeltaBreak, "full-range",
+// and "hopcroft-karp" (the baseline).
+func NewByName(name string, conv wavelength.Conversion) (Scheduler, error) {
+	switch name {
+	case "exact":
+		return NewExact(conv)
+	case "first-available":
+		return NewFirstAvailable(conv)
+	case "break-first-available":
+		return NewBreakFirstAvailable(conv)
+	case "parallel-break-first-available":
+		return NewParallelBreakFirstAvailable(conv)
+	case "shortest-edge":
+		return NewShortestEdge(conv)
+	case "full-range":
+		return NewFullRange(conv)
+	case "hopcroft-karp":
+		return NewBaseline(conv), nil
+	}
+	var delta int
+	if n, err := fmt.Sscanf(name, "delta-break(%d)", &delta); err == nil && n == 1 {
+		return NewDeltaBreak(conv, delta)
+	}
+	return nil, fmt.Errorf("core: unknown scheduler %q", name)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"wdmsched/internal/wavelength"
+)
+
+// decodeInstance turns fuzzer bytes into a valid scheduling instance:
+// conversion shape, request vector and occupancy mask. It returns ok=false
+// for degenerate inputs.
+func decodeInstance(data []byte) (k, e, f int, vec []int, occ []bool, ok bool) {
+	if len(data) < 4 {
+		return 0, 0, 0, nil, nil, false
+	}
+	k = int(data[0])%16 + 1
+	e = int(data[1]) % k
+	f = int(data[2]) % (k - e)
+	useOcc := data[3]&1 == 1
+	data = data[4:]
+	vec = make([]int, k)
+	for w := 0; w < k && w < len(data); w++ {
+		vec[w] = int(data[w]) % 5
+	}
+	if useOcc {
+		occ = make([]bool, k)
+		for b := 0; b < k; b++ {
+			if b+k < len(data) {
+				occ[b] = data[b+k]&1 == 1
+			}
+		}
+	}
+	return k, e, f, vec, occ, true
+}
+
+// FuzzExactSchedulers feeds arbitrary instances to both exact schedulers
+// and checks feasibility plus agreement with the Hopcroft–Karp oracle.
+func FuzzExactSchedulers(f *testing.F) {
+	f.Add([]byte{6, 1, 1, 0, 2, 1, 0, 1, 1, 2})
+	f.Add([]byte{8, 2, 1, 1, 3, 0, 0, 4, 0, 1, 2, 0, 1, 1, 0, 1, 0, 1, 0, 1})
+	f.Add([]byte{1, 0, 0, 0, 4})
+	f.Add([]byte{16, 7, 8, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, e, ff, vec, occ, ok := decodeInstance(data)
+		if !ok {
+			return
+		}
+		for _, kind := range []wavelength.Kind{wavelength.Circular, wavelength.NonCircular} {
+			conv, err := wavelength.New(kind, k, e, ff)
+			if err != nil {
+				t.Fatalf("decoded invalid conversion: %v", err)
+			}
+			sched, err := NewExact(conv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, want := NewResult(k), NewResult(k)
+			sched.Schedule(vec, occ, res)
+			if err := Validate(conv, vec, occ, res); err != nil {
+				t.Fatalf("%v vec=%v occ=%v: infeasible: %v", conv, vec, occ, err)
+			}
+			NewBaseline(conv).Schedule(vec, occ, want)
+			if res.Size != want.Size {
+				t.Fatalf("%v vec=%v occ=%v: %s=%d HK=%d", conv, vec, occ, sched.Name(), res.Size, want.Size)
+			}
+		}
+	})
+}
+
+// FuzzDeltaBreakBound checks the Theorem 3 bound on arbitrary circular
+// instances (without occupancy, as the theorem is stated).
+func FuzzDeltaBreakBound(f *testing.F) {
+	f.Add([]byte{8, 1, 1, 0, 2, 1, 0, 1, 1, 2, 3, 1})
+	f.Add([]byte{12, 2, 2, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, e, ff, vec, _, ok := decodeInstance(data)
+		if !ok {
+			return
+		}
+		conv, err := wavelength.New(wavelength.Circular, k, e, ff)
+		if err != nil || conv.IsFullRange() {
+			return
+		}
+		d := conv.Degree()
+		delta := 1
+		if len(data) > 0 {
+			delta = int(data[len(data)-1])%d + 1
+		}
+		db, err := NewDeltaBreak(conv, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := NewBreakFirstAvailable(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, opt := NewResult(k), NewResult(k)
+		db.Schedule(vec, nil, res)
+		exact.Schedule(vec, nil, opt)
+		bound := delta - 1
+		if d-delta > bound {
+			bound = d - delta
+		}
+		if gap := opt.Size - res.Size; gap < 0 || gap > bound {
+			t.Fatalf("%v vec=%v δ=%d: gap %d outside [0,%d]", conv, vec, delta, gap, bound)
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewMultiBreakValidation(t *testing.T) {
+	conv := circular(8, 2, 2) // d=5
+	if _, err := NewMultiBreak(conv, nil); err == nil {
+		t.Fatal("empty deltas accepted")
+	}
+	if _, err := NewMultiBreak(conv, []int{0}); err == nil {
+		t.Fatal("delta 0 accepted")
+	}
+	if _, err := NewMultiBreak(conv, []int{6}); err == nil {
+		t.Fatal("delta > d accepted")
+	}
+	if _, err := NewMultiBreak(conv, []int{2, 2}); err == nil {
+		t.Fatal("duplicate delta accepted")
+	}
+	if _, err := NewMultiBreak(noncircular(8, 2, 2), []int{1}); err == nil {
+		t.Fatal("non-circular accepted")
+	}
+	mb, err := NewMultiBreak(conv, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Name() != "multi-break(2)" {
+		t.Fatalf("Name = %q", mb.Name())
+	}
+	if mb.Conversion() != conv {
+		t.Fatal("Conversion mismatch")
+	}
+}
+
+func TestMultiBreakBoundValues(t *testing.T) {
+	conv := circular(12, 2, 2) // d=5
+	cases := []struct {
+		deltas []int
+		want   int
+	}{
+		{[]int{1}, 4},
+		{[]int{3}, 2},
+		{[]int{1, 5}, 4},
+		{[]int{2, 4}, 3},
+		{[]int{1, 2, 3, 4, 5}, 2},
+	}
+	for _, tc := range cases {
+		mb, err := NewMultiBreak(conv, tc.deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := mb.Bound(); got != tc.want {
+			t.Fatalf("deltas %v: bound %d, want %d", tc.deltas, got, tc.want)
+		}
+	}
+}
+
+// TestMultiBreakWithinBound: the measured gap to optimal never exceeds
+// Bound(), and trying every position matches the exact scheduler.
+func TestMultiBreakWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	conv := circular(12, 2, 2) // d=5
+	exact, _ := NewBreakFirstAvailable(conv)
+	subsets := [][]int{{1}, {3}, {2, 4}, {1, 3, 5}, {1, 2, 3, 4, 5}}
+	res, opt := NewResult(12), NewResult(12)
+	for _, deltas := range subsets {
+		mb, err := NewMultiBreak(conv, deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 300; trial++ {
+			vec, _ := randomInstance(rng, 12, 3, 0)
+			mb.Schedule(vec, nil, res)
+			exact.Schedule(vec, nil, opt)
+			if err := Validate(conv, vec, nil, res); err != nil {
+				t.Fatalf("deltas %v: %v", deltas, err)
+			}
+			gap := opt.Size - res.Size
+			if gap < 0 || gap > mb.Bound() {
+				t.Fatalf("deltas %v vec=%v: gap %d outside [0,%d]", deltas, vec, gap, mb.Bound())
+			}
+			if len(deltas) == 5 && gap != 0 {
+				t.Fatalf("all-positions MultiBreak missed the optimum by %d on %v", gap, vec)
+			}
+		}
+	}
+}
+
+// TestMultiBreakMonotoneInSubset: adding positions never hurts.
+func TestMultiBreakMonotoneInSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	conv := circular(10, 2, 2)
+	small, _ := NewMultiBreak(conv, []int{3})
+	big, _ := NewMultiBreak(conv, []int{3, 1, 5})
+	a, b := NewResult(10), NewResult(10)
+	for trial := 0; trial < 300; trial++ {
+		vec, _ := randomInstance(rng, 10, 3, 0)
+		small.Schedule(vec, nil, a)
+		big.Schedule(vec, nil, b)
+		if b.Size < a.Size {
+			t.Fatalf("vec=%v: superset %d < subset %d", vec, b.Size, a.Size)
+		}
+	}
+}
+
+// TestMultiBreakOccupiedFallback: when every chosen position is occupied
+// the scheduler still grants via the nearest available window channel.
+func TestMultiBreakOccupiedFallback(t *testing.T) {
+	conv := circular(8, 1, 1)                // d=3, window of λ0 = {7,0,1}
+	mb, err := NewMultiBreak(conv, []int{2}) // position 2 = λ0 itself
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := make([]bool, 8)
+	occ[0] = true // occupy position 2's channel for wavelength 0
+	res := NewResult(8)
+	mb.Schedule([]int{1, 0, 0, 0, 0, 0, 0, 0}, occ, res)
+	if res.Size != 1 {
+		t.Fatalf("fallback failed: size %d", res.Size)
+	}
+	if err := Validate(conv, []int{1, 0, 0, 0, 0, 0, 0, 0}, occ, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiBreakFullRingFastPath(t *testing.T) {
+	conv := circular(5, 2, 2)
+	mb, err := NewMultiBreak(conv, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewResult(5)
+	mb.Schedule([]int{5, 0, 0, 0, 0}, nil, res)
+	if res.Size != 5 {
+		t.Fatalf("size %d, want 5", res.Size)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+
+	"wdmsched/internal/wavelength"
+)
+
+// ParallelBreakFirstAvailable is the paper's Section IV-B remark realized
+// in software: "We can also implement this algorithm in parallel and time
+// complexity could be reduced to O(k), but we then need d units of
+// hardware." The d candidate breaking edges are independent, so each of d
+// workers runs First Available on its own reduced graph concurrently; the
+// critical path is one O(k) sweep plus an O(d) reduction.
+//
+// The result is identical — not just equal in size — to the sequential
+// BreakFirstAvailable without its early-exit shortcut: among equal-sized
+// matchings the candidate whose breaking edge comes first in window order
+// wins, the same tie-break the sequential loop applies.
+type ParallelBreakFirstAvailable struct {
+	conv    wavelength.Conversion
+	workers []*breaker // one per window position ("d units of hardware")
+	full    *FullRange
+	best    *Result
+
+	// Reused fan-out buffers: the candidate channel per window position
+	// and whether that position is active this slot.
+	slotU      []int
+	slotActive []bool
+}
+
+// NewParallelBreakFirstAvailable builds the parallel scheduler; conv must
+// be circular.
+func NewParallelBreakFirstAvailable(conv wavelength.Conversion) (*ParallelBreakFirstAvailable, error) {
+	if conv.IsFullRange() {
+		fr, err := NewFullRange(conv)
+		if err != nil {
+			return nil, err
+		}
+		return &ParallelBreakFirstAvailable{conv: conv, full: fr}, nil
+	}
+	d := conv.Degree()
+	s := &ParallelBreakFirstAvailable{conv: conv, best: NewResult(conv.K())}
+	for i := 0; i < d; i++ {
+		br, err := newBreaker(conv)
+		if err != nil {
+			return nil, err
+		}
+		s.workers = append(s.workers, br)
+	}
+	return s, nil
+}
+
+// Name implements Scheduler.
+func (s *ParallelBreakFirstAvailable) Name() string { return "parallel-break-first-available" }
+
+// Conversion implements Scheduler.
+func (s *ParallelBreakFirstAvailable) Conversion() wavelength.Conversion { return s.conv }
+
+// Schedule implements Scheduler. It is itself not safe for concurrent use
+// (one instance per output fiber, as with the sequential schedulers); the
+// parallelism is internal, across the d breaking candidates.
+func (s *ParallelBreakFirstAvailable) Schedule(count []int, occupied []bool, res *Result) {
+	checkInput(s.conv, count, occupied, res)
+	res.Reset()
+	if s.full != nil {
+		fullRangeInto(s.conv, count, occupied, res)
+		return
+	}
+	w0 := s.workers[0].firstMatchable(count, occupied)
+	if w0 < 0 {
+		return
+	}
+	// Fan the d candidate breaking edges out to the workers. Window
+	// positions with an occupied channel stay idle.
+	s.slotU = s.slotU[:0]
+	s.slotActive = s.slotActive[:0]
+	s.conv.Adjacency(wavelength.Wavelength(w0)).Each(func(u int) {
+		s.slotU = append(s.slotU, u)
+		s.slotActive = append(s.slotActive, occupied == nil || !occupied[u])
+	})
+	var wg sync.WaitGroup
+	for i := range s.slotU {
+		if !s.slotActive[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i, u int) {
+			defer wg.Done()
+			s.workers[i].scheduleBreakAt(count, occupied, w0, u)
+		}(i, s.slotU[i])
+	}
+	wg.Wait()
+	// Reduce: first strictly-better candidate in window order wins,
+	// matching the sequential tie-break.
+	first := true
+	for i := range s.slotU {
+		if !s.slotActive[i] {
+			continue
+		}
+		cur := s.workers[i].cur
+		if first || cur.Size > s.best.Size {
+			s.best.CopyFrom(cur)
+			first = false
+		}
+	}
+	res.CopyFrom(s.best)
+}
+
+var _ Scheduler = (*ParallelBreakFirstAvailable)(nil)

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParallelBFAIdenticalToSequential: the d-worker variant must return
+// the same assignment — channel for channel — as the sequential Table 3
+// loop, across random instances with and without occupancy.
+func TestParallelBFAIdenticalToSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 300; trial++ {
+		k := rng.Intn(20) + 2
+		e := rng.Intn(k)
+		f := rng.Intn(k - e)
+		conv := circular(k, e, f)
+		seq, err := NewBreakFirstAvailable(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewParallelBreakFirstAvailable(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec, occ := randomInstance(rng, k, 3, 0.3*float64(trial%2))
+		a, b := NewResult(k), NewResult(k)
+		seq.Schedule(vec, occ, a)
+		par.Schedule(vec, occ, b)
+		if a.Size != b.Size {
+			t.Fatalf("%v vec=%v occ=%v: sequential %d vs parallel %d", conv, vec, occ, a.Size, b.Size)
+		}
+		// The tie-break (first best candidate in window order) is shared,
+		// so the full assignment — not just the size — must coincide, even
+		// though the sequential loop may stop early at the capacity bound:
+		// the first bound-reaching candidate is also the first maximum.
+		for ch := range a.ByOutput {
+			if a.ByOutput[ch] != b.ByOutput[ch] {
+				t.Fatalf("%v vec=%v occ=%v: assignment differs at channel %d: %d vs %d",
+					conv, vec, occ, ch, a.ByOutput[ch], b.ByOutput[ch])
+			}
+		}
+		if err := Validate(conv, vec, occ, b); err != nil {
+			t.Fatalf("%v: %v", conv, err)
+		}
+	}
+}
+
+// TestParallelBFAExhaustiveTieBreak compares full assignments (not just
+// sizes) on small universes where the sequential early exit cannot mask a
+// tie-break difference: with a single request the bound is hit at the
+// first candidate for both variants.
+func TestParallelBFAExhaustiveTieBreak(t *testing.T) {
+	for k := 2; k <= 5; k++ {
+		conv := circular(k, 1, 0)
+		seq, err := NewBreakFirstAvailable(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewParallelBreakFirstAvailable(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := NewResult(k), NewResult(k)
+		forEachVector(k, 2, func(vec []int) {
+			seq.Schedule(vec, nil, a)
+			par.Schedule(vec, nil, b)
+			if a.Size != b.Size {
+				t.Fatalf("k=%d vec=%v: sizes %d vs %d", k, vec, a.Size, b.Size)
+			}
+		})
+	}
+}
+
+func TestParallelBFAConstruction(t *testing.T) {
+	if _, err := NewParallelBreakFirstAvailable(noncircular(6, 1, 1)); err == nil {
+		t.Fatal("non-circular accepted")
+	}
+	// Full-ring circular degree takes the full-range fast path.
+	s, err := NewParallelBreakFirstAvailable(circular(5, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := NewResult(5)
+	s.Schedule([]int{5, 0, 0, 0, 0}, nil, res)
+	if res.Size != 5 {
+		t.Fatalf("full-ring parallel BFA granted %d, want 5", res.Size)
+	}
+	if s.Name() == "" || s.Conversion().K() != 5 {
+		t.Fatal("metadata missing")
+	}
+}
+
+func TestParallelBFAOptimalAgainstBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	conv := circular(12, 2, 2)
+	par, err := NewParallelBreakFirstAvailable(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := NewBaseline(conv)
+	res, want := NewResult(12), NewResult(12)
+	for trial := 0; trial < 200; trial++ {
+		vec, occ := randomInstance(rng, 12, 3, 0.2)
+		par.Schedule(vec, occ, res)
+		base.Schedule(vec, occ, want)
+		if res.Size != want.Size {
+			t.Fatalf("vec=%v occ=%v: parallel %d vs HK %d", vec, occ, res.Size, want.Size)
+		}
+	}
+}
+
+func TestParallelBFAViaName(t *testing.T) {
+	s, err := NewByName("parallel-break-first-available", circular(8, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(*ParallelBreakFirstAvailable); !ok {
+		t.Fatalf("wrong type %T", s)
+	}
+}
+
+func TestParallelBFAAllOccupied(t *testing.T) {
+	conv := circular(6, 1, 1)
+	s, _ := NewParallelBreakFirstAvailable(conv)
+	res := NewResult(6)
+	occ := []bool{true, true, true, true, true, true}
+	s.Schedule([]int{1, 1, 1, 1, 1, 1}, occ, res)
+	if res.Size != 0 {
+		t.Fatalf("granted %d with everything occupied", res.Size)
+	}
+}
+
+func TestParallelBFAReuse(t *testing.T) {
+	conv := circular(8, 1, 1)
+	s, _ := NewParallelBreakFirstAvailable(conv)
+	vec := []int{2, 0, 1, 3, 0, 0, 1, 2}
+	r1, r2 := NewResult(8), NewResult(8)
+	s.Schedule(vec, nil, r1)
+	s.Schedule([]int{0, 0, 0, 0, 0, 0, 0, 0}, nil, r2)
+	s.Schedule(vec, nil, r2)
+	if r1.Size != r2.Size {
+		t.Fatalf("reuse changed result: %d vs %d", r1.Size, r2.Size)
+	}
+}

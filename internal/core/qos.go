@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"wdmsched/internal/wavelength"
+)
+
+// PriorityScheduler implements the paper's named future work:
+// "incorporating different QoS requirements, such as different priorities
+// among connection requests, in the scheduling algorithm" (Section VI).
+//
+// It applies strict priority: classes are scheduled in descending priority
+// order, each class running the model's exact maximum-matching algorithm
+// on the channels left over by higher classes (the Section V
+// occupied-channel mechanism — a channel granted to a higher class is
+// occupied from the next class's point of view). Within a class the grant
+// set is optimal; across classes the policy is deliberately greedy — a
+// higher class never loses a grant to improve aggregate throughput, the
+// defining property of strict priority.
+type PriorityScheduler struct {
+	conv  wavelength.Conversion
+	inner Scheduler
+	occ   []bool
+}
+
+// NewPriorityScheduler builds a strict-priority scheduler around the
+// model's exact algorithm.
+func NewPriorityScheduler(conv wavelength.Conversion) (*PriorityScheduler, error) {
+	inner, err := NewExact(conv)
+	if err != nil {
+		return nil, err
+	}
+	return &PriorityScheduler{conv: conv, inner: inner, occ: make([]bool, conv.K())}, nil
+}
+
+// Name identifies the policy.
+func (s *PriorityScheduler) Name() string { return "strict-priority(" + s.inner.Name() + ")" }
+
+// Conversion returns the conversion model.
+func (s *PriorityScheduler) Conversion() wavelength.Conversion { return s.conv }
+
+// ScheduleClasses schedules one slot with per-class request vectors:
+// counts[0] is the highest priority class. occupied (len k or nil) marks
+// channels held before the slot (Section V). results must contain one
+// Result per class, each sized with NewResult(k). After the call,
+// results[c] holds class c's grants; the union is channel-disjoint.
+func (s *PriorityScheduler) ScheduleClasses(counts [][]int, occupied []bool, results []*Result) error {
+	if len(counts) != len(results) {
+		return fmt.Errorf("core: %d classes but %d results", len(counts), len(results))
+	}
+	if occupied == nil {
+		for b := range s.occ {
+			s.occ[b] = false
+		}
+	} else {
+		if len(occupied) != len(s.occ) {
+			return fmt.Errorf("core: occupied length %d != k %d", len(occupied), len(s.occ))
+		}
+		copy(s.occ, occupied)
+	}
+	for c := range counts {
+		s.inner.Schedule(counts[c], s.occ, results[c])
+		for b, w := range results[c].ByOutput {
+			if w != Unassigned {
+				s.occ[b] = true
+			}
+		}
+	}
+	return nil
+}
+
+// TotalGranted sums the class results of one ScheduleClasses call.
+func TotalGranted(results []*Result) int {
+	n := 0
+	for _, r := range results {
+		n += r.Size
+	}
+	return n
+}

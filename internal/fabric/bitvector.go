@@ -1,0 +1,169 @@
+// Package fabric models the hardware side of the WDM interconnect of the
+// paper's Fig. 1: the Nk-bit request registers the scheduling hardware
+// reads (Section II-B), the fair tie-break selectors among same-wavelength
+// requests (Section III cites round-robin/random selection à la iSLIP/PIM),
+// and the physical datapath — demultiplexers, switching fabric crosspoints,
+// Nd-input combiners, limited range converters, multiplexers — against
+// which a schedule's physical feasibility is checked.
+package fabric
+
+import "fmt"
+
+// BitVector is a fixed-width bit set. The paper implements the left side of
+// each output fiber's request graph as an Nk×1 binary vector ("an Nk bit
+// register"), with bit (i·k + j) set when λj on input fiber i is destined
+// for this output fiber; BitVector is that register.
+type BitVector struct {
+	words []uint64
+	n     int
+}
+
+// NewBitVector returns an all-zero vector of n bits.
+func NewBitVector(n int) *BitVector {
+	if n < 0 {
+		panic("fabric: negative BitVector size")
+	}
+	return &BitVector{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (v *BitVector) Len() int { return v.n }
+
+func (v *BitVector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("fabric: bit %d out of range %d", i, v.n))
+	}
+}
+
+// Set sets bit i.
+func (v *BitVector) Set(i int) {
+	v.check(i)
+	v.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Clear clears bit i.
+func (v *BitVector) Clear(i int) {
+	v.check(i)
+	v.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Get reports bit i.
+func (v *BitVector) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Reset clears every bit.
+func (v *BitVector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Count returns the number of set bits.
+func (v *BitVector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += popcount(w)
+	}
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (v *BitVector) ForEach(fn func(i int)) {
+	for wi, w := range v.words {
+		for w != 0 {
+			b := trailingZeros(w)
+			fn(wi<<6 + b)
+			w &= w - 1
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	// Hacker's Delight bit twiddling; avoids importing math/bits to keep
+	// the hardware model dependency-free at the instruction level it
+	// mirrors.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}
+
+func trailingZeros(x uint64) int {
+	if x == 0 {
+		return 64
+	}
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// RequestRegister is one output fiber's Nk-bit request register plus the
+// derived per-wavelength request lists the selector consumes.
+type RequestRegister struct {
+	n, k int
+	bits *BitVector
+}
+
+// NewRequestRegister builds a register for an N×N interconnect with k
+// wavelengths per fiber.
+func NewRequestRegister(n, k int) *RequestRegister {
+	if n <= 0 || k <= 0 {
+		panic(fmt.Sprintf("fabric: invalid register shape N=%d k=%d", n, k))
+	}
+	return &RequestRegister{n: n, k: k, bits: NewBitVector(n * k)}
+}
+
+// Mark records that λw on input fiber in is destined for this output fiber
+// in the current slot. Marking the same channel twice panics: one input
+// wavelength channel carries at most one packet per slot.
+func (r *RequestRegister) Mark(in, w int) {
+	if in < 0 || in >= r.n || w < 0 || w >= r.k {
+		panic(fmt.Sprintf("fabric: Mark(%d,%d) out of %dx%d", in, w, r.n, r.k))
+	}
+	i := in*r.k + w
+	if r.bits.Get(i) {
+		panic(fmt.Sprintf("fabric: channel (fiber %d, λ%d) marked twice in one slot", in, w))
+	}
+	r.bits.Set(i)
+}
+
+// Marked reports whether (in, w) is requesting.
+func (r *RequestRegister) Marked(in, w int) bool {
+	return r.bits.Get(in*r.k + w)
+}
+
+// Reset clears the register for the next slot.
+func (r *RequestRegister) Reset() { r.bits.Reset() }
+
+// CountVector fills count (len k) with the per-wavelength request counts —
+// the request vector the scheduler consumes.
+func (r *RequestRegister) CountVector(count []int) {
+	if len(count) != r.k {
+		panic(fmt.Sprintf("fabric: count length %d != k %d", len(count), r.k))
+	}
+	for w := range count {
+		count[w] = 0
+	}
+	r.bits.ForEach(func(i int) {
+		count[i%r.k]++
+	})
+}
+
+// Requesters appends the input fibers requesting on wavelength w, in fiber
+// order, to dst and returns it.
+func (r *RequestRegister) Requesters(w int, dst []int) []int {
+	for in := 0; in < r.n; in++ {
+		if r.bits.Get(in*r.k + w) {
+			dst = append(dst, in)
+		}
+	}
+	return dst
+}
+
+// Total returns the number of pending requests.
+func (r *RequestRegister) Total() int { return r.bits.Count() }

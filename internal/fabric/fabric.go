@@ -1,0 +1,107 @@
+package fabric
+
+import (
+	"fmt"
+
+	"wdmsched/internal/wavelength"
+)
+
+// Datapath models the physical interconnect of the paper's Fig. 1. An
+// input fiber enters a demultiplexer that separates its k wavelength
+// channels; the switching fabric connects each input channel toward output
+// fibers; each output wavelength channel has an optical combiner with N·d
+// input lines of which at most one may carry a signal at a time; the
+// combiner output passes through a limited range wavelength converter and
+// the k converted channels are multiplexed onto the output fiber.
+//
+// Datapath.Route checks that a slot's grants are physically realizable:
+// combiner exclusivity, converter reach, demux unicast (each input channel
+// drives at most one output channel), and that a combiner only receives
+// from input channels wired to it (those whose wavelength can convert to
+// the combiner's output wavelength — the "Nd inputs" of Fig. 1).
+type Datapath struct {
+	n    int
+	conv wavelength.Conversion
+}
+
+// NewDatapath builds the fabric model for an N×N interconnect whose output
+// side carries converters with the given conversion model.
+func NewDatapath(n int, conv wavelength.Conversion) (*Datapath, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fabric: invalid fiber count %d", n)
+	}
+	return &Datapath{n: n, conv: conv}, nil
+}
+
+// N returns the number of fibers per side.
+func (d *Datapath) N() int { return d.n }
+
+// Conversion returns the converter model.
+func (d *Datapath) Conversion() wavelength.Conversion { return d.conv }
+
+// CombinerFanIn returns the number of input lines wired to each combiner:
+// N·d in the paper's architecture (one line per input fiber per wavelength
+// convertible to the combiner's channel). For non-circular conversion,
+// combiners near the band edges have fewer lines.
+func (d *Datapath) CombinerFanIn(outputChannel int) int {
+	k := d.conv.K()
+	if outputChannel < 0 || outputChannel >= k {
+		panic(fmt.Sprintf("fabric: channel %d out of range %d", outputChannel, k))
+	}
+	lines := 0
+	for w := 0; w < k; w++ {
+		if d.conv.CanConvert(wavelength.Wavelength(w), wavelength.Wavelength(outputChannel)) {
+			lines++
+		}
+	}
+	return lines * d.n
+}
+
+// Grant is one switched connection in a slot: input channel (InputFiber,
+// InputWavelength) drives output channel (OutputFiber, OutputChannel).
+type Grant struct {
+	InputFiber      int
+	InputWavelength int
+	OutputFiber     int
+	OutputChannel   int
+}
+
+// Route validates a full slot's grants across the whole interconnect and
+// returns per-output-fiber combiner occupancy counts (diagnostic). It
+// reports the first violation found.
+func (d *Datapath) Route(grants []Grant) error {
+	k := d.conv.K()
+	inUse := make(map[[2]int]int, len(grants))    // input channel → grant index
+	combiner := make(map[[2]int]int, len(grants)) // output channel → grant index
+	for gi, g := range grants {
+		if g.InputFiber < 0 || g.InputFiber >= d.n || g.OutputFiber < 0 || g.OutputFiber >= d.n {
+			return fmt.Errorf("fabric: grant %d fiber out of range: %+v", gi, g)
+		}
+		if g.InputWavelength < 0 || g.InputWavelength >= k || g.OutputChannel < 0 || g.OutputChannel >= k {
+			return fmt.Errorf("fabric: grant %d channel out of range: %+v", gi, g)
+		}
+		// Demux unicast: an input wavelength channel carries one signal.
+		in := [2]int{g.InputFiber, g.InputWavelength}
+		if prev, dup := inUse[in]; dup {
+			return fmt.Errorf("fabric: input channel (fiber %d, λ%d) driven by grants %d and %d",
+				g.InputFiber, g.InputWavelength, prev, gi)
+		}
+		inUse[in] = gi
+		// Combiner exclusivity: only one of the N·d combiner inputs may
+		// carry a signal at a time.
+		out := [2]int{g.OutputFiber, g.OutputChannel}
+		if prev, dup := combiner[out]; dup {
+			return fmt.Errorf("fabric: combiner (fiber %d, channel %d) fed by grants %d and %d",
+				g.OutputFiber, g.OutputChannel, prev, gi)
+		}
+		combiner[out] = gi
+		// Converter reach: the combiner's converter must be able to shift
+		// the incoming wavelength to the channel's wavelength — equivalently
+		// the input channel must be among the combiner's wired lines.
+		if !d.conv.CanConvert(wavelength.Wavelength(g.InputWavelength), wavelength.Wavelength(g.OutputChannel)) {
+			return fmt.Errorf("fabric: grant %d needs conversion λ%d→λ%d beyond %v",
+				gi, g.InputWavelength, g.OutputChannel, d.conv)
+		}
+	}
+	return nil
+}

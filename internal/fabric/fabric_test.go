@@ -1,0 +1,287 @@
+package fabric
+
+import (
+	"reflect"
+	"testing"
+
+	"wdmsched/internal/wavelength"
+)
+
+func TestBitVectorBasics(t *testing.T) {
+	v := NewBitVector(130) // spans three words
+	for _, i := range []int{0, 63, 64, 129} {
+		v.Set(i)
+	}
+	if v.Count() != 4 {
+		t.Fatalf("Count = %d", v.Count())
+	}
+	if !v.Get(63) || v.Get(62) {
+		t.Fatal("Get mismatch")
+	}
+	v.Clear(63)
+	if v.Get(63) || v.Count() != 3 {
+		t.Fatal("Clear failed")
+	}
+	var seen []int
+	v.ForEach(func(i int) { seen = append(seen, i) })
+	if !reflect.DeepEqual(seen, []int{0, 64, 129}) {
+		t.Fatalf("ForEach = %v", seen)
+	}
+	v.Reset()
+	if v.Count() != 0 {
+		t.Fatal("Reset failed")
+	}
+	if v.Len() != 130 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+}
+
+func TestBitVectorPanics(t *testing.T) {
+	v := NewBitVector(8)
+	for name, fn := range map[string]func(){
+		"negative size": func() { NewBitVector(-1) },
+		"get oob":       func() { v.Get(8) },
+		"set oob":       func() { v.Set(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRequestRegister(t *testing.T) {
+	r := NewRequestRegister(4, 3) // N=4, k=3
+	r.Mark(0, 1)
+	r.Mark(2, 1)
+	r.Mark(3, 0)
+	if r.Total() != 3 {
+		t.Fatalf("Total = %d", r.Total())
+	}
+	if !r.Marked(2, 1) || r.Marked(1, 1) {
+		t.Fatal("Marked mismatch")
+	}
+	count := make([]int, 3)
+	r.CountVector(count)
+	if !reflect.DeepEqual(count, []int{1, 2, 0}) {
+		t.Fatalf("CountVector = %v", count)
+	}
+	if got := r.Requesters(1, nil); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Requesters = %v", got)
+	}
+	if got := r.Requesters(2, nil); len(got) != 0 {
+		t.Fatalf("Requesters(2) = %v", got)
+	}
+	r.Reset()
+	if r.Total() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestRequestRegisterPanics(t *testing.T) {
+	r := NewRequestRegister(2, 2)
+	r.Mark(1, 1)
+	for name, fn := range map[string]func(){
+		"double mark": func() { r.Mark(1, 1) },
+		"oob":         func() { r.Mark(2, 0) },
+		"bad shape":   func() { NewRequestRegister(0, 2) },
+		"short count": func() { r.CountVector(make([]int, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRoundRobinFairRotation(t *testing.T) {
+	s := NewRoundRobin(2)
+	requesters := []int{0, 1, 2, 3}
+	// One grant per slot on λ0: winners must rotate 0,1,2,3,0,…
+	var got []int
+	for slot := 0; slot < 6; slot++ {
+		got = s.Pick(0, requesters, 1, got)
+	}
+	if !reflect.DeepEqual(got, []int{0, 1, 2, 3, 0, 1}) {
+		t.Fatalf("rotation = %v", got)
+	}
+	// Independent pointer per wavelength.
+	if w1 := s.Pick(1, requesters, 1, nil); !reflect.DeepEqual(w1, []int{0}) {
+		t.Fatalf("λ1 pointer not independent: %v", w1)
+	}
+}
+
+func TestRoundRobinPartialRequesters(t *testing.T) {
+	s := NewRoundRobin(1)
+	// Pointer at 0; requesters {2, 5}: first ≥ 0 is 2.
+	if got := s.Pick(0, []int{2, 5}, 1, nil); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("got %v", got)
+	}
+	// Pointer now 3; requesters {2, 5}: first ≥ 3 is 5, then wraps to 2.
+	if got := s.Pick(0, []int{2, 5}, 2, nil); !reflect.DeepEqual(got, []int{5, 2}) {
+		t.Fatalf("got %v", got)
+	}
+	// Pointer now 3 again (last winner 2 → 3); with no requester ≥ 3 it
+	// wraps to the start.
+	if got := s.Pick(0, []int{1, 2}, 1, nil); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFixedPriorityFavorsLowFibers(t *testing.T) {
+	s := NewFixedPriority()
+	if s.Name() != "fixed-priority" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	requesters := []int{2, 5, 7}
+	for i := 0; i < 3; i++ { // stateless: same winners every slot
+		got := s.Pick(0, requesters, 2, nil)
+		if len(got) != 2 || got[0] != 2 || got[1] != 5 {
+			t.Fatalf("winners = %v", got)
+		}
+	}
+}
+
+func TestSelectorsGrantCountAndDistinctness(t *testing.T) {
+	selectors := []Selector{NewRoundRobin(4), NewRandom(7), NewFixedPriority()}
+	requesters := []int{1, 3, 4, 6, 7}
+	for _, s := range selectors {
+		for grants := 0; grants <= len(requesters); grants++ {
+			got := s.Pick(2, requesters, grants, nil)
+			if len(got) != grants {
+				t.Fatalf("%s: %d winners, want %d", s.Name(), len(got), grants)
+			}
+			seen := map[int]bool{}
+			valid := map[int]bool{}
+			for _, r := range requesters {
+				valid[r] = true
+			}
+			for _, w := range got {
+				if seen[w] {
+					t.Fatalf("%s: duplicate winner %d", s.Name(), w)
+				}
+				if !valid[w] {
+					t.Fatalf("%s: winner %d not a requester", s.Name(), w)
+				}
+				seen[w] = true
+			}
+		}
+	}
+}
+
+func TestSelectorPanicsOnOverGrant(t *testing.T) {
+	for _, s := range []Selector{NewRoundRobin(1), NewRandom(1), NewFixedPriority()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: want panic", s.Name())
+				}
+			}()
+			s.Pick(0, []int{1}, 2, nil)
+		}()
+	}
+}
+
+func TestRandomSelectorCoverage(t *testing.T) {
+	s := NewRandom(3)
+	requesters := []int{0, 1, 2, 3}
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		for _, w := range s.Pick(0, requesters, 1, nil) {
+			counts[w]++
+		}
+	}
+	for f, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("fiber %d won %d of 4000; selector skewed: %v", f, c, counts)
+		}
+	}
+}
+
+func datapath(t *testing.T, n int, conv wavelength.Conversion) *Datapath {
+	t.Helper()
+	d, err := NewDatapath(n, conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDatapathCombinerFanIn(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 6, 1, 1)
+	d := datapath(t, 4, conv)
+	// Circular: every combiner sees N·d = 12 lines (Fig. 1's "Nd inputs").
+	for b := 0; b < 6; b++ {
+		if got := d.CombinerFanIn(b); got != 12 {
+			t.Fatalf("channel %d fan-in = %d, want 12", b, got)
+		}
+	}
+	// Non-circular: edge channels see fewer lines.
+	dn := datapath(t, 4, wavelength.MustNew(wavelength.NonCircular, 6, 1, 1))
+	if got := dn.CombinerFanIn(0); got != 8 { // λ0, λ1 only
+		t.Fatalf("edge fan-in = %d, want 8", got)
+	}
+	if got := dn.CombinerFanIn(3); got != 12 {
+		t.Fatalf("middle fan-in = %d, want 12", got)
+	}
+}
+
+func TestDatapathRoute(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 6, 1, 1)
+	d := datapath(t, 4, conv)
+	ok := []Grant{
+		{InputFiber: 0, InputWavelength: 0, OutputFiber: 1, OutputChannel: 1},
+		{InputFiber: 1, InputWavelength: 0, OutputFiber: 1, OutputChannel: 5}, // wraps
+		{InputFiber: 0, InputWavelength: 3, OutputFiber: 2, OutputChannel: 3},
+	}
+	if err := d.Route(ok); err != nil {
+		t.Fatalf("valid routing rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		grants []Grant
+	}{
+		{"combiner conflict", []Grant{
+			{0, 0, 1, 1}, {2, 2, 1, 1},
+		}},
+		{"input reuse", []Grant{
+			{0, 0, 1, 1}, {0, 0, 2, 0},
+		}},
+		{"conversion out of reach", []Grant{
+			{0, 0, 1, 3},
+		}},
+		{"fiber out of range", []Grant{
+			{9, 0, 1, 1},
+		}},
+		{"channel out of range", []Grant{
+			{0, 9, 1, 1},
+		}},
+	}
+	for _, tc := range cases {
+		if err := d.Route(tc.grants); err == nil {
+			t.Errorf("%s: violation not detected", tc.name)
+		}
+	}
+}
+
+func TestDatapathValidation(t *testing.T) {
+	if _, err := NewDatapath(0, wavelength.MustNew(wavelength.Circular, 6, 1, 1)); err == nil {
+		t.Fatal("zero fibers accepted")
+	}
+	d := datapath(t, 2, wavelength.MustNew(wavelength.Circular, 6, 1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	d.CombinerFanIn(6)
+}

@@ -1,0 +1,159 @@
+package fabric
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdmsched/internal/core"
+	"wdmsched/internal/wavelength"
+)
+
+func TestHardwareFAValidation(t *testing.T) {
+	if _, err := NewHardwareFirstAvailable(0, 4, 1, 1, nil); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := NewHardwareFirstAvailable(2, 4, 2, 2, nil); err == nil {
+		t.Fatal("degree > k accepted")
+	}
+	h, err := NewHardwareFirstAvailable(2, 4, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Schedule([]bool{true}, nil); err == nil {
+		t.Fatal("short occupied accepted")
+	}
+}
+
+// TestHardwareFAMatchesCoreAlgorithm: the register-level datapath must
+// grant exactly as many requests as the count-vector First Available
+// algorithm, on random instances including occupancy.
+func TestHardwareFAMatchesCoreAlgorithm(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(6) + 1
+		k := rng.Intn(10) + 1
+		e := rng.Intn(k)
+		f := rng.Intn(k - e)
+		conv := wavelength.MustNew(wavelength.NonCircular, k, e, f)
+		fa, err := core.NewFirstAvailable(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hw, err := NewHardwareFirstAvailable(n, k, e, f, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random request pattern over the N·k channels.
+		count := make([]int, k)
+		for in := 0; in < n; in++ {
+			for w := 0; w < k; w++ {
+				if rng.Float64() < 0.4 {
+					hw.Register().Mark(in, w)
+					count[w]++
+				}
+			}
+		}
+		var occ []bool
+		if trial%2 == 0 {
+			occ = make([]bool, k)
+			for b := range occ {
+				occ[b] = rng.Float64() < 0.3
+			}
+		}
+		grants, err := hw.Schedule(occ, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := core.NewResult(k)
+		fa.Schedule(count, occ, res)
+		if len(grants) != res.Size {
+			t.Fatalf("N=%d %v count=%v occ=%v: hardware %d vs core %d",
+				n, conv, count, occ, len(grants), res.Size)
+		}
+		// Physical sanity of each grant.
+		seenIn := map[[2]int]bool{}
+		seenOut := map[int]bool{}
+		for _, g := range grants {
+			if occ != nil && occ[g.OutputChannel] {
+				t.Fatalf("granted occupied channel %d", g.OutputChannel)
+			}
+			if !conv.CanConvert(wavelength.Wavelength(g.InputWavelength), wavelength.Wavelength(g.OutputChannel)) {
+				t.Fatalf("grant %+v out of conversion reach", g)
+			}
+			in := [2]int{g.InputFiber, g.InputWavelength}
+			if seenIn[in] || seenOut[g.OutputChannel] {
+				t.Fatalf("grant %+v conflicts", g)
+			}
+			seenIn[in] = true
+			seenOut[g.OutputChannel] = true
+		}
+	}
+}
+
+// TestHardwareFACycleCount pins the O(k) claim: exactly k cycles per slot
+// regardless of N or request count.
+func TestHardwareFACycleCount(t *testing.T) {
+	for _, n := range []int{1, 8, 64} {
+		hw, err := NewHardwareFirstAvailable(n, 16, 1, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for in := 0; in < n; in++ {
+			hw.Register().Mark(in, in%16)
+		}
+		if _, err := hw.Schedule(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		if hw.Cycles() != 16 {
+			t.Fatalf("N=%d: %d cycles per slot, want k=16", n, hw.Cycles())
+		}
+	}
+}
+
+// TestHardwareFARoundRobinFairness: repeated contention between two fibers
+// on one wavelength alternates winners.
+func TestHardwareFARoundRobinFairness(t *testing.T) {
+	hw, err := NewHardwareFirstAvailable(2, 2, 0, 0, nil) // d=1: pure contention
+	if err != nil {
+		t.Fatal(err)
+	}
+	var winners []int
+	for slot := 0; slot < 4; slot++ {
+		hw.Register().Mark(0, 0)
+		hw.Register().Mark(1, 0)
+		grants, err := hw.Schedule(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(grants) != 1 {
+			t.Fatalf("slot %d: %d grants, want 1", slot, len(grants))
+		}
+		winners = append(winners, grants[0].InputFiber)
+	}
+	if winners[0] == winners[1] || winners[1] == winners[2] {
+		t.Fatalf("round-robin did not alternate: %v", winners)
+	}
+}
+
+// TestHardwareFARegisterClearedBetweenSlots: leftover requests must not
+// leak across slots.
+func TestHardwareFARegisterClearedBetweenSlots(t *testing.T) {
+	hw, err := NewHardwareFirstAvailable(2, 4, 1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overload one wavelength: 2 requests, at most 2 channels reachable.
+	hw.Register().Mark(0, 1)
+	hw.Register().Mark(1, 1)
+	if _, err := hw.Schedule(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Next slot: no requests marked → no grants.
+	grants, err := hw.Schedule(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grants) != 0 {
+		t.Fatalf("stale grants across slots: %v", grants)
+	}
+}

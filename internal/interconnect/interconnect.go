@@ -1,0 +1,264 @@
+// Package interconnect simulates the paper's N×N time-slotted WDM optical
+// interconnect end to end: slot-aligned packet arrivals are partitioned by
+// destination fiber, each output fiber's scheduler resolves contention
+// independently (the paper's distributed scheduling argument, Section I),
+// winners are selected fairly among same-wavelength requests, channel
+// holds for multi-slot connections (Section V) are tracked, and physical
+// feasibility can be checked against the Fig. 1 datapath model.
+//
+// The simulator runs in two modes producing identical results: sequential
+// (one loop over output ports, for benchmarking algorithm cost) and
+// distributed (one goroutine per output port per slot, demonstrating that
+// the per-fiber schedulers share no state).
+package interconnect
+
+import (
+	"fmt"
+	"sync"
+
+	"wdmsched/internal/core"
+	"wdmsched/internal/fabric"
+	"wdmsched/internal/traffic"
+	"wdmsched/internal/wavelength"
+)
+
+// Config describes an interconnect simulation.
+type Config struct {
+	// N is the number of input and output fibers.
+	N int
+	// Conv is the output-side wavelength conversion model.
+	Conv wavelength.Conversion
+	// Scheduler names the per-port scheduling algorithm (core.NewByName);
+	// empty means "exact".
+	Scheduler string
+	// Selector names the same-wavelength tie-break: "round-robin"
+	// (default) or "random".
+	Selector string
+	// Seed drives the random selector streams.
+	Seed uint64
+	// Disturb enables Section V disturb-mode rescheduling of held
+	// multi-slot connections.
+	Disturb bool
+	// Distributed runs one goroutine per output port each slot.
+	Distributed bool
+	// ValidateFabric routes every slot's grants through the Fig. 1
+	// datapath model and fails on physical infeasibility (slower;
+	// intended for tests and spot checks).
+	ValidateFabric bool
+	// PriorityClasses > 1 enables strict-priority QoS scheduling (the
+	// paper's Section VI future work): packets carry a Priority class and
+	// each port schedules classes in descending priority with the exact
+	// algorithm. Incompatible with Disturb and with a non-exact
+	// Scheduler.
+	PriorityClasses int
+}
+
+// arrival is a packet after input admission, as seen by an output port.
+type arrival struct {
+	fiber    int
+	wave     int
+	duration int
+	class    int
+}
+
+// Switch is a running interconnect simulation.
+type Switch struct {
+	cfg   Config
+	k     int
+	ports []*outputPort
+	dp    *fabric.Datapath
+	stats *Stats
+
+	// inputHold[(i·k)+w] > 0 means input channel (i, λw) is still
+	// transmitting an earlier multi-slot connection and cannot carry a
+	// new packet (input admission).
+	inputHold []int
+
+	// Per-slot scratch.
+	perPort    [][]arrival
+	slotGrants []fabric.Grant
+	merged     bool
+}
+
+// New builds a switch from the configuration.
+func New(cfg Config) (*Switch, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("interconnect: invalid N=%d", cfg.N)
+	}
+	k := cfg.Conv.K()
+	schedName := cfg.Scheduler
+	if schedName == "" {
+		schedName = "exact"
+	}
+	if cfg.PriorityClasses > 1 {
+		if cfg.Disturb {
+			return nil, fmt.Errorf("interconnect: priority classes and disturb mode are mutually exclusive")
+		}
+		if schedName != "exact" {
+			return nil, fmt.Errorf("interconnect: priority classes require the exact scheduler, have %q", schedName)
+		}
+	}
+	selName := cfg.Selector
+	if selName == "" {
+		selName = "round-robin"
+	}
+	dp, err := fabric.NewDatapath(cfg.N, cfg.Conv)
+	if err != nil {
+		return nil, err
+	}
+	sw := &Switch{
+		cfg:       cfg,
+		k:         k,
+		dp:        dp,
+		stats:     newStats(cfg.N, k, cfg.PriorityClasses),
+		inputHold: make([]int, cfg.N*k),
+		perPort:   make([][]arrival, cfg.N),
+	}
+	rng := traffic.NewRNG(cfg.Seed)
+	for o := 0; o < cfg.N; o++ {
+		sched, err := core.NewByName(schedName, cfg.Conv)
+		if err != nil {
+			return nil, err
+		}
+		var sel fabric.Selector
+		switch selName {
+		case "round-robin":
+			sel = fabric.NewRoundRobin(k)
+		case "random":
+			sel = fabric.NewRandom(rng.Uint64())
+		case "fixed-priority":
+			// Unfair baseline for the S7 ablation.
+			sel = fabric.NewFixedPriority()
+		default:
+			return nil, fmt.Errorf("interconnect: unknown selector %q", selName)
+		}
+		port := newOutputPort(o, cfg.N, k, sched, sel, cfg.Disturb)
+		if cfg.PriorityClasses > 1 {
+			prio, err := core.NewPriorityScheduler(cfg.Conv)
+			if err != nil {
+				return nil, err
+			}
+			port.enableClasses(cfg.PriorityClasses, prio)
+		}
+		sw.ports = append(sw.ports, port)
+	}
+	return sw, nil
+}
+
+// K returns the wavelengths per fiber.
+func (s *Switch) K() int { return s.k }
+
+// N returns the fibers per side.
+func (s *Switch) N() int { return s.cfg.N }
+
+// RunSlot advances the simulation by one slot with the given arrivals.
+// Packets outside the interconnect's shape or with non-positive duration
+// are rejected with an error.
+func (s *Switch) RunSlot(packets []traffic.Packet) error {
+	if s.merged {
+		return fmt.Errorf("interconnect: switch already finalized")
+	}
+	n, k := s.cfg.N, s.k
+	for o := range s.perPort {
+		s.perPort[o] = s.perPort[o][:0]
+	}
+	// Input admission: a channel still transmitting an earlier
+	// connection cannot launch a new packet.
+	for _, p := range packets {
+		if p.InputFiber < 0 || p.InputFiber >= n || p.DestFiber < 0 || p.DestFiber >= n ||
+			p.Wavelength < 0 || p.Wavelength >= k {
+			return fmt.Errorf("interconnect: packet out of shape: %+v", p)
+		}
+		if p.Duration < 1 {
+			return fmt.Errorf("interconnect: non-positive duration: %+v", p)
+		}
+		if s.inputHold[p.InputFiber*k+p.Wavelength] > 0 {
+			s.stats.Offered.Inc()
+			s.stats.InputBlocked.Inc()
+			continue
+		}
+		s.perPort[p.DestFiber] = append(s.perPort[p.DestFiber], arrival{
+			fiber: p.InputFiber, wave: p.Wavelength, duration: p.Duration,
+			class: p.Priority,
+		})
+	}
+
+	// Distributed phase: each output port schedules independently.
+	results := make([][]portGrant, n)
+	if s.cfg.Distributed {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for o := 0; o < n; o++ {
+			go func(o int) {
+				defer wg.Done()
+				results[o] = s.ports[o].runSlot(s.perPort[o])
+			}(o)
+		}
+		wg.Wait()
+	} else {
+		for o := 0; o < n; o++ {
+			results[o] = s.ports[o].runSlot(s.perPort[o])
+		}
+	}
+
+	// Input-hold bookkeeping and (optionally) datapath validation.
+	s.slotGrants = s.slotGrants[:0]
+	for o, grants := range results {
+		for _, g := range grants {
+			if !g.held {
+				s.inputHold[g.fiber*k+g.wave] = g.duration
+			}
+			if s.cfg.ValidateFabric {
+				s.slotGrants = append(s.slotGrants, fabric.Grant{
+					InputFiber:      g.fiber,
+					InputWavelength: g.wave,
+					OutputFiber:     o,
+					OutputChannel:   g.channel,
+				})
+			}
+		}
+		// Disturb-mode preemption aborts the in-flight transmission and
+		// frees its input channel immediately.
+		for _, pre := range s.ports[o].preemptees {
+			s.inputHold[pre.fiber*k+pre.wave] = 0
+		}
+	}
+	if s.cfg.ValidateFabric {
+		if err := s.dp.Route(s.slotGrants); err != nil {
+			return fmt.Errorf("interconnect: slot physically infeasible: %w", err)
+		}
+	}
+	// Age input holds.
+	for i := range s.inputHold {
+		if s.inputHold[i] > 0 {
+			s.inputHold[i]--
+		}
+	}
+	s.stats.Slots++
+	return nil
+}
+
+// Run drives the switch with gen for the given number of slots and returns
+// the final statistics. The switch cannot be reused afterwards.
+func (s *Switch) Run(gen traffic.Generator, slots int) (*Stats, error) {
+	var buf []traffic.Packet
+	for slot := 0; slot < slots; slot++ {
+		buf = gen.Generate(slot, buf[:0])
+		if err := s.RunSlot(buf); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finalize(), nil
+}
+
+// Finalize merges per-port statistics into the run totals and returns
+// them. Further RunSlot calls fail.
+func (s *Switch) Finalize() *Stats {
+	if !s.merged {
+		for _, p := range s.ports {
+			p.mergeInto(s.stats)
+		}
+		s.merged = true
+	}
+	return s.stats
+}

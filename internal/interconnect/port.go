@@ -1,0 +1,399 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"wdmsched/internal/core"
+	"wdmsched/internal/fabric"
+	"wdmsched/internal/metrics"
+)
+
+// portRequest is one request pending at an output port in the current
+// slot: either a new arrival or, in disturb mode, a held connection being
+// rescheduled.
+type portRequest struct {
+	fiber    int
+	duration int // for held requests: remaining slots including this one
+	held     bool
+}
+
+// portGrant is one connection switched by a port this slot.
+type portGrant struct {
+	fiber    int
+	wave     int
+	channel  int
+	duration int
+	held     bool // re-placement of an existing connection
+}
+
+// outputPort is the per-output-fiber scheduling pipeline: request register
+// → request vector → scheduler (the paper's distributed algorithm) → fair
+// selection → channel hold bookkeeping. Each port is independent of every
+// other port (the paper's Section I partition argument), which is what
+// makes the distributed mode race-free.
+type outputPort struct {
+	fiberID int
+	k       int
+	sched   core.Scheduler
+	sel     fabric.Selector
+	disturb bool
+
+	// QoS mode (classes > 1): strict-priority scheduling of per-class
+	// request vectors (paper Section VI future work). Mutually exclusive
+	// with disturb mode.
+	classes   int
+	prio      *core.PriorityScheduler
+	classReqs [][][]portRequest // [class][wavelength]
+	counts    [][]int           // [class][wavelength]
+	results   []*core.Result    // per class
+	clsOff    []int64
+	clsGrant  []int64
+
+	reg      *fabric.RequestRegister
+	count    []int
+	occupied []bool
+	res      *core.Result
+
+	// holdRemaining[b] > 0 means output channel b is transmitting and
+	// will stay busy for that many more slots (including the current
+	// one once set). heldSource[b] records who is transmitting.
+	holdRemaining []int
+	heldSource    []portGrant
+
+	// Per-slot scratch.
+	reqs       [][]portRequest // per wavelength
+	fibers     []int           // selector input buffer
+	winners    []int           // selector output buffer
+	channels   []int           // channels granted to the wavelength under expansion
+	grants     []portGrant     // this slot's switched connections
+	preemptees []portGrant     // held connections displaced this slot (disturb mode)
+
+	// Per-port statistics, merged by the switch after the run; keeping
+	// them port-local avoids cross-goroutine contention in distributed
+	// mode.
+	offered         int64
+	granted         int64
+	outputDropped   int64
+	preempted       int64
+	busyslots       int64
+	busyPerChannel  []int64
+	perInputGranted []int64
+	matchSizes      *metrics.Histogram
+}
+
+func newOutputPort(fiberID, n, k int, sched core.Scheduler, sel fabric.Selector, disturb bool) *outputPort {
+	p := &outputPort{
+		fiberID:         fiberID,
+		k:               k,
+		sched:           sched,
+		sel:             sel,
+		disturb:         disturb,
+		classes:         1,
+		reg:             fabric.NewRequestRegister(n, k),
+		count:           make([]int, k),
+		occupied:        make([]bool, k),
+		res:             core.NewResult(k),
+		holdRemaining:   make([]int, k),
+		heldSource:      make([]portGrant, k),
+		reqs:            make([][]portRequest, k),
+		busyPerChannel:  make([]int64, k),
+		perInputGranted: make([]int64, n),
+		matchSizes:      metrics.NewHistogram(k),
+	}
+	return p
+}
+
+// enableClasses switches the port to strict-priority QoS mode.
+func (p *outputPort) enableClasses(classes int, prio *core.PriorityScheduler) {
+	p.classes = classes
+	p.prio = prio
+	p.classReqs = make([][][]portRequest, classes)
+	p.counts = make([][]int, classes)
+	p.results = make([]*core.Result, classes)
+	for c := 0; c < classes; c++ {
+		p.classReqs[c] = make([][]portRequest, p.k)
+		p.counts[c] = make([]int, p.k)
+		p.results[c] = core.NewResult(p.k)
+	}
+	p.clsOff = make([]int64, classes)
+	p.clsGrant = make([]int64, classes)
+}
+
+// runSlot processes the port's share of one slot: arrivals is the list of
+// packets destined to this output fiber (already input-admission-filtered
+// by the switch). It returns the slot's switched connections (valid until
+// the next runSlot call).
+func (p *outputPort) runSlot(arrivals []arrival) []portGrant {
+	if p.classes > 1 {
+		return p.runSlotClasses(arrivals)
+	}
+	return p.runSlotSingle(arrivals)
+}
+
+// runSlotClasses is the QoS path: per-class request vectors scheduled by
+// strict priority, each class expanded through the fair selector.
+func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
+	p.grants = p.grants[:0]
+	p.preemptees = p.preemptees[:0]
+	for c := 0; c < p.classes; c++ {
+		for w := 0; w < p.k; w++ {
+			p.classReqs[c][w] = p.classReqs[c][w][:0]
+			p.counts[c][w] = 0
+		}
+	}
+	for b := 0; b < p.k; b++ {
+		p.occupied[b] = p.holdRemaining[b] > 0
+	}
+	p.offered += int64(len(arrivals))
+	for _, a := range arrivals {
+		c := a.class
+		if c < 0 || c >= p.classes {
+			c = p.classes - 1 // clamp unknown classes to lowest priority
+		}
+		p.clsOff[c]++
+		p.classReqs[c][a.wave] = append(p.classReqs[c][a.wave], portRequest{fiber: a.fiber, duration: a.duration})
+		p.counts[c][a.wave]++
+	}
+	if err := p.prio.ScheduleClasses(p.counts, p.occupied, p.results); err != nil {
+		panic(fmt.Sprintf("interconnect: port %d: %v", p.fiberID, err))
+	}
+	slotSize := 0
+	for c := 0; c < p.classes; c++ {
+		res := p.results[c]
+		slotSize += res.Size
+		for w := 0; w < p.k; w++ {
+			g := res.Granted[w]
+			reqs := p.classReqs[c][w]
+			if g == 0 {
+				p.outputDropped += int64(len(reqs))
+				continue
+			}
+			p.channels = p.channels[:0]
+			for b := 0; b < p.k; b++ {
+				if res.ByOutput[b] == w {
+					p.channels = append(p.channels, b)
+				}
+			}
+			p.fibers = p.fibers[:0]
+			for _, r := range reqs {
+				p.fibers = append(p.fibers, r.fiber)
+			}
+			p.winners = p.sel.Pick(w, p.fibers, g, p.winners[:0])
+			for ci, f := range p.winners {
+				dur := 0
+				for _, r := range reqs {
+					if r.fiber == f {
+						dur = r.duration
+						break
+					}
+				}
+				p.grants = append(p.grants, portGrant{
+					fiber: f, wave: w, channel: p.channels[ci], duration: dur,
+				})
+				p.granted++
+				p.clsGrant[c]++
+				p.perInputGranted[f]++
+			}
+			p.outputDropped += int64(len(reqs) - g)
+		}
+	}
+	p.matchSizes.Observe(slotSize)
+	for _, g := range p.grants {
+		p.holdRemaining[g.channel] = g.duration
+		p.heldSource[g.channel] = g
+	}
+	for b := 0; b < p.k; b++ {
+		if p.holdRemaining[b] > 0 {
+			p.busyslots++
+			p.busyPerChannel[b]++
+			p.holdRemaining[b]--
+		}
+	}
+	return p.grants
+}
+
+func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
+	p.reg.Reset()
+	for w := range p.reqs {
+		p.reqs[w] = p.reqs[w][:0]
+	}
+	p.grants = p.grants[:0]
+	p.preemptees = p.preemptees[:0]
+
+	// Occupancy from connections still holding their channels. In
+	// disturb mode held connections are rescheduled from scratch
+	// alongside new arrivals (Section V: "the existing connections can
+	// be disturbed, i.e., be reassigned to a different output channel").
+	for b := 0; b < p.k; b++ {
+		if p.holdRemaining[b] > 0 && p.disturb {
+			src := p.heldSource[b]
+			p.reqs[src.wave] = append(p.reqs[src.wave], portRequest{
+				fiber:    src.fiber,
+				duration: p.holdRemaining[b],
+				held:     true,
+			})
+			p.holdRemaining[b] = 0
+		}
+		p.occupied[b] = p.holdRemaining[b] > 0
+	}
+
+	// New arrivals populate the request register (the paper's Nk-bit
+	// vector) and the per-wavelength request lists.
+	p.offered += int64(len(arrivals))
+	for _, a := range arrivals {
+		p.reg.Mark(a.fiber, a.wave)
+		p.reqs[a.wave] = append(p.reqs[a.wave], portRequest{fiber: a.fiber, duration: a.duration})
+	}
+
+	// Request vector: register counts plus (disturb mode) held
+	// connections re-requesting.
+	p.reg.CountVector(p.count)
+	if p.disturb {
+		for w := range p.reqs {
+			held := 0
+			for _, r := range p.reqs[w] {
+				if r.held {
+					held++
+				}
+			}
+			p.count[w] += held
+		}
+	}
+
+	// The distributed scheduling decision.
+	p.sched.Schedule(p.count, p.occupied, p.res)
+	p.matchSizes.Observe(p.res.Size)
+
+	// Expand per-wavelength grant counts into concrete winners. Held
+	// connections are served first (keeping an in-flight connection beats
+	// admitting a new one); the fair selector breaks ties among new
+	// requests.
+	for w := 0; w < p.k; w++ {
+		g := p.res.Granted[w]
+		if g == 0 {
+			for _, r := range p.reqs[w] {
+				if r.held {
+					p.preempted++
+					p.preemptees = append(p.preemptees, portGrant{fiber: r.fiber, wave: w})
+				} else {
+					p.outputDropped++
+				}
+			}
+			continue
+		}
+		p.channels = p.channels[:0]
+		for b := 0; b < p.k; b++ {
+			if p.res.ByOutput[b] == w {
+				p.channels = append(p.channels, b)
+			}
+		}
+		if len(p.channels) != g {
+			panic(fmt.Sprintf("interconnect: port %d wavelength %d: %d channels for %d grants",
+				p.fiberID, w, len(p.channels), g))
+		}
+		ci := 0
+		remaining := g
+		// Held-first placement.
+		if p.disturb {
+			for _, r := range p.reqs[w] {
+				if !r.held {
+					continue
+				}
+				if remaining == 0 {
+					p.preempted++
+					p.preemptees = append(p.preemptees, portGrant{fiber: r.fiber, wave: w})
+					continue
+				}
+				p.grants = append(p.grants, portGrant{
+					fiber: r.fiber, wave: w, channel: p.channels[ci],
+					duration: r.duration, held: true,
+				})
+				ci++
+				remaining--
+			}
+		}
+		// Fair selection among new requests for the remaining channels.
+		if remaining > 0 {
+			p.fibers = p.fibers[:0]
+			for _, r := range p.reqs[w] {
+				if !r.held {
+					p.fibers = append(p.fibers, r.fiber)
+				}
+			}
+			p.winners = p.sel.Pick(w, p.fibers, remaining, p.winners[:0])
+			for _, f := range p.winners {
+				dur := 0
+				for _, r := range p.reqs[w] {
+					if !r.held && r.fiber == f {
+						dur = r.duration
+						break
+					}
+				}
+				p.grants = append(p.grants, portGrant{
+					fiber: f, wave: w, channel: p.channels[ci],
+					duration: dur,
+				})
+				ci++
+				p.granted++
+				p.perInputGranted[f]++
+			}
+		}
+		// New requests that lost contention.
+		newReqs := 0
+		for _, r := range p.reqs[w] {
+			if !r.held {
+				newReqs++
+			}
+		}
+		newGranted := g
+		if p.disturb {
+			newGranted = 0
+			for _, pg := range p.grants {
+				if pg.wave == w && !pg.held {
+					newGranted++
+				}
+			}
+		}
+		p.outputDropped += int64(newReqs - newGranted)
+	}
+
+	// Hold bookkeeping: every switched connection occupies its channel
+	// for its (remaining) duration starting this slot.
+	for _, g := range p.grants {
+		p.holdRemaining[g.channel] = g.duration
+		p.heldSource[g.channel] = g
+	}
+	// Channels transmitting this slot, then age the holds.
+	for b := 0; b < p.k; b++ {
+		if p.holdRemaining[b] > 0 {
+			p.busyslots++
+			p.busyPerChannel[b]++
+			p.holdRemaining[b]--
+		}
+	}
+	return p.grants
+}
+
+// mergeInto folds the port's local statistics into the run totals.
+func (p *outputPort) mergeInto(s *Stats) {
+	for c := 0; c < len(p.clsOff); c++ {
+		s.PerClassOffered[c] += p.clsOff[c]
+		s.PerClassGranted[c] += p.clsGrant[c]
+	}
+	s.Offered.Add(p.offered)
+	s.Granted.Add(p.granted)
+	s.OutputDropped.Add(p.outputDropped)
+	s.Preempted.Add(p.preempted)
+	s.BusyChannelSlots.Add(p.busyslots)
+	for b, v := range p.busyPerChannel {
+		s.PerChannelBusy[b] += v
+	}
+	for f, g := range p.perInputGranted {
+		s.PerInputGranted[f] += g
+	}
+	for v := 0; v <= p.k; v++ {
+		for c := int64(0); c < p.matchSizes.Bucket(v); c++ {
+			s.MatchSizes.Observe(v)
+		}
+	}
+}

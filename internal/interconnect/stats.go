@@ -1,0 +1,111 @@
+package interconnect
+
+import "wdmsched/internal/metrics"
+
+// Stats aggregates one simulation run. Packet counts partition as
+// Offered = Granted + InputBlocked + OutputDropped for newly arriving
+// packets; Preempted counts in-flight multi-slot connections that disturb
+// mode rescheduling failed to re-place (they are not re-counted in
+// Offered).
+type Stats struct {
+	// Slots is the number of simulated time slots.
+	Slots int
+	// Offered counts generated packets presented to the interconnect.
+	Offered metrics.Counter
+	// Granted counts new packets that won an output channel.
+	Granted metrics.Counter
+	// InputBlocked counts packets that arrived on an input channel still
+	// held by an earlier multi-slot connection (never reached a
+	// scheduler).
+	InputBlocked metrics.Counter
+	// OutputDropped counts packets that lost output contention.
+	OutputDropped metrics.Counter
+	// Preempted counts held connections displaced by disturb-mode
+	// rescheduling (Section V).
+	Preempted metrics.Counter
+	// BusyChannelSlots counts (output channel, slot) pairs spent
+	// transmitting; utilization is this over N·k·Slots.
+	BusyChannelSlots metrics.Counter
+	// PerInputGranted counts grants per input fiber, for fairness
+	// analysis (Jain index).
+	PerInputGranted []int64
+	// MatchSizes is the distribution of per-fiber per-slot matching
+	// sizes.
+	MatchSizes *metrics.Histogram
+	// PerClassOffered and PerClassGranted break new-packet counts down
+	// by QoS class when Config.PriorityClasses > 1 (empty otherwise).
+	PerClassOffered []int64
+	PerClassGranted []int64
+	// PerChannelBusy counts busy slots per output wavelength channel,
+	// summed over fibers — exposes any channel-index bias of the
+	// scheduling algorithm (First Available intentionally prefers the
+	// minus end of each window).
+	PerChannelBusy []int64
+}
+
+func newStats(n, k, classes int) *Stats {
+	s := &Stats{
+		PerInputGranted: make([]int64, n),
+		PerChannelBusy:  make([]int64, k),
+		MatchSizes:      metrics.NewHistogram(k),
+	}
+	if classes > 1 {
+		s.PerClassOffered = make([]int64, classes)
+		s.PerClassGranted = make([]int64, classes)
+	}
+	return s
+}
+
+// LossRate is the fraction of offered packets not granted (input blocking
+// plus output contention).
+func (s *Stats) LossRate() float64 {
+	if s.Offered.Value() == 0 {
+		return 0
+	}
+	return 1 - float64(s.Granted.Value())/float64(s.Offered.Value())
+}
+
+// AcceptanceRate is Granted / Offered.
+func (s *Stats) AcceptanceRate() float64 {
+	if s.Offered.Value() == 0 {
+		return 0
+	}
+	return float64(s.Granted.Value()) / float64(s.Offered.Value())
+}
+
+// Utilization is the fraction of output channel-slots spent transmitting.
+func (s *Stats) Utilization(n, k int) float64 {
+	den := float64(n) * float64(k) * float64(s.Slots)
+	if den == 0 {
+		return 0
+	}
+	return float64(s.BusyChannelSlots.Value()) / den
+}
+
+// Throughput is granted packets per output channel per slot — the
+// normalized network throughput the paper's algorithms maximize slotwise.
+func (s *Stats) Throughput(n, k int) float64 {
+	den := float64(n) * float64(k) * float64(s.Slots)
+	if den == 0 {
+		return 0
+	}
+	return float64(s.Granted.Value()) / den
+}
+
+// ClassLossRate returns the loss rate of QoS class c (0 when the class
+// saw no traffic or classes are not enabled).
+func (s *Stats) ClassLossRate(c int) float64 {
+	if c < 0 || c >= len(s.PerClassOffered) || s.PerClassOffered[c] == 0 {
+		return 0
+	}
+	return 1 - float64(s.PerClassGranted[c])/float64(s.PerClassOffered[c])
+}
+
+// FairnessJain computes Jain's index over per-input-fiber grant counts.
+func (s *Stats) FairnessJain() float64 {
+	shares := make([]float64, len(s.PerInputGranted))
+	for i, g := range s.PerInputGranted {
+		shares[i] = float64(g)
+	}
+	return metrics.Jain(shares)
+}

@@ -1,0 +1,237 @@
+// Package metrics provides the measurement primitives the simulator and
+// the experiment harness report with: counters, streaming mean/variance,
+// histograms, batch-mean confidence intervals, and table rendering (ASCII
+// and CSV).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct{ n int64 }
+
+// Add increments the counter by d (d ≥ 0).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.n += d
+}
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Ratio returns c/other, or 0 when other is zero.
+func (c *Counter) Ratio(other *Counter) float64 {
+	if other.n == 0 {
+		return 0
+	}
+	return float64(c.n) / float64(other.n)
+}
+
+// Welford accumulates a streaming mean and variance (Welford's algorithm),
+// numerically stable for long simulations.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Observe adds a sample.
+func (w *Welford) Observe(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with < 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean (0 with < 2 samples). Simulation runs feed batch
+// means into a Welford to get credible intervals despite autocorrelation.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return 1.96 * w.Stddev() / math.Sqrt(float64(w.n))
+}
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Histogram counts integer-valued observations in unit buckets
+// [0, 1, …, max]; larger values land in the overflow bucket.
+type Histogram struct {
+	buckets  []int64
+	overflow int64
+	total    int64
+	sum      int64
+}
+
+// NewHistogram builds a histogram for values 0..max.
+func NewHistogram(max int) *Histogram {
+	if max < 0 {
+		panic("metrics: negative histogram max")
+	}
+	return &Histogram{buckets: make([]int64, max+1)}
+}
+
+// Observe records a value (negative values panic: they indicate a
+// simulator bug).
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		panic("metrics: negative histogram observation")
+	}
+	if v < len(h.buckets) {
+		h.buckets[v]++
+	} else {
+		h.overflow++
+	}
+	h.total++
+	h.sum += int64(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Bucket returns the count at value v (overflow excluded).
+func (h *Histogram) Bucket(v int) int64 {
+	if v < 0 || v >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[v]
+}
+
+// Overflow returns the count of observations above max.
+func (h *Histogram) Overflow() int64 { return h.overflow }
+
+// Mean returns the average observation (overflow values counted at their
+// true magnitude via sum).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns the smallest in-range value v with
+// P(X ≤ v) ≥ q. Overflowed mass counts as above-range; if the quantile
+// falls in the overflow, it returns len(buckets) (i.e. max+1).
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for v, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.buckets)
+}
+
+// Jain computes Jain's fairness index over non-negative shares:
+// (Σx)² / (n·Σx²), 1.0 meaning perfectly fair. Used by the tie-break
+// fairness ablation.
+func Jain(shares []float64) float64 {
+	if len(shares) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range shares {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(shares)) * sq)
+}
+
+// Series is a named sequence of (x, y) points, one figure line.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	YErr   []float64 // optional CI half-widths, same length as Y or nil
+	XLabel string
+	YLabel string
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// AddErr appends a point with an error bar.
+func (s *Series) AddErr(x, y, yerr float64) {
+	s.Add(x, y)
+	for len(s.YErr) < len(s.Y)-1 {
+		s.YErr = append(s.YErr, 0)
+	}
+	s.YErr = append(s.YErr, yerr)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// SortByX orders points by ascending x.
+func (s *Series) SortByX() {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	x := make([]float64, len(s.X))
+	y := make([]float64, len(s.Y))
+	var e []float64
+	if s.YErr != nil {
+		e = make([]float64, len(s.YErr))
+	}
+	for to, from := range idx {
+		x[to], y[to] = s.X[from], s.Y[from]
+		if e != nil && from < len(s.YErr) {
+			e[to] = s.YErr[from]
+		}
+	}
+	s.X, s.Y, s.YErr = x, y, e
+}
+
+// String renders the series as "name: (x,y) …" for debugging.
+func (s *Series) String() string {
+	out := s.Name + ":"
+	for i := range s.X {
+		out += fmt.Sprintf(" (%g,%g)", s.X[i], s.Y[i])
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plotMarkers are assigned to series in order.
+var plotMarkers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders one or more series as an ASCII scatter/line chart of the
+// given interior dimensions (columns × rows), with auto-scaled axes, y
+// labels on the left, x range at the bottom and a marker legend. It is how
+// the repository renders "figures": every reproduced figure is a data grid
+// (SeriesTable) plus, optionally, this visual form.
+func Plot(width, height int, series ...*Series) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+			points++
+		}
+	}
+	if points == 0 {
+		return "(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		m := plotMarkers[si%len(plotMarkers)]
+		for i := range s.X {
+			grid[row(s.Y[i])][col(s.X[i])] = m
+		}
+	}
+
+	var b strings.Builder
+	yLabel := func(v float64) string { return fmt.Sprintf("%8.3g", v) }
+	for r, line := range grid {
+		switch r {
+		case 0:
+			b.WriteString(yLabel(ymax))
+		case height - 1:
+			b.WriteString(yLabel(ymin))
+		default:
+			b.WriteString(strings.Repeat(" ", 8))
+		}
+		b.WriteString(" |")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 8) + " +" + strings.Repeat("-", width) + "\n")
+	xl := fmt.Sprintf("%.3g", xmin)
+	xr := fmt.Sprintf("%.3g", xmax)
+	pad := width - len(xl) - len(xr)
+	if pad < 1 {
+		pad = 1
+	}
+	b.WriteString(strings.Repeat(" ", 10) + xl + strings.Repeat(" ", pad) + xr + "\n")
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", plotMarkers[si%len(plotMarkers)], s.Name)
+	}
+	return b.String()
+}

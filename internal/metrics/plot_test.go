@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotEmpty(t *testing.T) {
+	if got := Plot(40, 10); got != "(no data)\n" {
+		t.Fatalf("empty plot = %q", got)
+	}
+}
+
+func TestPlotRendersMarkersAndLegend(t *testing.T) {
+	a := &Series{Name: "alpha"}
+	a.Add(0, 0)
+	a.Add(1, 1)
+	b := &Series{Name: "beta"}
+	b.Add(0, 1)
+	b.Add(1, 0)
+	out := Plot(20, 8, a, b)
+	for _, want := range []string{"*", "o", "alpha", "beta", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// 8 grid rows + axis + x labels + 2 legend lines + trailing empty.
+	if len(lines) != 13 {
+		t.Fatalf("plot has %d lines, want 13:\n%s", len(lines), out)
+	}
+}
+
+func TestPlotMonotoneSeriesOrientation(t *testing.T) {
+	// An increasing series must put its marker in the top row at the
+	// right edge and the bottom row at the left edge.
+	s := &Series{Name: "up"}
+	for i := 0; i <= 10; i++ {
+		s.Add(float64(i), float64(i))
+	}
+	out := Plot(22, 6, s)
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[0], lines[5]
+	if !strings.Contains(top, "*") || strings.Index(top, "*") < strings.Index(bottom, "*") {
+		t.Fatalf("orientation wrong:\n%s", out)
+	}
+	if !strings.Contains(top, "10") { // ymax label
+		t.Fatalf("ymax label missing:\n%s", out)
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	s := &Series{Name: "flat"}
+	s.Add(2, 5)
+	s.Add(2, 5) // identical points: both ranges degenerate
+	out := Plot(10, 5, s)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat plot missing marker:\n%s", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	s := &Series{Name: "p"}
+	s.Add(0, 0)
+	out := Plot(1, 1, s)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("tiny plot missing marker:\n%s", out)
+	}
+}

@@ -1,0 +1,151 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: a titled grid of cells with a
+// header row. The harness prints one Table per reproduced paper table and
+// one per figure (as the figure's underlying data grid).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; cells beyond the header width panic (a harness
+// bug).
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Header) {
+		panic(fmt.Sprintf("metrics: row width %d != header width %d", len(cells), len(t.Header)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted values: each value is rendered with
+// %v, floats with %.4g.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// AddNote attaches a footnote rendered under the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// ASCII renders the table with aligned columns.
+func (t *Table) ASCII() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes only when needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SeriesTable renders one or more series sharing an x axis as a table:
+// first column x, one column per series.
+func SeriesTable(title string, series ...*Series) (*Table, error) {
+	if len(series) == 0 {
+		return NewTable(title, "x"), nil
+	}
+	header := []string{firstNonEmpty(series[0].XLabel, "x")}
+	for _, s := range series {
+		header = append(header, s.Name)
+		if s.Len() != series[0].Len() {
+			return nil, fmt.Errorf("metrics: series %q has %d points, want %d", s.Name, s.Len(), series[0].Len())
+		}
+	}
+	t := NewTable(title, header...)
+	for i := 0; i < series[0].Len(); i++ {
+		row := []string{fmt.Sprintf("%.4g", series[0].X[i])}
+		for _, s := range series {
+			cell := fmt.Sprintf("%.4g", s.Y[i])
+			if i < len(s.YErr) && s.YErr[i] > 0 {
+				cell += fmt.Sprintf("±%.2g", s.YErr[i])
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,294 @@
+// Package pathsim simulates multi-hop wavelength routing over a linear
+// WDM network whose nodes carry limited range wavelength converters — the
+// setting of the paper's opening motivation: "In the absence of wavelength
+// conversion ability, the signal is required to be on the same wavelength
+// from hop to hop (the wavelength continuity constraint). This constraint
+// can be removed when wavelength converters are employed … network
+// performance is greatly improved" (Section I, citing Kovacevic & Acampora
+// [6] and the limited-conversion analyses [11], [13]).
+//
+// Model: a chain of L unidirectional links, each carrying k wavelength
+// channels. A connection occupies one channel on each of H consecutive
+// links; at every intermediate node the signal may shift wavelength within
+// the conversion window of the wavelength it arrived on. The source
+// transmitter is tunable (any free wavelength on the first link). A
+// connection is admitted iff a feasible per-link wavelength assignment
+// exists, computed by forward reachable-set propagation:
+//
+//	R_0 = free(link_0)
+//	R_{i+1} = reach(R_i) ∩ free(link_{i+1})
+//
+// where reach(S) is the union of conversion windows of the wavelengths in
+// S. Admission picks the first-fit assignment by backward tracing. With
+// d = 1 this degenerates to the wavelength continuity constraint; with
+// d = k every hop is independent.
+package pathsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"wdmsched/internal/traffic"
+	"wdmsched/internal/wavelength"
+)
+
+// Network is the channel occupancy state of the chain.
+type Network struct {
+	conv  wavelength.Conversion
+	links int
+	busy  [][]bool
+	// propagation scratch: reachable sets per hop
+	reach [][]bool
+}
+
+// NewNetwork builds an idle chain of links under the conversion model.
+func NewNetwork(conv wavelength.Conversion, links int) (*Network, error) {
+	if links <= 0 {
+		return nil, fmt.Errorf("pathsim: links must be positive, got %d", links)
+	}
+	n := &Network{conv: conv, links: links}
+	k := conv.K()
+	n.busy = make([][]bool, links)
+	for l := range n.busy {
+		n.busy[l] = make([]bool, k)
+	}
+	return n, nil
+}
+
+// Links reports the chain length.
+func (n *Network) Links() int { return n.links }
+
+// Busy reports whether channel w on link l is occupied.
+func (n *Network) Busy(l, w int) bool { return n.busy[l][w] }
+
+// SetBusy sets channel occupancy directly (tests and manual scenarios).
+func (n *Network) SetBusy(l, w int, b bool) { n.busy[l][w] = b }
+
+// AssignPolicy selects among feasible wavelength assignments. Feasibility
+// (the admit/block decision) is policy-independent — the forward
+// propagation is the same; the policy only decides which assignment the
+// backward trace picks.
+type AssignPolicy int
+
+const (
+	// PathFirstFit picks the lowest-index wavelength at every hop.
+	PathFirstFit AssignPolicy = iota
+	// PathStay prefers keeping the current wavelength from hop to hop,
+	// minimizing conversions. It counters the "wavelength drift" of
+	// first-fit under limited range conversion on long paths (see the
+	// S11 notes in EXPERIMENTS.md).
+	PathStay
+)
+
+// String names the policy for tables.
+func (p AssignPolicy) String() string {
+	switch p {
+	case PathFirstFit:
+		return "first-fit"
+	case PathStay:
+		return "stay"
+	default:
+		return fmt.Sprintf("AssignPolicy(%d)", int(p))
+	}
+}
+
+// Route finds a feasible wavelength assignment for a connection traversing
+// links first..last inclusive under the first-fit policy, or reports
+// infeasibility. It does not modify occupancy; use Admit to commit.
+func (n *Network) Route(first, last int) ([]int, bool) {
+	return n.RoutePolicy(first, last, PathFirstFit)
+}
+
+// RoutePolicy is Route with an explicit assignment policy.
+func (n *Network) RoutePolicy(first, last int, policy AssignPolicy) ([]int, bool) {
+	if first < 0 || last >= n.links || first > last {
+		panic(fmt.Sprintf("pathsim: bad segment [%d,%d] of %d links", first, last, n.links))
+	}
+	k := n.conv.K()
+	hops := last - first + 1
+	for len(n.reach) < hops {
+		n.reach = append(n.reach, make([]bool, k))
+	}
+	// Forward propagation.
+	any := false
+	for w := 0; w < k; w++ {
+		ok := !n.busy[first][w]
+		n.reach[0][w] = ok
+		any = any || ok
+	}
+	if !any {
+		return nil, false
+	}
+	for i := 1; i < hops; i++ {
+		cur := n.reach[i]
+		for w := range cur {
+			cur[w] = false
+		}
+		any = false
+		for w := 0; w < k; w++ {
+			if !n.reach[i-1][w] {
+				continue
+			}
+			n.conv.Adjacency(wavelength.Wavelength(w)).Each(func(v int) {
+				if !n.busy[first+i][v] && !cur[v] {
+					cur[v] = true
+					any = true
+				}
+			})
+		}
+		if !any {
+			return nil, false
+		}
+	}
+	// Backward trace.
+	assign := make([]int, hops)
+	wNext := -1
+	for w := 0; w < k; w++ {
+		if n.reach[hops-1][w] {
+			wNext = w
+			break
+		}
+	}
+	assign[hops-1] = wNext
+	for i := hops - 2; i >= 0; i-- {
+		chosen := -1
+		next := assign[i+1]
+		if policy == PathStay && n.reach[i][next] &&
+			n.conv.CanConvert(wavelength.Wavelength(next), wavelength.Wavelength(next)) {
+			chosen = next // keep the wavelength: no conversion at this node
+		}
+		for w := 0; w < k && chosen < 0; w++ {
+			if n.reach[i][w] && n.conv.CanConvert(wavelength.Wavelength(w), wavelength.Wavelength(next)) {
+				chosen = w
+			}
+		}
+		if chosen < 0 {
+			panic("pathsim: backward trace failed after successful propagation")
+		}
+		assign[i] = chosen
+	}
+	return assign, true
+}
+
+// Admit routes (first-fit) and, on success, marks the assignment busy.
+func (n *Network) Admit(first, last int) ([]int, bool) {
+	return n.AdmitPolicy(first, last, PathFirstFit)
+}
+
+// AdmitPolicy is Admit with an explicit assignment policy.
+func (n *Network) AdmitPolicy(first, last int, policy AssignPolicy) ([]int, bool) {
+	assign, ok := n.RoutePolicy(first, last, policy)
+	if !ok {
+		return nil, false
+	}
+	for i, w := range assign {
+		n.busy[first+i][w] = true
+	}
+	return assign, true
+}
+
+// Release frees a previously admitted assignment.
+func (n *Network) Release(first int, assign []int) {
+	for i, w := range assign {
+		if !n.busy[first+i][w] {
+			panic(fmt.Sprintf("pathsim: releasing idle channel link %d λ%d", first+i, w))
+		}
+		n.busy[first+i][w] = false
+	}
+}
+
+// Config parameterizes an event-driven run.
+type Config struct {
+	// Conv is the per-node conversion model.
+	Conv wavelength.Conversion
+	// Links is the chain length L.
+	Links int
+	// Hops is the connection length H ≤ L; each connection's first link
+	// is uniform over [0, L−H].
+	Hops int
+	// ArrivalRate λ is the total connection arrival rate.
+	ArrivalRate float64
+	// MeanHold is the mean exponential holding time 1/µ.
+	MeanHold float64
+	// Policy selects among feasible assignments (default PathFirstFit).
+	Policy AssignPolicy
+	// Seed drives the run.
+	Seed uint64
+}
+
+// Stats reports an event-driven run.
+type Stats struct {
+	Offered int64
+	Blocked int64
+}
+
+// BlockingProbability is Blocked/Offered.
+func (s Stats) BlockingProbability() float64 {
+	if s.Offered == 0 {
+		return 0
+	}
+	return float64(s.Blocked) / float64(s.Offered)
+}
+
+type holding struct {
+	at     float64
+	first  int
+	assign []int
+}
+
+type holdingHeap []holding
+
+func (h holdingHeap) Len() int            { return len(h) }
+func (h holdingHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h holdingHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *holdingHeap) Push(x interface{}) { *h = append(*h, x.(holding)) }
+func (h *holdingHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run simulates the given number of Poisson connection arrivals.
+func Run(cfg Config, arrivals int) (Stats, error) {
+	if cfg.Links <= 0 || cfg.Hops <= 0 || cfg.Hops > cfg.Links {
+		return Stats{}, fmt.Errorf("pathsim: bad chain H=%d L=%d", cfg.Hops, cfg.Links)
+	}
+	if cfg.ArrivalRate <= 0 || cfg.MeanHold <= 0 {
+		return Stats{}, fmt.Errorf("pathsim: rates must be positive")
+	}
+	if cfg.Policy != PathFirstFit && cfg.Policy != PathStay {
+		return Stats{}, fmt.Errorf("pathsim: unknown policy %v", cfg.Policy)
+	}
+	if arrivals < 0 {
+		return Stats{}, fmt.Errorf("pathsim: negative arrivals %d", arrivals)
+	}
+	net, err := NewNetwork(cfg.Conv, cfg.Links)
+	if err != nil {
+		return Stats{}, err
+	}
+	rng := traffic.NewRNG(cfg.Seed)
+	var dep holdingHeap
+	var st Stats
+	var now float64
+	for i := 0; i < arrivals; i++ {
+		now += rng.Exp(cfg.ArrivalRate)
+		for len(dep) > 0 && dep[0].at <= now {
+			h := heap.Pop(&dep).(holding)
+			net.Release(h.first, h.assign)
+		}
+		st.Offered++
+		first := 0
+		if cfg.Links > cfg.Hops {
+			first = rng.Intn(cfg.Links - cfg.Hops + 1)
+		}
+		assign, ok := net.AdmitPolicy(first, first+cfg.Hops-1, cfg.Policy)
+		if !ok {
+			st.Blocked++
+			continue
+		}
+		heap.Push(&dep, holding{at: now + rng.Exp(1/cfg.MeanHold), first: first, assign: assign})
+	}
+	return st, nil
+}

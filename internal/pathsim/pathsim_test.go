@@ -1,0 +1,355 @@
+package pathsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wdmsched/internal/analysis"
+	"wdmsched/internal/wavelength"
+)
+
+func conv(kind wavelength.Kind, k, d int) wavelength.Conversion {
+	if d >= k {
+		return wavelength.MustNew(wavelength.Full, k, 0, 0)
+	}
+	c, err := wavelength.NewSymmetric(kind, k, d)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(conv(wavelength.Circular, 4, 1), 0); err == nil {
+		t.Fatal("zero links accepted")
+	}
+}
+
+func TestRoutePanicsOnBadSegment(t *testing.T) {
+	n, _ := NewNetwork(conv(wavelength.Circular, 4, 1), 3)
+	for _, seg := range [][2]int{{-1, 1}, {0, 3}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("segment %v accepted", seg)
+				}
+			}()
+			n.Route(seg[0], seg[1])
+		}()
+	}
+}
+
+// TestWavelengthContinuity: with d = 1 a route must use the same
+// wavelength on every hop; an occupancy pattern with no common free
+// wavelength blocks even though each link has free channels.
+func TestWavelengthContinuity(t *testing.T) {
+	n, _ := NewNetwork(conv(wavelength.Circular, 2, 1), 2)
+	// Link 0: λ0 busy; link 1: λ1 busy. No common wavelength.
+	n.SetBusy(0, 0, true)
+	n.SetBusy(1, 1, true)
+	if _, ok := n.Route(0, 1); ok {
+		t.Fatal("continuity violated: route found without a common wavelength")
+	}
+	// With d = 3 conversion the same pattern is routable (λ1 → λ0).
+	m, _ := NewNetwork(conv(wavelength.Circular, 2, 2+1), 2) // d≥k → full
+	m.SetBusy(0, 0, true)
+	m.SetBusy(1, 1, true)
+	assign, ok := m.Route(0, 1)
+	if !ok {
+		t.Fatal("conversion should rescue the route")
+	}
+	if assign[0] != 1 || assign[1] != 0 {
+		t.Fatalf("assignment %v, want [1 0]", assign)
+	}
+}
+
+// TestRouteAssignmentValidity: every returned assignment uses free
+// channels and respects the conversion windows between hops.
+func TestRouteAssignmentValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		k := rng.Intn(6) + 1
+		d := 2*rng.Intn((k+1)/2) + 1
+		c := conv(wavelength.Circular, k, d)
+		links := rng.Intn(5) + 1
+		n, _ := NewNetwork(c, links)
+		for l := 0; l < links; l++ {
+			for w := 0; w < k; w++ {
+				n.SetBusy(l, w, rng.Float64() < 0.5)
+			}
+		}
+		first := rng.Intn(links)
+		last := first + rng.Intn(links-first)
+		assign, ok := n.Route(first, last)
+		if !ok {
+			continue
+		}
+		for i, w := range assign {
+			if n.Busy(first+i, w) {
+				t.Fatalf("assigned busy channel link %d λ%d", first+i, w)
+			}
+			if i > 0 && !c.CanConvert(wavelength.Wavelength(assign[i-1]), wavelength.Wavelength(w)) {
+				t.Fatalf("hop %d: λ%d→λ%d beyond %v", i, assign[i-1], w, c)
+			}
+		}
+	}
+}
+
+// bruteRoute exhaustively searches assignments; the oracle for Route's
+// completeness.
+func bruteRoute(n *Network, c wavelength.Conversion, first, last int) bool {
+	k := c.K()
+	var dfs func(link, prev int) bool
+	dfs = func(link, prev int) bool {
+		if link > last {
+			return true
+		}
+		for w := 0; w < k; w++ {
+			if n.Busy(link, w) {
+				continue
+			}
+			if prev >= 0 && !c.CanConvert(wavelength.Wavelength(prev), wavelength.Wavelength(w)) {
+				continue
+			}
+			if dfs(link+1, w) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(first, -1)
+}
+
+// TestRouteCompleteness: Route finds an assignment exactly when one
+// exists (cross-checked by exhaustive search on small instances).
+func TestRouteCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 400; trial++ {
+		k := rng.Intn(4) + 1
+		d := 2*rng.Intn((k+1)/2) + 1
+		c := conv(wavelength.Circular, k, d)
+		links := rng.Intn(4) + 1
+		n, _ := NewNetwork(c, links)
+		for l := 0; l < links; l++ {
+			for w := 0; w < k; w++ {
+				n.SetBusy(l, w, rng.Float64() < 0.6)
+			}
+		}
+		_, got := n.Route(0, links-1)
+		want := bruteRoute(n, c, 0, links-1)
+		if got != want {
+			t.Fatalf("k=%d d=%d links=%d: Route=%v brute=%v", k, d, links, got, want)
+		}
+	}
+}
+
+func TestAdmitReleaseRoundTrip(t *testing.T) {
+	c := conv(wavelength.Circular, 4, 3)
+	n, _ := NewNetwork(c, 3)
+	assign, ok := n.Admit(0, 2)
+	if !ok {
+		t.Fatal("idle network must admit")
+	}
+	for i, w := range assign {
+		if !n.Busy(i, w) {
+			t.Fatalf("Admit did not mark link %d λ%d", i, w)
+		}
+	}
+	n.Release(0, assign)
+	for i, w := range assign {
+		if n.Busy(i, w) {
+			t.Fatalf("Release did not free link %d λ%d", i, w)
+		}
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	n, _ := NewNetwork(conv(wavelength.Circular, 4, 1), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	n.Release(0, []int{0})
+}
+
+func TestRunValidation(t *testing.T) {
+	c := conv(wavelength.Circular, 4, 1)
+	bad := []Config{
+		{Conv: c, Links: 0, Hops: 1, ArrivalRate: 1, MeanHold: 1},
+		{Conv: c, Links: 2, Hops: 3, ArrivalRate: 1, MeanHold: 1},
+		{Conv: c, Links: 2, Hops: 1, ArrivalRate: 0, MeanHold: 1},
+		{Conv: c, Links: 2, Hops: 1, ArrivalRate: 1, MeanHold: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := Run(cfg, 10); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	if _, err := Run(Config{Conv: c, Links: 2, Hops: 1, ArrivalRate: 1, MeanHold: 1}, -1); err == nil {
+		t.Fatal("negative arrivals accepted")
+	}
+}
+
+// TestSingleHopMatchesErlangB: H = L = 1 with a tunable source is an
+// M/M/k/k loss system.
+func TestSingleHopMatchesErlangB(t *testing.T) {
+	const k = 8
+	a := 6.0
+	st, err := Run(Config{
+		Conv: conv(wavelength.Circular, k, 3), Links: 1, Hops: 1,
+		ArrivalRate: a, MeanHold: 1, Seed: 11,
+	}, 300000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := analysis.ErlangB(k, a)
+	if math.Abs(st.BlockingProbability()-want) > 0.01+0.05*want {
+		t.Fatalf("blocking %v, Erlang-B %v", st.BlockingProbability(), want)
+	}
+}
+
+// TestConversionReducesBlocking reproduces the Section I motivation on
+// multi-hop paths with partial overlap: conversion strictly reduces
+// blocking relative to the wavelength continuity constraint, and limited
+// range conversion sits between the extremes at moderate path lengths.
+//
+// Partial path overlap is what makes conversion matter — connections
+// sharing only some links fragment the wavelength space, and a converter
+// heals the fragmentation. (With Hops == Links every connection sees
+// identical occupancy on all links and conversion is irrelevant.) Arrival
+// rate scales as 1/H to hold per-link load constant.
+//
+// A caveat this simulator surfaces (and EXPERIMENTS.md records): on long
+// paths, greedy first-fit with *limited* range conversion can drift the
+// wavelength along the path and fragment the space for later arrivals —
+// occasionally blocking more than no conversion at all. The monotone-in-d
+// assertion is therefore made at moderate hop counts, where the classic
+// ordering holds.
+func TestConversionReducesBlocking(t *testing.T) {
+	const k, links = 8, 12
+	blocking := func(d, hops int) float64 {
+		st, err := Run(Config{
+			Conv: conv(wavelength.Circular, k, d), Links: links, Hops: hops,
+			ArrivalRate: 36.0 / float64(hops), MeanHold: 1, Seed: 13,
+		}, 120000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.BlockingProbability()
+	}
+	for _, hops := range []int{2, 4} {
+		b1 := blocking(1, hops)
+		b3 := blocking(3, hops)
+		bk := blocking(k, hops)
+		if !(b1 > b3 && b3 > bk) {
+			t.Fatalf("H=%d: blocking not monotone in d: d1=%v d3=%v full=%v", hops, b1, b3, bk)
+		}
+	}
+	// Even at long paths, full conversion still beats no conversion.
+	if b1, bk := blocking(1, 6), blocking(k, 6); b1 <= bk {
+		t.Fatalf("H=6: full conversion (%v) must beat continuity (%v)", bk, b1)
+	}
+}
+
+// TestStayPolicyReducesDriftBlocking: the conversion-minimizing assignment
+// policy must lower blocking relative to first-fit in the long-path,
+// limited-degree regime where first-fit's wavelength drift bites.
+func TestStayPolicyReducesDriftBlocking(t *testing.T) {
+	const k, links, hops = 8, 12, 6
+	run := func(policy AssignPolicy) float64 {
+		st, err := Run(Config{
+			Conv: conv(wavelength.Circular, k, 3), Links: links, Hops: hops,
+			ArrivalRate: 3 * float64(links) / float64(hops), MeanHold: 1,
+			Policy: policy, Seed: 13,
+		}, 150000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.BlockingProbability()
+	}
+	ff, stay := run(PathFirstFit), run(PathStay)
+	if stay >= ff {
+		t.Fatalf("stay policy (%v) did not improve on first-fit (%v)", stay, ff)
+	}
+}
+
+// TestStayPolicyAdmissionIdenticalPerCall: on the SAME occupancy state the
+// two policies agree on feasibility (the propagation is shared); only the
+// chosen assignment differs.
+func TestStayPolicyAdmissionIdenticalPerCall(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		k := rng.Intn(5) + 1
+		d := 2*rng.Intn((k+1)/2) + 1
+		c := conv(wavelength.Circular, k, d)
+		links := rng.Intn(4) + 1
+		n, _ := NewNetwork(c, links)
+		for l := 0; l < links; l++ {
+			for w := 0; w < k; w++ {
+				n.SetBusy(l, w, rng.Float64() < 0.5)
+			}
+		}
+		_, okFF := n.RoutePolicy(0, links-1, PathFirstFit)
+		stayAssign, okStay := n.RoutePolicy(0, links-1, PathStay)
+		if okFF != okStay {
+			t.Fatalf("policies disagree on feasibility: ff=%v stay=%v", okFF, okStay)
+		}
+		if !okStay {
+			continue
+		}
+		for i, w := range stayAssign {
+			if n.Busy(i, w) {
+				t.Fatalf("stay assigned busy channel link %d λ%d", i, w)
+			}
+			if i > 0 && !c.CanConvert(wavelength.Wavelength(stayAssign[i-1]), wavelength.Wavelength(w)) {
+				t.Fatalf("stay hop %d beyond reach", i)
+			}
+		}
+	}
+}
+
+// TestStayPolicyMinimizesConversionsOnIdleNetwork: with everything free,
+// stay uses one wavelength end to end.
+func TestStayPolicyMinimizesConversionsOnIdleNetwork(t *testing.T) {
+	c := conv(wavelength.Circular, 6, 3)
+	n, _ := NewNetwork(c, 5)
+	assign, ok := n.RoutePolicy(0, 4, PathStay)
+	if !ok {
+		t.Fatal("idle network must admit")
+	}
+	for i := 1; i < len(assign); i++ {
+		if assign[i] != assign[0] {
+			t.Fatalf("stay converted on an idle network: %v", assign)
+		}
+	}
+}
+
+func TestRunRejectsUnknownPolicy(t *testing.T) {
+	c := conv(wavelength.Circular, 4, 1)
+	if _, err := Run(Config{Conv: c, Links: 2, Hops: 1, ArrivalRate: 1, MeanHold: 1, Policy: AssignPolicy(9)}, 10); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if AssignPolicy(9).String() == "" || PathStay.String() != "stay" {
+		t.Fatal("policy String broken")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	cfg := Config{
+		Conv: conv(wavelength.Circular, 8, 3), Links: 4, Hops: 2,
+		ArrivalRate: 5, MeanHold: 1, Seed: 17,
+	}
+	a, err := Run(cfg, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,208 @@
+package requestgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wdmsched/internal/bipartite"
+	"wdmsched/internal/wavelength"
+)
+
+// TestFigure5Break reproduces Fig. 5: breaking the circular request graph
+// of Fig. 3(a) at edge a2→b1. After deleting a2, b1, incident edges and
+// crossing edges, the vertices are reordered with a3 and b2 on top.
+func TestFigure5Break(t *testing.T) {
+	g := MustFromVector(circ6(), fig3Vector)
+	br, err := g.Break(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(br.Lefts, []int{3, 4, 5, 6, 0, 1}) {
+		t.Fatalf("Lefts = %v", br.Lefts)
+	}
+	if !reflect.DeepEqual(br.Rights, []int{2, 3, 4, 5, 0}) {
+		t.Fatalf("Rights = %v", br.Rights)
+	}
+	// Reduced adjacency in original channel ids:
+	//   a3 (λ3): {b2,b3,b4}; a4 (λ4): {b3,b4,b5}; a5,a6 (λ5): {b4,b5,b0};
+	//   a0, a1 (λ0): lose b1 and nothing else (their remaining channels
+	//   b5, b0 precede the break point): {b5,b0}.
+	wantAdj := map[int][]int{ // reduced left position → reduced right positions
+		0: {0, 1, 2}, // a3 → b2,b3,b4
+		1: {1, 2, 3}, // a4 → b3,b4,b5
+		2: {2, 3, 4}, // a5 → b4,b5,b0
+		3: {2, 3, 4}, // a6
+		4: {3, 4},    // a0 → b5,b0
+		5: {3, 4},    // a1
+	}
+	for p, want := range wantAdj {
+		var got []int
+		for q := br.Begin[p]; q <= br.End[p]; q++ {
+			got = append(got, q)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("reduced left %d (a%d): positions %v, want %v", p, br.Lefts[p], got, want)
+		}
+	}
+}
+
+func TestBreakErrors(t *testing.T) {
+	g := MustFromVector(circ6(), fig3Vector)
+	if _, err := g.Break(-1, 0); err == nil {
+		t.Fatal("negative left index accepted")
+	}
+	if _, err := g.Break(99, 0); err == nil {
+		t.Fatal("out-of-range left index accepted")
+	}
+	if _, err := g.Break(0, 2); err == nil {
+		t.Fatal("non-edge accepted (a0 on λ0 cannot reach b2)")
+	}
+	if _, err := g.Break(0, -1); err == nil {
+		t.Fatal("negative channel accepted")
+	}
+	gn := MustFromVector(nonc6(), fig3Vector)
+	if _, err := gn.Break(0, 0); err == nil {
+		t.Fatal("Break must reject non-circular conversion")
+	}
+}
+
+func TestRightPos(t *testing.T) {
+	br := &Broken{U: 1}
+	cases := map[int]int{2: 0, 3: 1, 4: 2, 5: 3, 0: 4}
+	for v, want := range cases {
+		if got := br.RightPos(v, 6); got != want {
+			t.Errorf("RightPos(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// TestBreakMatchesExplicit: the closed-form Section IV-A intervals must
+// produce exactly the edge set obtained by literal application of
+// Definitions 1 and 2 via the Crosses predicate, across random circular
+// instances and every possible breaking edge.
+func TestBreakMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		g := randomGraphFor(rng, wavelength.Circular, 8, 2, 0)
+		n := g.NumRequests()
+		for i := 0; i < n; i++ {
+			for _, u := range g.AdjacencySlice(i) {
+				br, oracle, err := g.BreakExplicit(i, u)
+				if err != nil {
+					t.Fatalf("%v: %v", g, err)
+				}
+				closed, err := br.ConvexGraph(g.K())
+				if err != nil {
+					t.Fatalf("%v: bad closed-form intervals: %v", g, err)
+				}
+				got := closed.Graph()
+				if got.NLeft() != oracle.NLeft() || got.NRight() != oracle.NRight() {
+					t.Fatalf("%v: shape mismatch", g)
+				}
+				for a := 0; a < got.NLeft(); a++ {
+					for b := 0; b < got.NRight(); b++ {
+						if got.HasEdge(a, b) != oracle.HasEdge(a, b) {
+							t.Fatalf("%v: break(a%d,b%d): reduced edge (%d,%d) closed=%v oracle=%v",
+								g, i, u, a, b, got.HasEdge(a, b), oracle.HasEdge(a, b))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBreakMonotone verifies Lemma 2: in the reduced ordering, BEGIN and
+// END are nondecreasing over left positions (restricted to non-empty
+// neighborhoods), which is what makes First Available applicable.
+func TestBreakMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 300; trial++ {
+		g := randomGraphFor(rng, wavelength.Circular, 9, 2, 0)
+		n := g.NumRequests()
+		for i := 0; i < n; i++ {
+			for _, u := range g.AdjacencySlice(i) {
+				br, err := g.Break(i, u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prevB, prevE := -1, -1
+				for p := range br.Begin {
+					if br.Begin[p] > br.End[p] {
+						continue // empty neighborhood
+					}
+					if br.Begin[p] < prevB || br.End[p] < prevE {
+						t.Fatalf("%v: break(a%d,b%d): intervals not monotone at position %d: begin=%v end=%v",
+							g, i, u, p, br.Begin, br.End)
+					}
+					prevB, prevE = br.Begin[p], br.End[p]
+				}
+			}
+		}
+	}
+}
+
+// TestBreakPositionsInRange: interval endpoints must be legal reduced
+// positions [0, k−2].
+func TestBreakPositionsInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraphFor(rng, wavelength.Circular, 9, 2, 0)
+		n := g.NumRequests()
+		for i := 0; i < n; i++ {
+			for _, u := range g.AdjacencySlice(i) {
+				br, err := g.Break(i, u)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for p := range br.Begin {
+					if br.Begin[p] > br.End[p] {
+						continue
+					}
+					if br.Begin[p] < 0 || br.End[p] > g.K()-2 {
+						t.Fatalf("%v: break(a%d,b%d): interval [%d,%d] out of range",
+							g, i, u, br.Begin[p], br.End[p])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBreakingEdgePlusReducedMatchingIsMatching: Lemma 3 direction — any
+// matching of G′ plus the breaking edge is a matching of G.
+func TestBreakingEdgePlusReducedMatchingIsMatching(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 200; trial++ {
+		g := randomGraphFor(rng, wavelength.Circular, 8, 2, 0)
+		n := g.NumRequests()
+		if n == 0 {
+			continue
+		}
+		i := rng.Intn(n)
+		adj := g.AdjacencySlice(i)
+		if len(adj) == 0 {
+			continue
+		}
+		u := adj[rng.Intn(len(adj))]
+		br, reduced, err := g.BreakExplicit(i, u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr := bipartite.HopcroftKarp(reduced)
+		// Lift to the original graph and append the breaking edge.
+		bg := g.Bipartite()
+		lifted := bipartite.NewMatching(bg.NLeft(), bg.NRight())
+		for p, q := range mr.RightOf {
+			if q == bipartite.Unmatched {
+				continue
+			}
+			lifted.Add(br.Lefts[p], br.Rights[q])
+		}
+		lifted.Add(i, u)
+		if err := lifted.Validate(bg); err != nil {
+			t.Fatalf("%v: lifted matching invalid: %v", g, err)
+		}
+	}
+}

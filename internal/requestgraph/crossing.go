@@ -1,0 +1,143 @@
+package requestgraph
+
+import (
+	"fmt"
+
+	"wdmsched/internal/bipartite"
+	"wdmsched/internal/wavelength"
+)
+
+// Crossing edges (paper Definition 1) and the crossing-elimination rewrite
+// from the proof of Lemma 1.
+//
+// The paper's interval notation [x, y] is over unreduced integers whose
+// values are then taken mod k; an interval with y < x (as integers) is
+// empty. To evaluate the definition faithfully we first normalize u to the
+// integer representative u_r inside a_i's window [W(i)−e, W(i)+f], and W(j)
+// to a representative inside whichever case range is being tested; the
+// remaining membership tests are then ring-membership tests.
+
+// rep returns the smallest integer ≥ lo congruent to x mod k.
+func rep(x, lo, k int) int {
+	m := (x - lo) % k
+	if m < 0 {
+		m += k
+	}
+	return lo + m
+}
+
+// Crosses reports whether edge a_j→b_v crosses edge a_i→b_u per
+// Definition 1. Both pairs must be edges of the request graph (occupancy is
+// ignored here: crossing is a statement about wavelength geometry). It
+// panics if either pair is not convertibility-adjacent, which indicates a
+// caller bug.
+func (g *Graph) Crosses(j, v, i, u int) bool {
+	conv := g.conv
+	if !conv.CanConvert(g.reqs[i].W, wavelength.Wavelength(u)) {
+		panic(fmt.Sprintf("requestgraph: Crosses called with non-edge (a%d,b%d)", i, u))
+	}
+	if !conv.CanConvert(g.reqs[j].W, wavelength.Wavelength(v)) {
+		panic(fmt.Sprintf("requestgraph: Crosses called with non-edge (a%d,b%d)", j, v))
+	}
+	if i == j {
+		return false
+	}
+	k := conv.K()
+	e, f := conv.MinusReach(), conv.PlusReach()
+	wi, wj := g.W(i), g.W(j)
+	ur := rep(u, wi-e, k) // u's representative inside a_i's window
+
+	if wj == wi {
+		// Case 2: same arrival wavelength; order within the wavelength
+		// bucket decides which side each vertex is on.
+		if j < i {
+			return wavelength.InRing(v, ur+1, wj+f, k) // Case 2.1
+		}
+		return wavelength.InRing(v, wj-e, ur-1, k) // Case 2.2
+	}
+
+	// Case 1.1: W(j) in [u−f+1, W(i)−1] and v in [u+1, W(j)+f].
+	if lo := ur - f + 1; wavelength.InRing(wj, lo, wi-1, k) {
+		wjr := rep(wj, lo, k)
+		if wavelength.InRing(v, ur+1, wjr+f, k) {
+			return true
+		}
+	}
+	// Case 1.2: W(j) in [W(i)+1, u−1+e] and v in [W(j)−e, u−1].
+	if lo := wi + 1; wavelength.InRing(wj, lo, ur-1+e, k) {
+		wjr := rep(wj, lo, k)
+		if wavelength.InRing(v, wjr-e, ur-1, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// CrossingPairs returns every ordered pair of crossing edges within
+// matching m (as index pairs into m.Edges()). Used by tests and by
+// Uncross.
+func (g *Graph) CrossingPairs(m bipartite.Matching) [][2][2]int {
+	edges := m.Edges()
+	var out [][2][2]int
+	for x := 0; x < len(edges); x++ {
+		for y := 0; y < len(edges); y++ {
+			if x == y {
+				continue
+			}
+			if g.Crosses(edges[x][0], edges[x][1], edges[y][0], edges[y][1]) {
+				out = append(out, [2][2]int{edges[x], edges[y]})
+			}
+		}
+	}
+	return out
+}
+
+// NumCrossings counts crossing relations within matching m.
+func (g *Graph) NumCrossings(m bipartite.Matching) int {
+	return len(g.CrossingPairs(m))
+}
+
+// Uncross applies the Lemma 1 rewrite to matching m until no crossing pair
+// remains: each crossing pair {a_i→b_u, a_j→b_v} is replaced by
+// {a_i→b_v, a_j→b_u}, preserving cardinality. It returns the rewritten
+// matching. The paper proves each individual replacement is legal; Uncross
+// additionally guards against non-termination with an iteration budget and
+// reports an error if exceeded (never observed; the budget exists to turn a
+// latent proof gap into a loud failure rather than a hang).
+func (g *Graph) Uncross(m bipartite.Matching) (bipartite.Matching, error) {
+	out := bipartite.NewMatching(len(m.RightOf), len(m.LeftOf))
+	copy(out.LeftOf, m.LeftOf)
+	copy(out.RightOf, m.RightOf)
+	budget := (g.NumRequests()*g.K() + 1) * (g.NumRequests()*g.K() + 1)
+	for iter := 0; ; iter++ {
+		if iter > budget {
+			return out, fmt.Errorf("requestgraph: Uncross exceeded %d iterations", budget)
+		}
+		pair, found := g.firstCrossing(out)
+		if !found {
+			return out, nil
+		}
+		j, v := pair[0][0], pair[0][1]
+		i, u := pair[1][0], pair[1][1]
+		// Swap partners: a_j→b_u, a_i→b_v (Lemma 1 shows both are edges
+		// of G and do not cross each other).
+		out.RightOf[j], out.RightOf[i] = u, v
+		out.LeftOf[u], out.LeftOf[v] = j, i
+	}
+}
+
+// firstCrossing returns one crossing pair in m, if any.
+func (g *Graph) firstCrossing(m bipartite.Matching) ([2][2]int, bool) {
+	edges := m.Edges()
+	for x := 0; x < len(edges); x++ {
+		for y := 0; y < len(edges); y++ {
+			if x == y {
+				continue
+			}
+			if g.Crosses(edges[x][0], edges[x][1], edges[y][0], edges[y][1]) {
+				return [2][2]int{edges[x], edges[y]}, true
+			}
+		}
+	}
+	return [2][2]int{}, false
+}

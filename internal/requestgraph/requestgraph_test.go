@@ -1,0 +1,200 @@
+package requestgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"wdmsched/internal/wavelength"
+)
+
+// fig3Vector is the paper's running example request vector [2,1,0,1,1,2]
+// for k = 6: two requests on λ0, one on λ1, none on λ2, one each on λ3 and
+// λ4, two on λ5 (Fig. 3).
+var fig3Vector = []int{2, 1, 0, 1, 1, 2}
+
+func circ6() wavelength.Conversion { return wavelength.MustNew(wavelength.Circular, 6, 1, 1) }
+func nonc6() wavelength.Conversion { return wavelength.MustNew(wavelength.NonCircular, 6, 1, 1) }
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(circ6(), []Request{{W: 6}}); err == nil {
+		t.Fatal("invalid wavelength accepted")
+	}
+	if _, err := New(circ6(), []Request{{W: -1}}); err == nil {
+		t.Fatal("negative wavelength accepted")
+	}
+}
+
+func TestFromVectorValidation(t *testing.T) {
+	if _, err := FromVector(circ6(), []int{1, 2}); err == nil {
+		t.Fatal("short vector accepted")
+	}
+	if _, err := FromVector(circ6(), []int{1, -1, 0, 0, 0, 0}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestMustFromVectorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MustFromVector(circ6(), []int{1})
+}
+
+func TestOrderingStable(t *testing.T) {
+	// Requests submitted out of wavelength order, with two on λ0 whose
+	// submission order must be preserved (paper: same-wavelength requests
+	// in arbitrary but fixed order).
+	reqs := []Request{
+		{W: 5, ID: 100},
+		{W: 0, ID: 101},
+		{W: 3, ID: 102},
+		{W: 0, ID: 103},
+	}
+	g, err := New(circ6(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIDs := make([]int64, g.NumRequests())
+	for i := range gotIDs {
+		gotIDs[i] = g.Request(i).ID
+	}
+	if !reflect.DeepEqual(gotIDs, []int64{101, 103, 102, 100}) {
+		t.Fatalf("order = %v", gotIDs)
+	}
+	if g.W(0) != 0 || g.W(3) != 5 {
+		t.Fatal("W() mismatch")
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	g := MustFromVector(circ6(), fig3Vector)
+	if got := g.Vector(); !reflect.DeepEqual(got, fig3Vector) {
+		t.Fatalf("Vector = %v", got)
+	}
+	if g.NumRequests() != 7 || g.K() != 6 {
+		t.Fatalf("n=%d k=%d", g.NumRequests(), g.K())
+	}
+}
+
+// TestFigure3Circular reproduces Fig. 3(a): the circular request graph for
+// vector [2,1,0,1,1,2], k = 6, d = 3.
+func TestFigure3Circular(t *testing.T) {
+	g := MustFromVector(circ6(), fig3Vector)
+	want := map[int][]int{
+		0: {5, 0, 1}, // a0 on λ0
+		1: {5, 0, 1}, // a1 on λ0
+		2: {0, 1, 2}, // a2 on λ1
+		3: {2, 3, 4}, // a3 on λ3
+		4: {3, 4, 5}, // a4 on λ4
+		5: {4, 5, 0}, // a5 on λ5
+		6: {4, 5, 0}, // a6 on λ5
+	}
+	for i, adj := range want {
+		if got := g.AdjacencySlice(i); !reflect.DeepEqual(got, adj) {
+			t.Errorf("a%d adjacency = %v, want %v", i, got, adj)
+		}
+	}
+	bg := g.Bipartite()
+	if bg.NumEdges() != 21 {
+		t.Fatalf("edges = %d, want 21", bg.NumEdges())
+	}
+}
+
+// TestFigure3NonCircular reproduces Fig. 3(b): the convex request graph for
+// the same vector under non-circular conversion.
+func TestFigure3NonCircular(t *testing.T) {
+	g := MustFromVector(nonc6(), fig3Vector)
+	want := map[int][]int{
+		0: {0, 1},
+		1: {0, 1},
+		2: {0, 1, 2},
+		3: {2, 3, 4},
+		4: {3, 4, 5},
+		5: {4, 5},
+		6: {4, 5},
+	}
+	for i, adj := range want {
+		if got := g.AdjacencySlice(i); !reflect.DeepEqual(got, adj) {
+			t.Errorf("a%d adjacency = %v, want %v", i, got, adj)
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := MustFromVector(circ6(), fig3Vector)
+	if !g.HasEdge(0, 5) || !g.HasEdge(0, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge mismatch for a0")
+	}
+	if g.HasEdge(-1, 0) || g.HasEdge(7, 0) || g.HasEdge(0, -1) || g.HasEdge(0, 6) {
+		t.Fatal("out-of-range HasEdge must be false")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	g := MustFromVector(circ6(), fig3Vector)
+	g.SetOccupied(0, true)
+	if !g.Occupied(0) || g.Occupied(1) {
+		t.Fatal("Occupied mismatch")
+	}
+	if g.NumAvailable() != 5 {
+		t.Fatalf("NumAvailable = %d", g.NumAvailable())
+	}
+	if g.HasEdge(0, 0) {
+		t.Fatal("edge to occupied channel must vanish")
+	}
+	if got := g.AdjacencySlice(0); !reflect.DeepEqual(got, []int{5, 1}) {
+		t.Fatalf("a0 adjacency with b0 occupied = %v", got)
+	}
+	bg := g.Bipartite()
+	for a := 0; a < bg.NLeft(); a++ {
+		if bg.HasEdge(a, 0) {
+			t.Fatalf("Bipartite kept edge (%d,0) to occupied channel", a)
+		}
+	}
+	mask := g.OccupiedMask()
+	mask[1] = true
+	if g.Occupied(1) {
+		t.Fatal("OccupiedMask must be a copy")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := MustFromVector(circ6(), fig3Vector)
+	c := g.Clone()
+	c.SetOccupied(2, true)
+	if g.Occupied(2) {
+		t.Fatal("clone occupancy leaked")
+	}
+}
+
+func TestStringContainsVector(t *testing.T) {
+	g := MustFromVector(circ6(), []int{1, 0, 0, 0, 0, 0})
+	if g.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// randomGraphFor builds a random request graph for property tests.
+func randomGraphFor(rng *rand.Rand, kind wavelength.Kind, maxK, maxPerWavelength int, occupancyP float64) *Graph {
+	k := rng.Intn(maxK) + 1
+	e := rng.Intn(k)
+	f := rng.Intn(k - e)
+	if e+f+1 > k {
+		f = k - e - 1
+	}
+	conv := wavelength.MustNew(kind, k, e, f)
+	vec := make([]int, k)
+	for w := range vec {
+		vec[w] = rng.Intn(maxPerWavelength + 1)
+	}
+	g := MustFromVector(conv, vec)
+	for b := 0; b < k; b++ {
+		if rng.Float64() < occupancyP {
+			g.SetOccupied(b, true)
+		}
+	}
+	return g
+}

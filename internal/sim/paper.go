@@ -1,0 +1,544 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wdmsched/internal/bipartite"
+	"wdmsched/internal/core"
+	"wdmsched/internal/metrics"
+	"wdmsched/internal/requestgraph"
+	"wdmsched/internal/traffic"
+	"wdmsched/internal/wavelength"
+)
+
+// fig3Vector is the paper's running example request vector.
+var fig3Vector = []int{2, 1, 0, 1, 1, 2}
+
+func adjacencyString(adj []int) string {
+	parts := make([]string, len(adj))
+	for i, b := range adj {
+		parts[i] = fmt.Sprintf("b%d", b)
+	}
+	return strings.Join(parts, " ")
+}
+
+func init() {
+	register(Experiment{
+		ID:    "P1",
+		Title: "Fig. 2 — conversion graphs, k=6, d=3, circular and non-circular",
+		Run:   runP1,
+	})
+	register(Experiment{
+		ID:    "P2",
+		Title: "Fig. 3 — request graphs for vector [2,1,0,1,1,2]",
+		Run:   runP2,
+	})
+	register(Experiment{
+		ID:    "P3",
+		Title: "Fig. 4 — maximum matchings of the Fig. 3 request graphs",
+		Run:   runP3,
+	})
+	register(Experiment{
+		ID:    "P4",
+		Title: "Fig. 5 — breaking the circular request graph at edge a2→b1",
+		Run:   runP4,
+	})
+	register(Experiment{
+		ID:    "P5",
+		Title: "Theorem 1 — First Available is optimal (vs Hopcroft–Karp)",
+		Run:   runP5,
+	})
+	register(Experiment{
+		ID:    "P6",
+		Title: "Theorem 2 — Break and First Available is optimal (vs Hopcroft–Karp)",
+		Run:   runP6,
+	})
+	register(Experiment{
+		ID:    "P7",
+		Title: "Complexity — O(k) / O(dk) scaling, independence of N",
+		Run:   runP7,
+	})
+	register(Experiment{
+		ID:    "P8",
+		Title: "Theorem 3 / Corollary 1 — δ-break approximation gap",
+		Run:   runP8,
+	})
+	register(Experiment{
+		ID:    "P9",
+		Title: "Section V — exactness with occupied output channels",
+		Run:   runP9,
+	})
+	register(Experiment{
+		ID:    "P10",
+		Title: "Section I — distributed vs global scheduling: equal matchings, O(N) cost gap",
+		Run:   runP10,
+	})
+}
+
+func runP1(cfg RunConfig) ([]*metrics.Table, error) {
+	var tables []*metrics.Table
+	for _, kind := range []wavelength.Kind{wavelength.Circular, wavelength.NonCircular} {
+		conv, err := wavelength.New(kind, 6, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		t := metrics.NewTable(fmt.Sprintf("Fig. 2 conversion graph (%v)", kind),
+			"input", "adjacency set")
+		for w, adj := range conv.ConversionGraph() {
+			out := make([]int, len(adj))
+			for i, a := range adj {
+				out[i] = int(a)
+			}
+			t.AddRow(fmt.Sprintf("λ%d", w), adjacencyString(out))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runP2(cfg RunConfig) ([]*metrics.Table, error) {
+	var tables []*metrics.Table
+	for _, kind := range []wavelength.Kind{wavelength.Circular, wavelength.NonCircular} {
+		conv, err := wavelength.New(kind, 6, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		g, err := requestgraph.FromVector(conv, fig3Vector)
+		if err != nil {
+			return nil, err
+		}
+		t := metrics.NewTable(fmt.Sprintf("Fig. 3 request graph (%v), vector %v", kind, fig3Vector),
+			"request", "wavelength", "adjacency set")
+		for i := 0; i < g.NumRequests(); i++ {
+			t.AddRow(fmt.Sprintf("a%d", i), g.Request(i).W.String(), adjacencyString(g.AdjacencySlice(i)))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runP3(cfg RunConfig) ([]*metrics.Table, error) {
+	var tables []*metrics.Table
+	for _, kind := range []wavelength.Kind{wavelength.Circular, wavelength.NonCircular} {
+		conv, err := wavelength.New(kind, 6, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := core.NewExact(conv)
+		if err != nil {
+			return nil, err
+		}
+		res := core.NewResult(6)
+		sched.Schedule(fig3Vector, nil, res)
+		g, err := requestgraph.FromVector(conv, fig3Vector)
+		if err != nil {
+			return nil, err
+		}
+		hk := bipartite.HopcroftKarp(g.Bipartite())
+		t := metrics.NewTable(fmt.Sprintf("Fig. 4 maximum matching (%v)", kind),
+			"output channel", "granted wavelength")
+		for b, w := range res.ByOutput {
+			cell := "—"
+			if w != core.Unassigned {
+				cell = fmt.Sprintf("λ%d", w)
+			}
+			t.AddRow(fmt.Sprintf("b%d", b), cell)
+		}
+		t.AddNote("matching size %d (%s), Hopcroft–Karp size %d, paper reports 6",
+			res.Size, sched.Name(), hk.Size())
+		if res.Size != 6 || hk.Size() != 6 {
+			return nil, fmt.Errorf("sim: P3 expected matching size 6, got %d/%d", res.Size, hk.Size())
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runP4(cfg RunConfig) ([]*metrics.Table, error) {
+	conv, err := wavelength.New(wavelength.Circular, 6, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	g, err := requestgraph.FromVector(conv, fig3Vector)
+	if err != nil {
+		return nil, err
+	}
+	br, err := g.Break(2, 1)
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Fig. 5 reduced graph after breaking at a2→b1",
+		"reduced pos", "request", "reduced adjacency (original channels)")
+	for p, j := range br.Lefts {
+		var chans []int
+		for q := br.Begin[p]; q <= br.End[p]; q++ {
+			chans = append(chans, br.Rights[q])
+		}
+		t.AddRow(fmt.Sprintf("%d", p), fmt.Sprintf("a%d", j), adjacencyString(chans))
+	}
+	rights := make([]string, len(br.Rights))
+	for i, v := range br.Rights {
+		rights[i] = fmt.Sprintf("b%d", v)
+	}
+	t.AddNote("right order after shift: %s (paper: b2 b3 b4 b5 b0)", strings.Join(rights, " "))
+	t.AddNote("left order after shift: a3 a4 a5 a6 a0 a1 (paper Fig. 5(b))")
+	return []*metrics.Table{t}, nil
+}
+
+// randomVector fills vec with counts in [0, maxPer].
+func randomVector(rng *traffic.RNG, vec []int, maxPer int) {
+	for i := range vec {
+		vec[i] = rng.Intn(maxPer + 1)
+	}
+}
+
+// optimalityTrial compares a scheduler against Hopcroft–Karp over random
+// instances and reports the worst observed gap (0 proves optimality on the
+// sample).
+func optimalityTrial(conv wavelength.Conversion, sched core.Scheduler, trials int, seed uint64, occP float64) (worstGap, checked int) {
+	rng := traffic.NewRNG(seed)
+	k := conv.K()
+	base := core.NewBaseline(conv)
+	vec := make([]int, k)
+	var occ []bool
+	res, want := core.NewResult(k), core.NewResult(k)
+	for i := 0; i < trials; i++ {
+		randomVector(rng, vec, 3)
+		occ = nil
+		if occP > 0 {
+			occ = make([]bool, k)
+			for b := range occ {
+				occ[b] = rng.Float64() < occP
+			}
+		}
+		sched.Schedule(vec, occ, res)
+		base.Schedule(vec, occ, want)
+		if gap := want.Size - res.Size; gap > worstGap {
+			worstGap = gap
+		}
+		checked++
+	}
+	return worstGap, checked
+}
+
+func runP5(cfg RunConfig) ([]*metrics.Table, error) {
+	cfg = cfg.Defaults()
+	t := metrics.NewTable("Theorem 1 — FA vs Hopcroft–Karp matching size",
+		"k", "e", "f", "trials", "worst gap")
+	for _, shape := range []struct{ k, e, f int }{
+		{4, 1, 1}, {6, 1, 1}, {8, 2, 1}, {12, 2, 2}, {16, 3, 3}, {32, 2, 2},
+	} {
+		conv, err := wavelength.New(wavelength.NonCircular, shape.k, shape.e, shape.f)
+		if err != nil {
+			return nil, err
+		}
+		fa, err := core.NewFirstAvailable(conv)
+		if err != nil {
+			return nil, err
+		}
+		gap, n := optimalityTrial(conv, fa, cfg.Trials, cfg.Seed+uint64(shape.k), 0)
+		t.AddRowf(shape.k, shape.e, shape.f, n, gap)
+		if gap != 0 {
+			return nil, fmt.Errorf("sim: P5 found FA suboptimal by %d on %v", gap, conv)
+		}
+	}
+	t.AddNote("worst gap 0 across all trials: First Available is optimal (Theorem 1)")
+	return []*metrics.Table{t}, nil
+}
+
+func runP6(cfg RunConfig) ([]*metrics.Table, error) {
+	cfg = cfg.Defaults()
+	t := metrics.NewTable("Theorem 2 — BFA vs Hopcroft–Karp matching size",
+		"k", "e", "f", "trials", "worst gap")
+	for _, shape := range []struct{ k, e, f int }{
+		{4, 1, 1}, {6, 1, 1}, {8, 2, 1}, {12, 2, 2}, {16, 3, 3}, {32, 2, 2},
+	} {
+		conv, err := wavelength.New(wavelength.Circular, shape.k, shape.e, shape.f)
+		if err != nil {
+			return nil, err
+		}
+		bfa, err := core.NewBreakFirstAvailable(conv)
+		if err != nil {
+			return nil, err
+		}
+		gap, n := optimalityTrial(conv, bfa, cfg.Trials, cfg.Seed+uint64(shape.k), 0)
+		t.AddRowf(shape.k, shape.e, shape.f, n, gap)
+		if gap != 0 {
+			return nil, fmt.Errorf("sim: P6 found BFA suboptimal by %d on %v", gap, conv)
+		}
+	}
+	t.AddNote("worst gap 0 across all trials: Break and First Available is optimal (Theorem 2)")
+	return []*metrics.Table{t}, nil
+}
+
+// timeScheduler measures mean ns per Schedule call on random vectors with
+// counts up to maxPer.
+func timeScheduler(sched core.Scheduler, k, maxPer, iters int, seed uint64) float64 {
+	rng := traffic.NewRNG(seed)
+	vec := make([]int, k)
+	res := core.NewResult(k)
+	randomVector(rng, vec, maxPer)
+	// Warm up to populate scratch and stabilize the clock before timing.
+	for i := 0; i < iters/10+1; i++ {
+		sched.Schedule(vec, nil, res)
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		sched.Schedule(vec, nil, res)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+func runP7(cfg RunConfig) ([]*metrics.Table, error) {
+	cfg = cfg.Defaults()
+	iters := 2000
+	if cfg.Quick {
+		iters = 200
+	}
+	var tables []*metrics.Table
+
+	// Sweep k at fixed d: FA and BFA should grow ~linearly in k while the
+	// per-call cost stays microscopic; HK grows superlinearly with the
+	// request count.
+	tk := metrics.NewTable("P7a — cost vs k (d=5, per-wavelength load ≤3)",
+		"k", "FA ns/op", "BFA ns/op", "HK ns/op")
+	for _, k := range []int{8, 16, 32, 64, 128} {
+		ncc, err := wavelength.New(wavelength.NonCircular, k, 2, 2)
+		if err != nil {
+			return nil, err
+		}
+		cc, err := wavelength.New(wavelength.Circular, k, 2, 2)
+		if err != nil {
+			return nil, err
+		}
+		fa, _ := core.NewFirstAvailable(ncc)
+		bfa, _ := core.NewBreakFirstAvailable(cc)
+		hk := core.NewBaseline(cc)
+		tk.AddRowf(k,
+			timeScheduler(fa, k, 3, iters, cfg.Seed),
+			timeScheduler(bfa, k, 3, iters, cfg.Seed),
+			timeScheduler(hk, k, 3, iters/4+1, cfg.Seed))
+	}
+	tables = append(tables, tk)
+
+	// Sweep d at fixed k: BFA should grow ~linearly in d, FA stay flat.
+	td := metrics.NewTable("P7b — cost vs d (k=64)",
+		"d", "FA ns/op", "BFA ns/op")
+	for _, d := range []int{3, 5, 9, 17, 33} {
+		e := (d - 1) / 2
+		ncc, err := wavelength.New(wavelength.NonCircular, 64, e, e)
+		if err != nil {
+			return nil, err
+		}
+		cc, err := wavelength.New(wavelength.Circular, 64, e, e)
+		if err != nil {
+			return nil, err
+		}
+		fa, _ := core.NewFirstAvailable(ncc)
+		bfa, _ := core.NewBreakFirstAvailable(cc)
+		td.AddRowf(d,
+			timeScheduler(fa, 64, 3, iters, cfg.Seed),
+			timeScheduler(bfa, 64, 3, iters, cfg.Seed))
+	}
+	tables = append(tables, td)
+
+	// Sweep N at fixed k, d: per-fiber request counts scale with N. The
+	// distributed schedulers stay O(k)/O(dk); the Hopcroft–Karp baseline
+	// grows with the request population — the paper's
+	// O(N^{3/2} k^{3/2} d) versus O(dk) comparison.
+	tn := metrics.NewTable("P7c — cost vs N (k=16, d=3, per-fiber request count ≈ N)",
+		"N", "BFA ns/op", "HK ns/op")
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		cc, err := wavelength.New(wavelength.Circular, 16, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		bfa, _ := core.NewBreakFirstAvailable(cc)
+		hk := core.NewBaseline(cc)
+		// At uniform load 1.0, an output fiber sees ≈ N·k/N = k requests
+		// but spread over N input fibers; per-wavelength counts scale
+		// with N/N·load… model the paper's point directly: counts ≈ N/4.
+		maxPer := n/4 + 1
+		tn.AddRowf(n,
+			timeScheduler(bfa, 16, maxPer, iters, cfg.Seed),
+			timeScheduler(hk, 16, maxPer, iters/4+1, cfg.Seed))
+	}
+	tn.AddNote("BFA cost is flat in N (Theorem 2: independent of interconnect size); HK grows")
+	tables = append(tables, tn)
+	return tables, nil
+}
+
+// runP10 demonstrates the Section I partition argument quantitatively:
+// because no request belongs to two output fibers, a global maximum
+// matching over the whole interconnect's request graph (all N·k input
+// channels × all N·k output channels) decomposes into N per-fiber
+// matchings. The distributed O(dk)-per-fiber algorithms find the same
+// total cardinality as one global Hopcroft–Karp run, whose cost grows with
+// the interconnect size ("a global scheduling algorithm … will have a time
+// complexity at least linear to the size of the interconnect").
+func runP10(cfg RunConfig) ([]*metrics.Table, error) {
+	cfg = cfg.Defaults()
+	const k = 8
+	conv, err := wavelength.New(wavelength.Circular, k, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	sizes := []int{2, 4, 8, 16}
+	if !cfg.Quick {
+		sizes = append(sizes, 32)
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("P10 — distributed vs global scheduling (k=%d, d=3, load 1.0)", k),
+		"N", "slots", "distributed granted", "global granted", "distributed ns/slot", "global ns/slot")
+	slots := cfg.Trials / 10
+	if slots < 20 {
+		slots = 20
+	}
+	for _, n := range sizes {
+		rng := traffic.NewRNG(cfg.Seed + uint64(n))
+		// Pre-draw the whole workload: per slot, each input channel picks
+		// a destination (or idles).
+		type req struct{ in, w, dest int }
+		workload := make([][]req, slots)
+		for s := range workload {
+			for in := 0; in < n; in++ {
+				for w := 0; w < k; w++ {
+					workload[s] = append(workload[s], req{in: in, w: w, dest: rng.Intn(n)})
+				}
+			}
+		}
+
+		// Distributed: per-fiber BFA over count vectors.
+		scheds := make([]core.Scheduler, n)
+		for o := range scheds {
+			if scheds[o], err = core.NewBreakFirstAvailable(conv); err != nil {
+				return nil, err
+			}
+		}
+		counts := make([][]int, n)
+		for o := range counts {
+			counts[o] = make([]int, k)
+		}
+		res := core.NewResult(k)
+		distGranted := 0
+		startD := time.Now()
+		for s := range workload {
+			for o := range counts {
+				for w := range counts[o] {
+					counts[o][w] = 0
+				}
+			}
+			for _, r := range workload[s] {
+				counts[r.dest][r.w]++
+			}
+			for o := range scheds {
+				scheds[o].Schedule(counts[o], nil, res)
+				distGranted += res.Size
+			}
+		}
+		distNS := float64(time.Since(startD).Nanoseconds()) / float64(slots)
+
+		// Global: one Hopcroft–Karp over the whole interconnect graph.
+		globGranted := 0
+		startG := time.Now()
+		for s := range workload {
+			g := bipartite.NewGraph(len(workload[s]), n*k)
+			for a, r := range workload[s] {
+				conv.Adjacency(wavelength.Wavelength(r.w)).Each(func(b int) {
+					g.AddEdge(a, r.dest*k+b)
+				})
+			}
+			globGranted += bipartite.HopcroftKarp(g).Size()
+		}
+		globNS := float64(time.Since(startG).Nanoseconds()) / float64(slots)
+
+		t.AddRowf(n, slots, distGranted, globGranted, distNS, globNS)
+		if distGranted != globGranted {
+			return nil, fmt.Errorf("sim: P10 distributed %d != global %d at N=%d", distGranted, globGranted, n)
+		}
+	}
+	t.AddNote("identical totals: the per-fiber partition loses nothing; the global run's cost grows with N·k")
+	return []*metrics.Table{t}, nil
+}
+
+func runP8(cfg RunConfig) ([]*metrics.Table, error) {
+	cfg = cfg.Defaults()
+	var tables []*metrics.Table
+	for _, shape := range []struct{ k, e, f int }{
+		{8, 1, 1}, {12, 2, 2}, {16, 3, 3},
+	} {
+		conv, err := wavelength.New(wavelength.Circular, shape.k, shape.e, shape.f)
+		if err != nil {
+			return nil, err
+		}
+		d := conv.Degree()
+		exact, err := core.NewBreakFirstAvailable(conv)
+		if err != nil {
+			return nil, err
+		}
+		t := metrics.NewTable(
+			fmt.Sprintf("Theorem 3 gap by breaking position δ (k=%d, d=%d)", shape.k, d),
+			"δ", "bound max{δ−1,d−δ}", "worst gap", "mean gap", "trials")
+		for delta := 1; delta <= d; delta++ {
+			db, err := core.NewDeltaBreak(conv, delta)
+			if err != nil {
+				return nil, err
+			}
+			bound := delta - 1
+			if d-delta > bound {
+				bound = d - delta
+			}
+			rng := traffic.NewRNG(cfg.Seed + uint64(delta))
+			vec := make([]int, shape.k)
+			res, opt := core.NewResult(shape.k), core.NewResult(shape.k)
+			worst := 0
+			var mean metrics.Welford
+			for i := 0; i < cfg.Trials; i++ {
+				randomVector(rng, vec, 3)
+				db.Schedule(vec, nil, res)
+				exact.Schedule(vec, nil, opt)
+				gap := opt.Size - res.Size
+				if gap < 0 || gap > bound {
+					return nil, fmt.Errorf("sim: P8 gap %d outside [0,%d] at δ=%d", gap, bound, delta)
+				}
+				if gap > worst {
+					worst = gap
+				}
+				mean.Observe(float64(gap))
+			}
+			t.AddRowf(delta, bound, worst, mean.Mean(), cfg.Trials)
+		}
+		t.AddNote("Corollary 1: δ=(d+1)/2 = %d has the smallest bound (d−1)/2 = %d", (d+1)/2, (d-1)/2)
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func runP9(cfg RunConfig) ([]*metrics.Table, error) {
+	cfg = cfg.Defaults()
+	t := metrics.NewTable("Section V — optimality with occupied output channels",
+		"conversion", "k", "d", "occupancy", "trials", "worst gap")
+	for _, shape := range []struct{ k, e, f int }{{8, 1, 1}, {12, 2, 2}} {
+		for _, occP := range []float64{0.2, 0.5, 0.8} {
+			for _, kind := range []wavelength.Kind{wavelength.Circular, wavelength.NonCircular} {
+				conv, err := wavelength.New(kind, shape.k, shape.e, shape.f)
+				if err != nil {
+					return nil, err
+				}
+				sched, err := core.NewExact(conv)
+				if err != nil {
+					return nil, err
+				}
+				gap, n := optimalityTrial(conv, sched, cfg.Trials, cfg.Seed+uint64(shape.k), occP)
+				t.AddRowf(kind.String(), shape.k, conv.Degree(), occP, n, gap)
+				if gap != 0 {
+					return nil, fmt.Errorf("sim: P9 found %s suboptimal by %d under occupancy", sched.Name(), gap)
+				}
+			}
+		}
+	}
+	t.AddNote("worst gap 0: the algorithms stay exact on occupied-channel request graphs (Section V)")
+	return []*metrics.Table{t}, nil
+}

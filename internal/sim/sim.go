@@ -1,0 +1,92 @@
+// Package sim is the experiment harness: it regenerates every table and
+// figure of the reproduction as defined in DESIGN.md's experiment index.
+// Experiments P1–P9 reproduce the paper's own artifacts (figures, theorems,
+// complexity claims); S1–S5 are the simulation studies the paper's
+// introduction and Section IV-C motivate. Each experiment renders one or
+// more metrics.Table values that cmd/wdmbench prints as ASCII or CSV, and
+// EXPERIMENTS.md records paper-claim vs measured outcome per experiment.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"wdmsched/internal/metrics"
+)
+
+// RunConfig tunes experiment cost. The zero value is replaced by Defaults.
+type RunConfig struct {
+	// Slots is the simulation length per data point.
+	Slots int
+	// Trials is the number of random instances per algorithmic data
+	// point.
+	Trials int
+	// Seed drives all randomness.
+	Seed uint64
+	// Quick shrinks sweeps for use in tests.
+	Quick bool
+}
+
+// Defaults fills unset fields.
+func (c RunConfig) Defaults() RunConfig {
+	if c.Slots == 0 {
+		c.Slots = 2000
+		if c.Quick {
+			c.Slots = 200
+		}
+	}
+	if c.Trials == 0 {
+		c.Trials = 2000
+		if c.Quick {
+			c.Trials = 100
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x5eed
+	}
+	return c
+}
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	// ID is the experiment key (P1…P9, S1…S5) from DESIGN.md.
+	ID string
+	// Title describes the paper artifact being regenerated.
+	Title string
+	// Run produces the experiment's tables.
+	Run func(cfg RunConfig) ([]*metrics.Table, error)
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("sim: duplicate experiment %s", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by ID (P* before S*).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].ID, out[j].ID
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}

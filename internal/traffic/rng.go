@@ -1,0 +1,131 @@
+// Package traffic generates synthetic workloads for the WDM interconnect
+// simulator: per-slot packet arrivals under uniform Bernoulli, hotspot and
+// bursty on–off traffic, with single- or multi-slot holding times, plus
+// trace recording and replay.
+//
+// The paper evaluates its algorithms analytically; the traffic models here
+// are the standard synchronous-switch workloads its introduction appeals to
+// (optical packet switching with slot-aligned arrivals, optical burst
+// switching for multi-slot holds). All randomness flows through a seedable
+// deterministic generator so every simulation is reproducible.
+package traffic
+
+import "math"
+
+// RNG is a small, fast, seedable xoshiro256** generator. It is not safe
+// for concurrent use; give each goroutine its own RNG (Split derives
+// independent streams).
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG seeds a generator from a 64-bit seed via splitmix64, which also
+// protects against the all-zero state.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independently seeded generator from r's stream.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("traffic: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method.
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := -un % un
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+
+// Exp draws from an exponential distribution with the given rate > 0
+// (mean 1/rate), via inverse transform. Used by the asynchronous
+// (wavelength routing) simulator for Poisson interarrivals and holding
+// times.
+func (r *RNG) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("traffic: Exp with non-positive rate")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u) / rate
+}
+
+// Geometric draws from a geometric distribution on {1, 2, …} with the
+// given mean ≥ 1 (success probability 1/mean). It is the standard
+// memoryless holding-time model for burst durations.
+func (r *RNG) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	// Inverse transform: ceil(ln(U)/ln(1−p)).
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	n := int(math.Ceil(math.Log(u) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

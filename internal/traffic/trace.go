@@ -1,0 +1,120 @@
+package traffic
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Trace is a recorded workload: per-slot packet lists that can be replayed
+// through the simulator. Traces make experiments repeatable across
+// scheduler variants — every variant sees byte-identical arrivals.
+type Trace struct {
+	N, K  int
+	Slots [][]Packet
+}
+
+// Record runs gen for slots time slots and captures the arrivals.
+func Record(gen Generator, cfg Config, slots int) (*Trace, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if slots < 0 {
+		return nil, fmt.Errorf("traffic: negative slot count %d", slots)
+	}
+	tr := &Trace{N: cfg.N, K: cfg.K, Slots: make([][]Packet, slots)}
+	for s := 0; s < slots; s++ {
+		tr.Slots[s] = gen.Generate(s, nil)
+	}
+	return tr, nil
+}
+
+// NumPackets counts the packets in the trace.
+func (t *Trace) NumPackets() int {
+	n := 0
+	for _, s := range t.Slots {
+		n += len(s)
+	}
+	return n
+}
+
+// Replay exposes the trace as a Generator. Slots beyond the recorded range
+// are empty.
+func (t *Trace) Replay() Generator { return &replayer{t} }
+
+type replayer struct{ t *Trace }
+
+func (r *replayer) Name() string { return fmt.Sprintf("trace(%d slots)", len(r.t.Slots)) }
+
+func (r *replayer) Generate(slot int, dst []Packet) []Packet {
+	if slot < 0 || slot >= len(r.t.Slots) {
+		return dst
+	}
+	return append(dst, r.t.Slots[slot]...)
+}
+
+// traceHeader is the gob envelope; a version field keeps the format
+// evolvable.
+type traceHeader struct {
+	Version int
+	N, K    int
+	Slots   int
+}
+
+const traceVersion = 1
+
+// Write serializes the trace with encoding/gob.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(traceHeader{Version: traceVersion, N: t.N, K: t.K, Slots: len(t.Slots)}); err != nil {
+		return fmt.Errorf("traffic: encoding trace header: %w", err)
+	}
+	for s, pkts := range t.Slots {
+		if err := enc.Encode(pkts); err != nil {
+			return fmt.Errorf("traffic: encoding slot %d: %w", s, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by Write.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var h traceHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("traffic: decoding trace header: %w", err)
+	}
+	if h.Version != traceVersion {
+		return nil, fmt.Errorf("traffic: unsupported trace version %d", h.Version)
+	}
+	if h.N <= 0 || h.K <= 0 || h.Slots < 0 {
+		return nil, fmt.Errorf("traffic: corrupt trace header %+v", h)
+	}
+	t := &Trace{N: h.N, K: h.K, Slots: make([][]Packet, h.Slots)}
+	for s := 0; s < h.Slots; s++ {
+		if err := dec.Decode(&t.Slots[s]); err != nil {
+			return nil, fmt.Errorf("traffic: decoding slot %d: %w", s, err)
+		}
+	}
+	return t, nil
+}
+
+// Validate checks every packet lies within the trace's declared shape and
+// has a positive duration.
+func (t *Trace) Validate() error {
+	for s, pkts := range t.Slots {
+		for i, p := range pkts {
+			if p.InputFiber < 0 || p.InputFiber >= t.N ||
+				p.DestFiber < 0 || p.DestFiber >= t.N ||
+				p.Wavelength < 0 || p.Wavelength >= t.K {
+				return fmt.Errorf("traffic: slot %d packet %d out of shape: %+v", s, i, p)
+			}
+			if p.Duration < 1 {
+				return fmt.Errorf("traffic: slot %d packet %d non-positive duration: %+v", s, i, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,295 @@
+package traffic
+
+import "fmt"
+
+// Packet is one slot-aligned connection request: it arrives at the start
+// of a time slot on (InputFiber, Wavelength), wants any channel on
+// DestFiber, and holds its granted channel for Duration consecutive slots
+// (1 for plain optical packet switching; >1 models optical burst switching,
+// paper Section V).
+type Packet struct {
+	InputFiber int
+	Wavelength int
+	DestFiber  int
+	Duration   int
+	Slot       int // arrival slot, stamped by the generator or switch
+	// Priority is the packet's QoS class, 0 being the highest. Plain
+	// generators emit class 0; wrap with WithPriorities to mark classes
+	// (the paper's Section VI future work, scheduled strictly by class).
+	Priority int
+}
+
+// Generator produces the packet arrivals of one time slot. Implementations
+// append to dst and return the extended slice so callers can reuse buffers.
+// Generators are deterministic functions of their seed and the slot
+// sequence; they are not safe for concurrent use.
+type Generator interface {
+	// Generate appends the packets arriving at slot to dst.
+	Generate(slot int, dst []Packet) []Packet
+	// Name identifies the workload in tables.
+	Name() string
+}
+
+// HoldingTime models connection durations.
+type HoldingTime struct {
+	// Mean is the mean duration in slots; Mean ≤ 1 means every packet
+	// lasts exactly one slot.
+	Mean float64
+	// Deterministic, when true with Mean = L, gives every packet
+	// duration round(L) instead of a geometric draw.
+	Deterministic bool
+}
+
+// draw samples a duration.
+func (h HoldingTime) draw(rng *RNG) int {
+	if h.Mean <= 1 {
+		return 1
+	}
+	if h.Deterministic {
+		return int(h.Mean + 0.5)
+	}
+	return rng.Geometric(h.Mean)
+}
+
+// Config describes the interconnect shape a generator fills.
+type Config struct {
+	N    int // fibers per side
+	K    int // wavelengths per fiber
+	Seed uint64
+	Hold HoldingTime
+}
+
+func (c Config) validate() error {
+	if c.N <= 0 || c.K <= 0 {
+		return fmt.Errorf("traffic: invalid shape N=%d k=%d", c.N, c.K)
+	}
+	return nil
+}
+
+// Bernoulli is uniform independent traffic: each of the N·k input channels
+// carries a new packet each slot with probability Load, destined to a
+// uniformly random output fiber. This is the standard benchmark workload
+// for synchronous switches.
+type Bernoulli struct {
+	cfg  Config
+	load float64
+	rng  *RNG
+}
+
+// NewBernoulli builds the uniform workload; load must be in [0, 1].
+func NewBernoulli(cfg Config, load float64) (*Bernoulli, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("traffic: load %v outside [0,1]", load)
+	}
+	return &Bernoulli{cfg: cfg, load: load, rng: NewRNG(cfg.Seed)}, nil
+}
+
+// Name implements Generator.
+func (g *Bernoulli) Name() string { return fmt.Sprintf("bernoulli(load=%.2f)", g.load) }
+
+// Generate implements Generator.
+func (g *Bernoulli) Generate(slot int, dst []Packet) []Packet {
+	for in := 0; in < g.cfg.N; in++ {
+		for w := 0; w < g.cfg.K; w++ {
+			if !g.rng.Bernoulli(g.load) {
+				continue
+			}
+			dst = append(dst, Packet{
+				InputFiber: in,
+				Wavelength: w,
+				DestFiber:  g.rng.Intn(g.cfg.N),
+				Duration:   g.cfg.Hold.draw(g.rng),
+				Slot:       slot,
+			})
+		}
+	}
+	return dst
+}
+
+// Hotspot is nonuniform traffic: a fraction of each channel's packets is
+// directed at one hot output fiber, the rest uniformly. It models the
+// server-directed skew common in processor interconnects.
+type Hotspot struct {
+	cfg      Config
+	load     float64
+	hot      int
+	fraction float64
+	rng      *RNG
+}
+
+// NewHotspot builds the hotspot workload: with probability fraction a
+// packet goes to fiber hot, otherwise to a uniform fiber.
+func NewHotspot(cfg Config, load float64, hot int, fraction float64) (*Hotspot, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if load < 0 || load > 1 || fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("traffic: load %v / fraction %v outside [0,1]", load, fraction)
+	}
+	if hot < 0 || hot >= cfg.N {
+		return nil, fmt.Errorf("traffic: hot fiber %d outside [0,%d)", hot, cfg.N)
+	}
+	return &Hotspot{cfg: cfg, load: load, hot: hot, fraction: fraction, rng: NewRNG(cfg.Seed)}, nil
+}
+
+// Name implements Generator.
+func (g *Hotspot) Name() string {
+	return fmt.Sprintf("hotspot(load=%.2f,hot=%d,frac=%.2f)", g.load, g.hot, g.fraction)
+}
+
+// Generate implements Generator.
+func (g *Hotspot) Generate(slot int, dst []Packet) []Packet {
+	for in := 0; in < g.cfg.N; in++ {
+		for w := 0; w < g.cfg.K; w++ {
+			if !g.rng.Bernoulli(g.load) {
+				continue
+			}
+			dest := g.rng.Intn(g.cfg.N)
+			if g.rng.Bernoulli(g.fraction) {
+				dest = g.hot
+			}
+			dst = append(dst, Packet{
+				InputFiber: in,
+				Wavelength: w,
+				DestFiber:  dest,
+				Duration:   g.cfg.Hold.draw(g.rng),
+				Slot:       slot,
+			})
+		}
+	}
+	return dst
+}
+
+// Bursty is two-state Markov (on–off) traffic per input channel: in the ON
+// state the channel emits a packet every slot, all packets of one burst
+// sharing a destination fiber; state transitions give geometrically
+// distributed burst and idle lengths. The offered load is
+// meanOn / (meanOn + meanOff).
+type Bursty struct {
+	cfg     Config
+	meanOn  float64
+	meanOff float64
+	rng     *RNG
+	on      []bool // per channel state
+	dest    []int  // per channel burst destination
+}
+
+// NewBursty builds the on–off workload with the given mean burst (ON) and
+// idle (OFF) lengths in slots, both ≥ 1.
+func NewBursty(cfg Config, meanOn, meanOff float64) (*Bursty, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if meanOn < 1 || meanOff < 1 {
+		return nil, fmt.Errorf("traffic: burst means must be ≥ 1, got on=%v off=%v", meanOn, meanOff)
+	}
+	n := cfg.N * cfg.K
+	g := &Bursty{
+		cfg: cfg, meanOn: meanOn, meanOff: meanOff,
+		rng: NewRNG(cfg.Seed),
+		on:  make([]bool, n), dest: make([]int, n),
+	}
+	// Start each channel in the stationary distribution.
+	pOn := meanOn / (meanOn + meanOff)
+	for i := range g.on {
+		g.on[i] = g.rng.Bernoulli(pOn)
+		g.dest[i] = g.rng.Intn(cfg.N)
+	}
+	return g, nil
+}
+
+// Name implements Generator.
+func (g *Bursty) Name() string {
+	return fmt.Sprintf("bursty(on=%.1f,off=%.1f)", g.meanOn, g.meanOff)
+}
+
+// Load reports the stationary offered load meanOn/(meanOn+meanOff).
+func (g *Bursty) Load() float64 { return g.meanOn / (g.meanOn + g.meanOff) }
+
+// Generate implements Generator.
+func (g *Bursty) Generate(slot int, dst []Packet) []Packet {
+	pEndOn := 1 / g.meanOn
+	pEndOff := 1 / g.meanOff
+	for in := 0; in < g.cfg.N; in++ {
+		for w := 0; w < g.cfg.K; w++ {
+			ch := in*g.cfg.K + w
+			if g.on[ch] {
+				dst = append(dst, Packet{
+					InputFiber: in,
+					Wavelength: w,
+					DestFiber:  g.dest[ch],
+					Duration:   g.cfg.Hold.draw(g.rng),
+					Slot:       slot,
+				})
+				if g.rng.Bernoulli(pEndOn) {
+					g.on[ch] = false
+				}
+			} else if g.rng.Bernoulli(pEndOff) {
+				g.on[ch] = true
+				g.dest[ch] = g.rng.Intn(g.cfg.N) // new burst, new destination
+			}
+		}
+	}
+	return dst
+}
+
+// Prioritized wraps a generator and assigns each packet a QoS class drawn
+// from the given distribution: classProbs[c] is the probability of class
+// c, and the probabilities must sum to 1 (within rounding).
+type Prioritized struct {
+	inner Generator
+	cum   []float64
+	rng   *RNG
+}
+
+// WithPriorities wraps gen with class marking.
+func WithPriorities(gen Generator, classProbs []float64, seed uint64) (*Prioritized, error) {
+	if len(classProbs) == 0 {
+		return nil, fmt.Errorf("traffic: empty class distribution")
+	}
+	cum := make([]float64, len(classProbs))
+	total := 0.0
+	for c, p := range classProbs {
+		if p < 0 {
+			return nil, fmt.Errorf("traffic: negative class probability %v", p)
+		}
+		total += p
+		cum[c] = total
+	}
+	if total < 0.999 || total > 1.001 {
+		return nil, fmt.Errorf("traffic: class probabilities sum to %v, want 1", total)
+	}
+	cum[len(cum)-1] = 1 // absorb rounding
+	return &Prioritized{inner: gen, cum: cum, rng: NewRNG(seed)}, nil
+}
+
+// Name implements Generator.
+func (g *Prioritized) Name() string {
+	return fmt.Sprintf("prioritized(%s,%d classes)", g.inner.Name(), len(g.cum))
+}
+
+// Generate implements Generator.
+func (g *Prioritized) Generate(slot int, dst []Packet) []Packet {
+	start := len(dst)
+	dst = g.inner.Generate(slot, dst)
+	for i := start; i < len(dst); i++ {
+		u := g.rng.Float64()
+		for c, cp := range g.cum {
+			if u < cp {
+				dst[i].Priority = c
+				break
+			}
+		}
+	}
+	return dst
+}
+
+var (
+	_ Generator = (*Bernoulli)(nil)
+	_ Generator = (*Hotspot)(nil)
+	_ Generator = (*Bursty)(nil)
+	_ Generator = (*Prioritized)(nil)
+)

@@ -1,0 +1,159 @@
+package wavelength
+
+import "fmt"
+
+// Interval is a contiguous range of wavelength indexes [Lo, Hi] over a ring
+// of K wavelengths. When Modular is true the interval is interpreted mod K
+// (the paper's "[x, y] represents {x mod k, (x+1) mod k, ..., y mod k}"
+// notation): Lo may be negative and Hi may be ≥ K, and the interval wraps.
+// When Modular is false, Lo and Hi are plain bounds with 0 ≤ Lo ≤ Hi < K.
+//
+// The paper leans on this notation throughout Sections II–IV; crossing-edge
+// tests (Definition 1) are interval-membership tests in this representation.
+type Interval struct {
+	Lo, Hi  int
+	K       int
+	Modular bool
+}
+
+// Len returns the number of wavelengths in the interval.
+func (iv Interval) Len() int {
+	if iv.K <= 0 {
+		return 0
+	}
+	if !iv.Modular {
+		if iv.Hi < iv.Lo {
+			return 0
+		}
+		return iv.Hi - iv.Lo + 1
+	}
+	n := iv.Hi - iv.Lo + 1
+	if n <= 0 {
+		return 0
+	}
+	if n > iv.K {
+		return iv.K
+	}
+	return n
+}
+
+// Empty reports whether the interval contains no wavelengths.
+func (iv Interval) Empty() bool { return iv.Len() == 0 }
+
+// Contains reports whether wavelength index j ∈ [0, K) lies in the interval.
+func (iv Interval) Contains(j int) bool {
+	if iv.K <= 0 || j < 0 || j >= iv.K {
+		return false
+	}
+	if !iv.Modular {
+		return iv.Lo <= j && j <= iv.Hi
+	}
+	switch n := iv.Len(); {
+	case n == 0:
+		return false
+	case n >= iv.K:
+		return true
+	}
+	lo := mod(iv.Lo, iv.K)
+	hi := mod(iv.Hi, iv.K)
+	if lo <= hi {
+		return lo <= j && j <= hi
+	}
+	return j >= lo || j <= hi
+}
+
+// Each calls fn for every wavelength index in the interval, in ring order
+// from Lo to Hi (each index normalized to [0, K)).
+func (iv Interval) Each(fn func(j int)) {
+	n := iv.Len()
+	if n == 0 {
+		return
+	}
+	if !iv.Modular {
+		for j := iv.Lo; j <= iv.Hi; j++ {
+			fn(j)
+		}
+		return
+	}
+	j := mod(iv.Lo, iv.K)
+	for i := 0; i < n; i++ {
+		fn(j)
+		j++
+		if j == iv.K {
+			j = 0
+		}
+	}
+}
+
+// Slice returns the interval's members in ring order.
+func (iv Interval) Slice() []int {
+	out := make([]int, 0, iv.Len())
+	iv.Each(func(j int) { out = append(out, j) })
+	return out
+}
+
+// First returns the first wavelength index in ring order. The interval must
+// be non-empty.
+func (iv Interval) First() int {
+	if iv.Empty() {
+		panic("wavelength: First on empty interval")
+	}
+	if !iv.Modular {
+		return iv.Lo
+	}
+	return mod(iv.Lo, iv.K)
+}
+
+// Last returns the last wavelength index in ring order. The interval must be
+// non-empty.
+func (iv Interval) Last() int {
+	if iv.Empty() {
+		panic("wavelength: Last on empty interval")
+	}
+	if !iv.Modular {
+		return iv.Hi
+	}
+	if iv.Len() >= iv.K {
+		return mod(iv.Lo-1, iv.K)
+	}
+	return mod(iv.Hi, iv.K)
+}
+
+// Wraps reports whether the interval, normalized to [0, K), wraps past the
+// end of the ring (i.e. is not expressible as a plain [lo, hi] with
+// lo ≤ hi). Plain intervals never wrap.
+func (iv Interval) Wraps() bool {
+	if !iv.Modular || iv.Empty() || iv.Len() >= iv.K {
+		return false
+	}
+	return mod(iv.Lo, iv.K) > mod(iv.Hi, iv.K)
+}
+
+// String renders the interval in the paper's [lo, hi] notation.
+func (iv Interval) String() string {
+	if iv.Empty() {
+		return "[]"
+	}
+	if iv.Modular {
+		return fmt.Sprintf("[%d,%d] mod %d", iv.Lo, iv.Hi, iv.K)
+	}
+	return fmt.Sprintf("[%d,%d]", iv.Lo, iv.Hi)
+}
+
+// mod returns x mod k with a non-negative result.
+func mod(x, k int) int {
+	m := x % k
+	if m < 0 {
+		m += k
+	}
+	return m
+}
+
+// InRing reports whether j lies in the modular interval [lo, hi] over a ring
+// of k wavelengths, i.e. j ∈ {lo mod k, (lo+1) mod k, …, hi mod k}. This is
+// the primitive the crossing-edge predicate (paper Definition 1) is built
+// from. An interval whose span hi−lo+1 ≤ 0 is empty; a span ≥ k covers the
+// whole ring.
+func InRing(j, lo, hi, k int) bool {
+	return Interval{Lo: lo, Hi: hi, K: k, Modular: true}.Contains(j)
+}

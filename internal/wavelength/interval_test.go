@@ -1,0 +1,208 @@
+package wavelength
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalPlain(t *testing.T) {
+	iv := Interval{Lo: 2, Hi: 5, K: 8}
+	if iv.Len() != 4 || iv.Empty() {
+		t.Fatalf("Len = %d", iv.Len())
+	}
+	if iv.First() != 2 || iv.Last() != 5 {
+		t.Fatalf("bounds = %d,%d", iv.First(), iv.Last())
+	}
+	if got := iv.Slice(); !reflect.DeepEqual(got, []int{2, 3, 4, 5}) {
+		t.Fatalf("Slice = %v", got)
+	}
+	for j := 0; j < 8; j++ {
+		want := j >= 2 && j <= 5
+		if iv.Contains(j) != want {
+			t.Fatalf("Contains(%d) = %v, want %v", j, iv.Contains(j), want)
+		}
+	}
+	if iv.Wraps() {
+		t.Fatal("plain interval must not wrap")
+	}
+}
+
+func TestIntervalModularWrap(t *testing.T) {
+	// The paper's example: adjacency set of λ0 with e=f=1, k=6 is [−1, 1]
+	// = {5, 0, 1}.
+	iv := Interval{Lo: -1, Hi: 1, K: 6, Modular: true}
+	if iv.Len() != 3 {
+		t.Fatalf("Len = %d", iv.Len())
+	}
+	if got := iv.Slice(); !reflect.DeepEqual(got, []int{5, 0, 1}) {
+		t.Fatalf("Slice = %v", got)
+	}
+	if iv.First() != 5 || iv.Last() != 1 {
+		t.Fatalf("First/Last = %d/%d", iv.First(), iv.Last())
+	}
+	if !iv.Wraps() {
+		t.Fatal("interval must wrap")
+	}
+	for j, want := range map[int]bool{5: true, 0: true, 1: true, 2: false, 3: false, 4: false} {
+		if iv.Contains(j) != want {
+			t.Fatalf("Contains(%d) = %v, want %v", j, iv.Contains(j), want)
+		}
+	}
+}
+
+func TestIntervalModularNoWrap(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3, K: 6, Modular: true}
+	if got := iv.Slice(); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("Slice = %v", got)
+	}
+	if iv.Wraps() {
+		t.Fatal("must not wrap")
+	}
+}
+
+func TestIntervalEmpty(t *testing.T) {
+	cases := []Interval{
+		{Lo: 3, Hi: 2, K: 6},                // plain reversed
+		{Lo: 3, Hi: 2, K: 6, Modular: true}, // modular span ≤ 0
+		{Lo: 0, Hi: 5, K: 0},                // no ring
+	}
+	for _, iv := range cases {
+		if !iv.Empty() || iv.Len() != 0 {
+			t.Fatalf("%v should be empty", iv)
+		}
+		if iv.Contains(0) {
+			t.Fatalf("%v must contain nothing", iv)
+		}
+		iv.Each(func(int) { t.Fatalf("%v must iterate nothing", iv) })
+		if iv.String() != "[]" {
+			t.Fatalf("empty String = %q", iv.String())
+		}
+	}
+}
+
+func TestIntervalFirstLastPanicOnEmpty(t *testing.T) {
+	iv := Interval{Lo: 3, Hi: 2, K: 6}
+	for name, fn := range map[string]func(){
+		"First": func() { iv.First() },
+		"Last":  func() { iv.Last() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s on empty interval must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIntervalWholeRing(t *testing.T) {
+	// A modular span ≥ K covers the whole ring exactly once.
+	iv := Interval{Lo: 4, Hi: 4 + 9, K: 6, Modular: true}
+	if iv.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", iv.Len())
+	}
+	seen := map[int]int{}
+	iv.Each(func(j int) { seen[j]++ })
+	for j := 0; j < 6; j++ {
+		if seen[j] != 1 {
+			t.Fatalf("index %d visited %d times", j, seen[j])
+		}
+	}
+	if iv.Wraps() {
+		t.Fatal("whole ring reports non-wrapping")
+	}
+	if iv.First() != 4 || iv.Last() != 3 {
+		t.Fatalf("First/Last = %d/%d", iv.First(), iv.Last())
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	if got := (Interval{Lo: -1, Hi: 1, K: 6, Modular: true}).String(); got != "[-1,1] mod 6" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Interval{Lo: 0, Hi: 2, K: 6}).String(); got != "[0,2]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestInRing(t *testing.T) {
+	// InRing(j, lo, hi, k): the Definition 1 membership primitive.
+	cases := []struct {
+		j, lo, hi, k int
+		want         bool
+	}{
+		{5, -1, 1, 6, true},
+		{0, -1, 1, 6, true},
+		{1, -1, 1, 6, true},
+		{2, -1, 1, 6, false},
+		{3, 4, 2, 6, false}, // [4, 2] mod 6 is empty (span ≤ 0)
+		{0, 5, 7, 6, true},  // [5,7] = {5,0,1}
+		{2, 5, 7, 6, false},
+		{4, 0, 11, 6, true}, // whole ring
+	}
+	for _, tc := range cases {
+		if got := InRing(tc.j, tc.lo, tc.hi, tc.k); got != tc.want {
+			t.Errorf("InRing(%d,%d,%d,%d) = %v, want %v", tc.j, tc.lo, tc.hi, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestMod(t *testing.T) {
+	cases := []struct{ x, k, want int }{
+		{-1, 6, 5}, {0, 6, 0}, {6, 6, 0}, {7, 6, 1}, {-7, 6, 5}, {-6, 6, 0},
+	}
+	for _, tc := range cases {
+		if got := mod(tc.x, tc.k); got != tc.want {
+			t.Errorf("mod(%d,%d) = %d, want %d", tc.x, tc.k, got, tc.want)
+		}
+	}
+}
+
+// Property: Contains agrees with Slice membership, and Each visits exactly
+// Len distinct normalized indexes in ring order.
+func TestIntervalContainsMatchesSlice(t *testing.T) {
+	prop := func(loRaw, spanRaw int8, kRaw uint8, modular bool) bool {
+		k := int(kRaw%10) + 1
+		lo := int(loRaw)
+		span := int(spanRaw % 12)
+		hi := lo + span - 1
+		if !modular {
+			lo = mod(lo, k)
+			hi = lo + span - 1
+			if hi >= k {
+				hi = k - 1
+			}
+		}
+		iv := Interval{Lo: lo, Hi: hi, K: k, Modular: modular}
+		members := map[int]bool{}
+		prev := -1
+		ok := true
+		count := 0
+		iv.Each(func(j int) {
+			count++
+			if j < 0 || j >= k || members[j] {
+				ok = false
+			}
+			members[j] = true
+			if prev >= 0 && modular && j != (prev+1)%k {
+				ok = false
+			}
+			prev = j
+		})
+		if count != iv.Len() {
+			return false
+		}
+		for j := 0; j < k; j++ {
+			if iv.Contains(j) != members[j] {
+				return false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

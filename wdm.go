@@ -1,0 +1,308 @@
+// Package wdm is the public API of wdmsched, a from-scratch Go
+// implementation of the distributed scheduling algorithms for wavelength
+// convertible WDM optical interconnects from Zhang & Yang, "Distributed
+// Scheduling Algorithms for Wavelength Convertible WDM Optical
+// Interconnects" (IPDPS 2003).
+//
+// # Model
+//
+// An N×N WDM optical interconnect carries k wavelength channels per fiber.
+// Limited range wavelength converters on the output side can shift an
+// incoming wavelength λi into an adjacency interval [i−e, i+f] — circular
+// (wrapping mod k) or non-circular (clamped at the band edges) — with
+// conversion degree d = e+f+1. Each time slot, the requests destined to one
+// output fiber are scheduled independently of all other fibers; the
+// scheduler grants the largest contention-free subset, i.e. a maximum
+// matching of the request graph.
+//
+// # Schedulers
+//
+// NewScheduler (or the concrete constructors) provides:
+//
+//   - "first-available" — exact O(k) for non-circular conversion (Table 2)
+//   - "break-first-available" — exact O(dk) for circular conversion (Table 3)
+//   - "shortest-edge" / "delta-break(δ)" — O(k) single-break approximation
+//     within max{δ−1, d−δ} of optimal (Theorem 3, Corollary 1)
+//   - "full-range" — the trivial exact scheduler for d = k
+//   - "hopcroft-karp" — the general bipartite matching baseline
+//   - "exact" — dispatches to the right exact algorithm for the model
+//
+// # Quick start
+//
+//	conv, _ := wdm.NewConversion(wdm.Circular, 8, 1, 1) // k=8, d=3
+//	sched, _ := wdm.NewScheduler("exact", conv)
+//	res := wdm.NewResult(conv.K())
+//	sched.Schedule([]int{2, 0, 1, 3, 0, 0, 1, 2}, nil, res)
+//	fmt.Println(res.Size) // granted requests
+//
+// For whole-interconnect simulation see NewSwitch; for regenerating the
+// paper's tables and figures see Experiments and RunExperiment (or the
+// wdmbench command).
+package wdm
+
+import (
+	"wdmsched/internal/analysis"
+	"wdmsched/internal/async"
+	"wdmsched/internal/core"
+	"wdmsched/internal/interconnect"
+	"wdmsched/internal/metrics"
+	"wdmsched/internal/pathsim"
+	"wdmsched/internal/sim"
+	"wdmsched/internal/traffic"
+	"wdmsched/internal/wavelength"
+)
+
+// Kind selects the shape of wavelength conversion.
+type Kind = wavelength.Kind
+
+// Conversion kinds (paper Section II-A).
+const (
+	// Circular conversion wraps adjacency sets around the wavelength
+	// ring (Fig. 2(a)).
+	Circular = wavelength.Circular
+	// NonCircular conversion clamps adjacency sets at the band edges
+	// (Fig. 2(b)).
+	NonCircular = wavelength.NonCircular
+	// Full range conversion reaches every wavelength (d = k).
+	Full = wavelength.Full
+)
+
+// Conversion is an immutable wavelength conversion model: k wavelengths,
+// minus-side reach e and plus-side reach f (degree d = e+f+1).
+type Conversion = wavelength.Conversion
+
+// Wavelength is a wavelength channel index in [0, k).
+type Wavelength = wavelength.Wavelength
+
+// NewConversion builds a conversion model; see wavelength reach semantics
+// in the package documentation.
+func NewConversion(kind Kind, k, e, f int) (Conversion, error) {
+	return wavelength.New(kind, k, e, f)
+}
+
+// NewSymmetricConversion builds a conversion with odd degree d and
+// e = f = (d−1)/2, the common case in the paper's examples.
+func NewSymmetricConversion(kind Kind, k, d int) (Conversion, error) {
+	return wavelength.NewSymmetric(kind, k, d)
+}
+
+// ParseKind parses "circular", "noncircular" or "full".
+func ParseKind(s string) (Kind, error) { return wavelength.ParseKind(s) }
+
+// Scheduler resolves one output fiber's contention each slot; see the
+// package documentation for the available algorithms. Schedulers reuse
+// internal scratch and are not safe for concurrent use — deploy one per
+// output fiber, as the paper's distributed design intends.
+type Scheduler = core.Scheduler
+
+// Result is one slot's scheduling decision.
+type Result = core.Result
+
+// Unassigned marks an output channel with no granted request.
+const Unassigned = core.Unassigned
+
+// NewResult allocates a Result for k wavelengths.
+func NewResult(k int) *Result { return core.NewResult(k) }
+
+// NewScheduler builds a scheduler by name; see the package documentation
+// for the recognized names.
+func NewScheduler(name string, conv Conversion) (Scheduler, error) {
+	return core.NewByName(name, conv)
+}
+
+// NewExactScheduler returns the paper's exact algorithm for the model:
+// FirstAvailable, BreakFirstAvailable or FullRange.
+func NewExactScheduler(conv Conversion) (Scheduler, error) { return core.NewExact(conv) }
+
+// ValidateResult checks that res is a feasible assignment for the request
+// vector and occupancy under conv.
+func ValidateResult(conv Conversion, count []int, occupied []bool, res *Result) error {
+	return core.Validate(conv, count, occupied, res)
+}
+
+// Packet is one slot-aligned connection request; see the traffic model in
+// the SwitchConfig documentation.
+type Packet = traffic.Packet
+
+// Generator produces per-slot packet arrivals.
+type Generator = traffic.Generator
+
+// TrafficConfig describes the interconnect shape a generator fills and the
+// holding-time model.
+type TrafficConfig = traffic.Config
+
+// HoldingTime models connection durations (1 slot for packet switching,
+// longer for burst switching).
+type HoldingTime = traffic.HoldingTime
+
+// Trace is a recorded workload for replay.
+type Trace = traffic.Trace
+
+// NewBernoulliTraffic builds uniform independent arrivals at the given
+// per-channel load.
+func NewBernoulliTraffic(cfg TrafficConfig, load float64) (Generator, error) {
+	return traffic.NewBernoulli(cfg, load)
+}
+
+// NewHotspotTraffic directs a fraction of the traffic at one hot output
+// fiber.
+func NewHotspotTraffic(cfg TrafficConfig, load float64, hot int, fraction float64) (Generator, error) {
+	return traffic.NewHotspot(cfg, load, hot, fraction)
+}
+
+// NewBurstyTraffic builds on–off Markov traffic with the given mean burst
+// and idle lengths.
+func NewBurstyTraffic(cfg TrafficConfig, meanOn, meanOff float64) (Generator, error) {
+	return traffic.NewBursty(cfg, meanOn, meanOff)
+}
+
+// NewPrioritizedTraffic wraps a generator with QoS class marking:
+// classProbs[c] is the probability a packet belongs to class c (0 =
+// highest). Pair with SwitchConfig.PriorityClasses.
+func NewPrioritizedTraffic(gen Generator, classProbs []float64, seed uint64) (Generator, error) {
+	return traffic.WithPriorities(gen, classProbs, seed)
+}
+
+// RecordTrace captures a generator's arrivals for replay.
+func RecordTrace(gen Generator, cfg TrafficConfig, slots int) (*Trace, error) {
+	return traffic.Record(gen, cfg, slots)
+}
+
+// ReadTrace deserializes a trace written with Trace.Write.
+var ReadTrace = traffic.ReadTrace
+
+// Switch is a running N×N interconnect simulation.
+type Switch = interconnect.Switch
+
+// SwitchConfig configures a simulation; see the field documentation in the
+// interconnect package.
+type SwitchConfig = interconnect.Config
+
+// Stats aggregates a simulation run.
+type Stats = interconnect.Stats
+
+// NewSwitch builds an interconnect simulation.
+func NewSwitch(cfg SwitchConfig) (*Switch, error) { return interconnect.New(cfg) }
+
+// Table is a rendered experiment artifact (ASCII and CSV output).
+type Table = metrics.Table
+
+// Experiment regenerates one of the paper's tables or figures; see
+// DESIGN.md for the index.
+type Experiment = sim.Experiment
+
+// ExperimentConfig tunes experiment cost.
+type ExperimentConfig = sim.RunConfig
+
+// Experiments lists every registered experiment (P1–P9, S1–S5).
+func Experiments() []Experiment { return sim.All() }
+
+// RunExperiment runs one experiment by ID.
+func RunExperiment(id string, cfg ExperimentConfig) ([]*Table, error) {
+	e, ok := sim.ByID(id)
+	if !ok {
+		return nil, errUnknownExperiment(id)
+	}
+	return e.Run(cfg)
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string { return "wdm: unknown experiment " + string(e) }
+
+// PriorityScheduler is the strict-priority QoS extension (the paper's
+// Section VI future work): classes scheduled in descending priority, each
+// on the channels left by higher classes.
+type PriorityScheduler = core.PriorityScheduler
+
+// NewPriorityScheduler builds a strict-priority scheduler around the
+// model's exact algorithm.
+func NewPriorityScheduler(conv Conversion) (*PriorityScheduler, error) {
+	return core.NewPriorityScheduler(conv)
+}
+
+// NewParallelScheduler builds the parallel Break-and-First-Available
+// variant the paper sketches in Section IV-B: d concurrent workers, one
+// per candidate breaking edge, with an O(k) critical path.
+func NewParallelScheduler(conv Conversion) (Scheduler, error) {
+	return core.NewParallelBreakFirstAvailable(conv)
+}
+
+// NewMultiBreakScheduler builds the generalized Section IV-C trade-off:
+// try the given breaking positions (1-based, within [1, d]) and keep the
+// best matching — one position is the O(k) DeltaBreak, all d positions the
+// exact O(dk) algorithm. The result is within
+// min over tried δ of max{δ−1, d−δ} of optimal.
+func NewMultiBreakScheduler(conv Conversion, deltas []int) (Scheduler, error) {
+	return core.NewMultiBreak(conv, deltas)
+}
+
+// Series is a named (x, y) sequence — one figure line.
+type Series = metrics.Series
+
+// PlotASCII renders series as an ASCII chart with auto-scaled axes and a
+// marker legend; the textual form of the repository's figures.
+func PlotASCII(width, height int, series ...*Series) string {
+	return metrics.Plot(width, height, series...)
+}
+
+// AsyncConfig parameterizes the asynchronous (wavelength routing) mode of
+// Section I: Poisson connection arrivals at one output fiber, exponential
+// holds, FCFS channel assignment.
+type AsyncConfig = async.Config
+
+// AsyncStats reports an asynchronous run.
+type AsyncStats = async.Stats
+
+// Asynchronous channel assignment policies.
+const (
+	// FirstFit takes the first free window channel.
+	FirstFit = async.FirstFit
+	// RandomFit takes a uniformly random free window channel.
+	RandomFit = async.RandomFit
+)
+
+// RunAsync simulates the asynchronous mode for the given number of
+// connection arrivals.
+func RunAsync(cfg AsyncConfig, arrivals int) (AsyncStats, error) {
+	return async.Run(cfg, arrivals)
+}
+
+// PathConfig parameterizes the multi-hop wavelength-routing simulation:
+// connections traverse Hops consecutive links of a Links-long chain, with
+// limited range conversion at every node (the paper's Section I
+// wavelength-continuity motivation).
+type PathConfig = pathsim.Config
+
+// PathStats reports a multi-hop run.
+type PathStats = pathsim.Stats
+
+// PathNetwork is the channel occupancy state of a chain, for manual
+// routing scenarios.
+type PathNetwork = pathsim.Network
+
+// NewPathNetwork builds an idle chain of links.
+func NewPathNetwork(conv Conversion, links int) (*PathNetwork, error) {
+	return pathsim.NewNetwork(conv, links)
+}
+
+// RunPath simulates Poisson connection arrivals over the chain.
+func RunPath(cfg PathConfig, arrivals int) (PathStats, error) {
+	return pathsim.Run(cfg, arrivals)
+}
+
+// ErlangB returns the M/M/c/c blocking probability at a offered Erlangs —
+// the exact model for full range conversion in the asynchronous mode.
+func ErlangB(c int, a float64) (float64, error) { return analysis.ErlangB(c, a) }
+
+// FullRangeLoss returns the exact slotwise loss of full range conversion
+// under uniform Bernoulli traffic (synchronous mode).
+func FullRangeLoss(n, k int, load float64) (float64, error) {
+	return analysis.FullRangeLoss(n, k, load)
+}
+
+// NoConversionLoss returns the exact slotwise loss without conversion
+// (d = 1) under uniform Bernoulli traffic.
+func NoConversionLoss(n, k int, load float64) (float64, error) {
+	return analysis.NoConversionLoss(n, k, load)
+}
