@@ -1,0 +1,30 @@
+# Tier-1 gate: everything a change must keep green before merging.
+# `make` or `make check` runs vet + build + full tests, then the race
+# detector over the concurrent packages (the slot engine's worker pool in
+# internal/interconnect and the parallel breaker pool in internal/core).
+
+GO ?= go
+
+.PHONY: check vet build test race bench fuzz
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/interconnect ./internal/core
+
+# Convenience targets (not part of the tier-1 gate).
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+fuzz:
+	$(GO) test -fuzz FuzzSeqDistStatsEquivalence -fuzztime 30s ./internal/interconnect

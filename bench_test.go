@@ -109,10 +109,12 @@ func BenchmarkScalingN(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelBFA — S9: the Section IV-B d-worker variant. The
-// goroutine fan-out costs more than the sequential loop at software
-// scales; the experiment's point is identical results, mirroring the
-// paper's "d units of hardware" trade.
+// BenchmarkParallelBFA — S9: the Section IV-B d-worker variant on its
+// persistent worker pool. The d workers start once and are woken per call,
+// so the steady-state Schedule is allocation-free; the cross-goroutine
+// wake/join still costs more than the sequential loop at software scales —
+// the experiment's point is identical results, mirroring the paper's
+// "d units of hardware" trade.
 func BenchmarkParallelBFA(b *testing.B) {
 	for _, k := range []int{16, 64} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
@@ -121,8 +123,34 @@ func BenchmarkParallelBFA(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer s.Close()
 			benchScheduler(b, s, k, 3)
 		})
+	}
+}
+
+// TestParallelBFABenchmarkZeroAllocs pins the worker-pool fix as a
+// -benchmem assertion: the steady-state parallel Schedule must report
+// 0 allocs/op (it used to spawn d goroutines per call).
+func TestParallelBFABenchmarkZeroAllocs(t *testing.T) {
+	const k = 64
+	conv := wavelength.MustNew(wavelength.Circular, k, 2, 2)
+	s, err := core.NewParallelBreakFirstAvailable(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	vec := benchVector(k, 3, 1)
+	res := core.NewResult(k)
+	s.Schedule(vec, nil, res) // start the persistent workers
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.Schedule(vec, nil, res)
+		}
+	})
+	if a := r.AllocsPerOp(); a != 0 {
+		t.Errorf("parallel BFA Schedule: %d allocs/op, want 0 (%s)", a, r.MemString())
 	}
 }
 
@@ -311,15 +339,65 @@ func benchSwitch(b *testing.B, distributed bool) {
 				b.Fatal(err)
 			}
 		}
+		sw.Finalize() // stop the worker pool before the next iteration's switch
 	}
 }
 
 // BenchmarkSimulatedSlot — S1: sequential whole-switch slots (64 slots per
-// iteration, N=8, k=16, load 1.0).
+// iteration, N=8, k=16, load 1.0). Includes switch construction; for the
+// steady-state hot path see BenchmarkSwitchRunSlot.
 func BenchmarkSimulatedSlot(b *testing.B) { benchSwitch(b, false) }
 
-// BenchmarkDistributedSlot — S4: goroutine-per-port whole-switch slots.
+// BenchmarkDistributedSlot — S4: worker-pool whole-switch slots (includes
+// pool start/stop each iteration).
 func BenchmarkDistributedSlot(b *testing.B) { benchSwitch(b, true) }
+
+// BenchmarkSwitchRunSlot — the engine acceptance benchmark: steady-state
+// cost of one slot on a long-lived switch, sequential and distributed.
+// Both modes must report 0 allocs/op: the persistent engine reuses the
+// result buffers, arrival slices, and (in distributed mode) its port
+// workers across slots.
+func BenchmarkSwitchRunSlot(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		distributed bool
+	}{{"sequential", false}, {"distributed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			const n, k, slots = 8, 16, 64
+			conv := wavelength.MustNew(wavelength.Circular, k, 1, 1)
+			sw, err := interconnect.New(interconnect.Config{
+				N: n, Conv: conv, Seed: 5, Distributed: mode.distributed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen, err := traffic.NewBernoulli(traffic.Config{N: n, K: k, Seed: 5}, 1.0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pre := make([][]traffic.Packet, slots)
+			for s := range pre {
+				pre[s] = gen.Generate(s, nil)
+			}
+			for pass := 0; pass < 4; pass++ { // reach allocation steady state
+				for _, pkts := range pre {
+					if err := sw.RunSlot(pkts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sw.RunSlot(pre[i%slots]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sw.Finalize()
+		})
+	}
+}
 
 // BenchmarkTrafficBernoulli — workload generation cost.
 func BenchmarkTrafficBernoulli(b *testing.B) {

@@ -9,6 +9,7 @@
 //	wdmbench -csv            # CSV output
 //	wdmbench -quick          # reduced sizes (seconds instead of minutes)
 //	wdmbench -list           # list experiment IDs and titles
+//	wdmbench -engine         # slot-engine run-time metrics (latency, allocs)
 package main
 
 import (
@@ -35,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		csv    = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
 		quick  = fs.Bool("quick", false, "reduced sweep sizes")
 		list   = fs.Bool("list", false, "list experiments and exit")
+		engine = fs.Bool("engine", false, "report slot-engine run-time metrics instead of paper experiments")
 		slots  = fs.Int("slots", 0, "simulation slots per data point (0 = default)")
 		trials = fs.Int("trials", 0, "random trials per data point (0 = default)")
 		seed   = fs.Uint64("seed", 0, "random seed (0 = default)")
@@ -52,6 +54,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := wdm.ExperimentConfig{Quick: *quick, Slots: *slots, Trials: *trials, Seed: *seed}
+
+	if *engine {
+		t, err := runEngineStudy(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "wdmbench: engine study failed: %v\n", err)
+			return 1
+		}
+		if *csv {
+			fmt.Fprintf(stdout, "# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Fprintln(stdout, t.ASCII())
+		}
+		return 0
+	}
+
 	var toRun []wdm.Experiment
 	if *exp == "" {
 		toRun = wdm.Experiments()
@@ -74,6 +91,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	return runExperiments(toRun, cfg, *csv, *outDir, stdout, stderr)
+}
+
+func runExperiments(toRun []wdm.Experiment, cfg wdm.ExperimentConfig, csv bool, outDir string, stdout, stderr io.Writer) int {
 	for _, e := range toRun {
 		fmt.Fprintf(stdout, "### %s — %s\n\n", e.ID, e.Title)
 		tables, err := e.Run(cfg)
@@ -82,14 +103,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		for ti, t := range tables {
-			if *csv {
+			if csv {
 				fmt.Fprintf(stdout, "# %s\n%s\n", t.Title, t.CSV())
 			} else {
 				fmt.Fprintln(stdout, t.ASCII())
 			}
-			if *outDir != "" {
+			if outDir != "" {
 				name := fmt.Sprintf("%s_%d.csv", e.ID, ti)
-				if err := os.WriteFile(filepath.Join(*outDir, name), []byte(t.CSV()), 0o644); err != nil {
+				if err := os.WriteFile(filepath.Join(outDir, name), []byte(t.CSV()), 0o644); err != nil {
 					fmt.Fprintf(stderr, "wdmbench: writing %s: %v\n", name, err)
 					return 1
 				}
@@ -97,4 +118,69 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// runEngineStudy measures the slot engine itself rather than the paper's
+// traffic metrics: per-slot scheduling latency, steady-state allocation
+// rate, and worker-pool utilization, for the sequential loop and the
+// persistent worker pool on the same seeded workload.
+func runEngineStudy(cfg wdm.ExperimentConfig) (*wdm.Table, error) {
+	const n, k, load = 16, 16, 0.9
+	slots := 4000
+	if cfg.Quick {
+		slots = 500
+	}
+	if cfg.Slots > 0 {
+		slots = cfg.Slots
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	conv, err := wdm.NewConversion(wdm.Circular, k, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	t := &wdm.Table{
+		Title: fmt.Sprintf("Engine run-time metrics — N=%d, k=%d, circular(1,1), Bernoulli load %.1f, %d slots", n, k, load, slots),
+		Header: []string{"mode", "slot p50", "slot p95", "slot max", "slot mean",
+			"allocs/slot", "busiest port", "speedup"},
+	}
+	for _, mode := range []struct {
+		name        string
+		distributed bool
+	}{{"sequential", false}, {"worker-pool", true}} {
+		sw, err := wdm.NewSwitch(wdm.SwitchConfig{
+			N: n, Conv: conv, Seed: seed, Distributed: mode.distributed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		gen, err := wdm.NewBernoulliTraffic(wdm.TrafficConfig{N: n, K: k, Seed: seed + 1}, load)
+		if err != nil {
+			return nil, err
+		}
+		st, err := sw.Run(gen, slots)
+		if err != nil {
+			return nil, err
+		}
+		es := st.Engine
+		busiest := 0.0
+		for o := range es.PortBusy {
+			if f := es.PortBusyFraction(o); f > busiest {
+				busiest = f
+			}
+		}
+		allocs := "n/a"
+		if es.AllocsPerSlot.Valid() {
+			allocs = fmt.Sprintf("%.2f", es.AllocsPerSlot.Value())
+		}
+		t.AddRowf(mode.name,
+			es.SlotLatency.Quantile(0.50), es.SlotLatency.Quantile(0.95),
+			es.SlotLatency.Max(), es.SlotLatency.Mean(),
+			allocs, fmt.Sprintf("%.2f", busiest), fmt.Sprintf("%.2f", es.Speedup()))
+	}
+	t.AddNote("allocs/slot is a process-global runtime.ReadMemStats delta: an upper bound on the engine's own rate.")
+	t.AddNote("speedup = total port scheduling time / scheduling wall time; up to N for the worker pool.")
+	return t, nil
 }

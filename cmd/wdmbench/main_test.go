@@ -70,6 +70,28 @@ func TestOutputDirectory(t *testing.T) {
 	}
 }
 
+func TestEngineStudy(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-engine", "-quick"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Engine run-time metrics", "sequential", "worker-pool", "allocs/slot", "speedup"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("engine study output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestEngineStudyCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-engine", "-quick", "-csv", "-slots", "100"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "mode,slot p50") {
+		t.Fatalf("CSV header missing:\n%s", out.String())
+	}
+}
+
 func TestBadFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {

@@ -72,9 +72,16 @@ func newBreaker(conv wavelength.Conversion) (*breaker, error) {
 
 // firstMatchable returns the lowest wavelength with pending requests and at
 // least one available channel in its conversion window, or −1 if every
-// pending request is unmatchable.
+// pending request is unmatchable. The window walk is open-coded ring
+// arithmetic (the breaker is circular by construction) rather than an
+// Interval.Each closure: this runs per slot on the scheduling hot path,
+// which must stay allocation-free.
 func (br *breaker) firstMatchable(count []int, occupied []bool) int {
 	k := br.conv.K()
+	e, d := br.conv.MinusReach(), br.conv.Degree()
+	if d > k {
+		d = k
+	}
 	for w := 0; w < k; w++ {
 		if count[w] == 0 {
 			continue
@@ -82,14 +89,15 @@ func (br *breaker) firstMatchable(count []int, occupied []bool) int {
 		if occupied == nil {
 			return w
 		}
-		free := false
-		br.conv.Adjacency(wavelength.Wavelength(w)).Each(func(b int) {
+		b := ringMod(w-e, k)
+		for i := 0; i < d; i++ {
 			if !occupied[b] {
-				free = true
+				return w
 			}
-		})
-		if free {
-			return w
+			b++
+			if b == k {
+				b = 0
+			}
 		}
 	}
 	return -1
@@ -228,21 +236,28 @@ func (s *BreakFirstAvailable) Schedule(count []int, occupied []bool, res *Result
 	if avail < bound {
 		bound = avail
 	}
+	// Candidate breaking edges in window order from the minus end
+	// (open-coded ring walk — no closure, the hot path stays
+	// allocation-free).
 	first := true
-	done := false
-	conv.Adjacency(wavelength.Wavelength(w0)).Each(func(u int) {
-		if done || (occupied != nil && occupied[u]) {
-			return
+	e, d := conv.MinusReach(), conv.Degree()
+	u := ringMod(w0-e, conv.K())
+	for i := 0; i < d; i++ {
+		if occupied == nil || !occupied[u] {
+			s.br.scheduleBreakAt(count, occupied, w0, u)
+			if first || s.br.cur.Size > s.best.Size {
+				s.best.CopyFrom(s.br.cur)
+				first = false
+			}
+			if s.best.Size >= bound {
+				break
+			}
 		}
-		s.br.scheduleBreakAt(count, occupied, w0, u)
-		if first || s.br.cur.Size > s.best.Size {
-			s.best.CopyFrom(s.br.cur)
-			first = false
+		u++
+		if u == conv.K() {
+			u = 0
 		}
-		if s.best.Size >= bound {
-			done = true
-		}
-	})
+	}
 	res.CopyFrom(s.best)
 }
 
@@ -423,9 +438,14 @@ var _ Scheduler = (*MultiBreak)(nil)
 // window position is closest to delta, preferring the minus side on ties.
 // The caller guarantees at least one window channel is available.
 func nearestAvailable(conv wavelength.Conversion, occupied []bool, w0, delta int) int {
+	k := conv.K()
+	e, d := conv.MinusReach(), conv.Degree()
+	if d > k {
+		d = k
+	}
 	bestU, bestDist := -1, int(^uint(0)>>1)
-	pos := 1
-	conv.Adjacency(wavelength.Wavelength(w0)).Each(func(b int) {
+	b := ringMod(w0-e, k)
+	for pos := 1; pos <= d; pos++ {
 		if !occupied[b] {
 			dist := pos - delta
 			if dist < 0 {
@@ -435,8 +455,11 @@ func nearestAvailable(conv wavelength.Conversion, occupied []bool, w0, delta int
 				bestDist, bestU = dist, b
 			}
 		}
-		pos++
-	})
+		b++
+		if b == k {
+			b = 0
+		}
+	}
 	return bestU
 }
 

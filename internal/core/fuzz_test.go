@@ -67,6 +67,58 @@ func FuzzExactSchedulers(f *testing.F) {
 	})
 }
 
+// FuzzCircularSchedulersAgree feeds arbitrary circular instances — with
+// random occupancy masks — to every exact circular scheduler: sequential
+// Break-and-First-Available, the parallel worker-pool variant, and
+// MultiBreak trying all d breaking positions. All must produce feasible
+// assignments whose size matches the Hopcroft–Karp oracle.
+func FuzzCircularSchedulersAgree(f *testing.F) {
+	f.Add([]byte{6, 1, 1, 1, 2, 1, 0, 1, 1, 2, 0, 1, 0, 1, 1, 0})
+	f.Add([]byte{8, 2, 1, 0, 3, 0, 0, 4, 0, 1, 2, 0})
+	f.Add([]byte{12, 3, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 1, 0})
+	f.Add([]byte{1, 0, 0, 0, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, e, ff, vec, occ, ok := decodeInstance(data)
+		if !ok {
+			return
+		}
+		conv, err := wavelength.New(wavelength.Circular, k, e, ff)
+		if err != nil {
+			t.Fatalf("decoded invalid conversion: %v", err)
+		}
+		want := NewResult(k)
+		NewBaseline(conv).Schedule(vec, occ, want)
+
+		bfa, err := NewBreakFirstAvailable(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewParallelBreakFirstAvailable(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer par.Close()
+		deltas := make([]int, conv.Degree())
+		for i := range deltas {
+			deltas[i] = i + 1
+		}
+		mb, err := NewMultiBreak(conv, deltas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := NewResult(k)
+		for _, s := range []Scheduler{bfa, par, mb} {
+			s.Schedule(vec, occ, res)
+			if err := Validate(conv, vec, occ, res); err != nil {
+				t.Fatalf("%v vec=%v occ=%v: %s infeasible: %v", conv, vec, occ, s.Name(), err)
+			}
+			if res.Size != want.Size {
+				t.Fatalf("%v vec=%v occ=%v: %s=%d HK=%d", conv, vec, occ, s.Name(), res.Size, want.Size)
+			}
+		}
+	})
+}
+
 // FuzzDeltaBreakBound checks the Theorem 3 bound on arbitrary circular
 // instances (without occupancy, as the theorem is stated).
 func FuzzDeltaBreakBound(f *testing.F) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 
 	"wdmsched/internal/wavelength"
@@ -13,15 +14,28 @@ import (
 // workers runs First Available on its own reduced graph concurrently; the
 // critical path is one O(k) sweep plus an O(d) reduction.
 //
+// The "d units of hardware" are persistent: the d worker goroutines start
+// lazily on the first Schedule call and then live until Close (or until
+// the scheduler is garbage collected — a runtime cleanup stops them as a
+// leak backstop). Each Schedule wakes the active workers over buffered
+// channels and joins them on a WaitGroup barrier, so the steady-state call
+// performs no allocation and spawns no goroutines.
+//
 // The result is identical — not just equal in size — to the sequential
 // BreakFirstAvailable without its early-exit shortcut: among equal-sized
 // matchings the candidate whose breaking edge comes first in window order
 // wins, the same tie-break the sequential loop applies.
 type ParallelBreakFirstAvailable struct {
-	conv    wavelength.Conversion
-	workers []*breaker // one per window position ("d units of hardware")
-	full    *FullRange
-	best    *Result
+	conv wavelength.Conversion
+	full *FullRange
+	best *Result
+
+	// pool owns the worker goroutines; it is allocated separately from
+	// the scheduler so the goroutines never reference the scheduler
+	// itself (see pbfaPool).
+	pool    *pbfaPool
+	started bool
+	closed  bool
 
 	// Reused fan-out buffers: the candidate channel per window position
 	// and whether that position is active this slot.
@@ -29,8 +43,74 @@ type ParallelBreakFirstAvailable struct {
 	slotActive []bool
 }
 
+// pbfaWorker is one unit of the paper's "d units of hardware": a breaker
+// plus its wake channel and job slot. Job fields are written by Schedule
+// before the wake send and read only by the worker; the channel send and
+// the barrier Done/Wait provide the happens-before edges both ways.
+type pbfaWorker struct {
+	br   *breaker
+	wake chan struct{}
+
+	// Job for the current Schedule call.
+	count    []int
+	occupied []bool
+	w0, u    int
+}
+
+// pbfaPool owns the persistent worker goroutines. It deliberately does not
+// reference the scheduler: when a ParallelBreakFirstAvailable becomes
+// unreachable without an explicit Close, the runtime cleanup attached to it
+// can still fire (the goroutines keep only the pool alive) and stop the
+// workers.
+type pbfaPool struct {
+	workers []*pbfaWorker
+	stop    chan struct{}  // closed exactly once on shutdown
+	slot    sync.WaitGroup // per-Schedule completion barrier
+	done    sync.WaitGroup // worker lifecycle
+	off     sync.Once
+}
+
+// start spawns one goroutine per worker.
+func (p *pbfaPool) start() {
+	p.stop = make(chan struct{})
+	p.done.Add(len(p.workers))
+	for _, w := range p.workers {
+		w.wake = make(chan struct{}, 1)
+		go p.run(w)
+	}
+}
+
+// run is the persistent worker loop: wait for a job, break at the assigned
+// edge, report completion; exit when stop closes.
+func (p *pbfaPool) run(w *pbfaWorker) {
+	defer p.done.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-w.wake:
+			w.br.scheduleBreakAt(w.count, w.occupied, w.w0, w.u)
+			// Drop the job references so an idle pool does not pin the
+			// caller's slices (ordered before the barrier release).
+			w.count, w.occupied = nil, nil
+			p.slot.Done()
+		}
+	}
+}
+
+// shutdown stops the workers and waits for them to exit; idempotent, and a
+// no-op for pools that never started.
+func (p *pbfaPool) shutdown() {
+	p.off.Do(func() {
+		if p.stop != nil {
+			close(p.stop)
+			p.done.Wait()
+		}
+	})
+}
+
 // NewParallelBreakFirstAvailable builds the parallel scheduler; conv must
-// be circular.
+// be circular. No goroutines start until the first Schedule call.
 func NewParallelBreakFirstAvailable(conv wavelength.Conversion) (*ParallelBreakFirstAvailable, error) {
 	if conv.IsFullRange() {
 		fr, err := NewFullRange(conv)
@@ -40,14 +120,18 @@ func NewParallelBreakFirstAvailable(conv wavelength.Conversion) (*ParallelBreakF
 		return &ParallelBreakFirstAvailable{conv: conv, full: fr}, nil
 	}
 	d := conv.Degree()
-	s := &ParallelBreakFirstAvailable{conv: conv, best: NewResult(conv.K())}
+	pool := &pbfaPool{}
 	for i := 0; i < d; i++ {
 		br, err := newBreaker(conv)
 		if err != nil {
 			return nil, err
 		}
-		s.workers = append(s.workers, br)
+		pool.workers = append(pool.workers, &pbfaWorker{br: br})
 	}
+	s := &ParallelBreakFirstAvailable{conv: conv, best: NewResult(conv.K()), pool: pool}
+	// Leak backstop for schedulers dropped without Close: the cleanup
+	// captures only the pool, so the scheduler stays collectible.
+	runtime.AddCleanup(s, func(p *pbfaPool) { p.shutdown() }, pool)
 	return s, nil
 }
 
@@ -57,9 +141,21 @@ func (s *ParallelBreakFirstAvailable) Name() string { return "parallel-break-fir
 // Conversion implements Scheduler.
 func (s *ParallelBreakFirstAvailable) Conversion() wavelength.Conversion { return s.conv }
 
+// Close stops the persistent worker goroutines and waits for them to exit.
+// It is idempotent; the scheduler must not be used afterwards. Closing a
+// scheduler that never scheduled (or a full-range one, which has no
+// workers) is a no-op.
+func (s *ParallelBreakFirstAvailable) Close() error {
+	s.closed = true
+	if s.pool != nil {
+		s.pool.shutdown()
+	}
+	return nil
+}
+
 // Schedule implements Scheduler. It is itself not safe for concurrent use
 // (one instance per output fiber, as with the sequential schedulers); the
-// parallelism is internal, across the d breaking candidates.
+// parallelism is internal, across the d persistent breaking workers.
 func (s *ParallelBreakFirstAvailable) Schedule(count []int, occupied []bool, res *Result) {
 	checkInput(s.conv, count, occupied, res)
 	res.Reset()
@@ -67,30 +163,48 @@ func (s *ParallelBreakFirstAvailable) Schedule(count []int, occupied []bool, res
 		fullRangeInto(s.conv, count, occupied, res)
 		return
 	}
-	w0 := s.workers[0].firstMatchable(count, occupied)
+	w0 := s.pool.workers[0].br.firstMatchable(count, occupied)
 	if w0 < 0 {
 		return
 	}
-	// Fan the d candidate breaking edges out to the workers. Window
-	// positions with an occupied channel stay idle.
+	if !s.started {
+		if s.closed {
+			panic("core: ParallelBreakFirstAvailable.Schedule after Close")
+		}
+		s.pool.start()
+		s.started = true
+	}
+	// Fan the d candidate breaking edges out to the workers, in window
+	// order from the minus end (open-coded ring walk: the hot path must
+	// not allocate). Window positions with an occupied channel stay idle.
+	k := s.conv.K()
+	e, d := s.conv.MinusReach(), s.conv.Degree()
 	s.slotU = s.slotU[:0]
 	s.slotActive = s.slotActive[:0]
-	s.conv.Adjacency(wavelength.Wavelength(w0)).Each(func(u int) {
+	u := ringMod(w0-e, k)
+	active := 0
+	for i := 0; i < d; i++ {
+		ok := occupied == nil || !occupied[u]
 		s.slotU = append(s.slotU, u)
-		s.slotActive = append(s.slotActive, occupied == nil || !occupied[u])
-	})
-	var wg sync.WaitGroup
+		s.slotActive = append(s.slotActive, ok)
+		if ok {
+			active++
+		}
+		u++
+		if u == k {
+			u = 0
+		}
+	}
+	s.pool.slot.Add(active)
 	for i := range s.slotU {
 		if !s.slotActive[i] {
 			continue
 		}
-		wg.Add(1)
-		go func(i, u int) {
-			defer wg.Done()
-			s.workers[i].scheduleBreakAt(count, occupied, w0, u)
-		}(i, s.slotU[i])
+		w := s.pool.workers[i]
+		w.count, w.occupied, w.w0, w.u = count, occupied, w0, s.slotU[i]
+		w.wake <- struct{}{}
 	}
-	wg.Wait()
+	s.pool.slot.Wait()
 	// Reduce: first strictly-better candidate in window order wins,
 	// matching the sequential tie-break.
 	first := true
@@ -98,7 +212,7 @@ func (s *ParallelBreakFirstAvailable) Schedule(count []int, occupied []bool, res
 		if !s.slotActive[i] {
 			continue
 		}
-		cur := s.workers[i].cur
+		cur := s.pool.workers[i].br.cur
 		if first || cur.Size > s.best.Size {
 			s.best.CopyFrom(cur)
 			first = false

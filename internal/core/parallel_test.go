@@ -131,6 +131,72 @@ func TestParallelBFAAllOccupied(t *testing.T) {
 	}
 }
 
+// TestParallelBFACloseIdempotent: Close must stop the persistent workers,
+// tolerate repeated calls, and work on schedulers that never scheduled
+// (no workers started) or took the full-range fast path (no workers at
+// all).
+func TestParallelBFACloseIdempotent(t *testing.T) {
+	used, _ := NewParallelBreakFirstAvailable(circular(8, 1, 1))
+	res := NewResult(8)
+	used.Schedule([]int{1, 0, 2, 0, 0, 1, 0, 0}, nil, res)
+	if err := used.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := used.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idle, _ := NewParallelBreakFirstAvailable(circular(8, 1, 1))
+	if err := idle.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	full, _ := NewParallelBreakFirstAvailable(circular(5, 2, 2))
+	if err := full.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The full-range path has no workers and stays usable after Close.
+	full.Schedule([]int{5, 0, 0, 0, 0}, nil, NewResult(5))
+}
+
+// TestParallelBFAScheduleAfterClosePanics: waking a stopped pool would
+// deadlock, so Schedule must fail loudly instead.
+func TestParallelBFAScheduleAfterClosePanics(t *testing.T) {
+	s, _ := NewParallelBreakFirstAvailable(circular(8, 1, 1))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule after Close did not panic")
+		}
+	}()
+	s.Schedule([]int{1, 0, 0, 0, 0, 0, 0, 0}, nil, NewResult(8))
+}
+
+// TestParallelBFAScheduleZeroAlloc: with the persistent worker pool, the
+// steady-state Schedule call must not allocate — the per-call d-goroutine
+// churn was the defect this design removes.
+func TestParallelBFAScheduleZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	conv := circular(32, 2, 2)
+	s, err := NewParallelBreakFirstAvailable(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	vec, occ := randomInstance(rng, 32, 3, 0.3)
+	res := NewResult(32)
+	for i := 0; i < 10; i++ { // start workers, grow scratch
+		s.Schedule(vec, occ, res)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		s.Schedule(vec, occ, res)
+	}); allocs != 0 {
+		t.Errorf("steady-state Schedule allocates %v per call, want 0", allocs)
+	}
+}
+
 func TestParallelBFAReuse(t *testing.T) {
 	conv := circular(8, 1, 1)
 	s, _ := NewParallelBreakFirstAvailable(conv)

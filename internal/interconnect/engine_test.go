@@ -1,0 +1,243 @@
+package interconnect
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"wdmsched/internal/traffic"
+	"wdmsched/internal/wavelength"
+)
+
+// prerecord builds a fixed per-slot packet schedule so alloc tests can
+// drive RunSlot without generator allocations inside the measured region.
+func prerecord(t testing.TB, n, k, slots int, load float64, seed uint64) [][]traffic.Packet {
+	t.Helper()
+	gen, err := traffic.NewBernoulli(traffic.Config{N: n, K: k, Seed: seed}, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]traffic.Packet, slots)
+	for s := range out {
+		out[s] = gen.Generate(s, nil)
+	}
+	return out
+}
+
+// TestRunSlotNoAllocsSteadyState is the engine's core guarantee: after
+// warm-up, a slot costs zero heap allocations in both execution modes —
+// the per-slot result-buffer make and the goroutine-per-port spawn were
+// the two defects the persistent engine removes.
+func TestRunSlotNoAllocsSteadyState(t *testing.T) {
+	for _, mode := range []struct {
+		name        string
+		distributed bool
+	}{{"sequential", false}, {"distributed", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			const n, k = 8, 16
+			sw := mustSwitch(t, Config{
+				N: n, Conv: circ(k, 1, 1), Seed: 5, Distributed: mode.distributed,
+			})
+			slots := prerecord(t, n, k, 64, 1.0, 9)
+			for pass := 0; pass < 4; pass++ { // grow all scratch to steady state
+				for _, pkts := range slots {
+					if err := sw.RunSlot(pkts); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				if err := sw.RunSlot(slots[i%len(slots)]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			sw.Finalize()
+			if allocs != 0 {
+				t.Errorf("steady-state RunSlot allocates %v per slot, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestEngineStatsPopulated checks the run-time metrics layer end to end:
+// slot latency histogram, per-port busy accounting, and the sampled
+// allocations-per-slot gauge.
+func TestEngineStatsPopulated(t *testing.T) {
+	for _, distributed := range []bool{false, true} {
+		const n, k, slots = 4, 8, 100
+		sw := mustSwitch(t, Config{N: n, Conv: circ(k, 1, 1), Seed: 3, Distributed: distributed})
+		gen, err := traffic.NewBernoulli(traffic.Config{N: n, K: k, Seed: 7}, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sw.Run(gen, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		es := st.Engine
+		if es == nil {
+			t.Fatal("Stats.Engine not populated")
+		}
+		if es.Distributed != distributed {
+			t.Fatalf("Engine.Distributed = %v, want %v", es.Distributed, distributed)
+		}
+		if es.SlotLatency.Count() != slots {
+			t.Fatalf("slot latency count = %d, want %d", es.SlotLatency.Count(), slots)
+		}
+		if es.SlotLatency.Sum() <= 0 {
+			t.Fatal("slot latency sum must be positive")
+		}
+		if len(es.PortBusy) != n {
+			t.Fatalf("PortBusy has %d entries, want %d", len(es.PortBusy), n)
+		}
+		var busy time.Duration
+		for o := range es.PortBusy {
+			busy += es.PortBusy[o]
+			if f := es.PortBusyFraction(o); f < 0 {
+				t.Fatalf("port %d busy fraction %v < 0", o, f)
+			}
+		}
+		if busy <= 0 {
+			t.Fatal("no port busy time recorded")
+		}
+		if es.Speedup() <= 0 {
+			t.Fatalf("speedup = %v, want > 0", es.Speedup())
+		}
+		if es.MemSamples < 1 || !es.AllocsPerSlot.Valid() {
+			t.Fatalf("allocation gauge not sampled: samples=%d valid=%v",
+				es.MemSamples, es.AllocsPerSlot.Valid())
+		}
+		if es.AllocsPerSlot.Value() < 0 {
+			t.Fatalf("allocs/slot = %v", es.AllocsPerSlot.Value())
+		}
+	}
+}
+
+// TestFinalizeStopsWorkers: the persistent port workers must exit at
+// Finalize — a finalized distributed switch leaves no goroutines behind.
+func TestFinalizeStopsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	sw := mustSwitch(t, Config{N: 16, Conv: circ(8, 1, 1), Seed: 1, Distributed: true})
+	gen, err := traffic.NewBernoulli(traffic.Config{N: 16, K: 8, Seed: 2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Run(gen, 20); err != nil {
+		t.Fatal(err)
+	}
+	// Run (via Finalize) must have joined all 16 workers synchronously.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("goroutines after Finalize: %d, baseline %d — workers leaked", got, before)
+	}
+}
+
+// TestDistributedParallelSchedulerStack: the worker-pool engine composed
+// with the worker-pool scheduler (N port workers each fanning out to d
+// breaker workers) must still match the sequential exact run, and
+// Finalize must close the schedulers' pools.
+func TestDistributedParallelSchedulerStack(t *testing.T) {
+	run := func(distributed bool, sched string) *Stats {
+		sw := mustSwitch(t, Config{
+			N: 4, Conv: circ(8, 2, 1), Seed: 11,
+			Scheduler: sched, Distributed: distributed,
+		})
+		gen, err := traffic.NewBernoulli(traffic.Config{N: 4, K: 8, Seed: 13}, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := sw.Run(gen, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	seq := run(false, "break-first-available")
+	par := run(true, "parallel-break-first-available")
+	if seq.Granted.Value() != par.Granted.Value() ||
+		seq.OutputDropped.Value() != par.OutputDropped.Value() {
+		t.Fatalf("parallel stack diverged: %d/%d vs %d/%d",
+			seq.Granted.Value(), seq.OutputDropped.Value(),
+			par.Granted.Value(), par.OutputDropped.Value())
+	}
+}
+
+// FuzzSeqDistStatsEquivalence is the distributed-claim differential: for
+// arbitrary shapes, seeds, loads, holding times, and disturb modes, the
+// sequential loop and the persistent worker pool must produce identical
+// statistics — counters, per-input grants, per-channel busy slots, and the
+// match-size histogram.
+func FuzzSeqDistStatsEquivalence(f *testing.F) {
+	f.Add(uint8(4), uint8(6), uint8(1), uint8(1), uint64(7), uint8(80), uint8(0), false)
+	f.Add(uint8(8), uint8(8), uint8(2), uint8(3), uint64(42), uint8(100), uint8(3), false)
+	f.Add(uint8(6), uint8(5), uint8(0), uint8(2), uint64(99), uint8(50), uint8(2), true)
+	f.Fuzz(func(t *testing.T, n8, k8, e8, f8 uint8, seed uint64, load8, hold8 uint8, disturb bool) {
+		n := int(n8)%8 + 1
+		k := int(k8)%8 + 1
+		e := int(e8) % k
+		ff := int(f8) % (k - e)
+		load := float64(load8%101) / 100
+		var hold traffic.HoldingTime
+		if hold8%4 > 0 {
+			hold = traffic.HoldingTime{Mean: float64(hold8%4) + 1}
+		}
+		conv, err := wavelength.New(wavelength.Circular, k, e, ff)
+		if err != nil {
+			t.Fatalf("decoded invalid conversion: %v", err)
+		}
+		run := func(distributed bool) *Stats {
+			sw, err := New(Config{
+				N: n, Conv: conv, Seed: seed,
+				Disturb: disturb, Distributed: distributed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen, err := traffic.NewBernoulli(traffic.Config{N: n, K: k, Seed: seed + 1, Hold: hold}, load)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := sw.Run(gen, 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}
+		a, b := run(false), run(true)
+		if a.Offered.Value() != b.Offered.Value() ||
+			a.Granted.Value() != b.Granted.Value() ||
+			a.InputBlocked.Value() != b.InputBlocked.Value() ||
+			a.OutputDropped.Value() != b.OutputDropped.Value() ||
+			a.Preempted.Value() != b.Preempted.Value() ||
+			a.BusyChannelSlots.Value() != b.BusyChannelSlots.Value() {
+			t.Fatalf("counters diverged: seq {o=%d g=%d ib=%d od=%d p=%d bs=%d} vs dist {o=%d g=%d ib=%d od=%d p=%d bs=%d}",
+				a.Offered.Value(), a.Granted.Value(), a.InputBlocked.Value(),
+				a.OutputDropped.Value(), a.Preempted.Value(), a.BusyChannelSlots.Value(),
+				b.Offered.Value(), b.Granted.Value(), b.InputBlocked.Value(),
+				b.OutputDropped.Value(), b.Preempted.Value(), b.BusyChannelSlots.Value())
+		}
+		for f := range a.PerInputGranted {
+			if a.PerInputGranted[f] != b.PerInputGranted[f] {
+				t.Fatalf("per-input grants diverged at fiber %d: %d vs %d",
+					f, a.PerInputGranted[f], b.PerInputGranted[f])
+			}
+		}
+		for c := range a.PerChannelBusy {
+			if a.PerChannelBusy[c] != b.PerChannelBusy[c] {
+				t.Fatalf("per-channel busy diverged at channel %d: %d vs %d",
+					c, a.PerChannelBusy[c], b.PerChannelBusy[c])
+			}
+		}
+		for v := 0; v <= k; v++ {
+			if a.MatchSizes.Bucket(v) != b.MatchSizes.Bucket(v) {
+				t.Fatalf("match-size histogram diverged at %d: %d vs %d",
+					v, a.MatchSizes.Bucket(v), b.MatchSizes.Bucket(v))
+			}
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package interconnect
+
+import (
+	"time"
+
+	"wdmsched/internal/metrics"
+)
+
+// EngineStats reports the run-time behavior of the slot engine itself, as
+// opposed to the traffic-level quantities in Stats: how long the per-slot
+// scheduling phase takes, how the work spreads across ports, and whether
+// the hot path stays allocation-free. It is populated continuously during
+// the run and safe to read after Finalize.
+type EngineStats struct {
+	// Distributed records which execution backend produced the run:
+	// the persistent worker pool (true) or the sequential port loop.
+	Distributed bool
+
+	// SlotLatency is the distribution of per-slot scheduling-phase wall
+	// time: from handing the admitted arrivals to the ports until every
+	// port has produced its grants.
+	SlotLatency *metrics.DurationHistogram
+
+	// PortBusy is the cumulative time each output port spent inside its
+	// scheduler this run. In distributed mode the sum over ports can
+	// exceed SlotLatency.Sum(): that surplus is exactly the parallel
+	// speedup of the worker pool. Idle time of a port is
+	// SlotLatency.Sum() − PortBusy[o].
+	PortBusy []time.Duration
+
+	// AllocsPerSlot is the most recent sampled heap-allocation rate of
+	// the whole process, in mallocs per simulated slot, from periodic
+	// runtime.ReadMemStats deltas. It is process-global (traffic
+	// generation and harness allocations count too), so treat it as an
+	// upper bound on the engine's own allocation rate; in steady state it
+	// should approach zero.
+	AllocsPerSlot metrics.Gauge
+
+	// MemSamples counts the runtime.ReadMemStats samples behind
+	// AllocsPerSlot.
+	MemSamples int
+}
+
+func newEngineStats(n int, distributed bool) *EngineStats {
+	return &EngineStats{
+		Distributed: distributed,
+		SlotLatency: metrics.NewDurationHistogram(),
+		PortBusy:    make([]time.Duration, n),
+	}
+}
+
+// PortBusyFraction returns the fraction of the run's scheduling wall time
+// port o spent scheduling (0 when nothing ran yet).
+func (e *EngineStats) PortBusyFraction(o int) float64 {
+	wall := e.SlotLatency.Sum()
+	if wall <= 0 || o < 0 || o >= len(e.PortBusy) {
+		return 0
+	}
+	return float64(e.PortBusy[o]) / float64(wall)
+}
+
+// Speedup returns the ratio of total port scheduling time to scheduling
+// wall time — the effective parallelism of the engine (≤ 1 for the
+// sequential backend up to timer overhead, up to N for the worker pool).
+func (e *EngineStats) Speedup() float64 {
+	wall := e.SlotLatency.Sum()
+	if wall <= 0 {
+		return 0
+	}
+	var busy time.Duration
+	for _, b := range e.PortBusy {
+		busy += b
+	}
+	return float64(busy) / float64(wall)
+}

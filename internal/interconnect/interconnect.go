@@ -8,13 +8,19 @@
 //
 // The simulator runs in two modes producing identical results: sequential
 // (one loop over output ports, for benchmarking algorithm cost) and
-// distributed (one goroutine per output port per slot, demonstrating that
-// the per-fiber schedulers share no state).
+// distributed (a persistent worker pool with one long-lived goroutine per
+// output port, woken every slot, demonstrating that the per-fiber
+// schedulers share no state). Both modes reuse all per-slot scratch, so
+// RunSlot is allocation-free in steady state; engine run-time metrics
+// (slot scheduling latency, per-port busy time, sampled allocations per
+// slot) are reported through Stats.Engine.
 package interconnect
 
 import (
 	"fmt"
-	"sync"
+	"io"
+	"runtime"
+	"time"
 
 	"wdmsched/internal/core"
 	"wdmsched/internal/fabric"
@@ -39,7 +45,9 @@ type Config struct {
 	// Disturb enables Section V disturb-mode rescheduling of held
 	// multi-slot connections.
 	Disturb bool
-	// Distributed runs one goroutine per output port each slot.
+	// Distributed schedules ports on a persistent worker pool: one
+	// long-lived goroutine per output port, started at New and shut down
+	// at Finalize.
 	Distributed bool
 	// ValidateFabric routes every slot's grants through the Fig. 1
 	// datapath model and fails on physical infeasibility (slower;
@@ -74,11 +82,28 @@ type Switch struct {
 	// new packet (input admission).
 	inputHold []int
 
-	// Per-slot scratch.
+	// Per-slot scratch, reused across slots so steady-state RunSlot does
+	// not allocate. The outer slices are fixed-length and never
+	// reallocated: the engine workers index into them directly.
 	perPort    [][]arrival
+	results    [][]portGrant
 	slotGrants []fabric.Grant
 	merged     bool
+
+	// eng is the persistent worker pool in distributed mode (nil in
+	// sequential mode).
+	eng *engine
+
+	// Allocation-rate sampling state for Stats.Engine.AllocsPerSlot.
+	memStats      runtime.MemStats
+	lastMallocs   uint64
+	lastAllocSlot int
 }
+
+// memSampleEvery is the slot period of runtime.ReadMemStats sampling for
+// the allocations-per-slot gauge. Sampling stops the world briefly, so it
+// runs two orders of magnitude less often than slots tick.
+const memSampleEvery = 64
 
 // New builds a switch from the configuration.
 func New(cfg Config) (*Switch, error) {
@@ -113,7 +138,9 @@ func New(cfg Config) (*Switch, error) {
 		stats:     newStats(cfg.N, k, cfg.PriorityClasses),
 		inputHold: make([]int, cfg.N*k),
 		perPort:   make([][]arrival, cfg.N),
+		results:   make([][]portGrant, cfg.N),
 	}
+	sw.stats.Engine = newEngineStats(cfg.N, cfg.Distributed)
 	rng := traffic.NewRNG(cfg.Seed)
 	for o := 0; o < cfg.N; o++ {
 		sched, err := core.NewByName(schedName, cfg.Conv)
@@ -142,7 +169,32 @@ func New(cfg Config) (*Switch, error) {
 		}
 		sw.ports = append(sw.ports, port)
 	}
+	if cfg.Distributed {
+		sw.eng = newEngine(sw.ports, sw.perPort, sw.results, sw.stats.Engine.PortBusy)
+		// Leak backstop: if the switch is dropped without Finalize, stop
+		// the worker pool when the switch becomes unreachable. The
+		// cleanup must not reference sw itself (the engine does not point
+		// back at the switch, so sw stays collectible).
+		runtime.AddCleanup(sw, func(e *engine) { e.shutdown() }, sw.eng)
+	}
+	runtime.ReadMemStats(&sw.memStats)
+	sw.lastMallocs = sw.memStats.Mallocs
 	return sw, nil
+}
+
+// sampleAllocs refreshes the allocations-per-slot gauge from a
+// runtime.ReadMemStats delta over the slots since the previous sample.
+func (s *Switch) sampleAllocs() {
+	slots := s.stats.Slots - s.lastAllocSlot
+	if slots <= 0 {
+		return
+	}
+	runtime.ReadMemStats(&s.memStats)
+	d := s.memStats.Mallocs - s.lastMallocs
+	s.stats.Engine.AllocsPerSlot.Set(float64(d) / float64(slots))
+	s.stats.Engine.MemSamples++
+	s.lastMallocs = s.memStats.Mallocs
+	s.lastAllocSlot = s.stats.Slots
 }
 
 // K returns the wavelengths per fiber.
@@ -183,27 +235,25 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 		})
 	}
 
-	// Distributed phase: each output port schedules independently.
-	results := make([][]portGrant, n)
-	if s.cfg.Distributed {
-		var wg sync.WaitGroup
-		wg.Add(n)
-		for o := 0; o < n; o++ {
-			go func(o int) {
-				defer wg.Done()
-				results[o] = s.ports[o].runSlot(s.perPort[o])
-			}(o)
-		}
-		wg.Wait()
+	// Distributed phase: each output port schedules independently — on
+	// the persistent worker pool or in the sequential loop, into the
+	// switch's reused result buffers either way.
+	es := s.stats.Engine
+	start := time.Now()
+	if s.eng != nil {
+		s.eng.runSlot()
 	} else {
 		for o := 0; o < n; o++ {
-			results[o] = s.ports[o].runSlot(s.perPort[o])
+			t0 := time.Now()
+			s.results[o] = s.ports[o].runSlot(s.perPort[o])
+			es.PortBusy[o] += time.Since(t0)
 		}
 	}
+	es.SlotLatency.Observe(time.Since(start))
 
 	// Input-hold bookkeeping and (optionally) datapath validation.
 	s.slotGrants = s.slotGrants[:0]
-	for o, grants := range results {
+	for o, grants := range s.results {
 		for _, g := range grants {
 			if !g.held {
 				s.inputHold[g.fiber*k+g.wave] = g.duration
@@ -235,6 +285,9 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 		}
 	}
 	s.stats.Slots++
+	if s.stats.Slots-s.lastAllocSlot >= memSampleEvery {
+		s.sampleAllocs()
+	}
 	return nil
 }
 
@@ -251,12 +304,25 @@ func (s *Switch) Run(gen traffic.Generator, slots int) (*Stats, error) {
 	return s.Finalize(), nil
 }
 
-// Finalize merges per-port statistics into the run totals and returns
-// them. Further RunSlot calls fail.
+// Finalize shuts down the worker pool (distributed mode), merges per-port
+// statistics into the run totals and returns them. Further RunSlot calls
+// fail.
 func (s *Switch) Finalize() *Stats {
 	if !s.merged {
+		if s.eng != nil {
+			// The pool barrier in RunSlot already ordered the workers'
+			// writes before ours; shutdown additionally joins the
+			// goroutines so port state and busy times are settled.
+			s.eng.shutdown()
+		}
+		s.sampleAllocs()
 		for _, p := range s.ports {
 			p.mergeInto(s.stats)
+			// Schedulers with background resources (the parallel breaker
+			// pool) release them here.
+			if c, ok := p.sched.(io.Closer); ok {
+				c.Close()
+			}
 		}
 		s.merged = true
 	}

@@ -41,6 +41,11 @@ type Stats struct {
 	// scheduling algorithm (First Available intentionally prefers the
 	// minus end of each window).
 	PerChannelBusy []int64
+	// Engine reports run-time metrics of the slot engine itself: per-slot
+	// scheduling latency, per-port busy time, and the sampled
+	// allocations-per-slot gauge. Populated by the Switch (nil for Stats
+	// built outside a Switch).
+	Engine *EngineStats
 }
 
 func newStats(n, k, classes int) *Stats {

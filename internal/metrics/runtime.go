@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Gauge is a last-value metric: it remembers the most recent sample of a
+// quantity that rises and falls (unlike Counter, which only accumulates).
+// The engine uses gauges for sampled rates such as allocations per slot.
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(x float64) { g.v, g.set = x, true }
+
+// Value returns the last recorded value (0 before any Set).
+func (g *Gauge) Value() float64 { return g.v }
+
+// Valid reports whether the gauge has been Set at least once.
+func (g *Gauge) Valid() bool { return g.set }
+
+// Reset clears the gauge.
+func (g *Gauge) Reset() { *g = Gauge{} }
+
+// durationBuckets is the number of power-of-two latency buckets; bucket i
+// holds durations whose nanosecond count has bit length i, i.e. bucket 0 is
+// exactly 0ns and bucket i ≥ 1 covers [2^(i−1), 2^i) ns. 64 buckets span
+// every representable time.Duration.
+const durationBuckets = 64
+
+// DurationHistogram is an allocation-free latency histogram with
+// power-of-two nanosecond buckets, built for per-slot hot-path timing: one
+// Observe is a bit-length computation and three adds. Quantiles are
+// resolved to bucket upper bounds (at most 2× the true value), which is
+// plenty to tell a 5µs slot from a 500µs one.
+type DurationHistogram struct {
+	buckets [durationBuckets]int64
+	count   int64
+	sum     int64 // nanoseconds
+	max     int64 // nanoseconds
+}
+
+// NewDurationHistogram builds an empty latency histogram.
+func NewDurationHistogram() *DurationHistogram { return &DurationHistogram{} }
+
+// Observe records one duration; negative durations count as zero.
+func (h *DurationHistogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bits.Len64(uint64(ns))]++
+	h.count++
+	h.sum += ns
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Count returns the number of observations.
+func (h *DurationHistogram) Count() int64 { return h.count }
+
+// Sum returns the total observed time.
+func (h *DurationHistogram) Sum() time.Duration { return time.Duration(h.sum) }
+
+// Mean returns the average observation (0 with no samples).
+func (h *DurationHistogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.count)
+}
+
+// Max returns the largest observation.
+func (h *DurationHistogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns an upper bound for the q-quantile (q in [0, 1]): the
+// upper edge of the bucket where the cumulative count crosses q, capped at
+// the maximum observation. Returns 0 with no samples.
+func (h *DurationHistogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, c := range h.buckets {
+		cum += c
+		if cum < target {
+			continue
+		}
+		if b == 0 {
+			return 0
+		}
+		upper := int64(math.MaxInt64)
+		if b < 63 {
+			upper = int64(1)<<uint(b) - 1
+		}
+		if upper > h.max {
+			upper = h.max
+		}
+		return time.Duration(upper)
+	}
+	return time.Duration(h.max)
+}
+
+// Reset clears the histogram.
+func (h *DurationHistogram) Reset() { *h = DurationHistogram{} }
+
+// String renders a compact summary for debugging and tables.
+func (h *DurationHistogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50≤%v p95≤%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Valid() || g.Value() != 0 {
+		t.Fatal("fresh gauge must be zero and invalid")
+	}
+	g.Set(3.5)
+	if !g.Valid() || g.Value() != 3.5 {
+		t.Fatalf("gauge = %v valid=%v", g.Value(), g.Valid())
+	}
+	g.Set(-1)
+	if g.Value() != -1 {
+		t.Fatalf("gauge = %v, want -1", g.Value())
+	}
+	g.Reset()
+	if g.Valid() || g.Value() != 0 {
+		t.Fatal("reset gauge must be zero and invalid")
+	}
+}
+
+func TestDurationHistogramEmpty(t *testing.T) {
+	h := NewDurationHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestDurationHistogramBasic(t *testing.T) {
+	h := NewDurationHistogram()
+	for _, d := range []time.Duration{0, time.Microsecond, 2 * time.Microsecond, 4 * time.Microsecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	wantSum := 7 * time.Microsecond
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if h.Mean() != wantSum/4 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 4*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	// Quantile upper bounds: within a factor of 2 of the true value, and
+	// never above the observed maximum.
+	if q := h.Quantile(1.0); q != 4*time.Microsecond {
+		t.Fatalf("p100 = %v, want max", q)
+	}
+	if q := h.Quantile(0.25); q != 0 {
+		t.Fatalf("p25 = %v, want 0 (smallest observation)", q)
+	}
+	if q := h.Quantile(0.5); q < time.Microsecond || q > 2*time.Microsecond {
+		t.Fatalf("p50 = %v outside [1µs, 2µs]", q)
+	}
+}
+
+func TestDurationHistogramNegativeClampsToZero(t *testing.T) {
+	h := NewDurationHistogram()
+	h.Observe(-time.Second)
+	if h.Count() != 1 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("negative observation not clamped: %v", h)
+	}
+}
+
+func TestDurationHistogramQuantileMonotone(t *testing.T) {
+	h := NewDurationHistogram()
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("p100 %v != max %v", h.Quantile(1), h.Max())
+	}
+}
+
+func TestDurationHistogramObserveNoAllocs(t *testing.T) {
+	h := NewDurationHistogram()
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(time.Millisecond)
+	}); allocs != 0 {
+		t.Fatalf("Observe allocates %v per call", allocs)
+	}
+}

@@ -41,6 +41,8 @@
 package wdm
 
 import (
+	"io"
+
 	"wdmsched/internal/analysis"
 	"wdmsched/internal/async"
 	"wdmsched/internal/core"
@@ -181,8 +183,37 @@ type SwitchConfig = interconnect.Config
 // Stats aggregates a simulation run.
 type Stats = interconnect.Stats
 
-// NewSwitch builds an interconnect simulation.
+// EngineStats reports the slot engine's own run-time metrics — per-slot
+// scheduling latency, per-port busy time, and a sampled
+// allocations-per-slot gauge — via Stats.Engine. In distributed mode the
+// engine is a persistent worker pool (one long-lived goroutine per output
+// port, started by NewSwitch and stopped by Switch.Finalize), so these
+// metrics describe steady-state behavior rather than goroutine churn.
+type EngineStats = interconnect.EngineStats
+
+// DurationHistogram is the power-of-two-bucket latency histogram behind
+// EngineStats.SlotLatency.
+type DurationHistogram = metrics.DurationHistogram
+
+// Gauge is a last-value metric (EngineStats.AllocsPerSlot).
+type Gauge = metrics.Gauge
+
+// NewSwitch builds an interconnect simulation. In distributed mode the
+// switch starts one persistent scheduling worker per output port; call
+// Finalize (or Run, which finalizes) to stop them.
 func NewSwitch(cfg SwitchConfig) (*Switch, error) { return interconnect.New(cfg) }
+
+// CloseScheduler releases background resources a scheduler may hold — the
+// parallel Section IV-B scheduler keeps d persistent worker goroutines
+// between Schedule calls. It is a no-op for schedulers without such
+// resources. Switch.Finalize closes its port schedulers automatically;
+// call this only for schedulers you drive directly.
+func CloseScheduler(s Scheduler) error {
+	if c, ok := s.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
 
 // Table is a rendered experiment artifact (ASCII and CSV output).
 type Table = metrics.Table
@@ -223,7 +254,9 @@ func NewPriorityScheduler(conv Conversion) (*PriorityScheduler, error) {
 
 // NewParallelScheduler builds the parallel Break-and-First-Available
 // variant the paper sketches in Section IV-B: d concurrent workers, one
-// per candidate breaking edge, with an O(k) critical path.
+// per candidate breaking edge, with an O(k) critical path. The workers are
+// persistent goroutines (started on first Schedule, allocation-free per
+// call); release them with CloseScheduler when done.
 func NewParallelScheduler(conv Conversion) (Scheduler, error) {
 	return core.NewParallelBreakFirstAvailable(conv)
 }
