@@ -2,10 +2,14 @@
 # `make` or `make check` runs vet + build + full tests, then the race
 # detector over the concurrent packages (the slot engine's worker pool in
 # internal/interconnect and the parallel breaker pool in internal/core).
+# CI (.github/workflows/ci.yml) enforces `fmt-check` and `check` on every
+# push and pull request, plus short fuzz and benchmark smoke jobs.
 
 GO ?= go
+BENCHTIME ?= 1s
+FUZZTIME ?= 30s
 
-.PHONY: check vet build test race bench fuzz
+.PHONY: check vet build test race fmt fmt-check bench fuzz fuzz-short output
 
 check: vet build test race
 
@@ -21,10 +25,29 @@ test:
 race:
 	$(GO) test -race ./internal/interconnect ./internal/core
 
+fmt:
+	gofmt -l -w .
+
+# Fails (with the offending file list) if any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 # Convenience targets (not part of the tier-1 gate).
 
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' .
 
 fuzz:
-	$(GO) test -fuzz FuzzSeqDistStatsEquivalence -fuzztime 30s ./internal/interconnect
+	$(GO) test -fuzz FuzzSeqDistStatsEquivalence -fuzztime $(FUZZTIME) ./internal/interconnect
+
+# Short deterministic-budget fuzz pass used by CI: the scheduler
+# equivalence fuzzer (masked degraded instances included) and the
+# sequential-vs-distributed engine fuzzer.
+fuzz-short:
+	$(GO) test -fuzz FuzzCircularSchedulersAgree -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -fuzz FuzzSeqDistStatsEquivalence -fuzztime $(FUZZTIME) ./internal/interconnect
+
+# Regenerate the sample wdmbench output (not committed; see .gitignore).
+output:
+	$(GO) run ./cmd/wdmbench -quick > wdmbench_output.txt

@@ -98,3 +98,25 @@ func TestBadFlag(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+func TestFaultStudy(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-faults", "-quick"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Graceful degradation", "p(conv fail)", "throughput", "lost grants", "killed conns"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("fault study output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFaultStudyCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-faults", "-quick", "-csv", "-slots", "100"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "p(conv fail),throughput") {
+		t.Fatalf("CSV header missing:\n%s", out.String())
+	}
+}

@@ -50,6 +50,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		slots       = fs.Int("slots", 10000, "slots to simulate")
 		seed        = fs.Uint64("seed", 1, "random seed")
 		classes     = fs.Int("classes", 1, "strict-priority QoS classes (>1 marks packets uniformly high=20%/rest split)")
+		convFail    = fs.Float64("convfail", 0, "per-slot converter failure probability (fault injection)")
+		convRepair  = fs.Float64("convrepair", 0.1, "per-slot converter repair probability")
+		darkFail    = fs.Float64("darkfail", 0, "per-slot channel dark probability (fault injection)")
+		darkRepair  = fs.Float64("darkrepair", 0.1, "per-slot channel restore probability")
 		asyncMode   = fs.Bool("async", false, "asynchronous wavelength-routing mode (paper §I)")
 		erlangs     = fs.Float64("erlangs", 10, "offered Erlangs λ/µ in -async mode")
 		arrivals    = fs.Int("arrivals", 200000, "connection arrivals to simulate in -async mode")
@@ -115,12 +119,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var faults wdm.FaultInjector
+	if *convFail != 0 || *darkFail != 0 {
+		faults, err = wdm.NewMarkovFaults(wdm.MarkovFaultConfig{
+			N: *n, K: *k, Seed: *seed + 2,
+			ConverterFail: *convFail, ConverterRepair: *convRepair,
+			ChannelDark: *darkFail, ChannelRestore: *darkRepair,
+		})
+		if err != nil {
+			return fail(err)
+		}
+	}
+
 	sw, err := wdm.NewSwitch(wdm.SwitchConfig{
 		N: *n, Conv: conv,
 		Scheduler: *scheduler, Selector: *selector,
 		Seed: *seed, Disturb: *disturb,
 		Distributed: *distributed, ValidateFabric: *validate,
 		PriorityClasses: *classes,
+		Faults:          faults,
 	})
 	if err != nil {
 		return fail(err)
@@ -147,6 +164,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "class %d        loss %.6f (%d offered)\n",
 				c, st.ClassLossRate(c), st.PerClassOffered[c])
 		}
+	}
+	if st.Fault != nil {
+		fmt.Fprintf(stdout, "faults         %.1f healthy channels mean (of %d), %.1f%% degraded slots\n",
+			st.Fault.MeanHealthyChannels(), *n**k, 100*st.Fault.DegradedFraction(st.Slots))
+		fmt.Fprintf(stdout, "fault cost     %d grants lost, %d connections killed\n",
+			st.Fault.LostGrants.Value(), st.Fault.KilledConnections.Value())
 	}
 	fmt.Fprintf(stdout, "loss rate      %.6f\n", st.LossRate())
 	fmt.Fprintf(stdout, "throughput     %.4f granted packets per channel-slot\n", st.Throughput(*n, *k))

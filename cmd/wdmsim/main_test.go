@@ -88,3 +88,28 @@ func TestErrorPaths(t *testing.T) {
 		t.Fatalf("bad flag: exit %d, want 2", code)
 	}
 }
+
+func TestFaultFlagsShowDegradedStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-convfail", "0.05", "-darkfail", "0.01", "-hold", "2",
+		"-n", "4", "-k", "8", "-slots", "80"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"faults", "healthy channels mean", "degraded slots", "fault cost"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("fault output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestNoFaultFlagsOmitFaultLines(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-n", "4", "-k", "8", "-slots", "50"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "fault cost") {
+		t.Fatalf("fault lines present without fault flags:\n%s", out.String())
+	}
+}

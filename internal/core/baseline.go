@@ -29,7 +29,18 @@ func (s *Baseline) Conversion() wavelength.Conversion { return s.conv }
 
 // Schedule implements Scheduler.
 func (s *Baseline) Schedule(count []int, occupied []bool, res *Result) {
+	s.ScheduleMasked(count, occupied, nil, res)
+}
+
+// ScheduleMasked implements Scheduler by building the degraded request
+// graph explicitly — each request's adjacency interval is narrowed edge by
+// edge (dark channels removed, converter-failed channels kept only for
+// their own wavelength) — and running Hopcroft–Karp on it. Unlike the
+// specialized schedulers it does not go through the pre-grant reduction,
+// which makes it the independent optimality oracle for the masked paths.
+func (s *Baseline) ScheduleMasked(count []int, occupied []bool, mask ChannelMask, res *Result) {
 	checkInput(s.conv, count, occupied, res)
+	checkMask(s.conv, mask)
 	res.Reset()
 	k := s.conv.K()
 	// Expand the request vector into left vertices, tracking each left
@@ -44,9 +55,13 @@ func (s *Baseline) Schedule(count []int, occupied []bool, res *Result) {
 	g := bipartite.NewGraph(n, k)
 	for a, w := range waveOf {
 		s.conv.Adjacency(wavelength.Wavelength(w)).Each(func(b int) {
-			if occupied == nil || !occupied[b] {
-				g.AddEdge(a, b)
+			if occupied != nil && occupied[b] {
+				return
 			}
+			if mask != nil && (mask[b] == Dark || (mask[b] == ConverterFailed && b != w)) {
+				return
+			}
+			g.AddEdge(a, b)
 		})
 	}
 	m := bipartite.HopcroftKarp(g)

@@ -49,6 +49,7 @@ func ringRep(x, lo, k int) int {
 type breaker struct {
 	conv wavelength.Conversion
 	cur  *Result
+	mask *masker
 	// Bucket arrays for the reduced convex graph, in shifted left order.
 	// bBegin/bEnd are reduced right positions; bCount the number of
 	// requests in the bucket; bWave the bucket's input wavelength.
@@ -63,6 +64,7 @@ func newBreaker(conv wavelength.Conversion) (*breaker, error) {
 	return &breaker{
 		conv:   conv,
 		cur:    NewResult(k),
+		mask:   newMasker(k),
 		bBegin: make([]int, 0, k+1),
 		bEnd:   make([]int, 0, k+1),
 		bCount: make([]int, 0, k+1),
@@ -261,6 +263,16 @@ func (s *BreakFirstAvailable) Schedule(count []int, occupied []bool, res *Result
 	res.CopyFrom(s.best)
 }
 
+// ScheduleMasked implements Scheduler: the degraded instance reduces to a
+// §V occupancy instance over the healthy channels (converter-failed
+// channels pre-granted straight through), on which the breaking argument
+// of Theorem 2 applies unchanged.
+func (s *BreakFirstAvailable) ScheduleMasked(count []int, occupied []bool, mask ChannelMask, res *Result) {
+	cnt, occ := s.br.mask.apply(count, occupied, mask)
+	s.Schedule(cnt, occ, res)
+	s.br.mask.finish(res)
+}
+
 var _ Scheduler = (*BreakFirstAvailable)(nil)
 
 // DeltaBreak is the Section IV-C approximation: break only at the δ-th
@@ -327,6 +339,14 @@ func (s *DeltaBreak) Schedule(count []int, occupied []bool, res *Result) {
 	}
 	s.br.scheduleBreakAt(count, occupied, w0, u)
 	res.CopyFrom(s.br.cur)
+}
+
+// ScheduleMasked implements Scheduler; the Theorem 3 gap bound holds
+// against the optimum of the degraded graph.
+func (s *DeltaBreak) ScheduleMasked(count []int, occupied []bool, mask ChannelMask, res *Result) {
+	cnt, occ := s.br.mask.apply(count, occupied, mask)
+	s.Schedule(cnt, occ, res)
+	s.br.mask.finish(res)
 }
 
 // MultiBreak generalizes the Section IV-C trade-off: it tries a chosen
@@ -430,6 +450,14 @@ func (s *MultiBreak) Schedule(count []int, occupied []bool, res *Result) {
 		s.best.CopyFrom(s.br.cur)
 	}
 	res.CopyFrom(s.best)
+}
+
+// ScheduleMasked implements Scheduler; the Bound guarantee holds against
+// the optimum of the degraded graph.
+func (s *MultiBreak) ScheduleMasked(count []int, occupied []bool, mask ChannelMask, res *Result) {
+	cnt, occ := s.br.mask.apply(count, occupied, mask)
+	s.Schedule(cnt, occ, res)
+	s.br.mask.finish(res)
 }
 
 var _ Scheduler = (*MultiBreak)(nil)

@@ -80,10 +80,20 @@ func (r *Result) CopyFrom(src *Result) {
 // nil meaning all channels available) and writes the decision into res,
 // which must have been created with NewResult(k). Implementations reuse
 // internal scratch and are not safe for concurrent use.
+//
+// ScheduleMasked additionally honors a per-channel fault mask (len k, or
+// nil meaning all channels healthy): dark channels are removed from the
+// request graph and converter-failed channels carry only their own
+// wavelength (see ChannelState). With a nil or all-healthy mask it is
+// bit-for-bit identical to Schedule; with faults the exact schedulers stay
+// exact on the degraded graph (see the exchange argument in
+// channelstate.go) and the single-break approximations keep their
+// Theorem 3 bound.
 type Scheduler interface {
 	Name() string
 	Conversion() wavelength.Conversion
 	Schedule(count []int, occupied []bool, res *Result)
+	ScheduleMasked(count []int, occupied []bool, mask ChannelMask, res *Result)
 }
 
 // checkInput panics on malformed scheduler input: scheduling runs per time

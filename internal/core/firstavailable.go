@@ -25,6 +25,7 @@ import (
 type FirstAvailable struct {
 	conv      wavelength.Conversion
 	remaining []int
+	mask      *masker
 }
 
 // NewFirstAvailable builds a First Available scheduler for conv, which must
@@ -34,7 +35,7 @@ func NewFirstAvailable(conv wavelength.Conversion) (*FirstAvailable, error) {
 	if conv.Kind() != wavelength.NonCircular {
 		return nil, fmt.Errorf("core: FirstAvailable requires non-circular conversion, have %v", conv.Kind())
 	}
-	return &FirstAvailable{conv: conv, remaining: make([]int, conv.K())}, nil
+	return &FirstAvailable{conv: conv, remaining: make([]int, conv.K()), mask: newMasker(conv.K())}, nil
 }
 
 // Name implements Scheduler.
@@ -83,6 +84,16 @@ func (s *FirstAvailable) Schedule(count []int, occupied []bool, res *Result) {
 		res.Granted[w]++
 		res.Size++
 	}
+}
+
+// ScheduleMasked implements Scheduler: converter-failed channels are
+// pre-granted their own wavelength and degraded channels join the §V
+// occupancy, after which the graph stays convex and the O(k) sweep stays
+// exact (Theorem 1 on the reduced graph).
+func (s *FirstAvailable) ScheduleMasked(count []int, occupied []bool, mask ChannelMask, res *Result) {
+	cnt, occ := s.mask.apply(count, occupied, mask)
+	s.Schedule(cnt, occ, res)
+	s.mask.finish(res)
 }
 
 var _ Scheduler = (*FirstAvailable)(nil)

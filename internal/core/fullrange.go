@@ -14,6 +14,7 @@ import (
 type FullRange struct {
 	conv      wavelength.Conversion
 	remaining []int
+	mask      *masker
 }
 
 // NewFullRange builds the scheduler. conv must be full range: either Kind
@@ -22,7 +23,7 @@ func NewFullRange(conv wavelength.Conversion) (*FullRange, error) {
 	if !conv.IsFullRange() {
 		return nil, fmt.Errorf("core: FullRange requires full range conversion, have %v", conv)
 	}
-	return &FullRange{conv: conv, remaining: make([]int, conv.K())}, nil
+	return &FullRange{conv: conv, remaining: make([]int, conv.K()), mask: newMasker(conv.K())}, nil
 }
 
 // Name implements Scheduler.
@@ -36,6 +37,16 @@ func (s *FullRange) Schedule(count []int, occupied []bool, res *Result) {
 	checkInput(s.conv, count, occupied, res)
 	res.Reset()
 	fullRangeInto(s.conv, count, occupied, res)
+}
+
+// ScheduleMasked implements Scheduler. Under faults a "full range" fiber
+// is no longer interchangeable — converter-failed channels accept only
+// their own wavelength — but the pre-grant reduction keeps the residual
+// instance trivial: any wavelength fits any remaining healthy channel.
+func (s *FullRange) ScheduleMasked(count []int, occupied []bool, mask ChannelMask, res *Result) {
+	cnt, occ := s.mask.apply(count, occupied, mask)
+	s.Schedule(cnt, occ, res)
+	s.mask.finish(res)
 }
 
 // fullRangeInto fills res by assigning pending wavelengths (ascending) to

@@ -7,16 +7,18 @@ import (
 )
 
 // decodeInstance turns fuzzer bytes into a valid scheduling instance:
-// conversion shape, request vector and occupancy mask. It returns ok=false
-// for degenerate inputs.
-func decodeInstance(data []byte) (k, e, f int, vec []int, occ []bool, ok bool) {
+// conversion shape, request vector, occupancy mask and fault mask (both
+// masks optional, selected by flag bits). It returns ok=false for
+// degenerate inputs.
+func decodeInstance(data []byte) (k, e, f int, vec []int, occ []bool, mask ChannelMask, ok bool) {
 	if len(data) < 4 {
-		return 0, 0, 0, nil, nil, false
+		return 0, 0, 0, nil, nil, nil, false
 	}
 	k = int(data[0])%16 + 1
 	e = int(data[1]) % k
 	f = int(data[2]) % (k - e)
 	useOcc := data[3]&1 == 1
+	useMask := data[3]&2 == 2
 	data = data[4:]
 	vec = make([]int, k)
 	for w := 0; w < k && w < len(data); w++ {
@@ -30,18 +32,29 @@ func decodeInstance(data []byte) (k, e, f int, vec []int, occ []bool, ok bool) {
 			}
 		}
 	}
-	return k, e, f, vec, occ, true
+	if useMask {
+		mask = make(ChannelMask, k)
+		for b := 0; b < k; b++ {
+			if b+2*k < len(data) {
+				mask[b] = ChannelState(data[b+2*k] % 3)
+			}
+		}
+	}
+	return k, e, f, vec, occ, mask, true
 }
 
-// FuzzExactSchedulers feeds arbitrary instances to both exact schedulers
-// and checks feasibility plus agreement with the Hopcroft–Karp oracle.
+// FuzzExactSchedulers feeds arbitrary instances — optionally with fault
+// masks — to both exact schedulers and checks feasibility plus agreement
+// with the Hopcroft–Karp oracle on the same (possibly degraded) instance.
 func FuzzExactSchedulers(f *testing.F) {
 	f.Add([]byte{6, 1, 1, 0, 2, 1, 0, 1, 1, 2})
 	f.Add([]byte{8, 2, 1, 1, 3, 0, 0, 4, 0, 1, 2, 0, 1, 1, 0, 1, 0, 1, 0, 1})
 	f.Add([]byte{1, 0, 0, 0, 4})
 	f.Add([]byte{16, 7, 8, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{6, 1, 1, 2, 2, 1, 0, 1, 1, 2, 0, 0, 0, 0, 0, 0, 1, 2, 0, 1, 2, 0})
+	f.Add([]byte{8, 2, 1, 3, 3, 0, 0, 4, 0, 1, 2, 0, 1, 1, 0, 1, 0, 1, 0, 1, 2, 2, 1, 1, 0, 0, 2, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		k, e, ff, vec, occ, ok := decodeInstance(data)
+		k, e, ff, vec, occ, mask, ok := decodeInstance(data)
 		if !ok {
 			return
 		}
@@ -55,30 +68,34 @@ func FuzzExactSchedulers(f *testing.F) {
 				t.Fatal(err)
 			}
 			res, want := NewResult(k), NewResult(k)
-			sched.Schedule(vec, occ, res)
-			if err := Validate(conv, vec, occ, res); err != nil {
-				t.Fatalf("%v vec=%v occ=%v: infeasible: %v", conv, vec, occ, err)
+			sched.ScheduleMasked(vec, occ, mask, res)
+			if err := ValidateMasked(conv, vec, occ, mask, res); err != nil {
+				t.Fatalf("%v vec=%v occ=%v mask=%v: infeasible: %v", conv, vec, occ, mask, err)
 			}
-			NewBaseline(conv).Schedule(vec, occ, want)
+			NewBaseline(conv).ScheduleMasked(vec, occ, mask, want)
 			if res.Size != want.Size {
-				t.Fatalf("%v vec=%v occ=%v: %s=%d HK=%d", conv, vec, occ, sched.Name(), res.Size, want.Size)
+				t.Fatalf("%v vec=%v occ=%v mask=%v: %s=%d HK=%d",
+					conv, vec, occ, mask, sched.Name(), res.Size, want.Size)
 			}
 		}
 	})
 }
 
 // FuzzCircularSchedulersAgree feeds arbitrary circular instances — with
-// random occupancy masks — to every exact circular scheduler: sequential
-// Break-and-First-Available, the parallel worker-pool variant, and
-// MultiBreak trying all d breaking positions. All must produce feasible
-// assignments whose size matches the Hopcroft–Karp oracle.
+// random occupancy and fault masks — to every exact circular scheduler:
+// sequential Break-and-First-Available, the parallel worker-pool variant,
+// and MultiBreak trying all d breaking positions. All must produce feasible
+// assignments whose size matches the Hopcroft–Karp oracle on the same
+// (possibly degraded) instance.
 func FuzzCircularSchedulersAgree(f *testing.F) {
 	f.Add([]byte{6, 1, 1, 1, 2, 1, 0, 1, 1, 2, 0, 1, 0, 1, 1, 0})
 	f.Add([]byte{8, 2, 1, 0, 3, 0, 0, 4, 0, 1, 2, 0})
 	f.Add([]byte{12, 3, 2, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 1, 0})
 	f.Add([]byte{1, 0, 0, 0, 4})
+	f.Add([]byte{6, 1, 1, 2, 2, 1, 0, 1, 1, 2, 0, 0, 0, 0, 0, 0, 2, 0, 1, 0, 2, 1})
+	f.Add([]byte{8, 2, 1, 3, 3, 0, 0, 4, 0, 1, 2, 0, 1, 1, 0, 1, 0, 1, 0, 1, 1, 2, 0, 0, 2, 1, 1, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		k, e, ff, vec, occ, ok := decodeInstance(data)
+		k, e, ff, vec, occ, mask, ok := decodeInstance(data)
 		if !ok {
 			return
 		}
@@ -87,7 +104,7 @@ func FuzzCircularSchedulersAgree(f *testing.F) {
 			t.Fatalf("decoded invalid conversion: %v", err)
 		}
 		want := NewResult(k)
-		NewBaseline(conv).Schedule(vec, occ, want)
+		NewBaseline(conv).ScheduleMasked(vec, occ, mask, want)
 
 		bfa, err := NewBreakFirstAvailable(conv)
 		if err != nil {
@@ -108,12 +125,13 @@ func FuzzCircularSchedulersAgree(f *testing.F) {
 		}
 		res := NewResult(k)
 		for _, s := range []Scheduler{bfa, par, mb} {
-			s.Schedule(vec, occ, res)
-			if err := Validate(conv, vec, occ, res); err != nil {
-				t.Fatalf("%v vec=%v occ=%v: %s infeasible: %v", conv, vec, occ, s.Name(), err)
+			s.ScheduleMasked(vec, occ, mask, res)
+			if err := ValidateMasked(conv, vec, occ, mask, res); err != nil {
+				t.Fatalf("%v vec=%v occ=%v mask=%v: %s infeasible: %v", conv, vec, occ, mask, s.Name(), err)
 			}
 			if res.Size != want.Size {
-				t.Fatalf("%v vec=%v occ=%v: %s=%d HK=%d", conv, vec, occ, s.Name(), res.Size, want.Size)
+				t.Fatalf("%v vec=%v occ=%v mask=%v: %s=%d HK=%d",
+					conv, vec, occ, mask, s.Name(), res.Size, want.Size)
 			}
 		}
 	})
@@ -125,7 +143,7 @@ func FuzzDeltaBreakBound(f *testing.F) {
 	f.Add([]byte{8, 1, 1, 0, 2, 1, 0, 1, 1, 2, 3, 1})
 	f.Add([]byte{12, 2, 2, 0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		k, e, ff, vec, _, ok := decodeInstance(data)
+		k, e, ff, vec, _, _, ok := decodeInstance(data)
 		if !ok {
 			return
 		}

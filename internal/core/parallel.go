@@ -29,6 +29,7 @@ type ParallelBreakFirstAvailable struct {
 	conv wavelength.Conversion
 	full *FullRange
 	best *Result
+	mask *masker
 
 	// pool owns the worker goroutines; it is allocated separately from
 	// the scheduler so the goroutines never reference the scheduler
@@ -117,7 +118,7 @@ func NewParallelBreakFirstAvailable(conv wavelength.Conversion) (*ParallelBreakF
 		if err != nil {
 			return nil, err
 		}
-		return &ParallelBreakFirstAvailable{conv: conv, full: fr}, nil
+		return &ParallelBreakFirstAvailable{conv: conv, full: fr, mask: newMasker(conv.K())}, nil
 	}
 	d := conv.Degree()
 	pool := &pbfaPool{}
@@ -128,7 +129,7 @@ func NewParallelBreakFirstAvailable(conv wavelength.Conversion) (*ParallelBreakF
 		}
 		pool.workers = append(pool.workers, &pbfaWorker{br: br})
 	}
-	s := &ParallelBreakFirstAvailable{conv: conv, best: NewResult(conv.K()), pool: pool}
+	s := &ParallelBreakFirstAvailable{conv: conv, best: NewResult(conv.K()), mask: newMasker(conv.K()), pool: pool}
 	// Leak backstop for schedulers dropped without Close: the cleanup
 	// captures only the pool, so the scheduler stays collectible.
 	runtime.AddCleanup(s, func(p *pbfaPool) { p.shutdown() }, pool)
@@ -219,6 +220,15 @@ func (s *ParallelBreakFirstAvailable) Schedule(count []int, occupied []bool, res
 		}
 	}
 	res.CopyFrom(s.best)
+}
+
+// ScheduleMasked implements Scheduler: the mask reduction happens on the
+// caller's goroutine, then the d persistent workers race over the reduced
+// §V occupancy instance exactly as in the maskless path.
+func (s *ParallelBreakFirstAvailable) ScheduleMasked(count []int, occupied []bool, mask ChannelMask, res *Result) {
+	cnt, occ := s.mask.apply(count, occupied, mask)
+	s.Schedule(cnt, occ, res)
+	s.mask.finish(res)
 }
 
 var _ Scheduler = (*ParallelBreakFirstAvailable)(nil)

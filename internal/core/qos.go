@@ -46,8 +46,19 @@ func (s *PriorityScheduler) Conversion() wavelength.Conversion { return s.conv }
 // Result per class, each sized with NewResult(k). After the call,
 // results[c] holds class c's grants; the union is channel-disjoint.
 func (s *PriorityScheduler) ScheduleClasses(counts [][]int, occupied []bool, results []*Result) error {
+	return s.ScheduleClassesMasked(counts, occupied, nil, results)
+}
+
+// ScheduleClassesMasked is ScheduleClasses under a per-channel fault mask
+// (nil meaning all channels healthy): each class schedules via the inner
+// scheduler's masked path, and a channel granted to a higher class is
+// occupied — hence also immune to re-pre-granting — for every lower class.
+func (s *PriorityScheduler) ScheduleClassesMasked(counts [][]int, occupied []bool, mask ChannelMask, results []*Result) error {
 	if len(counts) != len(results) {
 		return fmt.Errorf("core: %d classes but %d results", len(counts), len(results))
+	}
+	if mask != nil && len(mask) != len(s.occ) {
+		return fmt.Errorf("core: mask length %d != k %d", len(mask), len(s.occ))
 	}
 	if occupied == nil {
 		for b := range s.occ {
@@ -60,7 +71,7 @@ func (s *PriorityScheduler) ScheduleClasses(counts [][]int, occupied []bool, res
 		copy(s.occ, occupied)
 	}
 	for c := range counts {
-		s.inner.Schedule(counts[c], s.occ, results[c])
+		s.inner.ScheduleMasked(counts[c], s.occ, mask, results[c])
 		for b, w := range results[c].ByOutput {
 			if w != Unassigned {
 				s.occ[b] = true

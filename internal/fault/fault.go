@@ -1,0 +1,258 @@
+// Package fault injects deterministic component failures into the slot
+// engine: wavelength converters failing and being repaired, channels going
+// dark and being restored, and whole output ports flapping.
+//
+// The paper (Section I) motivates limited-range wavelength conversion with
+// the cost and fragility of converter hardware; this package models that
+// hardware actually breaking. A fault schedule is a function from slot
+// number to a per-output-port core.ChannelMask:
+//
+//   - A failed converter leaves its channel usable only by requests already
+//     on the channel's wavelength (core.ConverterFailed) — the laser still
+//     lights, only the conversion stage is gone.
+//   - A dark channel (core.Dark) is removed from the fiber entirely.
+//   - A down port marks every channel of that port dark.
+//
+// Two injectors are provided. Script replays an explicit list of timed
+// events, for reproducing a specific failure scenario. Markov flips each
+// component independently with per-slot fail/repair probabilities, the
+// standard two-state availability model, driven by a seeded traffic.RNG so
+// every run is reproducible.
+//
+// Injectors are used from a single goroutine (the switch's slot loop calls
+// Advance, then reads each port's mask before fanning out to the per-port
+// workers); they are not safe for concurrent use.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"wdmsched/internal/core"
+)
+
+// Kind enumerates fault-schedule event types.
+type Kind uint8
+
+const (
+	// ConverterFail breaks the wavelength converter of a channel: the
+	// channel stays usable, but only by its own wavelength.
+	ConverterFail Kind = iota
+	// ConverterRepair restores a failed converter.
+	ConverterRepair
+	// ChannelDark removes a channel from service entirely.
+	ChannelDark
+	// ChannelRestore returns a dark channel to service.
+	ChannelRestore
+	// PortDown takes a whole output port out of service (all channels
+	// dark) until PortUp.
+	PortDown
+	// PortUp restores a down output port.
+	PortUp
+)
+
+// String names the event kind.
+func (k Kind) String() string {
+	switch k {
+	case ConverterFail:
+		return "converter-fail"
+	case ConverterRepair:
+		return "converter-repair"
+	case ChannelDark:
+		return "channel-dark"
+	case ChannelRestore:
+		return "channel-restore"
+	case PortDown:
+		return "port-down"
+	case PortUp:
+		return "port-up"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one timed entry of a scripted fault schedule. It takes effect
+// at the start of slot Slot (0-based), before scheduling.
+//
+// Port -1 means every output port; for channel-scoped kinds Channel -1
+// means every channel of the addressed port(s). Port/Channel are ignored
+// where they make no sense (Channel for PortDown/PortUp).
+type Event struct {
+	Slot    int
+	Port    int
+	Channel int
+	Kind    Kind
+}
+
+// Injector is a fault schedule the slot engine can consume.
+type Injector interface {
+	// Advance moves the schedule to the given slot (0-based). Slots must
+	// be visited in nondecreasing order.
+	Advance(slot int)
+	// Mask returns output port's channel-state mask at the current slot,
+	// or nil if every channel of the port is healthy (letting schedulers
+	// take their exact maskless fast path). The returned slice is owned
+	// by the injector and valid until the next Advance.
+	Mask(port int) core.ChannelMask
+}
+
+// state is the shared fault bookkeeping for both injectors: per-component
+// status flags plus the derived per-port masks handed to the engine.
+type state struct {
+	n, k       int
+	convFailed [][]bool // [port][channel]
+	dark       [][]bool // [port][channel]
+	portDown   []bool
+	masks      []core.ChannelMask // [port], re-derived after mutations
+	degraded   []bool             // [port], any non-healthy channel
+}
+
+func newState(n, k int) *state {
+	if n <= 0 || k <= 0 {
+		panic(fmt.Sprintf("fault: need positive ports and wavelengths, have n=%d k=%d", n, k))
+	}
+	s := &state{
+		n:          n,
+		k:          k,
+		convFailed: make([][]bool, n),
+		dark:       make([][]bool, n),
+		portDown:   make([]bool, n),
+		masks:      make([]core.ChannelMask, n),
+		degraded:   make([]bool, n),
+	}
+	for o := 0; o < n; o++ {
+		s.convFailed[o] = make([]bool, k)
+		s.dark[o] = make([]bool, k)
+		s.masks[o] = make(core.ChannelMask, k)
+	}
+	return s
+}
+
+// refresh re-derives port o's mask from the component flags. Dark wins
+// over a failed converter on the same channel.
+func (s *state) refresh(o int) {
+	m := s.masks[o]
+	deg := false
+	for b := 0; b < s.k; b++ {
+		switch {
+		case s.portDown[o] || s.dark[o][b]:
+			m[b] = core.Dark
+			deg = true
+		case s.convFailed[o][b]:
+			m[b] = core.ConverterFailed
+			deg = true
+		default:
+			m[b] = core.Healthy
+		}
+	}
+	s.degraded[o] = deg
+}
+
+func (s *state) mask(port int) core.ChannelMask {
+	if !s.degraded[port] {
+		return nil
+	}
+	return s.masks[port]
+}
+
+// apply mutates the component flags for one event and refreshes the
+// affected ports' masks.
+func (s *state) apply(ev Event) {
+	ports := []int{ev.Port}
+	if ev.Port < 0 {
+		ports = ports[:0]
+		for o := 0; o < s.n; o++ {
+			ports = append(ports, o)
+		}
+	}
+	for _, o := range ports {
+		switch ev.Kind {
+		case PortDown:
+			s.portDown[o] = true
+		case PortUp:
+			s.portDown[o] = false
+		default:
+			chans := []int{ev.Channel}
+			if ev.Channel < 0 {
+				chans = chans[:0]
+				for b := 0; b < s.k; b++ {
+					chans = append(chans, b)
+				}
+			}
+			for _, b := range chans {
+				switch ev.Kind {
+				case ConverterFail:
+					s.convFailed[o][b] = true
+				case ConverterRepair:
+					s.convFailed[o][b] = false
+				case ChannelDark:
+					s.dark[o][b] = true
+				case ChannelRestore:
+					s.dark[o][b] = false
+				default:
+					panic(fmt.Sprintf("fault: unknown event kind %v", ev.Kind))
+				}
+			}
+		}
+		s.refresh(o)
+	}
+}
+
+// validate checks an event against the switch dimensions.
+func (s *state) validate(ev Event) error {
+	if ev.Slot < 0 {
+		return fmt.Errorf("fault: event slot %d negative", ev.Slot)
+	}
+	if ev.Port < -1 || ev.Port >= s.n {
+		return fmt.Errorf("fault: event port %d outside [-1, %d)", ev.Port, s.n)
+	}
+	if ev.Kind > PortUp {
+		return fmt.Errorf("fault: unknown event kind %d", ev.Kind)
+	}
+	if ev.Kind != PortDown && ev.Kind != PortUp {
+		if ev.Channel < -1 || ev.Channel >= s.k {
+			return fmt.Errorf("fault: event channel %d outside [-1, %d)", ev.Channel, s.k)
+		}
+	}
+	return nil
+}
+
+// Script replays an explicit, finite fault schedule.
+type Script struct {
+	st     *state
+	events []Event // sorted by Slot, stable
+	next   int     // first unapplied event
+	slot   int     // last Advance argument
+}
+
+// NewScript builds a scripted injector for an n-port, k-wavelength switch.
+// Events are applied in slot order (ties in input order), each taking
+// effect at the start of its slot.
+func NewScript(n, k int, events []Event) (*Script, error) {
+	st := newState(n, k)
+	for _, ev := range events {
+		if err := st.validate(ev); err != nil {
+			return nil, err
+		}
+	}
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Slot < sorted[j].Slot })
+	return &Script{st: st, events: sorted, slot: -1}, nil
+}
+
+// Advance implements Injector.
+func (s *Script) Advance(slot int) {
+	if slot < s.slot {
+		panic(fmt.Sprintf("fault: Advance going backwards, %d after %d", slot, s.slot))
+	}
+	s.slot = slot
+	for s.next < len(s.events) && s.events[s.next].Slot <= slot {
+		s.st.apply(s.events[s.next])
+		s.next++
+	}
+}
+
+// Mask implements Injector.
+func (s *Script) Mask(port int) core.ChannelMask { return s.st.mask(port) }
+
+var _ Injector = (*Script)(nil)

@@ -1,0 +1,207 @@
+package fault
+
+import (
+	"testing"
+
+	"wdmsched/internal/core"
+)
+
+func TestScriptTimeline(t *testing.T) {
+	inj, err := NewScript(2, 4, []Event{
+		{Slot: 1, Port: 0, Channel: 2, Kind: ConverterFail},
+		{Slot: 3, Port: 0, Channel: 2, Kind: ConverterRepair},
+		{Slot: 2, Port: 1, Channel: -1, Kind: ChannelDark},
+		{Slot: 4, Port: 1, Channel: 1, Kind: ChannelRestore},
+		{Slot: 5, Port: -1, Kind: PortDown},
+		{Slot: 6, Port: -1, Kind: PortUp},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj.Advance(0)
+	if inj.Mask(0) != nil || inj.Mask(1) != nil {
+		t.Fatal("slot 0: expected all-healthy (nil) masks")
+	}
+
+	inj.Advance(1)
+	m := inj.Mask(0)
+	if m == nil || m[2] != core.ConverterFailed {
+		t.Fatalf("slot 1 port 0: want converter-failed on channel 2, have %v", m)
+	}
+	if inj.Mask(1) != nil {
+		t.Fatal("slot 1 port 1: expected healthy")
+	}
+
+	inj.Advance(2)
+	m = inj.Mask(1)
+	for b := 0; b < 4; b++ {
+		if m[b] != core.Dark {
+			t.Fatalf("slot 2 port 1: channel %d = %v, want dark", b, m[b])
+		}
+	}
+
+	inj.Advance(3)
+	if inj.Mask(0) != nil {
+		t.Fatal("slot 3 port 0: converter repaired, expected nil mask")
+	}
+
+	inj.Advance(4)
+	m = inj.Mask(1)
+	if m[1] != core.Healthy || m[0] != core.Dark {
+		t.Fatalf("slot 4 port 1: want channel 1 restored only, have %v", m)
+	}
+
+	inj.Advance(5)
+	for o := 0; o < 2; o++ {
+		m = inj.Mask(o)
+		for b := 0; b < 4; b++ {
+			if m[b] != core.Dark {
+				t.Fatalf("slot 5 port %d: channel %d = %v, want dark (port down)", o, b, m[b])
+			}
+		}
+	}
+
+	inj.Advance(6)
+	if inj.Mask(0) != nil {
+		t.Fatal("slot 6 port 0: port back up, expected nil mask")
+	}
+	// Port 1 keeps its individually dark channels after the port comes up.
+	m = inj.Mask(1)
+	if m[0] != core.Dark || m[1] != core.Healthy {
+		t.Fatalf("slot 6 port 1: want dark channel 0 to survive port flap, have %v", m)
+	}
+}
+
+func TestScriptSkipAheadAppliesAll(t *testing.T) {
+	inj, err := NewScript(1, 2, []Event{
+		{Slot: 1, Port: 0, Channel: 0, Kind: ChannelDark},
+		{Slot: 2, Port: 0, Channel: 0, Kind: ChannelRestore},
+		{Slot: 3, Port: 0, Channel: 1, Kind: ConverterFail},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Advance(10)
+	m := inj.Mask(0)
+	if m == nil || m[0] != core.Healthy || m[1] != core.ConverterFailed {
+		t.Fatalf("after skip to slot 10: %v", m)
+	}
+}
+
+func TestScriptRejectsBadEvents(t *testing.T) {
+	cases := []Event{
+		{Slot: -1, Port: 0, Channel: 0, Kind: ConverterFail},
+		{Slot: 0, Port: 2, Channel: 0, Kind: ConverterFail},
+		{Slot: 0, Port: -2, Channel: 0, Kind: ConverterFail},
+		{Slot: 0, Port: 0, Channel: 4, Kind: ChannelDark},
+		{Slot: 0, Port: 0, Channel: 0, Kind: Kind(99)},
+	}
+	for _, ev := range cases {
+		if _, err := NewScript(2, 4, []Event{ev}); err == nil {
+			t.Errorf("event %+v accepted", ev)
+		}
+	}
+}
+
+func TestMarkovDeterministicAndAdvanceGranularity(t *testing.T) {
+	cfg := MarkovConfig{
+		N: 3, K: 5, Seed: 42,
+		ConverterFail: 0.1, ConverterRepair: 0.2,
+		ChannelDark: 0.05, ChannelRestore: 0.3,
+		PortDown: 0.02, PortUp: 0.5,
+	}
+	a, err := NewMarkov(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMarkov(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a advances slot by slot, b jumps straight to the end each time; the
+	// histories at common slots must agree.
+	for slot := 0; slot < 50; slot += 10 {
+		for s := max(0, slot-9); s <= slot; s++ {
+			a.Advance(s)
+		}
+		b.Advance(slot)
+		for o := 0; o < cfg.N; o++ {
+			ma, mb := a.Mask(o), b.Mask(o)
+			if (ma == nil) != (mb == nil) {
+				t.Fatalf("slot %d port %d: nil-ness diverged", slot, o)
+			}
+			for i := range ma {
+				if ma[i] != mb[i] {
+					t.Fatalf("slot %d port %d channel %d: %v vs %v", slot, o, i, ma[i], mb[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMarkovZeroConfigInjectsNothing(t *testing.T) {
+	m, err := NewMarkov(MarkovConfig{N: 2, K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 100; slot++ {
+		m.Advance(slot)
+		for o := 0; o < 2; o++ {
+			if m.Mask(o) != nil {
+				t.Fatalf("slot %d port %d: mask injected with zero probabilities", slot, o)
+			}
+		}
+	}
+}
+
+func TestMarkovConvergesToSteadyState(t *testing.T) {
+	// fail=repair → steady-state unavailability 1/2 per converter. Count
+	// failed converters over a long horizon and expect roughly half.
+	cfg := MarkovConfig{N: 1, K: 16, Seed: 99, ConverterFail: 0.2, ConverterRepair: 0.2}
+	m, err := NewMarkov(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed, total := 0, 0
+	for slot := 0; slot < 4000; slot++ {
+		m.Advance(slot)
+		mask := m.Mask(0)
+		for b := 0; b < cfg.K; b++ {
+			total++
+			if mask != nil && mask[b] == core.ConverterFailed {
+				failed++
+			}
+		}
+	}
+	frac := float64(failed) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("steady-state converter unavailability %.3f, want ≈0.5", frac)
+	}
+}
+
+func TestMarkovRejectsBadConfig(t *testing.T) {
+	if _, err := NewMarkov(MarkovConfig{N: 0, K: 4}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := NewMarkov(MarkovConfig{N: 1, K: 4, ConverterFail: 1.5}); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	if _, err := NewMarkov(MarkovConfig{N: 1, K: 4, PortDown: -0.1}); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestAdvanceBackwardsPanics(t *testing.T) {
+	inj, err := NewScript(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Advance(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards Advance did not panic")
+		}
+	}()
+	inj.Advance(3)
+}

@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"fmt"
+
+	"wdmsched/internal/core"
+	"wdmsched/internal/traffic"
+)
+
+// MarkovConfig parameterizes the stochastic injector: each component is an
+// independent two-state (up/down) Markov chain stepped once per slot, with
+// the given per-slot transition probabilities. Steady-state unavailability
+// of each chain is fail/(fail+repair). A zero probability disables the
+// transition, so e.g. ConverterRepair=0 makes converter failures permanent
+// and an all-zero config injects nothing.
+type MarkovConfig struct {
+	N, K int // switch dimensions
+	Seed uint64
+
+	ConverterFail   float64 // P[up→down] per converter per slot
+	ConverterRepair float64 // P[down→up]
+	ChannelDark     float64 // P[up→down] per channel per slot
+	ChannelRestore  float64 // P[down→up]
+	PortDown        float64 // P[up→down] per output port per slot
+	PortUp          float64 // P[down→up]
+}
+
+func checkProb(name string, p float64) error {
+	if p < 0 || p > 1 || p != p {
+		return fmt.Errorf("fault: %s probability %v outside [0, 1]", name, p)
+	}
+	return nil
+}
+
+// Markov flips converters, channels and ports independently each slot.
+type Markov struct {
+	st   *state
+	cfg  MarkovConfig
+	rng  *traffic.RNG
+	slot int // last slot stepped to
+}
+
+// NewMarkov builds the stochastic injector. All randomness derives from
+// cfg.Seed, so two injectors with equal configs produce identical fault
+// histories regardless of the traffic seed.
+func NewMarkov(cfg MarkovConfig) (*Markov, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"ConverterFail", cfg.ConverterFail},
+		{"ConverterRepair", cfg.ConverterRepair},
+		{"ChannelDark", cfg.ChannelDark},
+		{"ChannelRestore", cfg.ChannelRestore},
+		{"PortDown", cfg.PortDown},
+		{"PortUp", cfg.PortUp},
+	} {
+		if err := checkProb(p.name, p.v); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.N <= 0 || cfg.K <= 0 {
+		return nil, fmt.Errorf("fault: need positive dimensions, have N=%d K=%d", cfg.N, cfg.K)
+	}
+	return &Markov{st: newState(cfg.N, cfg.K), cfg: cfg, rng: traffic.NewRNG(cfg.Seed), slot: -1}, nil
+}
+
+// Advance implements Injector: every slot in (previous, slot] is stepped
+// exactly once, in order, so the fault history depends only on the seed and
+// the final slot number — never on the caller's Advance granularity.
+func (m *Markov) Advance(slot int) {
+	if slot < m.slot {
+		panic(fmt.Sprintf("fault: Advance going backwards, %d after %d", slot, m.slot))
+	}
+	for m.slot < slot {
+		m.slot++
+		m.step()
+	}
+}
+
+// step runs one slot of every chain. The draw order (ports outer, channels
+// inner, converter before dark, port chain last) is fixed: it is part of
+// the deterministic contract.
+func (m *Markov) step() {
+	for o := 0; o < m.st.n; o++ {
+		changed := false
+		for b := 0; b < m.st.k; b++ {
+			if m.flip(&m.st.convFailed[o][b], m.cfg.ConverterFail, m.cfg.ConverterRepair) {
+				changed = true
+			}
+			if m.flip(&m.st.dark[o][b], m.cfg.ChannelDark, m.cfg.ChannelRestore) {
+				changed = true
+			}
+		}
+		if m.flip(&m.st.portDown[o], m.cfg.PortDown, m.cfg.PortUp) {
+			changed = true
+		}
+		if changed {
+			m.st.refresh(o)
+		}
+	}
+}
+
+// flip advances one up/down chain, reporting whether the state changed.
+// It draws from the RNG only when the applicable transition has nonzero
+// probability, so disabled chains cost nothing and perturb no other draws.
+func (m *Markov) flip(down *bool, pFail, pRepair float64) bool {
+	p := pFail
+	if *down {
+		p = pRepair
+	}
+	if p == 0 {
+		return false
+	}
+	if m.rng.Bernoulli(p) {
+		*down = !*down
+		return true
+	}
+	return false
+}
+
+// Mask implements Injector.
+func (m *Markov) Mask(port int) core.ChannelMask { return m.st.mask(port) }
+
+var _ Injector = (*Markov)(nil)

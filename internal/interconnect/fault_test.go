@@ -1,0 +1,277 @@
+package interconnect
+
+import (
+	"testing"
+
+	"wdmsched/internal/fault"
+	"wdmsched/internal/traffic"
+	"wdmsched/internal/wavelength"
+)
+
+// faultRun drives a fresh switch for slots slots of Bernoulli traffic.
+func faultRun(t *testing.T, cfg Config, load float64, slots int) *Stats {
+	t.Helper()
+	sw, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := traffic.NewBernoulli(traffic.Config{
+		N: cfg.N, K: cfg.Conv.K(), Seed: cfg.Seed + 1,
+		Hold: traffic.HoldingTime{Mean: 2},
+	}, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sw.Run(gen, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// requireStatsEqual compares every traffic-level statistic of two runs.
+func requireStatsEqual(t *testing.T, label string, a, b *Stats) {
+	t.Helper()
+	if a.Slots != b.Slots ||
+		a.Offered.Value() != b.Offered.Value() ||
+		a.Granted.Value() != b.Granted.Value() ||
+		a.InputBlocked.Value() != b.InputBlocked.Value() ||
+		a.OutputDropped.Value() != b.OutputDropped.Value() ||
+		a.Preempted.Value() != b.Preempted.Value() ||
+		a.BusyChannelSlots.Value() != b.BusyChannelSlots.Value() {
+		t.Fatalf("%s: counters diverged: {o=%d g=%d ib=%d od=%d p=%d bs=%d} vs {o=%d g=%d ib=%d od=%d p=%d bs=%d}",
+			label,
+			a.Offered.Value(), a.Granted.Value(), a.InputBlocked.Value(),
+			a.OutputDropped.Value(), a.Preempted.Value(), a.BusyChannelSlots.Value(),
+			b.Offered.Value(), b.Granted.Value(), b.InputBlocked.Value(),
+			b.OutputDropped.Value(), b.Preempted.Value(), b.BusyChannelSlots.Value())
+	}
+	for f := range a.PerInputGranted {
+		if a.PerInputGranted[f] != b.PerInputGranted[f] {
+			t.Fatalf("%s: per-input grants diverged at fiber %d: %d vs %d",
+				label, f, a.PerInputGranted[f], b.PerInputGranted[f])
+		}
+	}
+	for c := range a.PerChannelBusy {
+		if a.PerChannelBusy[c] != b.PerChannelBusy[c] {
+			t.Fatalf("%s: per-channel busy diverged at channel %d: %d vs %d",
+				label, c, a.PerChannelBusy[c], b.PerChannelBusy[c])
+		}
+	}
+	for v := 0; v <= len(a.PerChannelBusy); v++ {
+		if a.MatchSizes.Bucket(v) != b.MatchSizes.Bucket(v) {
+			t.Fatalf("%s: match-size histogram diverged at %d: %d vs %d",
+				label, v, a.MatchSizes.Bucket(v), b.MatchSizes.Bucket(v))
+		}
+	}
+}
+
+// TestZeroFaultEquivalence is the acceptance gate for the fault layer's
+// transparency: a switch with no injector, one with an empty script, and
+// one with an all-zero Markov config must produce identical statistics
+// packet for packet, across schedulers, modes and backends.
+func TestZeroFaultEquivalence(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 8, 1, 1)
+	for _, sched := range []string{"exact", "break-first-available", "shortest-edge", "hopcroft-karp"} {
+		for _, disturb := range []bool{false, true} {
+			for _, distributed := range []bool{false, true} {
+				base := Config{
+					N: 4, Conv: conv, Scheduler: sched, Seed: 7,
+					Disturb: disturb, Distributed: distributed,
+				}
+				want := faultRun(t, base, 0.8, 80)
+
+				scripted := base
+				inj, err := fault.NewScript(4, 8, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scripted.Faults = inj
+				got := faultRun(t, scripted, 0.8, 80)
+				label := sched
+				if disturb {
+					label += "+disturb"
+				}
+				if distributed {
+					label += "+dist"
+				}
+				requireStatsEqual(t, label+" empty-script", want, got)
+				if got.Fault == nil || got.Fault.DegradedSlots.Value() != 0 ||
+					got.Fault.LostGrants.Value() != 0 || got.Fault.KilledConnections.Value() != 0 {
+					t.Fatalf("%s: empty script reported degradation: %+v", label, got.Fault)
+				}
+
+				markov := base
+				m, err := fault.NewMarkov(fault.MarkovConfig{N: 4, K: 8, Seed: 3})
+				if err != nil {
+					t.Fatal(err)
+				}
+				markov.Faults = m
+				requireStatsEqual(t, label+" zero-markov", want, faultRun(t, markov, 0.8, 80))
+			}
+		}
+	}
+}
+
+// TestZeroFaultEquivalencePriorityClasses covers the QoS scheduling path.
+func TestZeroFaultEquivalencePriorityClasses(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 6, 1, 1)
+	base := Config{N: 3, Conv: conv, Seed: 11, PriorityClasses: 3}
+	want := faultRun(t, base, 0.9, 60)
+	inj, err := fault.NewScript(3, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withInj := base
+	withInj.Faults = inj
+	got := faultRun(t, withInj, 0.9, 60)
+	requireStatsEqual(t, "priority", want, got)
+	for c := range want.PerClassGranted {
+		if want.PerClassGranted[c] != got.PerClassGranted[c] {
+			t.Fatalf("class %d grants diverged: %d vs %d", c, want.PerClassGranted[c], got.PerClassGranted[c])
+		}
+	}
+}
+
+// TestScriptedDarkChannelKillsConnection: a multi-slot connection whose
+// channel goes dark mid-hold is aborted, counted, and its input channel
+// freed for new traffic.
+func TestScriptedDarkChannelKillsConnection(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 2, 0, 0)
+	inj, err := fault.NewScript(1, 2, []fault.Event{
+		{Slot: 2, Port: 0, Channel: 0, Kind: fault.ChannelDark},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(Config{N: 1, Conv: conv, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 0: one 10-slot connection on (input 0, λ0) → channel 0.
+	long := []traffic.Packet{{InputFiber: 0, DestFiber: 0, Wavelength: 0, Duration: 10}}
+	if err := sw.RunSlot(long); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 1: same input channel is held — a new packet is input-blocked.
+	if err := sw.RunSlot(long[:1]); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 2: channel 0 goes dark, aborting the connection.
+	if err := sw.RunSlot(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 3: the input channel must be free again; λ0 can only reach the
+	// dark channel 0 under no-conversion, so the packet is dropped at the
+	// output rather than input-blocked.
+	if err := sw.RunSlot(long[:1]); err != nil {
+		t.Fatal(err)
+	}
+	st := sw.Finalize()
+	if st.Fault.KilledConnections.Value() != 1 {
+		t.Fatalf("killed connections = %d, want 1", st.Fault.KilledConnections.Value())
+	}
+	if st.InputBlocked.Value() != 1 {
+		t.Fatalf("input blocked = %d, want 1 (slot-1 packet only)", st.InputBlocked.Value())
+	}
+	if st.Fault.DarkChannelSlots.Value() != 2 {
+		t.Fatalf("dark channel-slots = %d, want 2 (slots 2 and 3)", st.Fault.DarkChannelSlots.Value())
+	}
+	if got := st.OutputDropped.Value(); got != 1 {
+		t.Fatalf("output dropped = %d, want 1 (slot-3 packet against dark channel)", got)
+	}
+}
+
+// TestSeqDistEquivalenceUnderFaults: the distributed backend must remain a
+// pure reordering of the sequential one when ports read fault masks; run
+// under -race this also proves the mask handoff is properly ordered.
+func TestSeqDistEquivalenceUnderFaults(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 8, 1, 1)
+	mk := func() fault.Injector {
+		m, err := fault.NewMarkov(fault.MarkovConfig{
+			N: 6, K: 8, Seed: 5,
+			ConverterFail: 0.05, ConverterRepair: 0.2,
+			ChannelDark: 0.01, ChannelRestore: 0.2,
+			PortDown: 0.005, PortUp: 0.3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	seq := faultRun(t, Config{N: 6, Conv: conv, Seed: 21, Faults: mk()}, 0.9, 150)
+	dist := faultRun(t, Config{N: 6, Conv: conv, Seed: 21, Faults: mk(), Distributed: true}, 0.9, 150)
+	requireStatsEqual(t, "faulted", seq, dist)
+	if seq.Fault.LostGrants.Value() != dist.Fault.LostGrants.Value() ||
+		seq.Fault.KilledConnections.Value() != dist.Fault.KilledConnections.Value() ||
+		seq.Fault.DegradedSlots.Value() != dist.Fault.DegradedSlots.Value() {
+		t.Fatalf("fault stats diverged: seq %+v vs dist %+v", seq.Fault, dist.Fault)
+	}
+	if seq.Fault.DegradedSlots.Value() == 0 {
+		t.Fatal("markov injector produced no degradation; test is vacuous")
+	}
+}
+
+// TestPortDownStopsGrants: with one port permanently down from slot 0, the
+// switch keeps running, and traffic to that port is wholly dropped.
+func TestPortDownStopsGrants(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 4, 1, 1)
+	inj, err := fault.NewScript(2, 4, []fault.Event{{Slot: 0, Port: 1, Kind: fault.PortDown}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := faultRun(t, Config{N: 2, Conv: conv, Seed: 13, Faults: inj}, 1.0, 100)
+	if st.Granted.Value() == 0 {
+		t.Fatal("healthy port granted nothing")
+	}
+	if st.Fault.DegradedFraction(st.Slots) != 1.0 {
+		t.Fatalf("degraded fraction %v, want 1.0", st.Fault.DegradedFraction(st.Slots))
+	}
+	if st.Fault.DarkChannelSlots.Value() != int64(4*st.Slots) {
+		t.Fatalf("dark channel-slots %d, want %d", st.Fault.DarkChannelSlots.Value(), 4*st.Slots)
+	}
+	// Half the switch's channels are dark every slot.
+	if got, want := st.Fault.MeanHealthyChannels(), 4.0; got != want {
+		t.Fatalf("mean healthy channels %v, want %v", got, want)
+	}
+}
+
+// TestFaultedRunAccounting: under sustained converter failures the packet
+// partition invariant still holds and the degraded-mode statistics are
+// internally consistent.
+func TestFaultedRunAccounting(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 8, 2, 2)
+	m, err := fault.NewMarkov(fault.MarkovConfig{
+		N: 4, K: 8, Seed: 17, ConverterFail: 0.1, ConverterRepair: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := faultRun(t, Config{N: 4, Conv: conv, Seed: 29, Faults: m}, 1.0, 200)
+	if got := st.Granted.Value() + st.InputBlocked.Value() + st.OutputDropped.Value(); got != st.Offered.Value() {
+		t.Fatalf("packet partition broken: %d granted + blocked + dropped vs %d offered", got, st.Offered.Value())
+	}
+	f := st.Fault
+	if f.DegradedChannelSlots.Value() != f.ConverterFailedChannelSlots.Value()+f.DarkChannelSlots.Value() {
+		t.Fatalf("degraded breakdown inconsistent: %d != %d + %d",
+			f.DegradedChannelSlots.Value(), f.ConverterFailedChannelSlots.Value(), f.DarkChannelSlots.Value())
+	}
+	if f.DarkChannelSlots.Value() != 0 {
+		t.Fatalf("dark channels injected by converter-only config: %d", f.DarkChannelSlots.Value())
+	}
+	if f.DegradedSlots.Value() == 0 || f.ConverterFailedChannelSlots.Value() == 0 {
+		t.Fatal("no degradation injected; test is vacuous")
+	}
+	if int64(f.HealthyChannels.Count()) != int64(st.Slots) {
+		t.Fatalf("healthy-channel histogram has %d samples, want one per slot (%d)",
+			f.HealthyChannels.Count(), st.Slots)
+	}
+	// Connections never start on a converter-failed channel except at
+	// their own wavelength, and dark channels are excluded entirely, so
+	// with converter-only faults nothing should ever be killed by a
+	// failure arriving mid-hold — unless the chain flips while held, which
+	// this config makes likely. Just require the counter to be sane.
+	if f.KilledConnections.Value() < 0 || f.LostGrants.Value() < 0 {
+		t.Fatal("negative fault counters")
+	}
+}

@@ -1,0 +1,48 @@
+package interconnect
+
+import "wdmsched/internal/metrics"
+
+// FaultStats reports how a run degraded under an injected fault schedule
+// (Config.Faults). It separates the fault exposure (how much hardware was
+// broken, for how long) from the traffic it cost (grants the degraded
+// matchings gave up, in-flight connections the faults aborted).
+type FaultStats struct {
+	// HealthyChannels is the per-slot distribution of fully healthy output
+	// channels across the whole switch (0..N·k); its mean over Slots is
+	// the average surviving capacity.
+	HealthyChannels *metrics.Histogram
+	// DegradedSlots counts slots in which at least one channel anywhere
+	// was not healthy.
+	DegradedSlots metrics.Counter
+	// DegradedChannelSlots counts (channel, slot) pairs spent in any
+	// non-healthy state; it is the sum of the two breakdowns below.
+	DegradedChannelSlots metrics.Counter
+	// ConverterFailedChannelSlots counts (channel, slot) pairs with a
+	// failed converter (channel usable only at its own wavelength).
+	ConverterFailedChannelSlots metrics.Counter
+	// DarkChannelSlots counts (channel, slot) pairs spent dark (channel
+	// out of service), including channels of down ports.
+	DarkChannelSlots metrics.Counter
+	// LostGrants counts grants the fault mask cost: per slot and port, the
+	// healthy-graph matching size minus the degraded matching size on the
+	// same request vector and occupancy.
+	LostGrants metrics.Counter
+	// KilledConnections counts in-flight multi-slot connections aborted
+	// because their channel went dark or lost its converter mid-hold.
+	KilledConnections metrics.Counter
+}
+
+func newFaultStats(n, k int) *FaultStats {
+	return &FaultStats{HealthyChannels: metrics.NewHistogram(n * k)}
+}
+
+// DegradedFraction is the fraction of slots with any fault present.
+func (f *FaultStats) DegradedFraction(slots int) float64 {
+	if slots == 0 {
+		return 0
+	}
+	return float64(f.DegradedSlots.Value()) / float64(slots)
+}
+
+// MeanHealthyChannels is the average number of healthy channels per slot.
+func (f *FaultStats) MeanHealthyChannels() float64 { return f.HealthyChannels.Mean() }

@@ -24,6 +24,7 @@ import (
 
 	"wdmsched/internal/core"
 	"wdmsched/internal/fabric"
+	"wdmsched/internal/fault"
 	"wdmsched/internal/traffic"
 	"wdmsched/internal/wavelength"
 )
@@ -59,6 +60,12 @@ type Config struct {
 	// algorithm. Incompatible with Disturb and with a non-exact
 	// Scheduler.
 	PriorityClasses int
+	// Faults injects a deterministic fault schedule (converter failures,
+	// dark channels, port flaps): each slot the injector is advanced and
+	// every port schedules against its channel-state mask, with degraded-
+	// mode statistics reported through Stats.Fault. Nil disables fault
+	// injection entirely.
+	Faults fault.Injector
 }
 
 // arrival is a packet after input admission, as seen by an output port.
@@ -141,6 +148,9 @@ func New(cfg Config) (*Switch, error) {
 		results:   make([][]portGrant, cfg.N),
 	}
 	sw.stats.Engine = newEngineStats(cfg.N, cfg.Distributed)
+	if cfg.Faults != nil {
+		sw.stats.Fault = newFaultStats(cfg.N, k)
+	}
 	rng := traffic.NewRNG(cfg.Seed)
 	for o := 0; o < cfg.N; o++ {
 		sched, err := core.NewByName(schedName, cfg.Conv)
@@ -233,6 +243,40 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 			fiber: p.InputFiber, wave: p.Wavelength, duration: p.Duration,
 			class: p.Priority,
 		})
+	}
+
+	// Fault phase: advance the injector to this slot and hand every port
+	// its channel-state mask before the fan-out (the wake-channel send, or
+	// the sequential call, orders these writes before the port reads
+	// them). Exposure statistics are tallied here, on the switch
+	// goroutine, so ports never contend on shared counters.
+	if s.cfg.Faults != nil {
+		s.cfg.Faults.Advance(s.stats.Slots)
+		fs := s.stats.Fault
+		healthy := 0
+		for o, p := range s.ports {
+			m := s.cfg.Faults.Mask(o)
+			p.mask = m
+			if m == nil {
+				healthy += k
+				continue
+			}
+			for _, st := range m {
+				switch st {
+				case core.Healthy:
+					healthy++
+				case core.ConverterFailed:
+					fs.ConverterFailedChannelSlots.Inc()
+				case core.Dark:
+					fs.DarkChannelSlots.Inc()
+				}
+			}
+		}
+		fs.HealthyChannels.Observe(healthy)
+		if broken := n*k - healthy; broken > 0 {
+			fs.DegradedSlots.Inc()
+			fs.DegradedChannelSlots.Add(int64(broken))
+		}
 	}
 
 	// Distributed phase: each output port schedules independently — on

@@ -54,6 +54,17 @@ type outputPort struct {
 	occupied []bool
 	res      *core.Result
 
+	// Fault injection (Config.Faults): mask is this slot's channel-state
+	// view, written by the switch before the per-port fan-out (nil when
+	// the port is fully healthy, which keeps the exact maskless path).
+	// shadow holds the healthy-graph matching of the same instance, so
+	// lost grants are attributable to the faults rather than to load.
+	mask        core.ChannelMask
+	shadow      *core.Result
+	shadows     []*core.Result // per class, QoS mode
+	faultLost   int64
+	faultKilled int64
+
 	// holdRemaining[b] > 0 means output channel b is transmitting and
 	// will stay busy for that many more slots (including the current
 	// one once set). heldSource[b] records who is transmitting.
@@ -93,6 +104,7 @@ func newOutputPort(fiberID, n, k int, sched core.Scheduler, sel fabric.Selector,
 		count:           make([]int, k),
 		occupied:        make([]bool, k),
 		res:             core.NewResult(k),
+		shadow:          core.NewResult(k),
 		holdRemaining:   make([]int, k),
 		heldSource:      make([]portGrant, k),
 		reqs:            make([][]portRequest, k),
@@ -110,13 +122,55 @@ func (p *outputPort) enableClasses(classes int, prio *core.PriorityScheduler) {
 	p.classReqs = make([][][]portRequest, classes)
 	p.counts = make([][]int, classes)
 	p.results = make([]*core.Result, classes)
+	p.shadows = make([]*core.Result, classes)
 	for c := 0; c < classes; c++ {
 		p.classReqs[c] = make([][]portRequest, p.k)
 		p.counts[c] = make([]int, p.k)
 		p.results[c] = core.NewResult(p.k)
+		p.shadows[c] = core.NewResult(p.k)
 	}
 	p.clsOff = make([]int64, classes)
 	p.clsGrant = make([]int64, classes)
+}
+
+// killFaultedHolds aborts in-flight connections whose channel can no longer
+// carry them under the current fault mask: a dark channel transmits nothing,
+// and a converter-failed channel sustains only a connection already at the
+// channel's own wavelength. Killed connections land in preemptees so the
+// switch releases their input channels; they are not re-requested (the
+// transmission is physically gone, unlike a disturb-mode reshuffle).
+func (p *outputPort) killFaultedHolds() {
+	if p.mask == nil {
+		return
+	}
+	for b := 0; b < p.k; b++ {
+		if p.holdRemaining[b] == 0 {
+			continue
+		}
+		st := p.mask[b]
+		if st == core.Dark || (st == core.ConverterFailed && p.heldSource[b].wave != b) {
+			src := p.heldSource[b]
+			p.faultKilled++
+			p.preemptees = append(p.preemptees, portGrant{fiber: src.fiber, wave: src.wave})
+			p.holdRemaining[b] = 0
+		}
+	}
+}
+
+// schedule runs the port's scheduler over the current request vector —
+// through the masked path when a fault mask is active, in which case the
+// healthy-graph matching of the same instance is also computed (into
+// shadow) to attribute the difference to the faults.
+func (p *outputPort) schedule() {
+	if p.mask == nil {
+		p.sched.Schedule(p.count, p.occupied, p.res)
+		return
+	}
+	p.sched.ScheduleMasked(p.count, p.occupied, p.mask, p.res)
+	p.sched.Schedule(p.count, p.occupied, p.shadow)
+	if lost := p.shadow.Size - p.res.Size; lost > 0 {
+		p.faultLost += int64(lost)
+	}
 }
 
 // runSlot processes the port's share of one slot: arrivals is the list of
@@ -135,6 +189,7 @@ func (p *outputPort) runSlot(arrivals []arrival) []portGrant {
 func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 	p.grants = p.grants[:0]
 	p.preemptees = p.preemptees[:0]
+	p.killFaultedHolds()
 	for c := 0; c < p.classes; c++ {
 		for w := 0; w < p.k; w++ {
 			p.classReqs[c][w] = p.classReqs[c][w][:0]
@@ -154,8 +209,20 @@ func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 		p.classReqs[c][a.wave] = append(p.classReqs[c][a.wave], portRequest{fiber: a.fiber, duration: a.duration})
 		p.counts[c][a.wave]++
 	}
-	if err := p.prio.ScheduleClasses(p.counts, p.occupied, p.results); err != nil {
-		panic(fmt.Sprintf("interconnect: port %d: %v", p.fiberID, err))
+	if p.mask == nil {
+		if err := p.prio.ScheduleClasses(p.counts, p.occupied, p.results); err != nil {
+			panic(fmt.Sprintf("interconnect: port %d: %v", p.fiberID, err))
+		}
+	} else {
+		if err := p.prio.ScheduleClassesMasked(p.counts, p.occupied, p.mask, p.results); err != nil {
+			panic(fmt.Sprintf("interconnect: port %d: %v", p.fiberID, err))
+		}
+		if err := p.prio.ScheduleClasses(p.counts, p.occupied, p.shadows); err != nil {
+			panic(fmt.Sprintf("interconnect: port %d: %v", p.fiberID, err))
+		}
+		if lost := core.TotalGranted(p.shadows) - core.TotalGranted(p.results); lost > 0 {
+			p.faultLost += int64(lost)
+		}
 	}
 	slotSize := 0
 	for c := 0; c < p.classes; c++ {
@@ -219,6 +286,7 @@ func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
 	}
 	p.grants = p.grants[:0]
 	p.preemptees = p.preemptees[:0]
+	p.killFaultedHolds()
 
 	// Occupancy from connections still holding their channels. In
 	// disturb mode held connections are rescheduled from scratch
@@ -261,7 +329,7 @@ func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
 	}
 
 	// The distributed scheduling decision.
-	p.sched.Schedule(p.count, p.occupied, p.res)
+	p.schedule()
 	p.matchSizes.Observe(p.res.Size)
 
 	// Expand per-wavelength grant counts into concrete winners. Held
@@ -395,5 +463,9 @@ func (p *outputPort) mergeInto(s *Stats) {
 		for c := int64(0); c < p.matchSizes.Bucket(v); c++ {
 			s.MatchSizes.Observe(v)
 		}
+	}
+	if s.Fault != nil {
+		s.Fault.LostGrants.Add(p.faultLost)
+		s.Fault.KilledConnections.Add(p.faultKilled)
 	}
 }

@@ -46,6 +46,9 @@ type Stats struct {
 	// allocations-per-slot gauge. Populated by the Switch (nil for Stats
 	// built outside a Switch).
 	Engine *EngineStats
+	// Fault reports degraded-mode statistics when fault injection is
+	// enabled (Config.Faults); nil otherwise.
+	Fault *FaultStats
 }
 
 func newStats(n, k, classes int) *Stats {

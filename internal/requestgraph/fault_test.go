@@ -1,0 +1,120 @@
+package requestgraph
+
+import (
+	"testing"
+
+	"wdmsched/internal/bipartite"
+	"wdmsched/internal/core"
+	"wdmsched/internal/wavelength"
+)
+
+// xorshift for deterministic instances without importing traffic.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// TestMaskedGraphAgreesWithSchedulers is the three-way differential: the
+// request graph's own degraded expansion (via SetChannelState + Bipartite +
+// Hopcroft–Karp), core's native degraded baseline, and core's exact
+// scheduler through the pre-grant reduction must all find the same maximum
+// matching size on random faulted instances.
+func TestMaskedGraphAgreesWithSchedulers(t *testing.T) {
+	r := &rng{s: 0x9a4e1}
+	convs := []wavelength.Conversion{
+		wavelength.MustNew(wavelength.Circular, 8, 1, 1),
+		wavelength.MustNew(wavelength.NonCircular, 7, 2, 1),
+		wavelength.MustNew(wavelength.Full, 6, 0, 0),
+	}
+	for _, conv := range convs {
+		k := conv.K()
+		exact, err := core.NewExact(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := core.NewBaseline(conv)
+		for trial := 0; trial < 150; trial++ {
+			vec := make([]int, k)
+			for w := range vec {
+				vec[w] = r.intn(3)
+			}
+			var occ []bool
+			if r.intn(2) == 1 {
+				occ = make([]bool, k)
+				for b := range occ {
+					occ[b] = r.intn(5) == 0
+				}
+			}
+			mask := make(core.ChannelMask, k)
+			for b := range mask {
+				switch r.intn(4) {
+				case 0:
+					mask[b] = core.ConverterFailed
+				case 1:
+					mask[b] = core.Dark
+				}
+			}
+
+			g := MustFromVector(conv, vec)
+			for b := 0; b < k; b++ {
+				if occ != nil {
+					g.SetOccupied(b, occ[b])
+				}
+				g.SetChannelState(b, mask[b])
+			}
+			graphSize := bipartite.HopcroftKarp(g.Bipartite()).Size()
+
+			res := core.NewResult(k)
+			oracle.ScheduleMasked(vec, occ, mask, res)
+			if res.Size != graphSize {
+				t.Fatalf("%v vec=%v occ=%v mask=%v: baseline=%d graph=%d",
+					conv, vec, occ, mask, res.Size, graphSize)
+			}
+			exact.ScheduleMasked(vec, occ, mask, res)
+			if res.Size != graphSize {
+				t.Fatalf("%v vec=%v occ=%v mask=%v: exact=%d graph=%d",
+					conv, vec, occ, mask, res.Size, graphSize)
+			}
+		}
+	}
+}
+
+// TestMaskedGraphEdges pins the edge-narrowing rules.
+func TestMaskedGraphEdges(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 4, 1, 1)
+	g := MustFromVector(conv, []int{0, 1, 0, 0}) // one request on λ1 → {0,1,2}
+	if got := g.AdjacencySlice(0); len(got) != 3 {
+		t.Fatalf("healthy adjacency %v, want 3 channels", got)
+	}
+	g.SetChannelState(0, core.Dark)
+	g.SetChannelState(2, core.ConverterFailed)
+	if g.HasEdge(0, 0) {
+		t.Fatal("edge to dark channel")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("converting edge to converter-failed channel")
+	}
+	g.SetChannelState(1, core.ConverterFailed)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("straight-through edge to converter-failed channel removed")
+	}
+	if got := g.AdjacencySlice(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("degraded adjacency %v, want [1]", got)
+	}
+	g.SetMask(nil)
+	if got := g.AdjacencySlice(0); len(got) != 3 {
+		t.Fatalf("adjacency after mask reset %v, want 3 channels", got)
+	}
+	// Clone carries the states.
+	g.SetChannelState(0, core.Dark)
+	c := g.Clone()
+	if c.ChannelState(0) != core.Dark {
+		t.Fatal("clone dropped channel state")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"wdmsched/internal/bipartite"
+	"wdmsched/internal/core"
 	"wdmsched/internal/wavelength"
 )
 
@@ -36,8 +37,9 @@ type Request struct {
 // Graph is a request graph for one output fiber in one time slot.
 type Graph struct {
 	conv     wavelength.Conversion
-	reqs     []Request // sorted by wavelength (stable)
-	occupied []bool    // occupied[b]: output channel b unavailable (Section V)
+	reqs     []Request        // sorted by wavelength (stable)
+	occupied []bool           // occupied[b]: output channel b unavailable (Section V)
+	states   core.ChannelMask // per-channel fault state (fault injection)
 }
 
 // New builds a request graph. Requests are stably sorted by arrival
@@ -52,7 +54,12 @@ func New(conv wavelength.Conversion, reqs []Request) (*Graph, error) {
 	}
 	sorted := append([]Request(nil), reqs...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].W < sorted[j].W })
-	return &Graph{conv: conv, reqs: sorted, occupied: make([]bool, conv.K())}, nil
+	return &Graph{
+		conv:     conv,
+		reqs:     sorted,
+		occupied: make([]bool, conv.K()),
+		states:   make(core.ChannelMask, conv.K()),
+	}, nil
 }
 
 // FromVector builds a request graph from a request vector (paper §II-B):
@@ -122,6 +129,39 @@ func (g *Graph) SetOccupied(b int, occ bool) {
 // Occupied reports whether output channel b is occupied.
 func (g *Graph) Occupied(b int) bool { return g.occupied[b] }
 
+// SetChannelState sets output channel b's fault state (fault injection):
+// a Dark channel is removed from the right side like an occupied one, and
+// a ConverterFailed channel keeps only the edge from its own wavelength.
+func (g *Graph) SetChannelState(b int, st core.ChannelState) {
+	g.states[b] = st
+}
+
+// ChannelState reports output channel b's fault state.
+func (g *Graph) ChannelState(b int) core.ChannelState { return g.states[b] }
+
+// SetMask applies a whole channel-state mask (nil resets to all healthy).
+func (g *Graph) SetMask(mask core.ChannelMask) {
+	if mask == nil {
+		for b := range g.states {
+			g.states[b] = core.Healthy
+		}
+		return
+	}
+	if len(mask) != len(g.states) {
+		panic(fmt.Sprintf("requestgraph: mask length %d != k %d", len(mask), len(g.states)))
+	}
+	copy(g.states, mask)
+}
+
+// usable reports whether channel b can carry wavelength w under the
+// occupancy and fault state (conversion feasibility aside).
+func (g *Graph) usable(w, b int) bool {
+	if g.occupied[b] || g.states[b] == core.Dark {
+		return false
+	}
+	return g.states[b] != core.ConverterFailed || b == w
+}
+
 // OccupiedMask returns a copy of the per-channel occupancy.
 func (g *Graph) OccupiedMask() []bool { return append([]bool(nil), g.occupied...) }
 
@@ -139,7 +179,7 @@ func (g *Graph) NumAvailable() int {
 // HasEdge reports whether left vertex i is adjacent to output channel b,
 // i.e. W(i) converts to b and b is unoccupied.
 func (g *Graph) HasEdge(i, b int) bool {
-	if i < 0 || i >= len(g.reqs) || b < 0 || b >= g.conv.K() || g.occupied[b] {
+	if i < 0 || i >= len(g.reqs) || b < 0 || b >= g.conv.K() || !g.usable(int(g.reqs[i].W), b) {
 		return false
 	}
 	return g.conv.CanConvert(g.reqs[i].W, wavelength.Wavelength(b))
@@ -156,8 +196,9 @@ func (g *Graph) Adjacency(i int) wavelength.Interval {
 // vertex i, in ring order from the minus end.
 func (g *Graph) AdjacencySlice(i int) []int {
 	var out []int
+	w := int(g.reqs[i].W)
 	g.Adjacency(i).Each(func(b int) {
-		if !g.occupied[b] {
+		if g.usable(w, b) {
 			out = append(out, b)
 		}
 	})
@@ -169,8 +210,9 @@ func (g *Graph) AdjacencySlice(i int) []int {
 func (g *Graph) Bipartite() *bipartite.Graph {
 	bg := bipartite.NewGraph(len(g.reqs), g.conv.K())
 	for i := range g.reqs {
+		w := int(g.reqs[i].W)
 		g.Adjacency(i).Each(func(b int) {
-			if !g.occupied[b] {
+			if g.usable(w, b) {
 				bg.AddEdge(i, b)
 			}
 		})
@@ -184,6 +226,7 @@ func (g *Graph) Clone() *Graph {
 		conv:     g.conv,
 		reqs:     append([]Request(nil), g.reqs...),
 		occupied: append([]bool(nil), g.occupied...),
+		states:   append(core.ChannelMask(nil), g.states...),
 	}
 }
 

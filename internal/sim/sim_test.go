@@ -11,7 +11,7 @@ func quickCfg() RunConfig {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12"}
+	want := []string{"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S11", "S12", "S13"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
@@ -117,6 +117,35 @@ func TestS12GapMonotoneNonIncreasing(t *testing.T) {
 			t.Fatalf("mean gap not non-increasing:\n%s", tables[0].ASCII())
 		}
 		prev = mean
+	}
+}
+
+func TestS13ThroughputMonotoneInFailureProbability(t *testing.T) {
+	tables, err := registry["S13"].Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S13a rows are failure probabilities ascending; every variant column
+	// must show graceful degradation: throughput non-increasing as more
+	// converters fail.
+	thruTable := tables[0]
+	cols := len(thruTable.Rows[0])
+	for col := 1; col < cols; col++ {
+		prev := 1e9
+		for _, row := range thruTable.Rows {
+			var thru float64
+			if _, err := fmt.Sscanf(row[col], "%g", &thru); err != nil {
+				t.Fatalf("unparsable throughput %q", row[col])
+			}
+			if thru > prev+1e-9 {
+				t.Fatalf("column %d throughput not non-increasing:\n%s", col, thruTable.ASCII())
+			}
+			prev = thru
+		}
+	}
+	// d=1 (column 1) never converts, so converter failures are free.
+	if first, last := thruTable.Rows[0][1], thruTable.Rows[len(thruTable.Rows)-1][1]; first != last {
+		t.Fatalf("d=1 throughput changed under converter faults: %s → %s\n%s", first, last, thruTable.ASCII())
 	}
 }
 

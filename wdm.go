@@ -46,6 +46,7 @@ import (
 	"wdmsched/internal/analysis"
 	"wdmsched/internal/async"
 	"wdmsched/internal/core"
+	"wdmsched/internal/fault"
 	"wdmsched/internal/interconnect"
 	"wdmsched/internal/metrics"
 	"wdmsched/internal/pathsim"
@@ -120,6 +121,30 @@ func NewExactScheduler(conv Conversion) (Scheduler, error) { return core.NewExac
 // vector and occupancy under conv.
 func ValidateResult(conv Conversion, count []int, occupied []bool, res *Result) error {
 	return core.Validate(conv, count, occupied, res)
+}
+
+// ChannelState is one output channel's fault condition for masked
+// scheduling (Scheduler.ScheduleMasked).
+type ChannelState = core.ChannelState
+
+// Channel fault states.
+const (
+	// ChannelHealthy channels behave normally.
+	ChannelHealthy = core.Healthy
+	// ChannelConverterFailed channels carry only their own wavelength:
+	// the converter is broken, the laser is not.
+	ChannelConverterFailed = core.ConverterFailed
+	// ChannelDark channels are out of service entirely.
+	ChannelDark = core.Dark
+)
+
+// ChannelMask is a per-channel fault mask (len k); nil means all healthy.
+type ChannelMask = core.ChannelMask
+
+// ValidateResultMasked additionally checks the fault-mask rules: nothing on
+// dark channels, only straight-through grants on converter-failed channels.
+func ValidateResultMasked(conv Conversion, count []int, occupied []bool, mask ChannelMask, res *Result) error {
+	return core.ValidateMasked(conv, count, occupied, mask, res)
 }
 
 // Packet is one slot-aligned connection request; see the traffic model in
@@ -202,6 +227,47 @@ type Gauge = metrics.Gauge
 // switch starts one persistent scheduling worker per output port; call
 // Finalize (or Run, which finalizes) to stop them.
 func NewSwitch(cfg SwitchConfig) (*Switch, error) { return interconnect.New(cfg) }
+
+// FaultInjector is a deterministic fault schedule the switch consumes
+// (SwitchConfig.Faults): converter failures, dark channels and port flaps,
+// surfaced to the schedulers as per-port channel masks.
+type FaultInjector = fault.Injector
+
+// FaultEvent is one timed entry of a scripted fault schedule.
+type FaultEvent = fault.Event
+
+// FaultKind enumerates fault event types.
+type FaultKind = fault.Kind
+
+// Fault event kinds.
+const (
+	FaultConverterFail   = fault.ConverterFail
+	FaultConverterRepair = fault.ConverterRepair
+	FaultChannelDark     = fault.ChannelDark
+	FaultChannelRestore  = fault.ChannelRestore
+	FaultPortDown        = fault.PortDown
+	FaultPortUp          = fault.PortUp
+)
+
+// NewFaultScript builds an injector replaying an explicit event list.
+func NewFaultScript(n, k int, events []FaultEvent) (FaultInjector, error) {
+	return fault.NewScript(n, k, events)
+}
+
+// MarkovFaultConfig parameterizes the stochastic fault injector: each
+// component is an independent two-state Markov chain with the given
+// per-slot fail/repair probabilities.
+type MarkovFaultConfig = fault.MarkovConfig
+
+// NewMarkovFaults builds the stochastic injector; all randomness derives
+// from the config's seed.
+func NewMarkovFaults(cfg MarkovFaultConfig) (FaultInjector, error) {
+	return fault.NewMarkov(cfg)
+}
+
+// FaultStats reports degraded-mode statistics of a faulted run
+// (Stats.Fault; nil when no injector was configured).
+type FaultStats = interconnect.FaultStats
 
 // CloseScheduler releases background resources a scheduler may hold — the
 // parallel Section IV-B scheduler keeps d persistent worker goroutines
