@@ -9,7 +9,7 @@ GO ?= go
 BENCHTIME ?= 1s
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fmt fmt-check bench fuzz fuzz-short output
+.PHONY: check vet build test race fmt fmt-check bench fuzz fuzz-short output trace
 
 check: vet build test race
 
@@ -23,7 +23,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/interconnect ./internal/core
+	$(GO) test -race ./internal/interconnect ./internal/core ./internal/telemetry ./internal/metrics
 
 fmt:
 	gofmt -l -w .
@@ -51,3 +51,10 @@ fuzz-short:
 # Regenerate the sample wdmbench output (not committed; see .gitignore).
 output:
 	$(GO) run ./cmd/wdmbench -quick > wdmbench_output.txt
+
+# Record a short workload and dump its scheduling decisions in both
+# formats (not committed; see .gitignore).
+trace:
+	$(GO) run ./cmd/wdmtrace -gen -o sample.trace.bin -n 8 -k 16 -load 0.9 -slots 1000
+	$(GO) run ./cmd/wdmtrace -decisions sample.trace.bin -dump sample.decisions.jsonl
+	$(GO) run ./cmd/wdmtrace -decisions sample.trace.bin -format chrome -dump sample.trace.json

@@ -39,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		list   = fs.Bool("list", false, "list experiments and exit")
 		engine = fs.Bool("engine", false, "report slot-engine run-time metrics instead of paper experiments")
 		faults = fs.Bool("faults", false, "report degraded-mode behavior under injected converter/channel faults")
+		telem  = fs.Bool("telemetry", false, "run a short instrumented simulation and dump its Prometheus metrics")
 		slots  = fs.Int("slots", 0, "simulation slots per data point (0 = default)")
 		trials = fs.Int("trials", 0, "random trials per data point (0 = default)")
 		seed   = fs.Uint64("seed", 0, "random seed (0 = default)")
@@ -56,6 +57,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := wdm.ExperimentConfig{Quick: *quick, Slots: *slots, Trials: *trials, Seed: *seed}
+
+	if *telem {
+		if err := runTelemetryDump(stdout, cfg); err != nil {
+			fmt.Fprintf(stderr, "wdmbench: telemetry dump failed: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *engine {
 		t, err := runEngineStudy(cfg)
@@ -273,4 +282,55 @@ func runFaultStudy(cfg wdm.ExperimentConfig) (*wdm.Table, error) {
 	t.AddNote("converter-failed channels still carry their own wavelength; schedulers stay exact on the degraded graph.")
 	t.AddNote("lost grants: healthy-graph matching minus degraded matching, same instance, summed over ports and slots.")
 	return t, nil
+}
+
+// runTelemetryDump runs one short instrumented simulation — registry and
+// decision tracer attached, worker-pool engine, fault injection on — and
+// dumps every registered metric in the Prometheus text format. Useful for
+// eyeballing the full wdm_* metric surface without standing up a scraper.
+func runTelemetryDump(stdout io.Writer, cfg wdm.ExperimentConfig) error {
+	const n, k = 8, 16
+	slots := cfg.Slots
+	if slots == 0 {
+		slots = 2000
+		if cfg.Quick {
+			slots = 200
+		}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	conv, err := wdm.NewSymmetricConversion(wdm.Circular, k, 3)
+	if err != nil {
+		return err
+	}
+	faults, err := wdm.NewMarkovFaults(wdm.MarkovFaultConfig{
+		N: n, K: k, Seed: seed + 1,
+		ConverterFail: 0.005, ConverterRepair: 0.2,
+	})
+	if err != nil {
+		return err
+	}
+	reg := wdm.NewTelemetryRegistry()
+	sw, err := wdm.NewSwitch(wdm.SwitchConfig{
+		N: n, Conv: conv, Seed: seed,
+		Distributed: true, Faults: faults,
+		Telemetry: reg,
+		Trace:     wdm.NewDecisionTracer(n, 1<<12),
+	})
+	if err != nil {
+		return err
+	}
+	gen, err := wdm.NewBernoulliTraffic(wdm.TrafficConfig{
+		N: n, K: k, Seed: seed, Hold: wdm.HoldingTime{Mean: 2},
+	}, 0.9)
+	if err != nil {
+		return err
+	}
+	if _, err := sw.Run(gen, slots); err != nil {
+		return err
+	}
+	return wdm.WriteTelemetryPrometheus(stdout, reg)
 }

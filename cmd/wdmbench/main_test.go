@@ -120,3 +120,22 @@ func TestFaultStudyCSV(t *testing.T) {
 		t.Fatalf("CSV header missing:\n%s", out.String())
 	}
 }
+
+func TestTelemetryDump(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-telemetry", "-quick"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{
+		"# TYPE wdm_offered_packets_total counter",
+		"# TYPE wdm_engine_slot_latency_seconds histogram",
+		"wdm_fault_lost_grants_total",
+		"wdm_trace_events_emitted_total",
+		"wdm_engine_distributed 1",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("telemetry dump missing %q:\n%s", want, out.String())
+		}
+	}
+}

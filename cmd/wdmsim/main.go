@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -57,6 +58,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		asyncMode   = fs.Bool("async", false, "asynchronous wavelength-routing mode (paper §I)")
 		erlangs     = fs.Float64("erlangs", 10, "offered Erlangs λ/µ in -async mode")
 		arrivals    = fs.Int("arrivals", 200000, "connection arrivals to simulate in -async mode")
+		listen      = fs.String("listen", "", "serve live telemetry on this address (/metrics, /snapshot, /debug/pprof)")
+		quiet       = fs.Bool("quiet", false, "suppress the statistics table")
+		jsonOut     = fs.Bool("json", false, "print statistics as JSON instead of the table")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -65,6 +69,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintf(stderr, "wdmsim: %v\n", err)
 		return 1
+	}
+	if *asyncMode && (*jsonOut || *listen != "") {
+		return fail(fmt.Errorf("-json and -listen are not supported in -async mode"))
 	}
 
 	kind, err := wdm.ParseKind(*kindFlag)
@@ -131,6 +138,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	var reg *wdm.TelemetryRegistry
+	if *listen != "" {
+		reg = wdm.NewTelemetryRegistry()
+	}
 	sw, err := wdm.NewSwitch(wdm.SwitchConfig{
 		N: *n, Conv: conv,
 		Scheduler: *scheduler, Selector: *selector,
@@ -138,13 +149,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Distributed: *distributed, ValidateFabric: *validate,
 		PriorityClasses: *classes,
 		Faults:          faults,
+		Telemetry:       reg,
 	})
 	if err != nil {
 		return fail(err)
 	}
+	if reg != nil {
+		srv, err := wdm.ServeTelemetry(*listen, reg)
+		if err != nil {
+			return fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(stderr, "telemetry: listening on http://%s\n", srv.Addr())
+	}
 	st, err := sw.Run(gen, *slots)
 	if err != nil {
 		return fail(err)
+	}
+
+	if *jsonOut {
+		if err := writeJSONStats(stdout, st, *n, *k); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	if *quiet {
+		return 0
 	}
 
 	fmt.Fprintf(stdout, "interconnect   %dx%d, %v\n", *n, *n, conv)
@@ -178,6 +208,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "match size     mean %.2f, p99 %d (per output fiber per slot)\n",
 		st.MatchSizes.Mean(), st.MatchSizes.Quantile(0.99))
 	return 0
+}
+
+// writeJSONStats prints the run statistics as one indented JSON document,
+// for scripting over wdmsim without scraping the human table.
+func writeJSONStats(w io.Writer, st *wdm.Stats, n, k int) error {
+	type classStats struct {
+		Offered int64   `json:"offered"`
+		Granted int64   `json:"granted"`
+		Loss    float64 `json:"loss_rate"`
+	}
+	type faultStats struct {
+		MeanHealthyChannels float64 `json:"mean_healthy_channels"`
+		DegradedFraction    float64 `json:"degraded_slot_fraction"`
+		LostGrants          int64   `json:"lost_grants"`
+		KilledConnections   int64   `json:"killed_connections"`
+	}
+	out := struct {
+		Slots         int          `json:"slots"`
+		Offered       int64        `json:"offered"`
+		Granted       int64        `json:"granted"`
+		OutputDropped int64        `json:"output_dropped"`
+		InputBlocked  int64        `json:"input_blocked"`
+		Preempted     int64        `json:"preempted"`
+		Acceptance    float64      `json:"acceptance_rate"`
+		LossRate      float64      `json:"loss_rate"`
+		Throughput    float64      `json:"throughput"`
+		Utilization   float64      `json:"utilization"`
+		FairnessJain  float64      `json:"fairness_jain"`
+		MatchMean     float64      `json:"match_size_mean"`
+		MatchP99      int          `json:"match_size_p99"`
+		Classes       []classStats `json:"classes,omitempty"`
+		Fault         *faultStats  `json:"fault,omitempty"`
+	}{
+		Slots:         st.Slots,
+		Offered:       st.Offered.Value(),
+		Granted:       st.Granted.Value(),
+		OutputDropped: st.OutputDropped.Value(),
+		InputBlocked:  st.InputBlocked.Value(),
+		Preempted:     st.Preempted.Value(),
+		Acceptance:    st.AcceptanceRate(),
+		LossRate:      st.LossRate(),
+		Throughput:    st.Throughput(n, k),
+		Utilization:   st.Utilization(n, k),
+		FairnessJain:  st.FairnessJain(),
+		MatchMean:     st.MatchSizes.Mean(),
+		MatchP99:      st.MatchSizes.Quantile(0.99),
+	}
+	for c := range st.PerClassOffered {
+		out.Classes = append(out.Classes, classStats{
+			Offered: st.PerClassOffered[c],
+			Granted: st.PerClassGranted[c],
+			Loss:    st.ClassLossRate(c),
+		})
+	}
+	if st.Fault != nil {
+		out.Fault = &faultStats{
+			MeanHealthyChannels: st.Fault.MeanHealthyChannels(),
+			DegradedFraction:    st.Fault.DegradedFraction(st.Slots),
+			LostGrants:          st.Fault.LostGrants.Value(),
+			KilledConnections:   st.Fault.KilledConnections.Value(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // runAsync simulates the asynchronous (wavelength routing) mode at one

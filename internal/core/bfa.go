@@ -183,6 +183,7 @@ func (br *breaker) scheduleBreakAt(count []int, occupied []bool, w0, u int) {
 	cur.ByOutput[u] = w0
 	cur.Granted[w0]++
 	cur.Size++
+	cur.BreakChannel = u
 }
 
 // BreakFirstAvailable is the exact O(dk) scheduler of Table 3 for circular

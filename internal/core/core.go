@@ -49,6 +49,11 @@ type Result struct {
 	Granted []int
 	// Size is the matching cardinality: number of granted requests.
 	Size int
+	// BreakChannel is the output channel whose assignment the
+	// break-first-available family broke to admit one more request
+	// (paper §IV), or Unassigned when the slot needed no break. Only
+	// the BFA schedulers set it; all others leave it Unassigned.
+	BreakChannel int
 }
 
 // NewResult allocates an empty Result for k wavelengths (all channels
@@ -66,6 +71,7 @@ func (r *Result) Reset() {
 		r.Granted[i] = 0
 	}
 	r.Size = 0
+	r.BreakChannel = Unassigned
 }
 
 // CopyFrom copies src into r. Both must have the same k.
@@ -73,6 +79,7 @@ func (r *Result) CopyFrom(src *Result) {
 	copy(r.ByOutput, src.ByOutput)
 	copy(r.Granted, src.Granted)
 	r.Size = src.Size
+	r.BreakChannel = src.BreakChannel
 }
 
 // Scheduler is one output fiber's contention resolver. Schedule reads the

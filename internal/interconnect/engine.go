@@ -3,6 +3,8 @@ package interconnect
 import (
 	"sync"
 	"time"
+
+	"wdmsched/internal/telemetry"
 )
 
 // engine is the distributed execution backend: one long-lived worker
@@ -17,14 +19,16 @@ import (
 // produces results identical to the sequential loop.
 //
 // Memory model: the wake-channel send publishes the switch's writes (the
-// per-port arrival slices) to the worker, and slot.Done/slot.Wait publish
-// the worker's writes (results, port state, busy time) back — no locks on
-// the hot path and nothing allocated per slot.
+// per-port arrival slices, fault masks and slot numbers) to the worker,
+// and slot.Done/slot.Wait publish the worker's writes (results, port
+// state, trace events) back — no locks on the hot path and nothing
+// allocated per slot. Busy time goes through EngineStats' atomic
+// accumulators so live telemetry can read it mid-run.
 type engine struct {
 	ports    []*outputPort
-	arrivals [][]arrival     // switch-owned per-port arrival scratch (stable outer slice)
-	results  [][]portGrant   // switch-owned per-port grant buffers (stable outer slice)
-	busy     []time.Duration // EngineStats.PortBusy, one entry per worker
+	arrivals [][]arrival   // switch-owned per-port arrival scratch (stable outer slice)
+	results  [][]portGrant // switch-owned per-port grant buffers (stable outer slice)
+	es       *EngineStats  // atomic per-port busy accumulation
 
 	wake []chan struct{} // per-worker slot triggers (buffered, cap 1)
 	stop chan struct{}   // closed exactly once on shutdown
@@ -37,13 +41,13 @@ type engine struct {
 // newEngine starts one worker per port. arrivals and results must be the
 // switch's per-slot scratch slices: the workers index into them directly,
 // so their outer slices must never be reallocated.
-func newEngine(ports []*outputPort, arrivals [][]arrival, results [][]portGrant, busy []time.Duration) *engine {
+func newEngine(ports []*outputPort, arrivals [][]arrival, results [][]portGrant, es *EngineStats) *engine {
 	n := len(ports)
 	e := &engine{
 		ports:    ports,
 		arrivals: arrivals,
 		results:  results,
-		busy:     busy,
+		es:       es,
 		wake:     make([]chan struct{}, n),
 		stop:     make(chan struct{}),
 	}
@@ -67,7 +71,14 @@ func (e *engine) worker(o int) {
 		case <-e.wake[o]:
 			start := time.Now()
 			e.results[o] = port.runSlot(e.arrivals[o])
-			e.busy[o] += time.Since(start)
+			d := time.Since(start)
+			e.es.addBusy(o, d)
+			if t := port.tracer; t != nil {
+				t.Emit(o, telemetry.Event{
+					Slot: port.slot, Lane: int32(o), Kind: telemetry.EvSlotLatency,
+					Fiber: -1, Wave: -1, Channel: -1, Value: int64(d),
+				})
+			}
 			e.slot.Done()
 		}
 	}

@@ -1,6 +1,7 @@
 package interconnect
 
 import (
+	"sync/atomic"
 	"time"
 
 	"wdmsched/internal/metrics"
@@ -22,10 +23,11 @@ type EngineStats struct {
 	SlotLatency *metrics.DurationHistogram
 
 	// PortBusy is the cumulative time each output port spent inside its
-	// scheduler this run. In distributed mode the sum over ports can
-	// exceed SlotLatency.Sum(): that surplus is exactly the parallel
-	// speedup of the worker pool. Idle time of a port is
-	// SlotLatency.Sum() − PortBusy[o].
+	// scheduler this run, settled at Finalize (live telemetry reads the
+	// underlying atomic accumulators instead). In distributed mode the
+	// sum over ports can exceed SlotLatency.Sum(): that surplus is
+	// exactly the parallel speedup of the worker pool. Idle time of a
+	// port is SlotLatency.Sum() − PortBusy[o].
 	PortBusy []time.Duration
 
 	// AllocsPerSlot is the most recent sampled heap-allocation rate of
@@ -37,8 +39,13 @@ type EngineStats struct {
 	AllocsPerSlot metrics.Gauge
 
 	// MemSamples counts the runtime.ReadMemStats samples behind
-	// AllocsPerSlot.
-	MemSamples int
+	// AllocsPerSlot. Updated atomically so telemetry can read it live.
+	MemSamples int64
+
+	// busyNS is the live per-port busy-time accumulation in nanoseconds,
+	// written atomically by the engine workers (or the sequential loop)
+	// and copied into PortBusy when the run settles.
+	busyNS []int64
 }
 
 func newEngineStats(n int, distributed bool) *EngineStats {
@@ -46,6 +53,25 @@ func newEngineStats(n int, distributed bool) *EngineStats {
 		Distributed: distributed,
 		SlotLatency: metrics.NewDurationHistogram(),
 		PortBusy:    make([]time.Duration, n),
+		busyNS:      make([]int64, n),
+	}
+}
+
+// addBusy accumulates scheduling time for port o (any goroutine).
+func (e *EngineStats) addBusy(o int, d time.Duration) {
+	atomic.AddInt64(&e.busyNS[o], int64(d))
+}
+
+// busy returns port o's live cumulative busy time.
+func (e *EngineStats) busy(o int) time.Duration {
+	return time.Duration(atomic.LoadInt64(&e.busyNS[o]))
+}
+
+// settle copies the live accumulators into the public PortBusy view;
+// called by Finalize after the workers have stopped.
+func (e *EngineStats) settle() {
+	for o := range e.busyNS {
+		e.PortBusy[o] = e.busy(o)
 	}
 }
 

@@ -20,11 +20,13 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"wdmsched/internal/core"
 	"wdmsched/internal/fabric"
 	"wdmsched/internal/fault"
+	"wdmsched/internal/telemetry"
 	"wdmsched/internal/traffic"
 	"wdmsched/internal/wavelength"
 )
@@ -66,6 +68,17 @@ type Config struct {
 	// mode statistics reported through Stats.Fault. Nil disables fault
 	// injection entirely.
 	Faults fault.Injector
+	// Telemetry, when non-nil, registers every run statistic (traffic
+	// counters, engine run-time metrics, fault exposure) with the given
+	// registry under wdm_* names so a telemetry.Server can expose them
+	// live. Nil skips registration entirely.
+	Telemetry *telemetry.Registry
+	// Trace, when non-nil, records per-slot scheduling decisions
+	// (grants, rejects with reason, preemptions, BFA break edges, port
+	// slot latency) into the tracer's per-port ring buffers. The tracer
+	// must have been built with NewDecisionTracer(N, …). Nil disables
+	// tracing; the disabled path is allocation-free.
+	Trace *telemetry.DecisionTracer
 }
 
 // arrival is a packet after input admission, as seen by an output port.
@@ -96,6 +109,10 @@ type Switch struct {
 	results    [][]portGrant
 	slotGrants []fabric.Grant
 	merged     bool
+
+	// slotsDone mirrors stats.Slots atomically so live telemetry can
+	// read the slot count while RunSlot is advancing it.
+	slotsDone atomic.Int64
 
 	// eng is the persistent worker pool in distributed mode (nil in
 	// sequential mode).
@@ -134,6 +151,10 @@ func New(cfg Config) (*Switch, error) {
 	if selName == "" {
 		selName = "round-robin"
 	}
+	if cfg.Trace != nil && cfg.Trace.Ports() != cfg.N {
+		return nil, fmt.Errorf("interconnect: tracer built for %d ports, switch has %d",
+			cfg.Trace.Ports(), cfg.N)
+	}
 	dp, err := fabric.NewDatapath(cfg.N, cfg.Conv)
 	if err != nil {
 		return nil, err
@@ -169,7 +190,8 @@ func New(cfg Config) (*Switch, error) {
 		default:
 			return nil, fmt.Errorf("interconnect: unknown selector %q", selName)
 		}
-		port := newOutputPort(o, cfg.N, k, sched, sel, cfg.Disturb)
+		port := newOutputPort(o, cfg.N, k, cfg.Conv, sched, sel, cfg.Disturb)
+		port.tracer = cfg.Trace
 		if cfg.PriorityClasses > 1 {
 			prio, err := core.NewPriorityScheduler(cfg.Conv)
 			if err != nil {
@@ -180,7 +202,7 @@ func New(cfg Config) (*Switch, error) {
 		sw.ports = append(sw.ports, port)
 	}
 	if cfg.Distributed {
-		sw.eng = newEngine(sw.ports, sw.perPort, sw.results, sw.stats.Engine.PortBusy)
+		sw.eng = newEngine(sw.ports, sw.perPort, sw.results, sw.stats.Engine)
 		// Leak backstop: if the switch is dropped without Finalize, stop
 		// the worker pool when the switch becomes unreachable. The
 		// cleanup must not reference sw itself (the engine does not point
@@ -189,6 +211,9 @@ func New(cfg Config) (*Switch, error) {
 	}
 	runtime.ReadMemStats(&sw.memStats)
 	sw.lastMallocs = sw.memStats.Mallocs
+	if cfg.Telemetry != nil {
+		sw.registerTelemetry(cfg.Telemetry)
+	}
 	return sw, nil
 }
 
@@ -202,7 +227,7 @@ func (s *Switch) sampleAllocs() {
 	runtime.ReadMemStats(&s.memStats)
 	d := s.memStats.Mallocs - s.lastMallocs
 	s.stats.Engine.AllocsPerSlot.Set(float64(d) / float64(slots))
-	s.stats.Engine.MemSamples++
+	atomic.AddInt64(&s.stats.Engine.MemSamples, 1)
 	s.lastMallocs = s.memStats.Mallocs
 	s.lastAllocSlot = s.stats.Slots
 }
@@ -221,8 +246,10 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 		return fmt.Errorf("interconnect: switch already finalized")
 	}
 	n, k := s.cfg.N, s.k
+	slot := int64(s.stats.Slots)
 	for o := range s.perPort {
 		s.perPort[o] = s.perPort[o][:0]
+		s.ports[o].slot = slot
 	}
 	// Input admission: a channel still transmitting an earlier
 	// connection cannot launch a new packet.
@@ -237,6 +264,14 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 		if s.inputHold[p.InputFiber*k+p.Wavelength] > 0 {
 			s.stats.Offered.Inc()
 			s.stats.InputBlocked.Inc()
+			if t := s.cfg.Trace; t != nil {
+				t.Emit(t.SwitchLane(), telemetry.Event{
+					Slot: slot, Lane: int32(t.SwitchLane()),
+					Kind: telemetry.EvReject, Reason: telemetry.ReasonInputBlocked,
+					Fiber: int32(p.InputFiber), Wave: int32(p.Wavelength),
+					Channel: -1,
+				})
+			}
 			continue
 		}
 		s.perPort[p.DestFiber] = append(s.perPort[p.DestFiber], arrival{
@@ -290,7 +325,14 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 		for o := 0; o < n; o++ {
 			t0 := time.Now()
 			s.results[o] = s.ports[o].runSlot(s.perPort[o])
-			es.PortBusy[o] += time.Since(t0)
+			d := time.Since(t0)
+			es.addBusy(o, d)
+			if t := s.cfg.Trace; t != nil {
+				t.Emit(o, telemetry.Event{
+					Slot: slot, Lane: int32(o), Kind: telemetry.EvSlotLatency,
+					Fiber: -1, Wave: -1, Channel: -1, Value: int64(d),
+				})
+			}
 		}
 	}
 	es.SlotLatency.Observe(time.Since(start))
@@ -329,6 +371,7 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 		}
 	}
 	s.stats.Slots++
+	s.slotsDone.Store(int64(s.stats.Slots))
 	if s.stats.Slots-s.lastAllocSlot >= memSampleEvery {
 		s.sampleAllocs()
 	}
@@ -360,6 +403,7 @@ func (s *Switch) Finalize() *Stats {
 			s.eng.shutdown()
 		}
 		s.sampleAllocs()
+		s.stats.Engine.settle()
 		for _, p := range s.ports {
 			p.mergeInto(s.stats)
 			// Schedulers with background resources (the parallel breaker

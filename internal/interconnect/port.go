@@ -2,10 +2,13 @@ package interconnect
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wdmsched/internal/core"
 	"wdmsched/internal/fabric"
 	"wdmsched/internal/metrics"
+	"wdmsched/internal/telemetry"
+	"wdmsched/internal/wavelength"
 )
 
 // portRequest is one request pending at an output port in the current
@@ -34,9 +37,17 @@ type portGrant struct {
 type outputPort struct {
 	fiberID int
 	k       int
+	conv    wavelength.Conversion
 	sched   core.Scheduler
 	sel     fabric.Selector
 	disturb bool
+
+	// Decision tracing (Config.Trace): nil disables tracing entirely —
+	// every emission site is guarded by a nil check so the disabled path
+	// stays allocation-free and branch-predictable. slot is the current
+	// slot number, written by the switch before the per-port fan-out.
+	tracer *telemetry.DecisionTracer
+	slot   int64
 
 	// QoS mode (classes > 1): strict-priority scheduling of per-class
 	// request vectors (paper Section VI future work). Mutually exclusive
@@ -46,8 +57,8 @@ type outputPort struct {
 	classReqs [][][]portRequest // [class][wavelength]
 	counts    [][]int           // [class][wavelength]
 	results   []*core.Result    // per class
-	clsOff    []int64
-	clsGrant  []int64
+	clsOff    []int64           // atomic
+	clsGrant  []int64           // atomic
 
 	reg      *fabric.RequestRegister
 	count    []int
@@ -62,8 +73,8 @@ type outputPort struct {
 	mask        core.ChannelMask
 	shadow      *core.Result
 	shadows     []*core.Result // per class, QoS mode
-	faultLost   int64
-	faultKilled int64
+	faultLost   int64          // atomic
+	faultKilled int64          // atomic
 
 	// holdRemaining[b] > 0 means output channel b is transmitting and
 	// will stay busy for that many more slots (including the current
@@ -79,23 +90,26 @@ type outputPort struct {
 	grants     []portGrant     // this slot's switched connections
 	preemptees []portGrant     // held connections displaced this slot (disturb mode)
 
-	// Per-port statistics, merged by the switch after the run; keeping
-	// them port-local avoids cross-goroutine contention in distributed
-	// mode.
-	offered         int64
-	granted         int64
-	outputDropped   int64
-	preempted       int64
-	busyslots       int64
-	busyPerChannel  []int64
-	perInputGranted []int64
+	// Per-port statistics, merged (moved) into the run totals by the
+	// switch after the run; keeping them port-local avoids cross-
+	// goroutine contention in distributed mode. Each field has a single
+	// writer (the port's goroutine) but is written with atomic adds so
+	// live telemetry collectors can read it mid-run.
+	offered         int64   // atomic
+	granted         int64   // atomic
+	outputDropped   int64   // atomic
+	preempted       int64   // atomic
+	busyslots       int64   // atomic
+	busyPerChannel  []int64 // atomic
+	perInputGranted []int64 // atomic
 	matchSizes      *metrics.Histogram
 }
 
-func newOutputPort(fiberID, n, k int, sched core.Scheduler, sel fabric.Selector, disturb bool) *outputPort {
+func newOutputPort(fiberID, n, k int, conv wavelength.Conversion, sched core.Scheduler, sel fabric.Selector, disturb bool) *outputPort {
 	p := &outputPort{
 		fiberID:         fiberID,
 		k:               k,
+		conv:            conv,
 		sched:           sched,
 		sel:             sel,
 		disturb:         disturb,
@@ -133,6 +147,46 @@ func (p *outputPort) enableClasses(classes int, prio *core.PriorityScheduler) {
 	p.clsGrant = make([]int64, classes)
 }
 
+// emit records one decision event on the port's lane. Callers must guard
+// with p.tracer != nil; the guard (rather than a nil check here) keeps the
+// disabled fast path free of argument marshalling.
+func (p *outputPort) emit(kind telemetry.EventKind, reason telemetry.RejectReason, fiber, wave, channel int, value int64) {
+	p.tracer.Emit(p.fiberID, telemetry.Event{
+		Slot: p.slot, Lane: int32(p.fiberID), Kind: kind, Reason: reason,
+		Fiber: int32(fiber), Wave: int32(wave), Channel: int32(channel), Value: value,
+	})
+}
+
+// classifyReject explains why wavelength w's requests were denied when the
+// matching granted them nothing: every window channel occupied, the free
+// ones fault-masked, or usable channels lost to competing requests. O(k)
+// walk over the conversion window; called only with tracing enabled.
+func (p *outputPort) classifyReject(w int) telemetry.RejectReason {
+	anyFree, anyUsable := false, false
+	for b := 0; b < p.k; b++ {
+		if !p.conv.CanConvert(wavelength.Wavelength(w), wavelength.Wavelength(b)) {
+			continue
+		}
+		if p.occupied[b] {
+			continue
+		}
+		anyFree = true
+		if p.mask == nil || p.mask[b] == core.Healthy ||
+			(p.mask[b] == core.ConverterFailed && b == w) {
+			anyUsable = true
+			break
+		}
+	}
+	switch {
+	case !anyFree:
+		return telemetry.ReasonWindowOccupied
+	case !anyUsable:
+		return telemetry.ReasonFaultMasked
+	default:
+		return telemetry.ReasonLostMatching
+	}
+}
+
 // killFaultedHolds aborts in-flight connections whose channel can no longer
 // carry them under the current fault mask: a dark channel transmits nothing,
 // and a converter-failed channel sustains only a connection already at the
@@ -150,9 +204,12 @@ func (p *outputPort) killFaultedHolds() {
 		st := p.mask[b]
 		if st == core.Dark || (st == core.ConverterFailed && p.heldSource[b].wave != b) {
 			src := p.heldSource[b]
-			p.faultKilled++
+			atomic.AddInt64(&p.faultKilled, 1)
 			p.preemptees = append(p.preemptees, portGrant{fiber: src.fiber, wave: src.wave})
 			p.holdRemaining[b] = 0
+			if p.tracer != nil {
+				p.emit(telemetry.EvFaultKill, telemetry.ReasonNone, src.fiber, src.wave, b, 0)
+			}
 		}
 	}
 }
@@ -164,12 +221,15 @@ func (p *outputPort) killFaultedHolds() {
 func (p *outputPort) schedule() {
 	if p.mask == nil {
 		p.sched.Schedule(p.count, p.occupied, p.res)
-		return
+	} else {
+		p.sched.ScheduleMasked(p.count, p.occupied, p.mask, p.res)
+		p.sched.Schedule(p.count, p.occupied, p.shadow)
+		if lost := p.shadow.Size - p.res.Size; lost > 0 {
+			atomic.AddInt64(&p.faultLost, int64(lost))
+		}
 	}
-	p.sched.ScheduleMasked(p.count, p.occupied, p.mask, p.res)
-	p.sched.Schedule(p.count, p.occupied, p.shadow)
-	if lost := p.shadow.Size - p.res.Size; lost > 0 {
-		p.faultLost += int64(lost)
+	if p.tracer != nil && p.res.BreakChannel != core.Unassigned {
+		p.emit(telemetry.EvBreakEdge, telemetry.ReasonNone, -1, -1, p.res.BreakChannel, 0)
 	}
 }
 
@@ -199,13 +259,13 @@ func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 	for b := 0; b < p.k; b++ {
 		p.occupied[b] = p.holdRemaining[b] > 0
 	}
-	p.offered += int64(len(arrivals))
+	atomic.AddInt64(&p.offered, int64(len(arrivals)))
 	for _, a := range arrivals {
 		c := a.class
 		if c < 0 || c >= p.classes {
 			c = p.classes - 1 // clamp unknown classes to lowest priority
 		}
-		p.clsOff[c]++
+		atomic.AddInt64(&p.clsOff[c], 1)
 		p.classReqs[c][a.wave] = append(p.classReqs[c][a.wave], portRequest{fiber: a.fiber, duration: a.duration})
 		p.counts[c][a.wave]++
 	}
@@ -221,7 +281,7 @@ func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 			panic(fmt.Sprintf("interconnect: port %d: %v", p.fiberID, err))
 		}
 		if lost := core.TotalGranted(p.shadows) - core.TotalGranted(p.results); lost > 0 {
-			p.faultLost += int64(lost)
+			atomic.AddInt64(&p.faultLost, int64(lost))
 		}
 	}
 	slotSize := 0
@@ -232,7 +292,13 @@ func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 			g := res.Granted[w]
 			reqs := p.classReqs[c][w]
 			if g == 0 {
-				p.outputDropped += int64(len(reqs))
+				atomic.AddInt64(&p.outputDropped, int64(len(reqs)))
+				if p.tracer != nil && len(reqs) > 0 {
+					reason := p.classifyReject(w)
+					for _, r := range reqs {
+						p.emit(telemetry.EvReject, reason, r.fiber, w, -1, int64(c))
+					}
+				}
 				continue
 			}
 			p.channels = p.channels[:0]
@@ -257,11 +323,30 @@ func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 				p.grants = append(p.grants, portGrant{
 					fiber: f, wave: w, channel: p.channels[ci], duration: dur,
 				})
-				p.granted++
-				p.clsGrant[c]++
-				p.perInputGranted[f]++
+				atomic.AddInt64(&p.granted, 1)
+				atomic.AddInt64(&p.clsGrant[c], 1)
+				atomic.AddInt64(&p.perInputGranted[f], 1)
+				if p.tracer != nil {
+					p.emit(telemetry.EvGrant, telemetry.ReasonNone, f, w, p.channels[ci], int64(c))
+				}
 			}
-			p.outputDropped += int64(len(reqs) - g)
+			atomic.AddInt64(&p.outputDropped, int64(len(reqs)-g))
+			if p.tracer != nil && len(reqs) > g {
+				// Requests that lost contention despite grants on their
+				// wavelength: everyone not among the winners.
+				for _, r := range reqs {
+					won := false
+					for _, f := range p.winners {
+						if f == r.fiber {
+							won = true
+							break
+						}
+					}
+					if !won {
+						p.emit(telemetry.EvReject, telemetry.ReasonLostMatching, r.fiber, w, -1, int64(c))
+					}
+				}
+			}
 		}
 	}
 	p.matchSizes.Observe(slotSize)
@@ -271,8 +356,8 @@ func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 	}
 	for b := 0; b < p.k; b++ {
 		if p.holdRemaining[b] > 0 {
-			p.busyslots++
-			p.busyPerChannel[b]++
+			atomic.AddInt64(&p.busyslots, 1)
+			atomic.AddInt64(&p.busyPerChannel[b], 1)
 			p.holdRemaining[b]--
 		}
 	}
@@ -307,7 +392,7 @@ func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
 
 	// New arrivals populate the request register (the paper's Nk-bit
 	// vector) and the per-wavelength request lists.
-	p.offered += int64(len(arrivals))
+	atomic.AddInt64(&p.offered, int64(len(arrivals)))
 	for _, a := range arrivals {
 		p.reg.Mark(a.fiber, a.wave)
 		p.reqs[a.wave] = append(p.reqs[a.wave], portRequest{fiber: a.fiber, duration: a.duration})
@@ -339,12 +424,22 @@ func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
 	for w := 0; w < p.k; w++ {
 		g := p.res.Granted[w]
 		if g == 0 {
+			var reason telemetry.RejectReason
+			if p.tracer != nil && len(p.reqs[w]) > 0 {
+				reason = p.classifyReject(w)
+			}
 			for _, r := range p.reqs[w] {
 				if r.held {
-					p.preempted++
+					atomic.AddInt64(&p.preempted, 1)
 					p.preemptees = append(p.preemptees, portGrant{fiber: r.fiber, wave: w})
+					if p.tracer != nil {
+						p.emit(telemetry.EvPreempt, telemetry.ReasonNone, r.fiber, w, -1, 0)
+					}
 				} else {
-					p.outputDropped++
+					atomic.AddInt64(&p.outputDropped, 1)
+					if p.tracer != nil {
+						p.emit(telemetry.EvReject, reason, r.fiber, w, -1, 0)
+					}
 				}
 			}
 			continue
@@ -368,14 +463,20 @@ func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
 					continue
 				}
 				if remaining == 0 {
-					p.preempted++
+					atomic.AddInt64(&p.preempted, 1)
 					p.preemptees = append(p.preemptees, portGrant{fiber: r.fiber, wave: w})
+					if p.tracer != nil {
+						p.emit(telemetry.EvPreempt, telemetry.ReasonNone, r.fiber, w, -1, 0)
+					}
 					continue
 				}
 				p.grants = append(p.grants, portGrant{
 					fiber: r.fiber, wave: w, channel: p.channels[ci],
 					duration: r.duration, held: true,
 				})
+				if p.tracer != nil {
+					p.emit(telemetry.EvRegrant, telemetry.ReasonNone, r.fiber, w, p.channels[ci], 0)
+				}
 				ci++
 				remaining--
 			}
@@ -401,9 +502,12 @@ func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
 					fiber: f, wave: w, channel: p.channels[ci],
 					duration: dur,
 				})
+				if p.tracer != nil {
+					p.emit(telemetry.EvGrant, telemetry.ReasonNone, f, w, p.channels[ci], 0)
+				}
 				ci++
-				p.granted++
-				p.perInputGranted[f]++
+				atomic.AddInt64(&p.granted, 1)
+				atomic.AddInt64(&p.perInputGranted[f], 1)
 			}
 		}
 		// New requests that lost contention.
@@ -422,7 +526,26 @@ func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
 				}
 			}
 		}
-		p.outputDropped += int64(newReqs - newGranted)
+		atomic.AddInt64(&p.outputDropped, int64(newReqs-newGranted))
+		if p.tracer != nil && newReqs > newGranted {
+			// Identify the losers: new requests without a grant this slot
+			// on this wavelength (grant list scan; tracer-only cost).
+			for _, r := range p.reqs[w] {
+				if r.held {
+					continue
+				}
+				won := false
+				for _, pg := range p.grants {
+					if pg.wave == w && !pg.held && pg.fiber == r.fiber {
+						won = true
+						break
+					}
+				}
+				if !won {
+					p.emit(telemetry.EvReject, telemetry.ReasonLostMatching, r.fiber, w, -1, 0)
+				}
+			}
+		}
 	}
 
 	// Hold bookkeeping: every switched connection occupies its channel
@@ -434,38 +557,43 @@ func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
 	// Channels transmitting this slot, then age the holds.
 	for b := 0; b < p.k; b++ {
 		if p.holdRemaining[b] > 0 {
-			p.busyslots++
-			p.busyPerChannel[b]++
+			atomic.AddInt64(&p.busyslots, 1)
+			atomic.AddInt64(&p.busyPerChannel[b], 1)
 			p.holdRemaining[b]--
 		}
 	}
 	return p.grants
 }
 
-// mergeInto folds the port's local statistics into the run totals.
+// mergeInto moves the port's local statistics into the run totals: each
+// counter is atomically swapped to zero as it is folded in, so the live
+// telemetry view (run totals + Σ port locals) stays correct before,
+// during, and after the merge without a finalized flag.
 func (p *outputPort) mergeInto(s *Stats) {
 	for c := 0; c < len(p.clsOff); c++ {
-		s.PerClassOffered[c] += p.clsOff[c]
-		s.PerClassGranted[c] += p.clsGrant[c]
+		atomic.AddInt64(&s.PerClassOffered[c], atomic.SwapInt64(&p.clsOff[c], 0))
+		atomic.AddInt64(&s.PerClassGranted[c], atomic.SwapInt64(&p.clsGrant[c], 0))
 	}
-	s.Offered.Add(p.offered)
-	s.Granted.Add(p.granted)
-	s.OutputDropped.Add(p.outputDropped)
-	s.Preempted.Add(p.preempted)
-	s.BusyChannelSlots.Add(p.busyslots)
-	for b, v := range p.busyPerChannel {
-		s.PerChannelBusy[b] += v
+	s.Offered.Add(atomic.SwapInt64(&p.offered, 0))
+	s.Granted.Add(atomic.SwapInt64(&p.granted, 0))
+	s.OutputDropped.Add(atomic.SwapInt64(&p.outputDropped, 0))
+	s.Preempted.Add(atomic.SwapInt64(&p.preempted, 0))
+	s.BusyChannelSlots.Add(atomic.SwapInt64(&p.busyslots, 0))
+	for b := range p.busyPerChannel {
+		atomic.AddInt64(&s.PerChannelBusy[b], atomic.SwapInt64(&p.busyPerChannel[b], 0))
 	}
-	for f, g := range p.perInputGranted {
-		s.PerInputGranted[f] += g
+	for f := range p.perInputGranted {
+		atomic.AddInt64(&s.PerInputGranted[f], atomic.SwapInt64(&p.perInputGranted[f], 0))
 	}
-	for v := 0; v <= p.k; v++ {
-		for c := int64(0); c < p.matchSizes.Bucket(v); c++ {
+	snap := p.matchSizes.Snapshot()
+	p.matchSizes.Reset()
+	for v, c := range snap.Buckets {
+		for i := int64(0); i < c; i++ {
 			s.MatchSizes.Observe(v)
 		}
 	}
 	if s.Fault != nil {
-		s.Fault.LostGrants.Add(p.faultLost)
-		s.Fault.KilledConnections.Add(p.faultKilled)
+		s.Fault.LostGrants.Add(atomic.SwapInt64(&p.faultLost, 0))
+		s.Fault.KilledConnections.Add(atomic.SwapInt64(&p.faultKilled, 0))
 	}
 }

@@ -1,0 +1,304 @@
+package interconnect
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"wdmsched/internal/fault"
+	"wdmsched/internal/telemetry"
+	"wdmsched/internal/traffic"
+)
+
+// traceVariants are the interconnect configurations the tracer must agree
+// with Stats on: both engines, with and without disturb-mode rescheduling
+// and fault injection.
+func traceVariants(t *testing.T) []struct {
+	name string
+	cfg  Config
+} {
+	t.Helper()
+	const n, k = 4, 8
+	markov := func(seed uint64) fault.Injector {
+		inj, err := fault.NewMarkov(fault.MarkovConfig{
+			N: n, K: k, Seed: seed,
+			ConverterFail: 0.01, ConverterRepair: 0.2,
+			ChannelDark: 0.005, ChannelRestore: 0.2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"sequential", Config{N: n, Conv: circ(k, 1, 1), Seed: 1}},
+		{"distributed", Config{N: n, Conv: circ(k, 1, 1), Seed: 1, Distributed: true}},
+		{"disturb", Config{N: n, Conv: circ(k, 1, 1), Seed: 2, Disturb: true}},
+		{"disturb-distributed", Config{N: n, Conv: circ(k, 1, 1), Seed: 2, Disturb: true, Distributed: true}},
+		{"bfa", Config{N: n, Conv: circ(k, 1, 1), Seed: 3, Scheduler: "break-first-available"}},
+		{"faults", Config{N: n, Conv: circ(k, 1, 1), Seed: 4, Faults: markov(11)}},
+		{"faults-distributed", Config{N: n, Conv: circ(k, 1, 1), Seed: 4, Faults: markov(11), Distributed: true}},
+		{"classes", Config{N: n, Conv: circ(k, 1, 1), Seed: 5, PriorityClasses: 2}},
+	}
+}
+
+// TestTraceEventCountsMatchStats is the tracer's exactness guarantee: over
+// a run whose rings are big enough to retain everything, grant events
+// equal Stats.Granted, preempt events equal Stats.Preempted, fault kills
+// equal Stats.Fault.KilledConnections, and reject events partition into
+// InputBlocked + OutputDropped — per configuration and engine.
+func TestTraceEventCountsMatchStats(t *testing.T) {
+	for _, v := range traceVariants(t) {
+		t.Run(v.name, func(t *testing.T) {
+			const slots = 300
+			cfg := v.cfg
+			cfg.Trace = telemetry.NewDecisionTracer(cfg.N, 1<<16)
+			sw := mustSwitch(t, cfg)
+			gen, err := traffic.NewBernoulli(traffic.Config{N: cfg.N, K: sw.K(), Seed: 99,
+				Hold: traffic.HoldingTime{Mean: 3}}, 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var genCls traffic.Generator = gen
+			if cfg.PriorityClasses > 1 {
+				genCls, err = traffic.WithPriorities(gen, []float64{0.2, 0.8}, 7)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			st, err := sw.Run(genCls, slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.Trace.Dropped() != 0 {
+				t.Fatalf("ring overflowed: %d dropped", cfg.Trace.Dropped())
+			}
+
+			var grants, regrants, rejects, inputBlocked, preempts, kills, breaks, latencies int64
+			perSlotGrants := make(map[int64]int64)
+			for _, e := range cfg.Trace.Events() {
+				switch e.Kind {
+				case telemetry.EvGrant:
+					grants++
+					perSlotGrants[e.Slot]++
+				case telemetry.EvRegrant:
+					regrants++
+				case telemetry.EvReject:
+					rejects++
+					if e.Reason == telemetry.ReasonInputBlocked {
+						inputBlocked++
+					}
+				case telemetry.EvPreempt:
+					preempts++
+				case telemetry.EvFaultKill:
+					kills++
+				case telemetry.EvBreakEdge:
+					breaks++
+				case telemetry.EvSlotLatency:
+					latencies++
+				}
+			}
+			if grants != st.Granted.Value() {
+				t.Errorf("grant events = %d, Stats.Granted = %d", grants, st.Granted.Value())
+			}
+			if preempts != st.Preempted.Value() {
+				t.Errorf("preempt events = %d, Stats.Preempted = %d", preempts, st.Preempted.Value())
+			}
+			if inputBlocked != st.InputBlocked.Value() {
+				t.Errorf("input-blocked events = %d, Stats.InputBlocked = %d",
+					inputBlocked, st.InputBlocked.Value())
+			}
+			if want := st.InputBlocked.Value() + st.OutputDropped.Value(); rejects != want {
+				t.Errorf("reject events = %d, InputBlocked+OutputDropped = %d", rejects, want)
+			}
+			if st.Fault != nil && kills != st.Fault.KilledConnections.Value() {
+				t.Errorf("fault-kill events = %d, Stats.Fault.KilledConnections = %d",
+					kills, st.Fault.KilledConnections.Value())
+			}
+			if latencies != int64(slots*cfg.N) {
+				t.Errorf("slot-latency events = %d, want %d", latencies, slots*cfg.N)
+			}
+			if v.name == "bfa" && breaks == 0 {
+				t.Error("BFA run produced no break-edge events")
+			}
+			if cfg.Disturb && regrants == 0 {
+				t.Error("disturb run produced no regrant events")
+			}
+			// Sanity on the per-slot view: grants per slot never exceed N·k.
+			for slot, g := range perSlotGrants {
+				if g > int64(cfg.N*sw.K()) {
+					t.Errorf("slot %d has %d grants > N·k", slot, g)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceMatchesUntracedRun checks tracing is observation-only: a traced
+// run produces byte-identical statistics to an untraced run of the same
+// seed and engine.
+func TestTraceMatchesUntracedRun(t *testing.T) {
+	for _, distributed := range []bool{false, true} {
+		const n, k, slots = 4, 8, 200
+		run := func(tr *telemetry.DecisionTracer) *Stats {
+			sw := mustSwitch(t, Config{
+				N: n, Conv: circ(k, 1, 1), Seed: 6, Disturb: true,
+				Distributed: distributed, Trace: tr,
+			})
+			gen, err := traffic.NewBernoulli(traffic.Config{N: n, K: k, Seed: 42,
+				Hold: traffic.HoldingTime{Mean: 2}}, 0.8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := sw.Run(gen, slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}
+		plain := run(nil)
+		traced := run(telemetry.NewDecisionTracer(n, 1<<15))
+		if plain.Granted.Value() != traced.Granted.Value() ||
+			plain.OutputDropped.Value() != traced.OutputDropped.Value() ||
+			plain.Preempted.Value() != traced.Preempted.Value() ||
+			plain.BusyChannelSlots.Value() != traced.BusyChannelSlots.Value() {
+			t.Errorf("distributed=%v: traced run diverged from untraced run", distributed)
+		}
+	}
+}
+
+// TestRunSlotNoAllocsWithTracer extends the steady-state zero-alloc
+// guarantee to tracing-enabled runs: the ring-buffer emission path must
+// not allocate either, in both engines.
+func TestRunSlotNoAllocsWithTracer(t *testing.T) {
+	for _, mode := range []struct {
+		name        string
+		distributed bool
+	}{{"sequential", false}, {"distributed", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			const n, k = 8, 16
+			tr := telemetry.NewDecisionTracer(n, 1<<12)
+			sw := mustSwitch(t, Config{
+				N: n, Conv: circ(k, 1, 1), Seed: 5, Distributed: mode.distributed,
+				Trace: tr,
+			})
+			slots := prerecord(t, n, k, 64, 1.0, 9)
+			for pass := 0; pass < 4; pass++ {
+				for _, pkts := range slots {
+					if err := sw.RunSlot(pkts); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			i := 0
+			allocs := testing.AllocsPerRun(200, func() {
+				if err := sw.RunSlot(slots[i%len(slots)]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			sw.Finalize()
+			if allocs != 0 {
+				t.Errorf("traced steady-state RunSlot allocates %v per slot, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestTelemetryLiveScrape hammers Registry.Snapshot from scraper
+// goroutines while the simulation runs in both engines — under -race this
+// is the live-read safety gate for the atomic metric refactor.
+func TestTelemetryLiveScrape(t *testing.T) {
+	for _, mode := range []struct {
+		name        string
+		distributed bool
+	}{{"sequential", false}, {"distributed", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			const n, k, slots = 4, 8, 400
+			reg := telemetry.NewRegistry()
+			tr := telemetry.NewDecisionTracer(n, 1<<10)
+			inj, err := fault.NewMarkov(fault.MarkovConfig{
+				N: n, K: k, Seed: 3,
+				ConverterFail: 0.01, ConverterRepair: 0.2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw := mustSwitch(t, Config{
+				N: n, Conv: circ(k, 1, 1), Seed: 8, Distributed: mode.distributed,
+				Telemetry: reg, Trace: tr, Faults: inj,
+			})
+			gen, err := traffic.NewBernoulli(traffic.Config{N: n, K: k, Seed: 21,
+				Hold: traffic.HoldingTime{Mean: 2}}, 0.9)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							var sb strings.Builder
+							if err := telemetry.WritePrometheus(&sb, reg.Snapshot()); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+				}()
+			}
+			st, err := sw.Run(gen, slots)
+			close(stop)
+			wg.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Post-run the registry must agree exactly with Stats.
+			snap := reg.Snapshot()
+			get := func(name string) float64 {
+				for _, m := range snap {
+					if m.Name == name && len(m.Labels) == 0 {
+						return m.Value
+					}
+				}
+				t.Fatalf("metric %s not in snapshot", name)
+				return 0
+			}
+			if got := get("wdm_offered_packets_total"); got != float64(st.Offered.Value()) {
+				t.Errorf("offered: registry %v, stats %d", got, st.Offered.Value())
+			}
+			if got := get("wdm_granted_packets_total"); got != float64(st.Granted.Value()) {
+				t.Errorf("granted: registry %v, stats %d", got, st.Granted.Value())
+			}
+			if got := get("wdm_slots_total"); got != float64(st.Slots) {
+				t.Errorf("slots: registry %v, stats %d", got, st.Slots)
+			}
+			if got := get("wdm_busy_channel_slots_total"); got != float64(st.BusyChannelSlots.Value()) {
+				t.Errorf("busy: registry %v, stats %d", got, st.BusyChannelSlots.Value())
+			}
+			if got := get("wdm_fault_lost_grants_total"); got != float64(st.Fault.LostGrants.Value()) {
+				t.Errorf("lost grants: registry %v, stats %d", got, st.Fault.LostGrants.Value())
+			}
+		})
+	}
+}
+
+// TestTracerPortMismatch checks New rejects a tracer sized for a different
+// switch.
+func TestTracerPortMismatch(t *testing.T) {
+	_, err := New(Config{N: 4, Conv: circ(8, 1, 1), Trace: telemetry.NewDecisionTracer(8, 16)})
+	if err == nil {
+		t.Fatal("want error for tracer/switch port mismatch")
+	}
+}

@@ -1,0 +1,195 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentPrimitives hammers every lock-free primitive (and the
+// mutex-guarded Welford) from many goroutines while readers scrape
+// concurrently. Run under -race this is the safety gate for exposing live
+// metrics to the telemetry HTTP server while both engines write them.
+func TestConcurrentPrimitives(t *testing.T) {
+	const writers, perWriter = 8, 5000
+
+	var c Counter
+	var g Gauge
+	var w Welford
+	h := NewHistogram(16)
+	dh := NewDurationHistogram()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Value()
+				_ = g.Value()
+				_ = g.Valid()
+				_ = w.Mean()
+				_ = w.Stddev()
+				_ = h.Count()
+				_ = h.Mean()
+				_ = h.Quantile(0.95)
+				_ = h.Snapshot()
+				_ = dh.Count()
+				_ = dh.Max()
+				_ = dh.Quantile(0.5)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+				g.Set(float64(j))
+				w.Observe(float64(j % 10))
+				h.Observe(j % 20) // includes overflow (>16)
+				dh.Observe(time.Duration(j%4096) * time.Nanosecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	const total = writers * perWriter
+	if c.Value() != total {
+		t.Errorf("Counter = %d, want %d", c.Value(), total)
+	}
+	if !g.Valid() {
+		t.Error("Gauge not valid after Set")
+	}
+	if w.N() != total {
+		t.Errorf("Welford N = %d, want %d", w.N(), total)
+	}
+	if h.Count() != total {
+		t.Errorf("Histogram count = %d, want %d", h.Count(), total)
+	}
+	// j%20 lands above max=16 for j%20 in 17..19: 3 of every 20.
+	if want := int64(total * 3 / 20); h.Overflow() != want {
+		t.Errorf("Histogram overflow = %d, want %d", h.Overflow(), want)
+	}
+	if dh.Count() != total {
+		t.Errorf("DurationHistogram count = %d, want %d", dh.Count(), total)
+	}
+	if dh.Max() != 4095*time.Nanosecond {
+		t.Errorf("DurationHistogram max = %v, want 4095ns", dh.Max())
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram(4)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", got)
+	}
+
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	// q=0 clamps to the first observation.
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q=0 = %d, want 1", got)
+	}
+	if got := h.Quantile(1); got != 3 {
+		t.Errorf("q=1 = %d, want 3", got)
+	}
+
+	// All mass in overflow: quantile reports max+1.
+	o := NewHistogram(2)
+	o.Observe(10)
+	o.Observe(20)
+	if got := o.Quantile(0.5); got != 3 {
+		t.Errorf("all-overflow quantile = %d, want len(buckets)=3", got)
+	}
+	// Mean still uses true magnitudes.
+	if got := o.Mean(); got != 15 {
+		t.Errorf("all-overflow mean = %v, want 15", got)
+	}
+}
+
+func TestHistogramSnapshotAndReset(t *testing.T) {
+	h := NewHistogram(3)
+	h.Observe(1)
+	h.Observe(1)
+	h.Observe(9)
+	s := h.Snapshot()
+	if s.Count != 3 || s.Sum != 11 || s.Overflow != 1 || s.Buckets[1] != 2 {
+		t.Errorf("snapshot = %+v", s)
+	}
+
+	other := h.Snapshot()
+	s.Merge(other)
+	if s.Count != 6 || s.Sum != 22 || s.Overflow != 2 || s.Buckets[1] != 4 {
+		t.Errorf("merged snapshot = %+v", s)
+	}
+
+	h.Reset()
+	if h.Count() != 0 || h.Overflow() != 0 || h.Bucket(1) != 0 {
+		t.Error("Reset left residue")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Merge with mismatched bucket count must panic")
+		}
+	}()
+	s.Merge(NewHistogram(7).Snapshot())
+}
+
+func TestDurationHistogramBucketBoundaries(t *testing.T) {
+	h := NewDurationHistogram()
+	// Bucket 0 is exactly 0ns; bucket b ≥ 1 covers [2^(b-1), 2^b) ns.
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		h.Observe(c.d)
+		if got := h.BucketCount(c.bucket); got < 1 {
+			t.Errorf("Observe(%dns): bucket %d empty", c.d, c.bucket)
+		}
+		if upper := BucketUpperNS(c.bucket); int64(c.d) > upper {
+			t.Errorf("Observe(%dns) exceeds BucketUpperNS(%d)=%d", c.d, c.bucket, upper)
+		}
+		if c.bucket > 0 {
+			if lower := BucketUpperNS(c.bucket-1) + 1; int64(c.d) < lower {
+				t.Errorf("Observe(%dns) below bucket %d lower bound %d", c.d, c.bucket, lower)
+			}
+		}
+	}
+	if n := int64(len(cases)); h.Count() != n {
+		t.Errorf("count = %d, want %d", h.Count(), n)
+	}
+	// Out-of-range bucket queries are safe.
+	if h.BucketCount(-1) != 0 || h.BucketCount(64) != 0 {
+		t.Error("out-of-range BucketCount must be 0")
+	}
+	if BucketUpperNS(-1) != 0 || BucketUpperNS(0) != 0 {
+		t.Error("BucketUpperNS(≤0) must be 0")
+	}
+	if BucketUpperNS(63) != 1<<63-1 || BucketUpperNS(64) != 1<<63-1 {
+		t.Error("BucketUpperNS(≥63) must be MaxInt64")
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.BucketCount(2) != 0 {
+		t.Error("Reset left residue")
+	}
+}

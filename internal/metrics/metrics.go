@@ -2,45 +2,60 @@
 // the experiment harness report with: counters, streaming mean/variance,
 // histograms, batch-mean confidence intervals, and table rendering (ASCII
 // and CSV).
+//
+// Counter, Gauge, Histogram and DurationHistogram are lock-free and safe
+// for concurrent use: writers update them with atomic operations, so a
+// telemetry scraper can read a metric while the simulation hot path is
+// still writing it (readers may observe a value mid-update — e.g. a
+// histogram whose total momentarily disagrees with its bucket sum by one —
+// but never tear or race). Welford guards its multi-word state with a
+// mutex instead; it lives off the per-slot hot path.
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing event count.
-type Counter struct{ n int64 }
+// Counter is a monotonically increasing event count, safe for concurrent
+// use.
+type Counter struct{ n atomic.Int64 }
 
 // Add increments the counter by d (d ≥ 0).
 func (c *Counter) Add(d int64) {
 	if d < 0 {
 		panic("metrics: negative Counter.Add")
 	}
-	c.n += d
+	c.n.Add(d)
 }
 
 // Inc increments by one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Reset zeroes the counter.
-func (c *Counter) Reset() { c.n = 0 }
+func (c *Counter) Reset() { c.n.Store(0) }
 
 // Ratio returns c/other, or 0 when other is zero.
 func (c *Counter) Ratio(other *Counter) float64 {
-	if other.n == 0 {
+	o := other.Value()
+	if o == 0 {
 		return 0
 	}
-	return float64(c.n) / float64(other.n)
+	return float64(c.Value()) / float64(o)
 }
 
 // Welford accumulates a streaming mean and variance (Welford's algorithm),
-// numerically stable for long simulations.
+// numerically stable for long simulations. A mutex makes it safe for
+// concurrent use; unlike the atomic primitives it must not be copied after
+// first use.
 type Welford struct {
+	mu   sync.Mutex
 	n    int64
 	mean float64
 	m2   float64
@@ -48,49 +63,78 @@ type Welford struct {
 
 // Observe adds a sample.
 func (w *Welford) Observe(x float64) {
+	w.mu.Lock()
 	w.n++
 	d := x - w.mean
 	w.mean += d / float64(w.n)
 	w.m2 += d * (x - w.mean)
+	w.mu.Unlock()
 }
 
 // N returns the sample count.
-func (w *Welford) N() int64 { return w.n }
+func (w *Welford) N() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
 
 // Mean returns the sample mean (0 with no samples).
-func (w *Welford) Mean() float64 { return w.mean }
+func (w *Welford) Mean() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.mean
+}
 
-// Variance returns the unbiased sample variance (0 with < 2 samples).
-func (w *Welford) Variance() float64 {
+// variance is the unbiased sample variance; callers hold w.mu.
+func (w *Welford) variance() float64 {
 	if w.n < 2 {
 		return 0
 	}
 	return w.m2 / float64(w.n-1)
 }
 
+// Variance returns the unbiased sample variance (0 with < 2 samples).
+func (w *Welford) Variance() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.variance()
+}
+
 // Stddev returns the sample standard deviation.
-func (w *Welford) Stddev() float64 { return math.Sqrt(w.Variance()) }
+func (w *Welford) Stddev() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return math.Sqrt(w.variance())
+}
 
 // CI95 returns the half-width of a normal-approximation 95% confidence
 // interval for the mean (0 with < 2 samples). Simulation runs feed batch
 // means into a Welford to get credible intervals despite autocorrelation.
 func (w *Welford) CI95() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	if w.n < 2 {
 		return 0
 	}
-	return 1.96 * w.Stddev() / math.Sqrt(float64(w.n))
+	return 1.96 * math.Sqrt(w.variance()) / math.Sqrt(float64(w.n))
 }
 
 // Reset clears the accumulator.
-func (w *Welford) Reset() { *w = Welford{} }
+func (w *Welford) Reset() {
+	w.mu.Lock()
+	w.n, w.mean, w.m2 = 0, 0, 0
+	w.mu.Unlock()
+}
 
 // Histogram counts integer-valued observations in unit buckets
-// [0, 1, …, max]; larger values land in the overflow bucket.
+// [0, 1, …, max]; larger values land in the overflow bucket. Observe and
+// the accessors are safe for concurrent use; a reader that races a writer
+// sees each word atomically but may catch the histogram mid-observation.
 type Histogram struct {
-	buckets  []int64
-	overflow int64
-	total    int64
-	sum      int64
+	buckets  []int64 // atomic access
+	overflow atomic.Int64
+	total    atomic.Int64
+	sum      atomic.Int64
 }
 
 // NewHistogram builds a histogram for values 0..max.
@@ -108,56 +152,111 @@ func (h *Histogram) Observe(v int) {
 		panic("metrics: negative histogram observation")
 	}
 	if v < len(h.buckets) {
-		h.buckets[v]++
+		atomic.AddInt64(&h.buckets[v], 1)
 	} else {
-		h.overflow++
+		h.overflow.Add(1)
 	}
-	h.total++
-	h.sum += int64(v)
+	h.total.Add(1)
+	h.sum.Add(int64(v))
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.total }
+func (h *Histogram) Count() int64 { return h.total.Load() }
 
 // Bucket returns the count at value v (overflow excluded).
 func (h *Histogram) Bucket(v int) int64 {
 	if v < 0 || v >= len(h.buckets) {
 		return 0
 	}
-	return h.buckets[v]
+	return atomic.LoadInt64(&h.buckets[v])
 }
 
+// Max returns the largest in-range value the histogram can hold.
+func (h *Histogram) Max() int { return len(h.buckets) - 1 }
+
 // Overflow returns the count of observations above max.
-func (h *Histogram) Overflow() int64 { return h.overflow }
+func (h *Histogram) Overflow() int64 { return h.overflow.Load() }
 
 // Mean returns the average observation (overflow values counted at their
 // true magnitude via sum).
 func (h *Histogram) Mean() float64 {
-	if h.total == 0 {
+	total := h.total.Load()
+	if total == 0 {
 		return 0
 	}
-	return float64(h.sum) / float64(h.total)
+	return float64(h.sum.Load()) / float64(total)
 }
 
 // Quantile returns the smallest in-range value v with
 // P(X ≤ v) ≥ q. Overflowed mass counts as above-range; if the quantile
 // falls in the overflow, it returns len(buckets) (i.e. max+1).
 func (h *Histogram) Quantile(q float64) int {
-	if h.total == 0 {
+	total := h.total.Load()
+	if total == 0 {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(h.total)))
+	target := int64(math.Ceil(q * float64(total)))
 	if target < 1 {
 		target = 1
 	}
 	var cum int64
-	for v, c := range h.buckets {
-		cum += c
+	for v := range h.buckets {
+		cum += atomic.LoadInt64(&h.buckets[v])
 		if cum >= target {
 			return v
 		}
 	}
 	return len(h.buckets)
+}
+
+// Reset zeroes all buckets and totals.
+func (h *Histogram) Reset() {
+	for v := range h.buckets {
+		atomic.StoreInt64(&h.buckets[v], 0)
+	}
+	h.overflow.Store(0)
+	h.total.Store(0)
+	h.sum.Store(0)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram, for merging
+// per-port histograms into a switch-wide view at telemetry-scrape time.
+type HistogramSnapshot struct {
+	Buckets  []int64
+	Overflow int64
+	Count    int64
+	Sum      int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Buckets:  make([]int64, len(h.buckets)),
+		Overflow: h.overflow.Load(),
+		Count:    h.total.Load(),
+		Sum:      h.sum.Load(),
+	}
+	for v := range h.buckets {
+		s.Buckets[v] = atomic.LoadInt64(&h.buckets[v])
+	}
+	return s
+}
+
+// Merge adds o into s. Bucket ranges must match unless one side is empty.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	if s.Buckets == nil {
+		s.Buckets = make([]int64, len(o.Buckets))
+	}
+	if len(s.Buckets) != len(o.Buckets) {
+		panic(fmt.Sprintf("metrics: merging histograms with %d and %d buckets",
+			len(s.Buckets), len(o.Buckets)))
+	}
+	for v := range o.Buckets {
+		s.Buckets[v] += o.Buckets[v]
+	}
+	s.Overflow += o.Overflow
+	s.Count += o.Count
+	s.Sum += o.Sum
 }
 
 // Jain computes Jain's fairness index over non-negative shares:

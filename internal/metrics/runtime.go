@@ -4,28 +4,36 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 	"time"
 )
 
 // Gauge is a last-value metric: it remembers the most recent sample of a
 // quantity that rises and falls (unlike Counter, which only accumulates).
 // The engine uses gauges for sampled rates such as allocations per slot.
+// Set and Value are safe for concurrent use.
 type Gauge struct {
-	v   float64
-	set bool
+	bits atomic.Uint64 // math.Float64bits of the value
+	set  atomic.Bool
 }
 
 // Set records the current value.
-func (g *Gauge) Set(x float64) { g.v, g.set = x, true }
+func (g *Gauge) Set(x float64) {
+	g.bits.Store(math.Float64bits(x))
+	g.set.Store(true)
+}
 
 // Value returns the last recorded value (0 before any Set).
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Valid reports whether the gauge has been Set at least once.
-func (g *Gauge) Valid() bool { return g.set }
+func (g *Gauge) Valid() bool { return g.set.Load() }
 
 // Reset clears the gauge.
-func (g *Gauge) Reset() { *g = Gauge{} }
+func (g *Gauge) Reset() {
+	g.bits.Store(0)
+	g.set.Store(false)
+}
 
 // durationBuckets is the number of power-of-two latency buckets; bucket i
 // holds durations whose nanosecond count has bit length i, i.e. bucket 0 is
@@ -35,14 +43,15 @@ const durationBuckets = 64
 
 // DurationHistogram is an allocation-free latency histogram with
 // power-of-two nanosecond buckets, built for per-slot hot-path timing: one
-// Observe is a bit-length computation and three adds. Quantiles are
-// resolved to bucket upper bounds (at most 2× the true value), which is
-// plenty to tell a 5µs slot from a 500µs one.
+// Observe is a bit-length computation and three atomic adds (plus a CAS
+// loop for the max). Safe for concurrent use. Quantiles are resolved to
+// bucket upper bounds (at most 2× the true value), which is plenty to tell
+// a 5µs slot from a 500µs one.
 type DurationHistogram struct {
-	buckets [durationBuckets]int64
-	count   int64
-	sum     int64 // nanoseconds
-	max     int64 // nanoseconds
+	buckets [durationBuckets]int64 // atomic access
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
 }
 
 // NewDurationHistogram builds an empty latency histogram.
@@ -54,68 +63,102 @@ func (h *DurationHistogram) Observe(d time.Duration) {
 	if ns < 0 {
 		ns = 0
 	}
-	h.buckets[bits.Len64(uint64(ns))]++
-	h.count++
-	h.sum += ns
-	if ns > h.max {
-		h.max = ns
+	atomic.AddInt64(&h.buckets[bits.Len64(uint64(ns))], 1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
 	}
 }
 
 // Count returns the number of observations.
-func (h *DurationHistogram) Count() int64 { return h.count }
+func (h *DurationHistogram) Count() int64 { return h.count.Load() }
 
 // Sum returns the total observed time.
-func (h *DurationHistogram) Sum() time.Duration { return time.Duration(h.sum) }
+func (h *DurationHistogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 
 // Mean returns the average observation (0 with no samples).
 func (h *DurationHistogram) Mean() time.Duration {
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	return time.Duration(h.sum / h.count)
+	return time.Duration(h.sum.Load() / n)
 }
 
 // Max returns the largest observation.
-func (h *DurationHistogram) Max() time.Duration { return time.Duration(h.max) }
+func (h *DurationHistogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// BucketCount returns the count in power-of-two bucket b (0 ≤ b < 64):
+// bucket 0 is exactly 0ns, bucket b ≥ 1 covers [2^(b−1), 2^b) ns.
+func (h *DurationHistogram) BucketCount(b int) int64 {
+	if b < 0 || b >= durationBuckets {
+		return 0
+	}
+	return atomic.LoadInt64(&h.buckets[b])
+}
+
+// NumBuckets returns the number of power-of-two buckets.
+func (h *DurationHistogram) NumBuckets() int { return durationBuckets }
+
+// BucketUpperNS returns the inclusive upper bound in nanoseconds of
+// bucket b, i.e. the largest duration that lands in it.
+func BucketUpperNS(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(b) - 1
+}
 
 // Quantile returns an upper bound for the q-quantile (q in [0, 1]): the
 // upper edge of the bucket where the cumulative count crosses q, capped at
 // the maximum observation. Returns 0 with no samples.
 func (h *DurationHistogram) Quantile(q float64) time.Duration {
-	if h.count == 0 {
+	n := h.count.Load()
+	if n == 0 {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(h.count)))
+	target := int64(math.Ceil(q * float64(n)))
 	if target < 1 {
 		target = 1
 	}
+	max := h.max.Load()
 	var cum int64
-	for b, c := range h.buckets {
-		cum += c
+	for b := 0; b < durationBuckets; b++ {
+		cum += atomic.LoadInt64(&h.buckets[b])
 		if cum < target {
 			continue
 		}
 		if b == 0 {
 			return 0
 		}
-		upper := int64(math.MaxInt64)
-		if b < 63 {
-			upper = int64(1)<<uint(b) - 1
-		}
-		if upper > h.max {
-			upper = h.max
+		upper := BucketUpperNS(b)
+		if upper > max {
+			upper = max
 		}
 		return time.Duration(upper)
 	}
-	return time.Duration(h.max)
+	return time.Duration(max)
 }
 
 // Reset clears the histogram.
-func (h *DurationHistogram) Reset() { *h = DurationHistogram{} }
+func (h *DurationHistogram) Reset() {
+	for b := range h.buckets {
+		atomic.StoreInt64(&h.buckets[b], 0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
 
 // String renders a compact summary for debugging and tables.
 func (h *DurationHistogram) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50≤%v p95≤%v max=%v",
-		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Max())
 }

@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// escapeHelp escapes a HELP string per the Prometheus text format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// labelString renders {k="v",…} including any extra trailing pairs, or ""
+// when there are none.
+func labelString(labels []Label, extra ...Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range append(append([]Label{}, labels...), extra...) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, l.Key, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4). Series sharing a name get one HELP/TYPE header;
+// histograms expand to cumulative _bucket series with an explicit +Inf,
+// plus _sum and _count; summaries expand to the mean, _stddev and _count.
+func WritePrometheus(w io.Writer, snapshot []Metric) error {
+	var lastName string
+	for i := range snapshot {
+		m := &snapshot[i]
+		if m.Name != lastName {
+			lastName = m.Name
+			if m.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help)); err != nil {
+					return err
+				}
+			}
+			typ := m.Kind
+			if typ == "summary" {
+				typ = "gauge" // exposed as mean + stddev gauges, not quantiles
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, typ); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch m.Kind {
+		case "histogram":
+			var cum int64
+			for _, b := range m.Buckets {
+				cum += b.Count
+				_, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+					m.Name, labelString(m.Labels, Label{"le", formatFloat(b.Upper)}), cum)
+				if err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+				m.Name, labelString(m.Labels, Label{"le", "+Inf"}), m.Count); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, labelString(m.Labels), formatFloat(m.Sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelString(m.Labels), m.Count)
+		case "summary":
+			if _, err = fmt.Fprintf(w, "%s%s %s\n", m.Name, labelString(m.Labels), formatFloat(m.Value)); err != nil {
+				return err
+			}
+			if _, err = fmt.Fprintf(w, "%s_stddev%s %s\n", m.Name, labelString(m.Labels), formatFloat(m.Stddev)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelString(m.Labels), m.Count)
+		default: // counter, gauge
+			_, err = fmt.Fprintf(w, "%s%s %s\n", m.Name, labelString(m.Labels), formatFloat(m.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float compactly: integers without a decimal point,
+// everything else with %g.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Snapshot is the JSON document served at /snapshot.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// WriteJSON renders a snapshot as an indented JSON document. Histogram
+// buckets carry finite upper bounds only (the implicit +Inf bucket is
+// recoverable from Count), so the document is always valid JSON.
+func WriteJSON(w io.Writer, snapshot []Metric) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Snapshot{Metrics: snapshot})
+}

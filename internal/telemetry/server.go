@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// expvarReg is the registry behind the process-wide expvar variable. The
+// variable itself can only be published once (expvar.Publish panics on
+// duplicates), so servers swap the pointer instead.
+var expvarReg atomic.Pointer[Registry]
+
+// publishExpvar installs the "wdmsched" expvar variable exactly once.
+var publishExpvar = func() func(*Registry) {
+	var once atomic.Bool
+	return func(r *Registry) {
+		expvarReg.Store(r)
+		if once.CompareAndSwap(false, true) {
+			expvar.Publish("wdmsched", expvar.Func(func() any {
+				if reg := expvarReg.Load(); reg != nil {
+					return Snapshot{Metrics: reg.Snapshot()}
+				}
+				return nil
+			}))
+		}
+	}
+}()
+
+// Server is an opt-in HTTP endpoint exposing a Registry while a simulation
+// runs: Prometheus text at /metrics, a JSON document at /snapshot, the
+// process expvars at /debug/vars, and the net/http/pprof profiler under
+// /debug/pprof/.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	reg *Registry
+}
+
+// NewServer binds addr (e.g. ":8080" or "127.0.0.1:0") and starts serving
+// reg in a background goroutine. Close shuts it down.
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("telemetry: nil registry")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	publishExpvar(reg)
+
+	s := &Server{ln: ln, reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<html><head><title>wdmsched telemetry</title></head><body>
+<h1>wdmsched telemetry</h1>
+<ul>
+<li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
+<li><a href="/snapshot">/snapshot</a> — JSON metric snapshot</li>
+<li><a href="/debug/vars">/debug/vars</a> — expvar</li>
+<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiler</li>
+</ul>
+</body></html>
+`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WritePrometheus(w, s.reg.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := WriteJSON(w, s.reg.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"wdmsched/internal/metrics"
+)
+
+func testServer(t *testing.T) (*Server, *Registry) {
+	t.Helper()
+	r := NewRegistry()
+	var c metrics.Counter
+	c.Add(5)
+	r.Counter("srv_test_total", "server test counter", nil, &c)
+	s, err := NewServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, r
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	resp, body := get(t, "http://"+s.Addr()+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type %q", ct)
+	}
+	if !strings.Contains(body, "# TYPE srv_test_total counter") ||
+		!strings.Contains(body, "srv_test_total 5") {
+		t.Errorf("metrics body:\n%s", body)
+	}
+}
+
+func TestServerSnapshotEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	resp, body := get(t, "http://"+s.Addr()+"/snapshot")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Name != "srv_test_total" || snap.Metrics[0].Value != 5 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestServerDebugEndpoints(t *testing.T) {
+	s, _ := testServer(t)
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		resp, body := get(t, "http://"+s.Addr()+path)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("%s: empty body", path)
+		}
+	}
+	// expvar must carry the registry under the wdmsched key.
+	_, vars := get(t, "http://"+s.Addr()+"/debug/vars")
+	if !strings.Contains(vars, `"wdmsched"`) {
+		t.Errorf("/debug/vars missing wdmsched var:\n%s", vars)
+	}
+}
+
+func TestServerIndexAndNotFound(t *testing.T) {
+	s, _ := testServer(t)
+	resp, body := get(t, "http://"+s.Addr()+"/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index: status %d body %q", resp.StatusCode, body)
+	}
+	resp, _ = get(t, "http://"+s.Addr()+"/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestServerNilRegistry(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", nil); err == nil {
+		t.Fatal("want error for nil registry")
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	s, _ := testServer(t)
+	addr := s.Addr()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

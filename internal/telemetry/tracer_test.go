@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerOrderingAndLanes(t *testing.T) {
+	tr := NewDecisionTracer(2, 16)
+	if tr.Ports() != 2 || tr.SwitchLane() != 2 {
+		t.Fatalf("ports/switch lane = %d/%d", tr.Ports(), tr.SwitchLane())
+	}
+	// Emit out of lane order; Events must come back slot-major.
+	tr.Emit(1, Event{Slot: 2, Lane: 1, Kind: EvGrant})
+	tr.Emit(0, Event{Slot: 1, Lane: 0, Kind: EvGrant})
+	tr.Emit(2, Event{Slot: 1, Lane: 2, Kind: EvReject, Reason: ReasonInputBlocked})
+	tr.Emit(0, Event{Slot: 2, Lane: 0, Kind: EvReject, Reason: ReasonLostMatching})
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("got %d events, want 4", len(ev))
+	}
+	wantOrder := []struct {
+		slot int64
+		lane int32
+	}{{1, 0}, {1, 2}, {2, 0}, {2, 1}}
+	for i, w := range wantOrder {
+		if ev[i].Slot != w.slot || ev[i].Lane != w.lane {
+			t.Errorf("event %d = slot %d lane %d, want slot %d lane %d",
+				i, ev[i].Slot, ev[i].Lane, w.slot, w.lane)
+		}
+	}
+	if tr.Emitted() != 4 || tr.Dropped() != 0 {
+		t.Errorf("emitted/dropped = %d/%d", tr.Emitted(), tr.Dropped())
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewDecisionTracer(1, 4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(0, Event{Slot: int64(i), Lane: 0, Kind: EvGrant})
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	// The newest 4 survive, in order.
+	for i, e := range ev {
+		if e.Slot != int64(6+i) {
+			t.Errorf("event %d has slot %d, want %d", i, e.Slot, 6+i)
+		}
+	}
+	if tr.Emitted() != 10 || tr.Dropped() != 6 {
+		t.Errorf("emitted/dropped = %d/%d, want 10/6", tr.Emitted(), tr.Dropped())
+	}
+	tr.Reset()
+	if tr.Emitted() != 0 || len(tr.Events()) != 0 {
+		t.Error("Reset did not clear the tracer")
+	}
+}
+
+// TestTracerConcurrentLanes checks the single-writer-per-lane contract is
+// race-free: one goroutine per lane emitting while another goroutine reads
+// the live counters (run under -race in the gate).
+func TestTracerConcurrentLanes(t *testing.T) {
+	const lanes, events = 4, 1000
+	tr := NewDecisionTracer(lanes, 64)
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = tr.Emitted()
+				_ = tr.Dropped()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for l := 0; l <= lanes; l++ {
+		writers.Add(1)
+		go func(l int) {
+			defer writers.Done()
+			for i := 0; i < events; i++ {
+				tr.Emit(l, Event{Slot: int64(i), Lane: int32(l), Kind: EvGrant})
+			}
+		}(l)
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+	if tr.Emitted() != int64((lanes+1)*events) {
+		t.Errorf("emitted = %d, want %d", tr.Emitted(), (lanes+1)*events)
+	}
+}
+
+func TestTracerEmitNoAllocs(t *testing.T) {
+	tr := NewDecisionTracer(1, 1<<10)
+	e := Event{Slot: 1, Lane: 0, Kind: EvGrant, Fiber: 2, Wave: 3, Channel: 4}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Emit(0, e)
+	})
+	if allocs != 0 {
+		t.Errorf("Emit allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewDecisionTracer(2, 8)
+	tr.Emit(0, Event{Slot: 0, Lane: 0, Kind: EvGrant, Fiber: 1, Wave: 2, Channel: 3})
+	tr.Emit(2, Event{Slot: 0, Lane: 2, Kind: EvReject, Reason: ReasonInputBlocked, Fiber: 0, Wave: 1, Channel: -1})
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var rec struct {
+		Slot   int64  `json:"slot"`
+		Port   int    `json:"port"`
+		Kind   string `json:"kind"`
+		Reason string `json:"reason"`
+		In     int    `json:"in"`
+		Wave   int    `json:"wave"`
+		Ch     int    `json:"ch"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec.Kind != "grant" || rec.In != 1 || rec.Wave != 2 || rec.Ch != 3 {
+		t.Errorf("grant line = %+v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if rec.Kind != "reject" || rec.Reason != "input-blocked" || rec.Port != -1 {
+		t.Errorf("switch-lane reject line = %+v", rec)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewDecisionTracer(1, 8)
+	tr.Emit(0, Event{Slot: 3, Lane: 0, Kind: EvSlotLatency, Fiber: -1, Wave: -1, Channel: -1, Value: 2500})
+	tr.Emit(0, Event{Slot: 3, Lane: 0, Kind: EvGrant, Fiber: 0, Wave: 1, Channel: 1})
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("chrome trace not a JSON array: %v\n%s", err, sb.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d trace events, want 2", len(events))
+	}
+	var sawSpan, sawInstant bool
+	for _, e := range events {
+		switch e["ph"] {
+		case "X":
+			sawSpan = true
+			if e["dur"].(float64) != 2.5 { // 2500ns = 2.5µs
+				t.Errorf("span dur = %v, want 2.5", e["dur"])
+			}
+		case "i":
+			sawInstant = true
+			if e["name"] != "grant" {
+				t.Errorf("instant name = %v", e["name"])
+			}
+		}
+	}
+	if !sawSpan || !sawInstant {
+		t.Errorf("span=%v instant=%v, want both", sawSpan, sawInstant)
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"wdmsched/internal/metrics"
 	"wdmsched/internal/pathsim"
 	"wdmsched/internal/sim"
+	"wdmsched/internal/telemetry"
 	"wdmsched/internal/traffic"
 	"wdmsched/internal/wavelength"
 )
@@ -268,6 +269,72 @@ func NewMarkovFaults(cfg MarkovFaultConfig) (FaultInjector, error) {
 // FaultStats reports degraded-mode statistics of a faulted run
 // (Stats.Fault; nil when no injector was configured).
 type FaultStats = interconnect.FaultStats
+
+// TelemetryRegistry is a named-metric registry; attach one via
+// SwitchConfig.Telemetry and the switch registers every run statistic
+// under wdm_* names, readable live from concurrent scrapers.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetryMetric is one sample in a registry snapshot.
+type TelemetryMetric = telemetry.Metric
+
+// TelemetryLabel is one name/value metric label.
+type TelemetryLabel = telemetry.Label
+
+// NewTelemetryRegistry builds an empty metric registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// TelemetryServer is the opt-in HTTP endpoint serving a registry:
+// Prometheus text at /metrics, JSON at /snapshot, expvar at /debug/vars
+// and the runtime profiler under /debug/pprof/.
+type TelemetryServer = telemetry.Server
+
+// ServeTelemetry binds addr (e.g. ":8080", or "127.0.0.1:0" for an
+// ephemeral port) and serves the registry until Close.
+func ServeTelemetry(addr string, reg *TelemetryRegistry) (*TelemetryServer, error) {
+	return telemetry.NewServer(addr, reg)
+}
+
+// WriteTelemetryPrometheus writes a registry snapshot in the Prometheus
+// text exposition format.
+func WriteTelemetryPrometheus(w io.Writer, reg *TelemetryRegistry) error {
+	return telemetry.WritePrometheus(w, reg.Snapshot())
+}
+
+// DecisionTracer records per-slot scheduling decisions — grants, rejects
+// with reasons, preemptions, fault kills, BFA break edges and per-port
+// slot latency — into bounded allocation-free ring buffers. Attach one via
+// SwitchConfig.Trace; dump it with its WriteJSONL or WriteChromeTrace
+// methods (or the wdmtrace -decisions command).
+type DecisionTracer = telemetry.DecisionTracer
+
+// DecisionEvent is one recorded scheduling decision.
+type DecisionEvent = telemetry.Event
+
+// NewDecisionTracer builds a tracer for a switch with ports output
+// fibers, retaining up to perLaneCap events per port lane.
+func NewDecisionTracer(ports, perLaneCap int) *DecisionTracer {
+	return telemetry.NewDecisionTracer(ports, perLaneCap)
+}
+
+// Decision event kinds (DecisionEvent.Kind).
+const (
+	EventGrant       = telemetry.EvGrant
+	EventRegrant     = telemetry.EvRegrant
+	EventReject      = telemetry.EvReject
+	EventPreempt     = telemetry.EvPreempt
+	EventFaultKill   = telemetry.EvFaultKill
+	EventBreakEdge   = telemetry.EvBreakEdge
+	EventSlotLatency = telemetry.EvSlotLatency
+)
+
+// Reject reasons (DecisionEvent.Reason).
+const (
+	RejectInputBlocked   = telemetry.ReasonInputBlocked
+	RejectWindowOccupied = telemetry.ReasonWindowOccupied
+	RejectFaultMasked    = telemetry.ReasonFaultMasked
+	RejectLostMatching   = telemetry.ReasonLostMatching
+)
 
 // CloseScheduler releases background resources a scheduler may hold — the
 // parallel Section IV-B scheduler keeps d persistent worker goroutines
