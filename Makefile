@@ -9,7 +9,8 @@ GO ?= go
 BENCHTIME ?= 1s
 FUZZTIME ?= 30s
 
-.PHONY: check vet build test race fmt fmt-check bench fuzz fuzz-short output trace
+.PHONY: check vet build test race fmt fmt-check bench fuzz fuzz-short output trace \
+	bench-save examples-smoke cluster-smoke
 
 check: vet build test race
 
@@ -23,7 +24,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/interconnect ./internal/core ./internal/telemetry ./internal/metrics
+	$(GO) test -race ./internal/interconnect ./internal/core ./internal/telemetry \
+		./internal/metrics ./internal/cluster
 
 fmt:
 	gofmt -l -w .
@@ -47,6 +49,27 @@ fuzz:
 fuzz-short:
 	$(GO) test -fuzz FuzzCircularSchedulersAgree -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -fuzz FuzzSeqDistStatsEquivalence -fuzztime $(FUZZTIME) ./internal/interconnect
+
+# Append the next point of the perf-trajectory record: engine run-time
+# metrics as JSON in BENCH_<n>.json, n = first unused index. Commit the
+# file to keep the trajectory in history.
+bench-save:
+	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	$(GO) run ./cmd/wdmbench -engine -json > BENCH_$$n.json && \
+	echo "wrote BENCH_$$n.json"
+
+# Execute every example program end to end (they are built by ./... but
+# would otherwise never run); any non-zero exit fails the target.
+examples-smoke:
+	@for d in examples/*/; do \
+		echo "== $$d"; $(GO) run ./$$d > /dev/null || exit 1; \
+	done; echo "examples smoke: all programs exited 0"
+
+# Cluster integration smoke: controller + two wdmnode processes over
+# loopback, statistics compared byte-for-byte against the in-process
+# engines, live /metrics scrape included.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # Regenerate the sample wdmbench output (not committed; see .gitignore).
 output:

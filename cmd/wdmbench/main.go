@@ -11,9 +11,11 @@
 //	wdmbench -list           # list experiment IDs and titles
 //	wdmbench -engine         # slot-engine run-time metrics (latency, allocs)
 //	wdmbench -faults         # graceful-degradation study under converter faults
+//	wdmbench -json           # structured JSON (perf-trajectory record; make bench-save)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,17 +35,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wdmbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp    = fs.String("exp", "", "experiment ID to run (default: all)")
-		csv    = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
-		quick  = fs.Bool("quick", false, "reduced sweep sizes")
-		list   = fs.Bool("list", false, "list experiments and exit")
-		engine = fs.Bool("engine", false, "report slot-engine run-time metrics instead of paper experiments")
-		faults = fs.Bool("faults", false, "report degraded-mode behavior under injected converter/channel faults")
-		telem  = fs.Bool("telemetry", false, "run a short instrumented simulation and dump its Prometheus metrics")
-		slots  = fs.Int("slots", 0, "simulation slots per data point (0 = default)")
-		trials = fs.Int("trials", 0, "random trials per data point (0 = default)")
-		seed   = fs.Uint64("seed", 0, "random seed (0 = default)")
-		outDir = fs.String("o", "", "also write one CSV file per table into this directory")
+		exp     = fs.String("exp", "", "experiment ID to run (default: all)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of ASCII tables")
+		jsonOut = fs.Bool("json", false, "emit one JSON document instead of ASCII tables (see make bench-save)")
+		quick   = fs.Bool("quick", false, "reduced sweep sizes")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		engine  = fs.Bool("engine", false, "report slot-engine run-time metrics instead of paper experiments")
+		faults  = fs.Bool("faults", false, "report degraded-mode behavior under injected converter/channel faults")
+		telem   = fs.Bool("telemetry", false, "run a short instrumented simulation and dump its Prometheus metrics")
+		slots   = fs.Int("slots", 0, "simulation slots per data point (0 = default)")
+		trials  = fs.Int("trials", 0, "random trials per data point (0 = default)")
+		seed    = fs.Uint64("seed", 0, "random seed (0 = default)")
+		outDir  = fs.String("o", "", "also write one CSV file per table into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -58,6 +61,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	cfg := wdm.ExperimentConfig{Quick: *quick, Slots: *slots, Trials: *trials, Seed: *seed}
 
+	if *jsonOut && (*csv || *telem) {
+		fmt.Fprintln(stderr, "wdmbench: -json cannot combine with -csv or -telemetry")
+		return 2
+	}
+
 	if *telem {
 		if err := runTelemetryDump(stdout, cfg); err != nil {
 			fmt.Fprintf(stderr, "wdmbench: telemetry dump failed: %v\n", err)
@@ -66,29 +74,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	if *engine {
-		t, err := runEngineStudy(cfg)
+	if *engine || *faults {
+		mode, study := "engine", runEngineStudy
+		if *faults {
+			mode, study = "faults", runFaultStudy
+		}
+		t, err := study(cfg)
 		if err != nil {
-			fmt.Fprintf(stderr, "wdmbench: engine study failed: %v\n", err)
+			fmt.Fprintf(stderr, "wdmbench: %s study failed: %v\n", mode, err)
 			return 1
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			if err := writeBenchJSON(stdout, cfg, []benchGroup{{ID: mode, Title: t.Title, Tables: []*wdm.Table{t}}}); err != nil {
+				fmt.Fprintf(stderr, "wdmbench: %v\n", err)
+				return 1
+			}
+		case *csv:
 			fmt.Fprintf(stdout, "# %s\n%s\n", t.Title, t.CSV())
-		} else {
-			fmt.Fprintln(stdout, t.ASCII())
-		}
-		return 0
-	}
-
-	if *faults {
-		t, err := runFaultStudy(cfg)
-		if err != nil {
-			fmt.Fprintf(stderr, "wdmbench: fault study failed: %v\n", err)
-			return 1
-		}
-		if *csv {
-			fmt.Fprintf(stdout, "# %s\n%s\n", t.Title, t.CSV())
-		} else {
+		default:
 			fmt.Fprintln(stdout, t.ASCII())
 		}
 		return 0
@@ -116,16 +120,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	return runExperiments(toRun, cfg, *csv, *outDir, stdout, stderr)
+	return runExperiments(toRun, cfg, *csv, *jsonOut, *outDir, stdout, stderr)
 }
 
-func runExperiments(toRun []wdm.Experiment, cfg wdm.ExperimentConfig, csv bool, outDir string, stdout, stderr io.Writer) int {
+// benchGroup is one experiment's worth of tables in the -json document.
+type benchGroup struct {
+	ID     string       `json:"id"`
+	Title  string       `json:"title"`
+	Tables []*wdm.Table `json:"tables"`
+}
+
+// writeBenchJSON emits the structured benchmark document -json and the
+// make bench-save target consume: the run configuration plus every table,
+// rows as strings exactly as the ASCII renderer would print them.
+func writeBenchJSON(w io.Writer, cfg wdm.ExperimentConfig, groups []benchGroup) error {
+	doc := struct {
+		Quick   bool         `json:"quick"`
+		Slots   int          `json:"slots,omitempty"`
+		Trials  int          `json:"trials,omitempty"`
+		Seed    uint64       `json:"seed,omitempty"`
+		Results []benchGroup `json:"results"`
+	}{cfg.Quick, cfg.Slots, cfg.Trials, cfg.Seed, groups}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func runExperiments(toRun []wdm.Experiment, cfg wdm.ExperimentConfig, csv, jsonOut bool, outDir string, stdout, stderr io.Writer) int {
+	var groups []benchGroup
 	for _, e := range toRun {
-		fmt.Fprintf(stdout, "### %s — %s\n\n", e.ID, e.Title)
+		if !jsonOut {
+			fmt.Fprintf(stdout, "### %s — %s\n\n", e.ID, e.Title)
+		}
 		tables, err := e.Run(cfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "wdmbench: %s failed: %v\n", e.ID, err)
 			return 1
+		}
+		if jsonOut {
+			groups = append(groups, benchGroup{ID: e.ID, Title: e.Title, Tables: tables})
+			continue
 		}
 		for ti, t := range tables {
 			if csv {
@@ -140,6 +174,12 @@ func runExperiments(toRun []wdm.Experiment, cfg wdm.ExperimentConfig, csv bool, 
 					return 1
 				}
 			}
+		}
+	}
+	if jsonOut {
+		if err := writeBenchJSON(stdout, cfg, groups); err != nil {
+			fmt.Fprintf(stderr, "wdmbench: %v\n", err)
+			return 1
 		}
 	}
 	return 0

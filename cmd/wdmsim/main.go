@@ -17,7 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"strings"
+	"time"
 
 	wdm "wdmsched"
 )
@@ -58,6 +61,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		asyncMode   = fs.Bool("async", false, "asynchronous wavelength-routing mode (paper §I)")
 		erlangs     = fs.Float64("erlangs", 10, "offered Erlangs λ/µ in -async mode")
 		arrivals    = fs.Int("arrivals", 200000, "connection arrivals to simulate in -async mode")
+		clusterTo   = fs.String("cluster", "", "comma-separated wdmnode addresses; schedule over the networked cluster runtime")
+		nodes       = fs.Int("nodes", 0, "spawn this many in-process loopback nodes and cluster over them")
+		netDrop     = fs.Float64("netdrop", 0, "injected frame drop probability on the cluster transport")
+		netDup      = fs.Float64("netdup", 0, "injected frame duplication probability on the cluster transport")
+		netDelay    = fs.Float64("netdelay", 0, "injected frame delay probability on the cluster transport")
+		rpcTimeout  = fs.Duration("rpctimeout", 0, "cluster schedule RPC deadline (default 500ms)")
 		listen      = fs.String("listen", "", "serve live telemetry on this address (/metrics, /snapshot, /debug/pprof)")
 		quiet       = fs.Bool("quiet", false, "suppress the statistics table")
 		jsonOut     = fs.Bool("json", false, "print statistics as JSON instead of the table")
@@ -70,8 +79,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wdmsim: %v\n", err)
 		return 1
 	}
-	if *asyncMode && (*jsonOut || *listen != "") {
-		return fail(fmt.Errorf("-json and -listen are not supported in -async mode"))
+	if *asyncMode && (*jsonOut || *listen != "" || *clusterTo != "" || *nodes > 0) {
+		return fail(fmt.Errorf("-json, -listen and -cluster/-nodes are not supported in -async mode"))
+	}
+	if *clusterTo != "" && *nodes > 0 {
+		return fail(fmt.Errorf("-cluster and -nodes are mutually exclusive"))
 	}
 
 	kind, err := wdm.ParseKind(*kindFlag)
@@ -138,11 +150,59 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Cluster mode: either connect to externally started wdmnode processes
+	// (-cluster) or spawn loopback nodes in-process (-nodes) — handy for a
+	// self-contained demonstration of the networked runtime.
+	var ctrl *wdm.ClusterController
+	var closers []func()
+	defer func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}()
+	if *clusterTo != "" || *nodes > 0 {
+		addrs := strings.Split(*clusterTo, ",")
+		if *nodes > 0 {
+			addrs = addrs[:0]
+			for i := 0; i < *nodes; i++ {
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					return fail(err)
+				}
+				node := wdm.NewClusterNode(wdm.ClusterNodeConfig{})
+				go node.Serve(ln)
+				closers = append(closers, func() { node.Close() })
+				addrs = append(addrs, ln.Addr().String())
+			}
+		}
+		var tf *wdm.TransportFaults
+		if *netDrop > 0 || *netDup > 0 || *netDelay > 0 {
+			tf, err = wdm.NewTransportFaults(wdm.TransportFaultConfig{
+				Seed: *seed + 3, Drop: *netDrop, Duplicate: *netDup, Delay: *netDelay,
+			})
+			if err != nil {
+				return fail(err)
+			}
+		}
+		ctrl, err = wdm.NewClusterController(wdm.ClusterControllerConfig{
+			Addrs: addrs, N: *n, Conv: conv, Scheduler: *scheduler,
+			RPCTimeout: *rpcTimeout, Faults: tf, Seed: *seed + 4,
+			DialTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		closers = append(closers, func() { ctrl.Close() })
+	}
+
 	var reg *wdm.TelemetryRegistry
 	if *listen != "" {
 		reg = wdm.NewTelemetryRegistry()
+		if ctrl != nil {
+			ctrl.RegisterTelemetry(reg)
+		}
 	}
-	sw, err := wdm.NewSwitch(wdm.SwitchConfig{
+	swCfg := wdm.SwitchConfig{
 		N: *n, Conv: conv,
 		Scheduler: *scheduler, Selector: *selector,
 		Seed: *seed, Disturb: *disturb,
@@ -150,7 +210,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		PriorityClasses: *classes,
 		Faults:          faults,
 		Telemetry:       reg,
-	})
+	}
+	if ctrl != nil {
+		swCfg.Remote = ctrl
+	}
+	sw, err := wdm.NewSwitch(swCfg)
 	if err != nil {
 		return fail(err)
 	}
@@ -200,6 +264,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			st.Fault.MeanHealthyChannels(), *n**k, 100*st.Fault.DegradedFraction(st.Slots))
 		fmt.Fprintf(stdout, "fault cost     %d grants lost, %d connections killed\n",
 			st.Fault.LostGrants.Value(), st.Fault.KilledConnections.Value())
+	}
+	if st.Cluster != nil {
+		c := st.Cluster
+		fmt.Fprintf(stdout, "cluster        %d nodes, remote fraction %.4f (%d remote, %d fallback, %d empty)\n",
+			c.Nodes, c.RemoteFraction(), c.RemoteItems.Value(), c.LocalFallbackItems.Value(), c.EmptyItems.Value())
+		fmt.Fprintf(stdout, "cluster rpc    mean %v p99 %v; %d retries, %d deadline misses, %d reconnects\n",
+			c.RPCLatency.Mean(), c.RPCLatency.Quantile(0.99), c.Retries.Value(), c.DeadlineMisses.Value(), c.Reconnects.Value())
+		fmt.Fprintf(stdout, "cluster wire   %d bytes sent, %d received\n",
+			c.BytesSent.Value(), c.BytesReceived.Value())
 	}
 	fmt.Fprintf(stdout, "loss rate      %.6f\n", st.LossRate())
 	fmt.Fprintf(stdout, "throughput     %.4f granted packets per channel-slot\n", st.Throughput(*n, *k))

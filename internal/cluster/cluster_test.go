@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"io"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wdmsched/internal/core"
+	"wdmsched/internal/fault"
+	"wdmsched/internal/interconnect"
+	"wdmsched/internal/traffic"
+	"wdmsched/internal/wavelength"
+)
+
+// startNode launches a node on an ephemeral listener and returns its
+// dial address ("host:port" or "unix:/path").
+func startNode(t *testing.T, network string) (string, *Node) {
+	t.Helper()
+	var ln net.Listener
+	var addr string
+	var err error
+	if network == "unix" {
+		path := filepath.Join(t.TempDir(), "node.sock")
+		ln, err = net.Listen("unix", path)
+		addr = "unix:" + path
+	} else {
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if err == nil {
+			addr = ln.Addr().String()
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(NodeConfig{})
+	go node.Serve(ln)
+	t.Cleanup(func() { node.Close() })
+	return addr, node
+}
+
+// clusterRun simulates cfg once, optionally through a controller over the
+// given node addresses.
+func clusterRun(t *testing.T, cfg interconnect.Config, ccfg *ControllerConfig, load float64, slots int) *interconnect.Stats {
+	t.Helper()
+	if ccfg != nil {
+		ccfg.N = cfg.N
+		ccfg.Conv = cfg.Conv
+		ccfg.Scheduler = cfg.Scheduler
+		ctrl, err := NewController(*ccfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ctrl.Close()
+		cfg.Remote = ctrl
+	}
+	sw, err := interconnect.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := traffic.NewBernoulli(traffic.Config{
+		N: cfg.N, K: cfg.Conv.K(), Seed: cfg.Seed + 1,
+		Hold: traffic.HoldingTime{Mean: 2},
+	}, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sw.Run(gen, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// requireStatsEqual compares every traffic-level statistic of two runs —
+// the keystone property: a cluster run must be byte-identical to the
+// in-process engines, faults or not.
+func requireStatsEqual(t *testing.T, label string, a, b *interconnect.Stats) {
+	t.Helper()
+	if a.Slots != b.Slots ||
+		a.Offered.Value() != b.Offered.Value() ||
+		a.Granted.Value() != b.Granted.Value() ||
+		a.InputBlocked.Value() != b.InputBlocked.Value() ||
+		a.OutputDropped.Value() != b.OutputDropped.Value() ||
+		a.Preempted.Value() != b.Preempted.Value() ||
+		a.BusyChannelSlots.Value() != b.BusyChannelSlots.Value() {
+		t.Fatalf("%s: counters diverged: {o=%d g=%d ib=%d od=%d p=%d bs=%d} vs {o=%d g=%d ib=%d od=%d p=%d bs=%d}",
+			label,
+			a.Offered.Value(), a.Granted.Value(), a.InputBlocked.Value(),
+			a.OutputDropped.Value(), a.Preempted.Value(), a.BusyChannelSlots.Value(),
+			b.Offered.Value(), b.Granted.Value(), b.InputBlocked.Value(),
+			b.OutputDropped.Value(), b.Preempted.Value(), b.BusyChannelSlots.Value())
+	}
+	for f := range a.PerInputGranted {
+		if a.PerInputGranted[f] != b.PerInputGranted[f] {
+			t.Fatalf("%s: per-input grants diverged at fiber %d: %d vs %d",
+				label, f, a.PerInputGranted[f], b.PerInputGranted[f])
+		}
+	}
+	for c := range a.PerChannelBusy {
+		if a.PerChannelBusy[c] != b.PerChannelBusy[c] {
+			t.Fatalf("%s: per-channel busy diverged at channel %d: %d vs %d",
+				label, c, a.PerChannelBusy[c], b.PerChannelBusy[c])
+		}
+	}
+	for v := 0; v <= len(a.PerChannelBusy); v++ {
+		if a.MatchSizes.Bucket(v) != b.MatchSizes.Bucket(v) {
+			t.Fatalf("%s: match-size histogram diverged at %d: %d vs %d",
+				label, v, a.MatchSizes.Bucket(v), b.MatchSizes.Bucket(v))
+		}
+	}
+	if (a.Fault != nil) != (b.Fault != nil) {
+		t.Fatalf("%s: fault stats presence diverged", label)
+	}
+	if a.Fault != nil {
+		if a.Fault.LostGrants.Value() != b.Fault.LostGrants.Value() ||
+			a.Fault.KilledConnections.Value() != b.Fault.KilledConnections.Value() {
+			t.Fatalf("%s: fault accounting diverged: lost %d vs %d, killed %d vs %d",
+				label, a.Fault.LostGrants.Value(), b.Fault.LostGrants.Value(),
+				a.Fault.KilledConnections.Value(), b.Fault.KilledConnections.Value())
+		}
+	}
+}
+
+// TestClusterEquivalence is the keystone gate: the networked runtime must
+// reproduce the sequential engine's statistics exactly, across schedulers,
+// disturb mode, transports, and channel-fault masking.
+func TestClusterEquivalence(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 8, 1, 1)
+	a1, _ := startNode(t, "tcp")
+	a2, _ := startNode(t, "tcp")
+	a3, _ := startNode(t, "unix")
+	addrs := []string{a1, a2, a3}
+
+	for _, sched := range []string{"exact", "shortest-edge"} {
+		for _, disturb := range []bool{false, true} {
+			base := interconnect.Config{
+				N: 5, Conv: conv, Scheduler: sched, Seed: 7, Disturb: disturb,
+			}
+			label := sched
+			if disturb {
+				label += "+disturb"
+			}
+			want := clusterRun(t, base, nil, 0.9, 60)
+			got := clusterRun(t, base, &ControllerConfig{Addrs: addrs, Seed: 7}, 0.9, 60)
+			requireStatsEqual(t, label, want, got)
+			if got.Cluster == nil {
+				t.Fatalf("%s: cluster stats missing", label)
+			}
+			if got.Cluster.LocalFallbackItems.Value() != 0 {
+				t.Fatalf("%s: healthy cluster fell back %d times",
+					label, got.Cluster.LocalFallbackItems.Value())
+			}
+			if got.Cluster.RemoteItems.Value() == 0 {
+				t.Fatalf("%s: no remote scheduling happened", label)
+			}
+		}
+	}
+}
+
+// TestClusterEquivalenceWithChannelFaults exercises the masked scheduling
+// path over the wire: channel faults degrade the request graph, the node
+// computes both the masked decision and the healthy shadow matching, and
+// the degraded-mode accounting must match the sequential engine's.
+func TestClusterEquivalenceWithChannelFaults(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 8, 1, 1)
+	a1, _ := startNode(t, "tcp")
+	a2, _ := startNode(t, "tcp")
+	newInjector := func() fault.Injector {
+		inj, err := fault.NewMarkov(fault.MarkovConfig{
+			N: 4, K: 8, Seed: 11,
+			ConverterFail: 0.05, ConverterRepair: 0.2,
+			ChannelDark: 0.03, ChannelRestore: 0.2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inj
+	}
+	base := interconnect.Config{N: 4, Conv: conv, Scheduler: "exact", Seed: 3}
+	seq := base
+	seq.Faults = newInjector()
+	want := clusterRun(t, seq, nil, 0.9, 80)
+	clu := base
+	clu.Faults = newInjector()
+	got := clusterRun(t, clu, &ControllerConfig{Addrs: []string{a1, a2}, Seed: 3}, 0.9, 80)
+	requireStatsEqual(t, "markov-faults", want, got)
+	if want.Fault == nil || want.Fault.LostGrants.Value() == 0 {
+		t.Fatal("fault scenario injected nothing; test is vacuous")
+	}
+}
+
+// TestClusterTransportFaults injects frame drops, duplicates and delays
+// and asserts the two halves of the degradation contract: the run still
+// completes with identical statistics, and the retry/fallback machinery
+// visibly absorbed the faults.
+func TestClusterTransportFaults(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 6, 1, 1)
+	a1, _ := startNode(t, "tcp")
+	a2, _ := startNode(t, "tcp")
+	base := interconnect.Config{N: 4, Conv: conv, Scheduler: "exact", Seed: 5}
+	want := clusterRun(t, base, nil, 0.9, 120)
+
+	tf, err := fault.NewTransportFaults(fault.TransportConfig{
+		Seed: 9, Drop: 0.08, Duplicate: 0.05, Delay: 0.03, DelayFor: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := clusterRun(t, base, &ControllerConfig{
+		Addrs: []string{a1, a2}, Seed: 5,
+		RPCTimeout: 100 * time.Millisecond, BackoffBase: time.Millisecond,
+		Faults: tf,
+	}, 0.9, 120)
+	requireStatsEqual(t, "transport-faults", want, got)
+	if tf.Injected() == 0 {
+		t.Fatal("no transport faults injected; test is vacuous")
+	}
+	c := got.Cluster
+	if c.Retries.Value() == 0 && c.LocalFallbackItems.Value() == 0 {
+		t.Fatalf("faults injected (%d) but neither retries nor fallbacks recorded", tf.Injected())
+	}
+	t.Logf("injected=%d retries=%d deadline_misses=%d fallback_items=%d reconnects=%d",
+		tf.Injected(), c.Retries.Value(), c.DeadlineMisses.Value(),
+		c.LocalFallbackItems.Value(), c.Reconnects.Value())
+}
+
+// coreResultCheck holds the decision a local scheduler makes for one
+// request vector — what a node (or the fallback) must also produce, since
+// both run the same pure function.
+type coreResultCheck struct {
+	want *core.Result
+}
+
+func newCoreResultCheck(t *testing.T, conv wavelength.Conversion, count []int) *coreResultCheck {
+	t.Helper()
+	sc, err := core.NewByName("exact", conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.NewResult(conv.K())
+	sc.Schedule(count, make([]bool, conv.K()), want)
+	if c, ok := sc.(io.Closer); ok {
+		c.Close()
+	}
+	return &coreResultCheck{want: want}
+}
+
+func (c *coreResultCheck) requireEqual(t *testing.T, slot int64, port int, got *core.Result) {
+	t.Helper()
+	if got.Size != c.want.Size || got.BreakChannel != c.want.BreakChannel {
+		t.Fatalf("slot %d port %d: size/break %d/%d, want %d/%d",
+			slot, port, got.Size, got.BreakChannel, c.want.Size, c.want.BreakChannel)
+	}
+	for b := range got.ByOutput {
+		if got.ByOutput[b] != c.want.ByOutput[b] {
+			t.Fatalf("slot %d port %d: channel %d got λ%d, want λ%d",
+				slot, port, b, got.ByOutput[b], c.want.ByOutput[b])
+		}
+	}
+}
+
+func newEmptyResult(k int) *core.Result { return core.NewResult(k) }
+
+// TestClusterNodeFailover kills a node mid-run and later revives it: the
+// controller must degrade to local scheduling without stalling a slot,
+// keep producing exactly the results the node would have, and re-adopt
+// the node once it is back.
+func TestClusterNodeFailover(t *testing.T) {
+	conv := wavelength.MustNew(wavelength.Circular, 6, 1, 1)
+	k := conv.K()
+	a1, _ := startNode(t, "tcp")
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := ln2.Addr().String()
+	node2 := NewNode(NodeConfig{})
+	go node2.Serve(ln2)
+
+	ctrl, err := NewController(ControllerConfig{
+		Addrs: []string{a1, a2}, N: 4, Conv: conv, Scheduler: "exact",
+		Seed: 13, Retries: -1, ProbeSlots: 2, RPCTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	// One deterministic batch, reused each slot; expectations computed with
+	// a local scheduler over the same pure inputs.
+	counts := [][]int{
+		{2, 0, 1, 3, 0, 1},
+		{0, 1, 0, 0, 2, 0},
+		{1, 1, 1, 1, 1, 1},
+		{4, 0, 0, 0, 0, 2},
+	}
+	schedule := func(slot int64) []*coreResultCheck {
+		t.Helper()
+		reqs := make([]interconnect.BatchRequest, 4)
+		out := make([]interconnect.BatchResult, 4)
+		checks := make([]*coreResultCheck, 4)
+		for p := 0; p < 4; p++ {
+			reqs[p] = interconnect.BatchRequest{
+				Port: p, Count: counts[p], Occupied: make([]bool, k),
+			}
+			checks[p] = newCoreResultCheck(t, conv, counts[p])
+			out[p] = interconnect.BatchResult{Port: p, Res: newEmptyResult(k)}
+		}
+		if err := ctrl.ScheduleBatch(slot, reqs, out); err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		for p := 0; p < 4; p++ {
+			checks[p].requireEqual(t, slot, p, out[p].Res)
+		}
+		return checks
+	}
+
+	schedule(0)
+	if got := ctrl.ClusterStats().LocalFallbackItems.Value(); got != 0 {
+		t.Fatalf("healthy slot fell back %d items", got)
+	}
+
+	node2.Close() // ports 1 and 3 lose their node
+	schedule(1)
+	schedule(2)
+	fb := ctrl.ClusterStats().LocalFallbackItems.Value()
+	if fb == 0 {
+		t.Fatal("node killed but no local fallback recorded")
+	}
+
+	// Revive the node on the same address and step past the probe window.
+	ln2b, err := net.Listen("tcp", a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node2b := NewNode(NodeConfig{})
+	go node2b.Serve(ln2b)
+	t.Cleanup(func() { node2b.Close() })
+
+	for slot := int64(3); slot < 10; slot++ {
+		schedule(slot)
+	}
+	if got := ctrl.ClusterStats().Reconnects.Value(); got == 0 {
+		t.Fatal("revived node never re-adopted")
+	}
+	after := ctrl.ClusterStats().LocalFallbackItems.Value()
+	schedule(10)
+	if got := ctrl.ClusterStats().LocalFallbackItems.Value(); got != after {
+		t.Fatalf("still falling back after reconnect: %d -> %d", after, got)
+	}
+}

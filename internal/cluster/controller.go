@@ -1,0 +1,605 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wdmsched/internal/core"
+	"wdmsched/internal/fault"
+	"wdmsched/internal/interconnect"
+	"wdmsched/internal/telemetry"
+	"wdmsched/internal/traffic"
+	"wdmsched/internal/wavelength"
+)
+
+// ControllerConfig describes a cluster run: which nodes to shard the
+// output-fiber schedulers across and how hard to try before scheduling a
+// port locally.
+type ControllerConfig struct {
+	// Addrs lists the worker nodes. "host:port" dials TCP; "unix:/path"
+	// (or any address containing a slash) dials a unix socket. Output port
+	// o is assigned to node o mod len(Addrs).
+	Addrs []string
+	// N and Conv are the interconnect shape: N output fibers, each with
+	// Conv.K() wavelength channels under conversion model Conv.
+	N    int
+	Conv wavelength.Conversion
+	// Scheduler is the core.NewByName scheduler every node instantiates
+	// per assigned port (and the controller per link for local fallback).
+	Scheduler string
+	// RPCTimeout bounds each schedule RPC attempt (default 500ms).
+	RPCTimeout time.Duration
+	// Retries is how many times a failed attempt is re-sent before the
+	// link's ports fall back to local scheduling for the slot (default 2;
+	// negative means fall back after the first failure).
+	Retries int
+	// BackoffBase seeds the exponential backoff between retries; each
+	// retry waits base·2^attempt plus seeded jitter (default 2ms).
+	BackoffBase time.Duration
+	// DialTimeout bounds the initial connection establishment per node,
+	// retried in a loop so controllers may start before their nodes
+	// (default 5s).
+	DialTimeout time.Duration
+	// ProbeSlots is how many slots a failed link waits between reconnect
+	// probes once its immediate redial has failed (default 16).
+	ProbeSlots int
+	// Faults, when non-nil, injects frame drop/delay/duplication on the
+	// controller side of every link.
+	Faults *fault.TransportFaults
+	// Seed drives the retry jitter and handshake nonces.
+	Seed uint64
+	// Logf, when non-nil, receives connection lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *ControllerConfig) fillDefaults() {
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 500 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 2 * time.Millisecond
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.ProbeSlots <= 0 {
+		c.ProbeSlots = 16
+	}
+}
+
+// Controller shards the per-output-fiber schedulers across worker nodes
+// and drives them slot by slot: it implements interconnect.BatchScheduler,
+// streaming each slot's request vectors to every node in one batched frame
+// and merging the grants back into the switch's slot loop. Nodes that miss
+// their deadline (after bounded retries) degrade gracefully — the
+// controller schedules their ports locally with an identical scheduler, so
+// the slot never stalls and the results never change.
+type Controller struct {
+	cfg   ControllerConfig
+	links []*link
+	stats *interconnect.ClusterStats
+
+	// curReqs/curOut are the in-flight slot's batch, indexed by the links'
+	// item lists. Set by ScheduleBatch before the fan-out, read-only to
+	// the link workers until the barrier.
+	curReqs []interconnect.BatchRequest
+	curOut  []interconnect.BatchResult
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// link is one controller→node session plus everything needed to survive
+// its loss: the fallback scheduler, reconnect bookkeeping, and the
+// persistent worker goroutine that handles this link's share of each slot.
+type link struct {
+	ctrl *Controller
+	id   int
+	addr string
+
+	tr        *transport // nil while disconnected
+	seq       uint64
+	rng       *traffic.RNG // jitter + nonces; worker-goroutine only
+	fb        core.Scheduler
+	nextProbe int64 // earliest slot to attempt a reconnect at
+
+	healthy atomic.Bool // mirrors tr != nil, for telemetry reads
+
+	items    []int  // indices into curReqs owned by this link, per slot
+	payload  []byte // schedule frame build buffer
+	ports    []byte // cached config payload
+	fellBack bool   // set when this slot's items were scheduled locally
+
+	work chan int64
+	once sync.Once
+}
+
+// NewController validates the configuration, connects to every node
+// (waiting up to DialTimeout each, so nodes may still be starting), pushes
+// the port partition, and returns a ready BatchScheduler.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	cfg.fillDefaults()
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("cluster: no node addresses")
+	}
+	if cfg.N <= 0 || cfg.N > maxPorts {
+		return nil, fmt.Errorf("cluster: ports %d outside (0, %d]", cfg.N, maxPorts)
+	}
+	if cfg.N > 0xffff {
+		return nil, fmt.Errorf("cluster: ports %d exceed u16 request-count wire range", cfg.N)
+	}
+	if k := cfg.Conv.K(); k <= 0 || k > maxWavelengths {
+		return nil, fmt.Errorf("cluster: wavelengths %d outside (0, %d]", k, maxWavelengths)
+	}
+	if len(cfg.Addrs) > cfg.N {
+		return nil, fmt.Errorf("cluster: %d nodes for %d ports", len(cfg.Addrs), cfg.N)
+	}
+	ctrl := &Controller{cfg: cfg, stats: interconnect.NewClusterStats(len(cfg.Addrs))}
+	for i, addr := range cfg.Addrs {
+		fb, err := core.NewByName(cfg.Scheduler, cfg.Conv)
+		if err != nil {
+			return nil, err
+		}
+		l := &link{
+			ctrl: ctrl,
+			id:   i,
+			addr: addr,
+			rng:  traffic.NewRNG(cfg.Seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15)),
+			fb:   fb,
+			work: make(chan int64),
+		}
+		l.ports = l.encodeConfig()
+		ctrl.links = append(ctrl.links, l)
+	}
+	// Initial dials run concurrently so a cold cluster comes up in one
+	// DialTimeout, not one per node.
+	errs := make([]error, len(ctrl.links))
+	var dialWG sync.WaitGroup
+	dialWG.Add(len(ctrl.links))
+	for i, l := range ctrl.links {
+		go func(i int, l *link) {
+			defer dialWG.Done()
+			deadline := time.Now().Add(cfg.DialTimeout)
+			for {
+				err := l.connect()
+				if err == nil {
+					return
+				}
+				if time.Now().After(deadline) {
+					errs[i] = err
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}(i, l)
+	}
+	dialWG.Wait()
+	for i, err := range errs {
+		if err != nil {
+			ctrl.Close()
+			return nil, fmt.Errorf("cluster: node %s: %w", cfg.Addrs[i], err)
+		}
+	}
+	for _, l := range ctrl.links {
+		go l.worker()
+	}
+	ctrl.logf("cluster up: %d ports across %d nodes, scheduler %s",
+		cfg.N, len(cfg.Addrs), cfg.Scheduler)
+	return ctrl, nil
+}
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// ClusterStats exposes the runtime counters; the switch links them into
+// its Stats via interconnect.ClusterStatsSource.
+func (c *Controller) ClusterStats() *interconnect.ClusterStats { return c.stats }
+
+// ScheduleBatch implements interconnect.BatchScheduler: partition the
+// slot's non-empty request vectors across the node links, fan out one
+// batched RPC per link, and wait for every port's decision — remote when
+// the node answers in time, locally recomputed when it does not.
+func (c *Controller) ScheduleBatch(slot int64, reqs []interconnect.BatchRequest, out []interconnect.BatchResult) error {
+	if c.closed.Load() {
+		return errors.New("cluster: controller closed")
+	}
+	c.curReqs, c.curOut = reqs, out
+	for _, l := range c.links {
+		l.items = l.items[:0]
+	}
+	nodes := len(c.links)
+	for i := range reqs {
+		req := &reqs[i]
+		if core.TotalRequests(req.Count) == 0 {
+			// An empty request vector has the empty matching as its only
+			// (and thus maximum) matching; short-circuit without an RPC.
+			out[i].Res.Reset()
+			if out[i].Shadow != nil {
+				out[i].Shadow.Reset()
+			}
+			c.stats.EmptyItems.Inc()
+			continue
+		}
+		c.links[req.Port%nodes].items = append(c.links[req.Port%nodes].items, i)
+	}
+	busy := 0
+	for _, l := range c.links {
+		if len(l.items) > 0 {
+			busy++
+		}
+	}
+	c.wg.Add(busy)
+	for _, l := range c.links {
+		if len(l.items) > 0 {
+			l.work <- slot
+		}
+	}
+	c.wg.Wait()
+	fellBack := false
+	for _, l := range c.links {
+		fellBack = fellBack || l.fellBack
+	}
+	if fellBack {
+		c.stats.FallbackSlots.Inc()
+	}
+	return nil
+}
+
+// Close tears down every link. Call only after the run's last
+// ScheduleBatch has returned.
+func (c *Controller) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	for _, l := range c.links {
+		l.once.Do(func() { close(l.work) })
+		if l.tr != nil {
+			l.tr.close()
+			l.tr = nil
+			l.healthy.Store(false)
+		}
+	}
+	return nil
+}
+
+// RegisterTelemetry publishes the cluster runtime counters on a registry
+// under wdm_cluster_* names, alongside the switch's own series.
+func (c *Controller) RegisterTelemetry(r *telemetry.Registry) {
+	st := c.stats
+	r.CounterFunc("wdm_cluster_remote_items_total", "Port-slots scheduled on a remote node.", nil, st.RemoteItems.Value)
+	r.CounterFunc("wdm_cluster_empty_items_total", "Port-slots short-circuited (empty request vector).", nil, st.EmptyItems.Value)
+	r.CounterFunc("wdm_cluster_fallback_items_total", "Port-slots scheduled by the controller's local fallback.", nil, st.LocalFallbackItems.Value)
+	r.CounterFunc("wdm_cluster_fallback_slots_total", "Slots in which at least one port fell back locally.", nil, st.FallbackSlots.Value)
+	r.CounterFunc("wdm_cluster_retries_total", "Re-sent schedule RPCs.", nil, st.Retries.Value)
+	r.CounterFunc("wdm_cluster_deadline_misses_total", "Schedule RPC attempts that exceeded their deadline.", nil, st.DeadlineMisses.Value)
+	r.CounterFunc("wdm_cluster_reconnects_total", "Node sessions re-established after a transport failure.", nil, st.Reconnects.Value)
+	r.CounterFunc("wdm_cluster_bytes_sent_total", "Bytes written to node links, framing included.", nil, st.BytesSent.Value)
+	r.CounterFunc("wdm_cluster_bytes_received_total", "Bytes read from node links, framing included.", nil, st.BytesReceived.Value)
+	r.DurationHistogram("wdm_cluster_rpc_latency_seconds", "Successful schedule RPC round-trip time.", nil, st.RPCLatency)
+	r.GaugeFunc("wdm_cluster_remote_fraction", "Fraction of non-empty decisions computed remotely.", nil, st.RemoteFraction)
+	for _, l := range c.links {
+		lbl := []telemetry.Label{{Key: "node", Value: l.addr}, {Key: "shard", Value: strconv.Itoa(l.id)}}
+		hf := l.healthy.Load
+		r.GaugeFunc("wdm_cluster_node_healthy", "1 while the node link is connected and serving.", lbl, func() float64 {
+			if hf() {
+				return 1
+			}
+			return 0
+		})
+	}
+	if f := c.cfg.Faults; f != nil {
+		r.CounterFunc("wdm_cluster_net_faults_total", "Injected transport faults.",
+			[]telemetry.Label{{Key: "kind", Value: "drop"}}, f.Drops.Value)
+		r.CounterFunc("wdm_cluster_net_faults_total", "Injected transport faults.",
+			[]telemetry.Label{{Key: "kind", Value: "duplicate"}}, f.Duplicates.Value)
+		r.CounterFunc("wdm_cluster_net_faults_total", "Injected transport faults.",
+			[]telemetry.Label{{Key: "kind", Value: "delay"}}, f.Delays.Value)
+	}
+}
+
+// worker is the link's persistent slot loop: one goroutine per node link,
+// woken once per slot that assigns it work, reporting completion on the
+// controller's barrier — the networked analogue of the in-process engine's
+// worker pool.
+func (l *link) worker() {
+	for slot := range l.work {
+		l.runSlot(slot)
+		l.ctrl.wg.Done()
+	}
+}
+
+// runSlot resolves this link's share of one slot: remotely when the
+// session is (or can be brought) up and answers within the deadline
+// budget, locally otherwise.
+func (l *link) runSlot(slot int64) {
+	l.fellBack = false
+	if l.tr == nil && !l.reconnect(slot) {
+		l.fallback()
+		return
+	}
+	if err := l.rpc(slot); err != nil {
+		l.ctrl.logf("node %s: slot %d falling back: %v", l.addr, slot, err)
+		l.disconnect(slot)
+		l.fallback()
+	}
+}
+
+// rpc sends the slot's batched schedule frame and decodes the grants,
+// retrying with exponential backoff and seeded jitter. Any attempt
+// failure tears the connection down and redials before the next attempt:
+// a timed-out read may have consumed a partial frame, and a fresh session
+// is the only way to guarantee stream alignment (nodes are stateless, so
+// a new session costs one handshake and nothing else).
+func (l *link) rpc(slot int64) error {
+	st := l.ctrl.stats
+	var lastErr error
+	backoff := l.ctrl.cfg.BackoffBase
+	for attempt := 0; attempt <= l.ctrl.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			st.Retries.Inc()
+			time.Sleep(backoff + time.Duration(l.rng.Intn(int(backoff)+1)))
+			backoff *= 2
+			if l.tr == nil {
+				if l.connect() != nil {
+					continue
+				}
+				st.Reconnects.Inc()
+			}
+		}
+		start := time.Now()
+		err := l.attempt(slot)
+		if err == nil {
+			st.RemoteItems.Add(int64(len(l.items)))
+			st.RPCLatency.Observe(time.Since(start))
+			return nil
+		}
+		lastErr = err
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			st.DeadlineMisses.Inc()
+		}
+		if l.tr != nil {
+			l.tr.close()
+			l.tr = nil
+			l.healthy.Store(false)
+		}
+	}
+	return lastErr
+}
+
+// attempt runs one send/receive round for the current slot's items.
+func (l *link) attempt(slot int64) error {
+	l.seq++
+	reqs := l.ctrl.curReqs
+	b := l.payload[:0]
+	b = putU64(b, l.seq)
+	b = putU64(b, uint64(slot))
+	b = putU32(b, uint32(len(l.items)))
+	for _, i := range l.items {
+		req := &reqs[i]
+		b = putU32(b, uint32(req.Port))
+		for _, c := range req.Count {
+			b = putU16(b, uint16(c))
+		}
+		b = appendOccupied(b, req.Occupied)
+		if req.Mask != nil {
+			b = append(b, 1)
+			for _, s := range req.Mask {
+				b = append(b, byte(s))
+			}
+		} else {
+			b = append(b, 0)
+		}
+	}
+	l.payload = b
+	if err := l.tr.send(msgSchedule, l.payload); err != nil {
+		return err
+	}
+	payload, err := l.expect(msgGrants, l.seq)
+	if err != nil {
+		return err
+	}
+	return l.decodeGrants(payload)
+}
+
+// decodeGrants writes a grants payload into the slot's result buffers,
+// checking that the node answered exactly the items asked, in order.
+func (l *link) decodeGrants(payload []byte) error {
+	reqs, out := l.ctrl.curReqs, l.ctrl.curOut
+	k := l.ctrl.cfg.Conv.K()
+	r := reader{b: payload}
+	r.u64() // seq, already matched by expect
+	r.u64() // slot echo
+	items := int(r.u32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if items != len(l.items) {
+		return fmt.Errorf("cluster: grants carry %d items, want %d", items, len(l.items))
+	}
+	for _, i := range l.items {
+		port := int(r.u32())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if port != reqs[i].Port {
+			return fmt.Errorf("cluster: grants out of order: port %d, want %d", port, reqs[i].Port)
+		}
+		if err := readResult(&r, k, out[i].Res); err != nil {
+			return err
+		}
+		hasShadow := r.u8() != 0
+		if hasShadow != (out[i].Shadow != nil) {
+			return fmt.Errorf("cluster: port %d shadow presence %v, want %v", port, hasShadow, out[i].Shadow != nil)
+		}
+		if hasShadow {
+			if err := readResult(&r, k, out[i].Shadow); err != nil {
+				return err
+			}
+		}
+	}
+	if r.Rem() != 0 {
+		return fmt.Errorf("cluster: %d trailing grants bytes", r.Rem())
+	}
+	return nil
+}
+
+// fallback schedules this link's items on the controller with the same
+// pure scheduler the node would have used — bit-identical results, so
+// degradation changes only where the work ran, never what it produced.
+func (l *link) fallback() {
+	reqs, out := l.ctrl.curReqs, l.ctrl.curOut
+	for _, i := range l.items {
+		req := &reqs[i]
+		if req.Mask != nil {
+			l.fb.ScheduleMasked(req.Count, req.Occupied, req.Mask, out[i].Res)
+			l.fb.Schedule(req.Count, req.Occupied, out[i].Shadow)
+		} else {
+			l.fb.Schedule(req.Count, req.Occupied, out[i].Res)
+		}
+		l.ctrl.stats.LocalFallbackItems.Inc()
+	}
+	l.fellBack = true
+}
+
+// reconnect decides whether a downed link should redial this slot, and
+// does so. Immediately after a failure the next slot retries once (the
+// outage may be transient); after that, probes run every ProbeSlots slots
+// so a dead node costs one dial timeout per probe window, not per slot.
+func (l *link) reconnect(slot int64) bool {
+	if slot < l.nextProbe {
+		return false
+	}
+	if err := l.connect(); err != nil {
+		l.nextProbe = slot + int64(l.ctrl.cfg.ProbeSlots)
+		return false
+	}
+	l.ctrl.stats.Reconnects.Inc()
+	l.ctrl.logf("node %s: reconnected at slot %d", l.addr, slot)
+	return true
+}
+
+// disconnect drops the session and schedules the reconnect probe.
+func (l *link) disconnect(slot int64) {
+	if l.tr != nil {
+		l.tr.close()
+		l.tr = nil
+	}
+	l.healthy.Store(false)
+	l.nextProbe = slot + 1
+}
+
+// connect dials the node and runs the hello/config handshake under the
+// RPC deadline. On success the link is healthy and configured.
+func (l *link) connect() error {
+	network, address := splitAddr(l.addr)
+	c, err := net.DialTimeout(network, address, l.ctrl.cfg.RPCTimeout)
+	if err != nil {
+		return err
+	}
+	tr := newTransport(c)
+	tr.faults = l.ctrl.cfg.Faults
+	tr.bytesOut = &l.ctrl.stats.BytesSent
+	tr.bytesIn = &l.ctrl.stats.BytesReceived
+	l.tr = tr
+	nonce := l.rng.Uint64()
+	hb := putU64(nil, nonce)
+	ok := false
+	defer func() {
+		if !ok {
+			tr.close()
+			l.tr = nil
+		}
+	}()
+	if err := tr.send(msgHello, hb); err != nil {
+		return err
+	}
+	payload, err := l.expect(msgHelloAck, nonce)
+	if err != nil {
+		return err
+	}
+	r := reader{b: payload}
+	if got := r.u64(); r.Err() != nil || got != nonce {
+		return fmt.Errorf("cluster: hello nonce mismatch from %s", l.addr)
+	}
+	if err := tr.send(msgConfig, l.ports); err != nil {
+		return err
+	}
+	if _, err := l.expect(msgConfigAck, 0); err != nil {
+		return err
+	}
+	ok = true
+	l.healthy.Store(true)
+	return nil
+}
+
+// expect reads frames under the RPC deadline until one of the wanted type
+// arrives with the wanted sequence number (when the type carries one).
+// Stale frames — duplicated replies to earlier sequence numbers, leftover
+// acks — are discarded; a node error frame surfaces as an error.
+func (l *link) expect(want msgType, seq uint64) ([]byte, error) {
+	deadline := time.Now().Add(l.ctrl.cfg.RPCTimeout)
+	if err := l.tr.setReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	for {
+		mt, payload, err := l.tr.recv()
+		if err != nil {
+			return nil, err
+		}
+		switch mt {
+		case msgError:
+			r := reader{b: payload}
+			r.u64()
+			return nil, fmt.Errorf("cluster: node %s: %s", l.addr, r.str())
+		case want:
+			switch want {
+			case msgGrants, msgHelloAck, msgPong:
+				r := reader{b: payload}
+				if r.u64() != seq || r.Err() != nil {
+					continue // stale duplicate
+				}
+			}
+			return payload, nil
+		case msgHelloAck, msgConfigAck, msgGrants, msgPong:
+			continue // stale frame from an earlier exchange
+		default:
+			return nil, fmt.Errorf("cluster: unexpected %v from %s", mt, l.addr)
+		}
+	}
+}
+
+// encodeConfig builds this link's config frame: the interconnect shape,
+// the scheduler name, and the ports striped onto this node.
+func (l *link) encodeConfig() []byte {
+	cfg := l.ctrl.cfg
+	conv := cfg.Conv
+	b := putU32(nil, uint32(cfg.N))
+	b = append(b, byte(conv.Kind()))
+	b = putU32(b, uint32(conv.K()))
+	b = putU32(b, uint32(conv.MinusReach()))
+	b = putU32(b, uint32(conv.PlusReach()))
+	b = putString(b, cfg.Scheduler)
+	var ports []int
+	for o := l.id; o < cfg.N; o += len(cfg.Addrs) {
+		ports = append(ports, o)
+	}
+	b = putU32(b, uint32(len(ports)))
+	for _, o := range ports {
+		b = putU32(b, uint32(o))
+	}
+	return b
+}

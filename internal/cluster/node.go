@@ -1,0 +1,493 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"wdmsched/internal/core"
+	"wdmsched/internal/wavelength"
+)
+
+// NodeConfig tunes a worker node.
+type NodeConfig struct {
+	// Logf, when non-nil, receives one line per session event (open,
+	// configure, close). Nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Node is a cluster worker: it hosts the schedulers for its assigned
+// output ports and answers the controller's per-slot schedule RPCs. A
+// node is stateless between slots — every request carries the full
+// scheduling instance — so controllers may reconnect, replay or duplicate
+// requests freely.
+type Node struct {
+	cfg NodeConfig
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewNode builds a node.
+func NewNode(cfg NodeConfig) *Node {
+	return &Node{cfg: cfg, conns: make(map[net.Conn]struct{})}
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts controller sessions on l until Close. Each session runs
+// on its own goroutine; Serve returns nil after Close, or the first
+// accept error otherwise.
+func (n *Node) Serve(l net.Listener) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("cluster: node closed")
+	}
+	n.ln = l
+	n.mu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		n.conns[c] = struct{}{}
+		n.mu.Unlock()
+		go n.handle(c)
+	}
+}
+
+// Close stops the listener and tears down every active session.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	ln := n.ln
+	conns := make([]net.Conn, 0, len(n.conns))
+	for c := range n.conns {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// handle runs one controller session to completion.
+func (n *Node) handle(c net.Conn) {
+	defer func() {
+		c.Close()
+		n.mu.Lock()
+		delete(n.conns, c)
+		n.mu.Unlock()
+	}()
+	s := &session{tr: newTransport(c), logf: n.logf}
+	defer s.teardown()
+	n.logf("session open from %v", c.RemoteAddr())
+	if err := s.run(); err != nil && !errors.Is(err, io.EOF) {
+		n.logf("session from %v ended: %v", c.RemoteAddr(), err)
+		return
+	}
+	n.logf("session from %v closed", c.RemoteAddr())
+}
+
+// session is one controller's view of the node: the schedulers for its
+// assigned ports plus per-port input/result buffers, all preallocated at
+// configure time so the schedule hot path does not allocate, and a
+// persistent worker goroutine per assigned port (the same worker-pool
+// shape as the in-process engine).
+type session struct {
+	tr   *transport
+	logf func(format string, args ...any)
+
+	configured bool
+	nports, k  int
+	conv       wavelength.Conversion
+	ports      []int // assigned global port IDs
+	idx        []int32
+
+	scheds   []core.Scheduler
+	count    [][]int
+	occupied [][]bool
+	mask     []core.ChannelMask
+	maskOn   []bool
+	res      []*core.Result
+	shadow   []*core.Result
+
+	active []int  // local indices in the current batch, wire order
+	pbuf   []byte // reply payload build buffer
+
+	wake    []chan struct{}
+	stop    chan struct{}
+	barrier sync.WaitGroup
+	workers sync.WaitGroup
+}
+
+// run is the session frame loop.
+func (s *session) run() error {
+	for {
+		mt, payload, err := s.tr.recv()
+		if err != nil {
+			return err
+		}
+		switch mt {
+		case msgHello:
+			r := reader{b: payload}
+			nonce := r.u64()
+			if r.Err() != nil {
+				return s.protoErr(0, "malformed hello")
+			}
+			s.pbuf = putU64(s.pbuf[:0], nonce)
+			if err := s.tr.send(msgHelloAck, s.pbuf); err != nil {
+				return err
+			}
+		case msgConfig:
+			if err := s.configure(payload); err != nil {
+				if serr := s.sendError(0, err.Error()); serr != nil {
+					return serr
+				}
+				return fmt.Errorf("cluster: rejected config: %w", err)
+			}
+			if err := s.tr.send(msgConfigAck, nil); err != nil {
+				return err
+			}
+		case msgSchedule:
+			if !s.configured {
+				return s.protoErr(0, "schedule before config")
+			}
+			reply, err := s.handleSchedule(payload)
+			if err != nil {
+				if serr := s.sendError(0, err.Error()); serr != nil {
+					return serr
+				}
+				return err
+			}
+			if err := s.tr.send(msgGrants, reply); err != nil {
+				return err
+			}
+		case msgPing:
+			r := reader{b: payload}
+			seq := r.u64()
+			s.pbuf = putU64(s.pbuf[:0], seq)
+			if err := s.tr.send(msgPong, s.pbuf); err != nil {
+				return err
+			}
+		default:
+			return s.protoErr(0, "unexpected "+mt.String())
+		}
+	}
+}
+
+func (s *session) sendError(seq uint64, msg string) error {
+	b := putU64(nil, seq)
+	b = putString(b, msg)
+	return s.tr.send(msgError, b)
+}
+
+func (s *session) protoErr(seq uint64, msg string) error {
+	if err := s.sendError(seq, msg); err != nil {
+		return err
+	}
+	return errors.New("cluster: protocol violation: " + msg)
+}
+
+// configure parses a config frame and builds the session's schedulers,
+// buffers and worker pool. Reconfiguration tears the old pool down first.
+func (s *session) configure(payload []byte) error {
+	r := reader{b: payload}
+	n := int(r.u32())
+	kind := wavelength.Kind(r.u8())
+	k := int(r.u32())
+	e := int(r.u32())
+	f := int(r.u32())
+	schedName := r.str()
+	nPorts := int(r.u32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n <= 0 || n > maxPorts {
+		return fmt.Errorf("cluster: ports %d outside (0, %d]", n, maxPorts)
+	}
+	if k <= 0 || k > maxWavelengths {
+		return fmt.Errorf("cluster: wavelengths %d outside (0, %d]", k, maxWavelengths)
+	}
+	if n > 0xffff {
+		// Request counts travel as u16; a fiber cannot offer more than one
+		// request per input fiber per wavelength.
+		return fmt.Errorf("cluster: ports %d exceed u16 request-count range", n)
+	}
+	if nPorts <= 0 || nPorts > n {
+		return fmt.Errorf("cluster: assigned port count %d outside (0, %d]", nPorts, n)
+	}
+	var conv wavelength.Conversion
+	var err error
+	if kind == wavelength.Full {
+		conv, err = wavelength.New(wavelength.Full, k, 0, 0)
+	} else {
+		conv, err = wavelength.New(kind, k, e, f)
+	}
+	if err != nil {
+		return err
+	}
+	ports := make([]int, nPorts)
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for i := range ports {
+		p := int(r.u32())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if p < 0 || p >= n {
+			return fmt.Errorf("cluster: assigned port %d outside [0, %d)", p, n)
+		}
+		if idx[p] != -1 {
+			return fmt.Errorf("cluster: port %d assigned twice", p)
+		}
+		ports[i] = p
+		idx[p] = int32(i)
+	}
+	if r.Rem() != 0 {
+		return fmt.Errorf("cluster: %d trailing config bytes", r.Rem())
+	}
+
+	scheds := make([]core.Scheduler, nPorts)
+	for i := range scheds {
+		sc, err := core.NewByName(schedName, conv)
+		if err != nil {
+			return err
+		}
+		scheds[i] = sc
+	}
+
+	s.teardown() // idempotent; frees a previous configuration's pool
+	s.configured = true
+	s.nports, s.k, s.conv = n, k, conv
+	s.ports, s.idx, s.scheds = ports, idx, scheds
+	s.count = make([][]int, nPorts)
+	s.occupied = make([][]bool, nPorts)
+	s.mask = make([]core.ChannelMask, nPorts)
+	s.maskOn = make([]bool, nPorts)
+	s.res = make([]*core.Result, nPorts)
+	s.shadow = make([]*core.Result, nPorts)
+	s.active = make([]int, 0, nPorts)
+	s.wake = make([]chan struct{}, nPorts)
+	s.stop = make(chan struct{})
+	for i := 0; i < nPorts; i++ {
+		s.count[i] = make([]int, k)
+		s.occupied[i] = make([]bool, k)
+		s.mask[i] = make(core.ChannelMask, k)
+		s.res[i] = core.NewResult(k)
+		s.shadow[i] = core.NewResult(k)
+		s.wake[i] = make(chan struct{}, 1)
+	}
+	s.workers.Add(nPorts)
+	for i := 0; i < nPorts; i++ {
+		go s.worker(i)
+	}
+	s.logf("configured: %d of %d ports, k=%d, scheduler %s (%v)",
+		nPorts, n, k, schedName, conv)
+	return nil
+}
+
+// teardown stops the worker pool and releases scheduler resources (the
+// parallel breaker pool implements io.Closer). Safe to call repeatedly.
+func (s *session) teardown() {
+	if !s.configured {
+		return
+	}
+	close(s.stop)
+	s.workers.Wait()
+	for _, sc := range s.scheds {
+		if c, ok := sc.(io.Closer); ok {
+			c.Close()
+		}
+	}
+	s.configured = false
+}
+
+// worker is the persistent per-port scheduling loop, mirroring the
+// in-process engine: wait for a wake, compute the port's matching, report
+// completion.
+func (s *session) worker(li int) {
+	defer s.workers.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.wake[li]:
+			s.compute(li)
+			s.barrier.Done()
+		}
+	}
+}
+
+// compute runs one port's scheduling instance: the masked decision plus
+// the healthy-graph shadow matching when a fault mask is active, exactly
+// as the in-process port does.
+func (s *session) compute(li int) {
+	if s.maskOn[li] {
+		s.scheds[li].ScheduleMasked(s.count[li], s.occupied[li], s.mask[li], s.res[li])
+		s.scheds[li].Schedule(s.count[li], s.occupied[li], s.shadow[li])
+	} else {
+		s.scheds[li].Schedule(s.count[li], s.occupied[li], s.res[li])
+	}
+}
+
+// handleSchedule decodes a schedule frame into the per-port input buffers,
+// fans the batch out to the worker pool, and encodes the grants reply.
+// Allocation-free in steady state: every buffer it touches is preallocated
+// at configure time and reused.
+func (s *session) handleSchedule(payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	seq := r.u64()
+	slot := r.u64()
+	items := int(r.u32())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if items < 0 || items > len(s.ports) {
+		return nil, fmt.Errorf("cluster: %d items for %d assigned ports", items, len(s.ports))
+	}
+	s.active = s.active[:0]
+	for i := 0; i < items; i++ {
+		port := int(r.u32())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if port < 0 || port >= s.nports || s.idx[port] < 0 {
+			return nil, fmt.Errorf("cluster: port %d not assigned here", port)
+		}
+		li := int(s.idx[port])
+		cnt := s.count[li]
+		for w := 0; w < s.k; w++ {
+			cnt[w] = int(r.u16())
+		}
+		readOccupied(&r, s.occupied[li])
+		s.maskOn[li] = false
+		if r.u8() != 0 {
+			mb := r.bytes(s.k)
+			if mb != nil {
+				m := s.mask[li]
+				for b := 0; b < s.k; b++ {
+					st := core.ChannelState(mb[b])
+					if st > core.Dark {
+						return nil, fmt.Errorf("cluster: invalid channel state %d", mb[b])
+					}
+					m[b] = st
+				}
+				s.maskOn[li] = true
+			}
+		}
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		// A port repeated within one batch would race in the fan-out;
+		// detect via the active list (items ≤ assigned ports keeps this
+		// O(items²) scan trivial for realistic shards).
+		for _, prev := range s.active {
+			if prev == li {
+				return nil, fmt.Errorf("cluster: port %d repeated in batch", port)
+			}
+		}
+		s.active = append(s.active, li)
+	}
+	if r.Rem() != 0 {
+		return nil, fmt.Errorf("cluster: %d trailing schedule bytes", r.Rem())
+	}
+
+	// Fan out to the persistent workers and wait for the slot barrier.
+	s.barrier.Add(len(s.active))
+	for _, li := range s.active {
+		s.wake[li] <- struct{}{}
+	}
+	s.barrier.Wait()
+
+	// Encode the reply in request order.
+	b := s.pbuf[:0]
+	b = putU64(b, seq)
+	b = putU64(b, slot)
+	b = putU32(b, uint32(len(s.active)))
+	for _, li := range s.active {
+		b = putU32(b, uint32(s.ports[li]))
+		b = appendResult(b, s.res[li])
+		if s.maskOn[li] {
+			b = append(b, 1)
+			b = appendResult(b, s.shadow[li])
+		} else {
+			b = append(b, 0)
+		}
+	}
+	s.pbuf = b
+	return b, nil
+}
+
+// appendResult encodes one scheduling decision: size, break channel and
+// the channel→wavelength assignment. Granted counts are re-derived on
+// decode, halving the frame size.
+func appendResult(b []byte, res *core.Result) []byte {
+	b = putU16(b, uint16(res.Size))
+	b = putI16(b, int16(res.BreakChannel))
+	for _, w := range res.ByOutput {
+		b = putI16(b, int16(w))
+	}
+	return b
+}
+
+// readResult decodes an appendResult encoding into res (pre-sized to k),
+// rebuilding the Granted counts and validating internal consistency.
+func readResult(r *reader, k int, res *core.Result) error {
+	size := int(r.u16())
+	brk := int(r.i16())
+	res.Reset()
+	res.BreakChannel = brk
+	got := 0
+	for b := 0; b < k; b++ {
+		w := int(r.i16())
+		if w == core.Unassigned {
+			continue
+		}
+		if w < 0 || w >= k {
+			return fmt.Errorf("cluster: channel %d assigned invalid wavelength %d", b, w)
+		}
+		res.ByOutput[b] = w
+		res.Granted[w]++
+		got++
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if got != size {
+		return fmt.Errorf("cluster: result size %d but %d assignments", size, got)
+	}
+	if brk != core.Unassigned && (brk < 0 || brk >= k) {
+		return fmt.Errorf("cluster: break channel %d outside [0, %d)", brk, k)
+	}
+	res.Size = size
+	return nil
+}

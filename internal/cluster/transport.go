@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"wdmsched/internal/fault"
+	"wdmsched/internal/metrics"
+)
+
+// transport frames messages over one connection. It is not safe for
+// concurrent use; the controller gives each node link its own transport
+// and the node gives each session its own. Both frame buffers are reused,
+// so the steady-state send/receive path does not allocate.
+type transport struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wbuf []byte // whole outgoing frame: header + payload + crc
+	rbuf []byte // incoming payload
+
+	// faults, when non-nil, injects frame-level drop/delay/duplication on
+	// both directions (the controller sets it; nodes run clean).
+	faults *fault.TransportFaults
+
+	// bytesOut/bytesIn, when non-nil, total the wire traffic (frames
+	// actually written or read, headers and checksums included).
+	bytesOut, bytesIn *metrics.Counter
+}
+
+func newTransport(c net.Conn) *transport {
+	return &transport{c: c, br: bufio.NewReaderSize(c, 64<<10)}
+}
+
+// send frames and writes one message. Injected faults apply here: a
+// dropped frame is simply not written (the peer sees silence), a delayed
+// frame stalls the caller, a duplicated frame is written twice — the
+// receiver's sequence matching makes the duplicate harmless.
+func (t *transport) send(mt msgType, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("cluster: payload %d exceeds limit", len(payload))
+	}
+	t.wbuf = t.wbuf[:0]
+	t.wbuf = putU16(t.wbuf, wireMagic)
+	t.wbuf = append(t.wbuf, wireVersion, byte(mt))
+	t.wbuf = putU32(t.wbuf, uint32(len(payload)))
+	t.wbuf = append(t.wbuf, payload...)
+	t.wbuf = putU32(t.wbuf, crc32.ChecksumIEEE(payload))
+
+	writes := 1
+	if t.faults != nil {
+		fate := t.faults.Fate()
+		if fate.Delay > 0 {
+			time.Sleep(fate.Delay)
+		}
+		if fate.Drop {
+			writes = 0
+		} else if fate.Duplicate {
+			writes = 2
+		}
+	}
+	for i := 0; i < writes; i++ {
+		if _, err := t.c.Write(t.wbuf); err != nil {
+			return fmt.Errorf("cluster: write %v: %w", mt, err)
+		}
+		if t.bytesOut != nil {
+			t.bytesOut.Add(int64(len(t.wbuf)))
+		}
+	}
+	return nil
+}
+
+// recv reads one frame and returns its type and payload. The payload
+// slice is valid until the next recv. Inbound fault injection drops whole
+// frames after they are read off the wire (the caller just never sees
+// them), modeling a lost reply.
+func (t *transport) recv() (msgType, []byte, error) {
+	for {
+		mt, payload, err := t.recvRaw()
+		if err != nil {
+			return 0, nil, err
+		}
+		if t.faults != nil && t.faults.Fate().Drop {
+			continue // injected inbound loss
+		}
+		return mt, payload, nil
+	}
+}
+
+func (t *transport) recvRaw() (msgType, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(t.br, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("cluster: read header: %w", err)
+	}
+	if m := uint16(hdr[0])<<8 | uint16(hdr[1]); m != wireMagic {
+		return 0, nil, fmt.Errorf("cluster: bad magic %#04x", m)
+	}
+	if hdr[2] != wireVersion {
+		return 0, nil, fmt.Errorf("cluster: wire version %d, want %d", hdr[2], wireVersion)
+	}
+	mt := msgType(hdr[3])
+	n := int(uint32(hdr[4])<<24 | uint32(hdr[5])<<16 | uint32(hdr[6])<<8 | uint32(hdr[7]))
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("cluster: payload length %d exceeds limit", n)
+	}
+	if cap(t.rbuf) < n+crcLen {
+		t.rbuf = make([]byte, n+crcLen)
+	}
+	buf := t.rbuf[:n+crcLen]
+	if _, err := io.ReadFull(t.br, buf); err != nil {
+		return 0, nil, fmt.Errorf("cluster: read payload: %w", err)
+	}
+	if t.bytesIn != nil {
+		t.bytesIn.Add(int64(headerLen + n + crcLen))
+	}
+	payload := buf[:n]
+	wantCRC := uint32(buf[n])<<24 | uint32(buf[n+1])<<16 | uint32(buf[n+2])<<8 | uint32(buf[n+3])
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return 0, nil, fmt.Errorf("cluster: %v frame CRC mismatch (got %#08x want %#08x)", mt, got, wantCRC)
+	}
+	return mt, payload, nil
+}
+
+// setDeadline bounds the next read(s); zero clears it.
+func (t *transport) setReadDeadline(d time.Time) error { return t.c.SetReadDeadline(d) }
+
+func (t *transport) close() error { return t.c.Close() }
+
+// splitAddr maps a node address to a Go network/address pair: anything
+// with a "unix:" prefix or containing a path separator dials a unix
+// socket; everything else is TCP host:port.
+func splitAddr(addr string) (network, address string) {
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", rest
+	}
+	if strings.Contains(addr, "/") {
+		return "unix", addr
+	}
+	return "tcp", addr
+}

@@ -1,0 +1,248 @@
+// Package cluster is the networked runtime for the paper's distributed
+// scheduling architecture: the N independent per-output-fiber schedulers
+// are sharded across worker nodes reachable over TCP or unix sockets,
+// instead of goroutines inside one process.
+//
+// The division of labor follows from the schedulers being pure functions
+// of one slot's request vector (count, occupied, mask) — see core.Scheduler.
+// All mutable simulation state (channel holds, selector round-robin
+// pointers, statistics) stays on the controller; nodes are stateless
+// matching servers. That single property buys the whole robustness story:
+//
+//   - a duplicated or replayed frame recomputes the same answer;
+//   - a node that misses its slot deadline can be replaced, mid-run, by
+//     the controller's local fallback scheduler with bit-identical output;
+//   - a node can crash and reconnect with no state transfer.
+//
+// Consequently a cluster run's Stats are byte-identical to the in-process
+// sequential and distributed engines given the same seed and trace — the
+// keystone correctness property, asserted by tests and CI.
+//
+// Wire protocol (version 1): length-prefixed binary frames, big-endian:
+//
+//	magic   uint16  0x57C1
+//	version uint8   1
+//	type    uint8   message type
+//	length  uint32  payload byte count
+//	payload [length]byte
+//	crc     uint32  IEEE CRC-32 of the payload
+//
+// Messages (controller → node unless noted):
+//
+//	hello     nonce u64 — session open; node echoes helloAck
+//	config    n u32, kind u8, k u32, e u32, f u32, scheduler string,
+//	          ports u32 + u32×ports — node builds one scheduler per
+//	          assigned port and echoes configAck
+//	schedule  seq u64, slot u64, items u32, then per item:
+//	          port u32, count u16×k, occupied bitmap ⌈k/8⌉ bytes,
+//	          maskFlag u8 (+ k mask bytes when 1)
+//	grants    (node → controller) seq u64, slot u64, items u32, then per
+//	          item: port u32, result, shadowFlag u8 (+ shadow result when
+//	          the request was masked); result = size u16, break i16,
+//	          byOutput i16×k (−1 = unassigned; Granted is re-derived)
+//	ping/pong seq u64 — health probe
+//	error     (node → controller) seq u64, message string
+//
+// Encoding and decoding on the schedule/grants hot path are
+// allocation-free: frames build in reused buffers and decode by cursor
+// over the read buffer.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	wireMagic   = 0x57C1
+	wireVersion = 1
+
+	headerLen  = 8
+	crcLen     = 4
+	maxPayload = 64 << 20 // sanity cap against corrupt length prefixes
+
+	// Shape caps: validated at configure time so per-item sizes computed
+	// from k cannot overflow and counts fit the u16 wire width.
+	maxPorts       = 1 << 20
+	maxWavelengths = 1 << 12
+)
+
+type msgType uint8
+
+const (
+	msgInvalid msgType = iota
+	msgHello
+	msgHelloAck
+	msgConfig
+	msgConfigAck
+	msgSchedule
+	msgGrants
+	msgPing
+	msgPong
+	msgError
+)
+
+func (m msgType) String() string {
+	switch m {
+	case msgHello:
+		return "hello"
+	case msgHelloAck:
+		return "hello-ack"
+	case msgConfig:
+		return "config"
+	case msgConfigAck:
+		return "config-ack"
+	case msgSchedule:
+		return "schedule"
+	case msgGrants:
+		return "grants"
+	case msgPing:
+		return "ping"
+	case msgPong:
+		return "pong"
+	case msgError:
+		return "error"
+	}
+	return fmt.Sprintf("msgType(%d)", uint8(m))
+}
+
+// errShortPayload is the shared decode-overrun error; reader methods
+// return zero values after it is set, and callers check Err once.
+var errShortPayload = errors.New("cluster: truncated payload")
+
+// Append-style big-endian encoders. All return the extended slice so the
+// hot path stays a chain of appends into one reused buffer.
+
+func putU16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+
+func putU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func putU64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func putI16(b []byte, v int16) []byte { return putU16(b, uint16(v)) }
+
+func putString(b []byte, s string) []byte {
+	if len(s) > 0xffff {
+		s = s[:0xffff]
+	}
+	b = putU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// reader is a bounds-checked cursor over one frame's payload. The first
+// overrun latches err; subsequent reads return zeros, so decode loops can
+// run unguarded and check Err once at the end.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = errShortPayload
+	}
+}
+
+func (r *reader) Err() error { return r.err }
+
+// Rem reports the unread byte count.
+func (r *reader) Rem() int { return len(r.b) - r.off }
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.off+2 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := uint16(r.b[r.off])<<8 | uint16(r.b[r.off+1])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	b := r.b[r.off:]
+	r.off += 4
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	b := r.b[r.off:]
+	r.off += 8
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+func (r *reader) i16() int16 { return int16(r.u16()) }
+
+// bytes returns the next n payload bytes without copying; the slice is
+// valid only until the underlying read buffer is reused.
+func (r *reader) bytes(n int) []byte {
+	if n < 0 || r.err != nil || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// str decodes a length-prefixed string (allocates; config path only).
+func (r *reader) str() string {
+	n := int(r.u16())
+	return string(r.bytes(n))
+}
+
+// occupiedBitmapLen is the wire size of a k-channel occupancy bitmap.
+func occupiedBitmapLen(k int) int { return (k + 7) / 8 }
+
+// appendOccupied packs a []bool into the bitmap wire form.
+func appendOccupied(b []byte, occupied []bool) []byte {
+	var cur byte
+	for i, o := range occupied {
+		if o {
+			cur |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			b = append(b, cur)
+			cur = 0
+		}
+	}
+	if len(occupied)&7 != 0 {
+		b = append(b, cur)
+	}
+	return b
+}
+
+// readOccupied unpacks a bitmap into dst (len k, reused).
+func readOccupied(r *reader, dst []bool) {
+	bm := r.bytes(occupiedBitmapLen(len(dst)))
+	if bm == nil {
+		return
+	}
+	for i := range dst {
+		dst[i] = bm[i>>3]&(1<<(i&7)) != 0
+	}
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"wdmsched/internal/core"
+)
+
+// TestTransportRoundTrip frames messages across a pipe and checks they
+// arrive intact, in order, with types preserved.
+func TestTransportRoundTrip(t *testing.T) {
+	c1, c2 := net.Pipe()
+	a, b := newTransport(c1), newTransport(c2)
+	defer a.close()
+	defer b.close()
+	payloads := [][]byte{nil, {1}, bytes.Repeat([]byte{0xab}, 4096)}
+	go func() {
+		for i, p := range payloads {
+			a.send(msgType(i+1), p)
+		}
+	}()
+	for i, want := range payloads {
+		mt, got, err := b.recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mt != msgType(i+1) || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: type %v len %d, want type %v len %d",
+				i, mt, len(got), msgType(i+1), len(want))
+		}
+	}
+}
+
+// TestTransportRejectsCorruption flips one payload bit on the wire and
+// expects the CRC check to refuse the frame.
+func TestTransportRejectsCorruption(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	b := newTransport(c2)
+	defer b.close()
+	frame := putU16(nil, wireMagic)
+	frame = append(frame, wireVersion, byte(msgPing))
+	frame = putU32(frame, 8)
+	payload := putU64(nil, 42)
+	frame = append(frame, payload...)
+	frame = putU32(frame, 0xdeadbeef) // wrong CRC
+	go c1.Write(frame)
+	if _, _, err := b.recv(); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+}
+
+// TestTransportRejectsBadHeader covers magic and version violations.
+func TestTransportRejectsBadHeader(t *testing.T) {
+	for name, hdr := range map[string][]byte{
+		"bad magic":   {0x00, 0x00, wireVersion, byte(msgPing), 0, 0, 0, 0, 0, 0, 0, 0},
+		"bad version": {0x57, 0xC1, 99, byte(msgPing), 0, 0, 0, 0, 0, 0, 0, 0},
+		"huge length": {0x57, 0xC1, wireVersion, byte(msgPing), 0xff, 0xff, 0xff, 0xff},
+	} {
+		c1, c2 := net.Pipe()
+		tr := newTransport(c2)
+		go func() { c1.Write(hdr); c1.Close() }()
+		if _, _, err := tr.recv(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		tr.close()
+	}
+}
+
+// TestOccupiedBitmapRoundTrip exercises the bitmap packing at widths
+// around the byte boundary.
+func TestOccupiedBitmapRoundTrip(t *testing.T) {
+	for _, k := range []int{1, 7, 8, 9, 16, 33} {
+		src := make([]bool, k)
+		for i := range src {
+			src[i] = i%3 == 0
+		}
+		b := appendOccupied(nil, src)
+		if len(b) != occupiedBitmapLen(k) {
+			t.Fatalf("k=%d: bitmap %d bytes, want %d", k, len(b), occupiedBitmapLen(k))
+		}
+		dst := make([]bool, k)
+		r := reader{b: b}
+		readOccupied(&r, dst)
+		if r.Err() != nil {
+			t.Fatalf("k=%d: %v", k, r.Err())
+		}
+		for i := range src {
+			if src[i] != dst[i] {
+				t.Fatalf("k=%d: bit %d flipped", k, i)
+			}
+		}
+	}
+}
+
+// TestResultRoundTrip encodes and decodes scheduling decisions, including
+// the break-channel marker, and checks Granted is re-derived correctly.
+func TestResultRoundTrip(t *testing.T) {
+	const k = 8
+	src := core.NewResult(k)
+	src.ByOutput[1] = 3
+	src.ByOutput[4] = 4
+	src.ByOutput[7] = 0
+	src.Granted[3] = 1
+	src.Granted[4] = 1
+	src.Granted[0] = 1
+	src.Size = 3
+	src.BreakChannel = 4
+	b := appendResult(nil, src)
+	got := core.NewResult(k)
+	r := reader{b: b}
+	if err := readResult(&r, k, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != src.Size || got.BreakChannel != src.BreakChannel {
+		t.Fatalf("size/break %d/%d, want %d/%d", got.Size, got.BreakChannel, src.Size, src.BreakChannel)
+	}
+	for i := 0; i < k; i++ {
+		if got.ByOutput[i] != src.ByOutput[i] || got.Granted[i] != src.Granted[i] {
+			t.Fatalf("wavelength %d diverged", i)
+		}
+	}
+
+	// Inconsistent size must be rejected.
+	bad := appendResult(nil, src)
+	bad[0], bad[1] = 0, 9 // claim size 9
+	r = reader{b: bad}
+	if err := readResult(&r, k, got); err == nil {
+		t.Fatal("inconsistent result size accepted")
+	}
+}
+
+// TestReaderLatchesError checks the cursor's overrun contract: first
+// overrun sets the error, later reads return zeros without panicking.
+func TestReaderLatchesError(t *testing.T) {
+	r := reader{b: []byte{1, 2}}
+	if got := r.u16(); got != 0x0102 {
+		t.Fatalf("u16 = %#x", got)
+	}
+	if r.u32() != 0 || r.Err() == nil {
+		t.Fatal("overrun not latched")
+	}
+	if r.u64() != 0 || r.u8() != 0 || r.bytes(1) != nil || r.str() != "" {
+		t.Fatal("reads after latched error not zero")
+	}
+}
+
+// TestSplitAddr pins the address scheme mapping.
+func TestSplitAddr(t *testing.T) {
+	for addr, want := range map[string][2]string{
+		"127.0.0.1:9301":   {"tcp", "127.0.0.1:9301"},
+		"unix:/tmp/n.sock": {"unix", "/tmp/n.sock"},
+		"/tmp/n.sock":      {"unix", "/tmp/n.sock"},
+	} {
+		network, address := splitAddr(addr)
+		if network != want[0] || address != want[1] {
+			t.Errorf("splitAddr(%q) = %q,%q want %q,%q", addr, network, address, want[0], want[1])
+		}
+	}
+}

@@ -79,6 +79,16 @@ type Config struct {
 	// must have been built with NewDecisionTracer(N, …). Nil disables
 	// tracing; the disabled path is allocation-free.
 	Trace *telemetry.DecisionTracer
+	// Remote, when non-nil, delegates every slot's scheduling decisions
+	// to a batch scheduler running elsewhere — the cluster controller in
+	// internal/cluster, which shards the per-port schedulers across
+	// worker nodes over a real transport. The switch still performs input
+	// admission, fault masking, fair selection and hold bookkeeping
+	// locally; only the paper's per-fiber matching computation moves off
+	// the switch. With the same seed and trace, a remote run's Stats are
+	// identical to the sequential and distributed engines'. Mutually
+	// exclusive with Distributed and PriorityClasses > 1.
+	Remote BatchScheduler
 }
 
 // arrival is a packet after input admission, as seen by an output port.
@@ -118,6 +128,10 @@ type Switch struct {
 	// sequential mode).
 	eng *engine
 
+	// Batch scratch for remote (cluster) mode, reused every slot.
+	batchReqs []BatchRequest
+	batchOut  []BatchResult
+
 	// Allocation-rate sampling state for Stats.Engine.AllocsPerSlot.
 	memStats      runtime.MemStats
 	lastMallocs   uint64
@@ -154,6 +168,14 @@ func New(cfg Config) (*Switch, error) {
 	if cfg.Trace != nil && cfg.Trace.Ports() != cfg.N {
 		return nil, fmt.Errorf("interconnect: tracer built for %d ports, switch has %d",
 			cfg.Trace.Ports(), cfg.N)
+	}
+	if cfg.Remote != nil {
+		if cfg.Distributed {
+			return nil, fmt.Errorf("interconnect: remote and distributed modes are mutually exclusive")
+		}
+		if cfg.PriorityClasses > 1 {
+			return nil, fmt.Errorf("interconnect: remote mode does not support priority classes")
+		}
 	}
 	dp, err := fabric.NewDatapath(cfg.N, cfg.Conv)
 	if err != nil {
@@ -200,6 +222,13 @@ func New(cfg Config) (*Switch, error) {
 			port.enableClasses(cfg.PriorityClasses, prio)
 		}
 		sw.ports = append(sw.ports, port)
+	}
+	if cfg.Remote != nil {
+		sw.batchReqs = make([]BatchRequest, 0, cfg.N)
+		sw.batchOut = make([]BatchResult, 0, cfg.N)
+		if src, ok := cfg.Remote.(ClusterStatsSource); ok {
+			sw.stats.Cluster = src.ClusterStats()
+		}
 	}
 	if cfg.Distributed {
 		sw.eng = newEngine(sw.ports, sw.perPort, sw.results, sw.stats.Engine)
@@ -319,7 +348,11 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 	// switch's reused result buffers either way.
 	es := s.stats.Engine
 	start := time.Now()
-	if s.eng != nil {
+	if s.cfg.Remote != nil {
+		if err := s.runSlotRemote(slot); err != nil {
+			return err
+		}
+	} else if s.eng != nil {
 		s.eng.runSlot()
 	} else {
 		for o := 0; o < n; o++ {
@@ -374,6 +407,36 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 	s.slotsDone.Store(int64(s.stats.Slots))
 	if s.stats.Slots-s.lastAllocSlot >= memSampleEvery {
 		s.sampleAllocs()
+	}
+	return nil
+}
+
+// runSlotRemote is the cluster-mode scheduling phase: every port's prepare
+// half runs locally (building the request vectors), the whole batch is
+// handed to the remote scheduler in one call, and the returned assignments
+// flow through each port's commit half — fair selection and hold
+// bookkeeping stay on the switch, so a cluster run's statistics are
+// byte-identical to the in-process engines'.
+func (s *Switch) runSlotRemote(slot int64) error {
+	s.batchReqs = s.batchReqs[:0]
+	s.batchOut = s.batchOut[:0]
+	for o, p := range s.ports {
+		p.prepare(s.perPort[o])
+		s.batchReqs = append(s.batchReqs, BatchRequest{
+			Port: o, Count: p.count, Occupied: p.occupied, Mask: p.mask,
+		})
+		out := BatchResult{Port: o, Res: p.res}
+		if p.mask != nil {
+			out.Shadow = p.shadow
+		}
+		s.batchOut = append(s.batchOut, out)
+	}
+	if err := s.cfg.Remote.ScheduleBatch(slot, s.batchReqs, s.batchOut); err != nil {
+		return fmt.Errorf("interconnect: remote scheduling slot %d: %w", slot, err)
+	}
+	for o, p := range s.ports {
+		p.afterRemote()
+		s.results[o] = p.commit()
 	}
 	return nil
 }

@@ -34,6 +34,30 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+// TestRunRejectsTraceShapeMismatch replays a trace recorded for a larger
+// interconnect into a smaller switch: the shape mismatch must surface as
+// an error from Run, never an index panic.
+func TestRunRejectsTraceShapeMismatch(t *testing.T) {
+	big := traffic.Config{N: 8, K: 8, Seed: 5}
+	g, err := traffic.NewBernoulli(big, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := traffic.Record(g, big, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range map[string]Config{
+		"fewer fibers":      {N: 4, Conv: circ(8, 1, 1)},
+		"fewer wavelengths": {N: 8, Conv: circ(4, 1, 1)},
+	} {
+		sw := mustSwitch(t, cfg)
+		if _, err := sw.Run(tr.Replay(), len(tr.Slots)); err == nil {
+			t.Errorf("%s: out-of-shape trace accepted", name)
+		}
+	}
+}
+
 func TestRunSlotRejectsBadPackets(t *testing.T) {
 	sw := mustSwitch(t, Config{N: 2, Conv: circ(4, 1, 1)})
 	bad := []traffic.Packet{

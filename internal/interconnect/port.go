@@ -365,6 +365,18 @@ func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 }
 
 func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
+	p.prepare(arrivals)
+	p.schedule()
+	return p.commit()
+}
+
+// prepare runs the pre-scheduling half of the slot pipeline: scratch
+// reset, fault-kill sweep, occupancy derivation and request-vector
+// construction. After prepare, p.count, p.occupied and p.mask fully
+// describe the port's scheduling instance for this slot — which is what
+// the cluster controller ships to a remote node instead of calling
+// p.schedule locally.
+func (p *outputPort) prepare(arrivals []arrival) {
 	p.reg.Reset()
 	for w := range p.reqs {
 		p.reqs[w] = p.reqs[w][:0]
@@ -412,9 +424,28 @@ func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
 			p.count[w] += held
 		}
 	}
+}
 
-	// The distributed scheduling decision.
-	p.schedule()
+// afterRemote performs the accounting that schedule() would have done when
+// the decision in p.res (and, under a fault mask, the healthy-graph
+// matching in p.shadow) was computed off-port — by a cluster node or by
+// the controller's local fallback scheduler.
+func (p *outputPort) afterRemote() {
+	if p.mask != nil {
+		if lost := p.shadow.Size - p.res.Size; lost > 0 {
+			atomic.AddInt64(&p.faultLost, int64(lost))
+		}
+	}
+	if p.tracer != nil && p.res.BreakChannel != core.Unassigned {
+		p.emit(telemetry.EvBreakEdge, telemetry.ReasonNone, -1, -1, p.res.BreakChannel, 0)
+	}
+}
+
+// commit runs the post-scheduling half of the slot pipeline: expanding the
+// per-wavelength grant counts in p.res into concrete winners through the
+// fair selector, then the channel-hold bookkeeping. It returns the slot's
+// switched connections (valid until the next slot).
+func (p *outputPort) commit() []portGrant {
 	p.matchSizes.Observe(p.res.Size)
 
 	// Expand per-wavelength grant counts into concrete winners. Held

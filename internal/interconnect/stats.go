@@ -49,6 +49,10 @@ type Stats struct {
 	// Fault reports degraded-mode statistics when fault injection is
 	// enabled (Config.Faults); nil otherwise.
 	Fault *FaultStats
+	// Cluster reports networked-runtime statistics when the slot
+	// scheduling ran on a cluster controller (Config.Remote implementing
+	// ClusterStatsSource); nil otherwise.
+	Cluster *ClusterStats
 }
 
 func newStats(n, k, classes int) *Stats {

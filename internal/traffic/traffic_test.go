@@ -2,6 +2,7 @@ package traffic
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math"
 	"testing"
 )
@@ -345,6 +346,72 @@ func TestTraceRecordReplayRoundTrip(t *testing.T) {
 func TestReadTraceRejectsGarbage(t *testing.T) {
 	if _, err := ReadTrace(bytes.NewReader([]byte("not a trace"))); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+// TestReadTraceTruncated feeds every proper prefix of a serialized trace
+// to the decoder: each must return an error, never panic or succeed.
+func TestReadTraceTruncated(t *testing.T) {
+	cfg := Config{N: 4, K: 3, Seed: 9}
+	g, _ := NewBernoulli(cfg, 0.9)
+	tr, _ := Record(g, cfg, 20)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := ReadTrace(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at byte %d of %d accepted", cut, len(full))
+		}
+	}
+}
+
+// TestReadTraceCorruptStream flips bytes throughout a serialized trace.
+// Every corruption must either be rejected by ReadTrace or produce a
+// trace that still passes through Validate's shape check bounds without
+// panicking — decoding must never crash on hostile input.
+func TestReadTraceCorruptStream(t *testing.T) {
+	cfg := Config{N: 4, K: 3, Seed: 9}
+	g, _ := NewBernoulli(cfg, 0.9)
+	tr, _ := Record(g, cfg, 20)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for pos := 0; pos < len(full); pos += 11 {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0xff
+		got, err := ReadTrace(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		// Survivors must still be safe to validate and replay.
+		_ = got.Validate()
+		got.Replay().Generate(0, nil)
+	}
+}
+
+// TestReadTraceRejectsBadHeader covers the header-level error paths: an
+// unsupported version and nonsensical shape fields.
+func TestReadTraceRejectsBadHeader(t *testing.T) {
+	write := func(h traceHeader) []byte {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for name, h := range map[string]traceHeader{
+		"future version": {Version: traceVersion + 1, N: 2, K: 2, Slots: 0},
+		"zero N":         {Version: traceVersion, N: 0, K: 2, Slots: 0},
+		"zero K":         {Version: traceVersion, N: 2, K: 0, Slots: 0},
+		"negative slots": {Version: traceVersion, N: 2, K: 2, Slots: -1},
+	} {
+		if _, err := ReadTrace(bytes.NewReader(write(h))); err == nil {
+			t.Errorf("%s accepted", name)
+		}
 	}
 }
 

@@ -45,6 +45,7 @@ import (
 
 	"wdmsched/internal/analysis"
 	"wdmsched/internal/async"
+	"wdmsched/internal/cluster"
 	"wdmsched/internal/core"
 	"wdmsched/internal/fault"
 	"wdmsched/internal/interconnect"
@@ -346,6 +347,59 @@ func CloseScheduler(s Scheduler) error {
 		return c.Close()
 	}
 	return nil
+}
+
+// BatchScheduler resolves one slot's output contention for every port at
+// once; plug one into SwitchConfig.Remote to move the scheduling
+// computation out of the switch process. Implementations must be
+// deterministic — the switch's Stats stay identical to the in-process
+// engines by construction.
+type BatchScheduler = interconnect.BatchScheduler
+
+// ClusterStats reports the networked runtime's behavior (Stats.Cluster;
+// nil unless the run scheduled through a cluster controller).
+type ClusterStats = interconnect.ClusterStats
+
+// ClusterController shards the per-output-fiber schedulers across worker
+// nodes over TCP or unix sockets: it streams each slot's request vectors
+// in one batched frame per node and merges the grants back into the slot
+// loop, falling back to bit-identical local scheduling when a node misses
+// its deadline. Use it as SwitchConfig.Remote and Close it after the run.
+type ClusterController = cluster.Controller
+
+// ClusterControllerConfig configures a cluster run; see the cluster
+// package for field semantics and defaults.
+type ClusterControllerConfig = cluster.ControllerConfig
+
+// NewClusterController connects to every node, pushes the port partition,
+// and returns a ready batch scheduler.
+func NewClusterController(cfg ClusterControllerConfig) (*ClusterController, error) {
+	return cluster.NewController(cfg)
+}
+
+// ClusterNode is a cluster worker: a stateless matching server hosting
+// the schedulers for whatever ports a controller assigns it. Run one per
+// machine (or in-process for tests) with Serve; see the wdmnode command.
+type ClusterNode = cluster.Node
+
+// ClusterNodeConfig tunes a worker node.
+type ClusterNodeConfig = cluster.NodeConfig
+
+// NewClusterNode builds a worker node; drive it with Serve on a listener.
+func NewClusterNode(cfg ClusterNodeConfig) *ClusterNode { return cluster.NewNode(cfg) }
+
+// TransportFaults injects seeded frame-level drop/delay/duplication on the
+// cluster transport (ClusterControllerConfig.Faults), exercising the
+// controller's retry and local-fallback machinery without changing any
+// scheduling result.
+type TransportFaults = fault.TransportFaults
+
+// TransportFaultConfig parameterizes transport fault injection.
+type TransportFaultConfig = fault.TransportConfig
+
+// NewTransportFaults validates the probabilities and builds an injector.
+func NewTransportFaults(cfg TransportFaultConfig) (*TransportFaults, error) {
+	return fault.NewTransportFaults(cfg)
 }
 
 // Table is a rendered experiment artifact (ASCII and CSV output).
