@@ -8,9 +8,11 @@
 GO ?= go
 BENCHTIME ?= 1s
 FUZZTIME ?= 30s
+DIFF_THRESHOLD ?= 1.0
+DIFF_MINDELTA ?= 100us
 
 .PHONY: check vet build test race fmt fmt-check bench fuzz fuzz-short output trace \
-	bench-save examples-smoke cluster-smoke
+	bench-save bench-diff examples-smoke cluster-smoke
 
 check: vet build test race
 
@@ -57,6 +59,14 @@ bench-save:
 	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
 	$(GO) run ./cmd/wdmbench -engine -json > BENCH_$$n.json && \
 	echo "wrote BENCH_$$n.json"
+
+# Bench-regression gate: compare the newest BENCH_<n>.json against
+# BENCH_0.json and fail on any duration cell worse by more than
+# DIFF_THRESHOLD (fractional) and DIFF_MINDELTA (absolute) at once.
+# Records a fresh point first when only the baseline exists.
+bench-diff:
+	@ls BENCH_[1-9]*.json >/dev/null 2>&1 || $(MAKE) bench-save
+	$(GO) run ./cmd/wdmbench -diff -threshold $(DIFF_THRESHOLD) -mindelta $(DIFF_MINDELTA)
 
 # Execute every example program end to end (they are built by ./... but
 # would otherwise never run); any non-zero exit fails the target.

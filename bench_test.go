@@ -13,6 +13,7 @@ import (
 	"wdmsched/internal/core"
 	"wdmsched/internal/fabric"
 	"wdmsched/internal/interconnect"
+	"wdmsched/internal/telemetry"
 	"wdmsched/internal/traffic"
 	"wdmsched/internal/wavelength"
 )
@@ -352,49 +353,95 @@ func BenchmarkSimulatedSlot(b *testing.B) { benchSwitch(b, false) }
 // pool start/stop each iteration).
 func BenchmarkDistributedSlot(b *testing.B) { benchSwitch(b, true) }
 
+// switchRunSlotModes are the BenchmarkSwitchRunSlot variants: the two
+// engines bare, plus the sequential engine with full observability on
+// (telemetry registry + decision tracer) — tracing must be free.
+var switchRunSlotModes = []struct {
+	name        string
+	distributed bool
+	traced      bool
+}{
+	{"sequential", false, false},
+	{"distributed", true, false},
+	{"sequential-traced", false, true},
+}
+
+// newRunSlotSwitch builds the long-lived switch and pregenerated slots
+// shared by BenchmarkSwitchRunSlot and its zero-alloc pin.
+func newRunSlotSwitch(tb testing.TB, distributed, traced bool) (*interconnect.Switch, [][]traffic.Packet) {
+	tb.Helper()
+	const n, k, slots = 8, 16, 64
+	conv := wavelength.MustNew(wavelength.Circular, k, 1, 1)
+	cfg := interconnect.Config{N: n, Conv: conv, Seed: 5, Distributed: distributed}
+	if traced {
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.Trace = telemetry.NewDecisionTracer(n, 1<<10)
+	}
+	sw, err := interconnect.New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen, err := traffic.NewBernoulli(traffic.Config{N: n, K: k, Seed: 5}, 1.0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pre := make([][]traffic.Packet, slots)
+	for s := range pre {
+		pre[s] = gen.Generate(s, nil)
+	}
+	for pass := 0; pass < 4; pass++ { // reach allocation steady state
+		for _, pkts := range pre {
+			if err := sw.RunSlot(pkts); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return sw, pre
+}
+
 // BenchmarkSwitchRunSlot — the engine acceptance benchmark: steady-state
 // cost of one slot on a long-lived switch, sequential and distributed.
-// Both modes must report 0 allocs/op: the persistent engine reuses the
+// Every mode must report 0 allocs/op: the persistent engine reuses the
 // result buffers, arrival slices, and (in distributed mode) its port
-// workers across slots.
+// workers across slots, and the decision tracer writes into preallocated
+// per-port rings.
 func BenchmarkSwitchRunSlot(b *testing.B) {
-	for _, mode := range []struct {
-		name        string
-		distributed bool
-	}{{"sequential", false}, {"distributed", true}} {
+	for _, mode := range switchRunSlotModes {
 		b.Run(mode.name, func(b *testing.B) {
-			const n, k, slots = 8, 16, 64
-			conv := wavelength.MustNew(wavelength.Circular, k, 1, 1)
-			sw, err := interconnect.New(interconnect.Config{
-				N: n, Conv: conv, Seed: 5, Distributed: mode.distributed,
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			gen, err := traffic.NewBernoulli(traffic.Config{N: n, K: k, Seed: 5}, 1.0)
-			if err != nil {
-				b.Fatal(err)
-			}
-			pre := make([][]traffic.Packet, slots)
-			for s := range pre {
-				pre[s] = gen.Generate(s, nil)
-			}
-			for pass := 0; pass < 4; pass++ { // reach allocation steady state
-				for _, pkts := range pre {
-					if err := sw.RunSlot(pkts); err != nil {
-						b.Fatal(err)
-					}
-				}
-			}
+			sw, pre := newRunSlotSwitch(b, mode.distributed, mode.traced)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := sw.RunSlot(pre[i%slots]); err != nil {
+				if err := sw.RunSlot(pre[i%len(pre)]); err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.StopTimer()
 			sw.Finalize()
+		})
+	}
+}
+
+// TestSwitchRunSlotZeroAllocs pins the 0 allocs/op acceptance criterion
+// as a plain test so `go test ./...` enforces it — with observability
+// fully enabled included: attaching a telemetry registry and a decision
+// tracer must not put an allocation on the slot hot path.
+func TestSwitchRunSlotZeroAllocs(t *testing.T) {
+	for _, mode := range switchRunSlotModes {
+		t.Run(mode.name, func(t *testing.T) {
+			sw, pre := newRunSlotSwitch(t, mode.distributed, mode.traced)
+			defer sw.Finalize()
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := sw.RunSlot(pre[i%len(pre)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if a := r.AllocsPerOp(); a != 0 {
+				t.Errorf("RunSlot (%s): %d allocs/op, want 0 (%s)", mode.name, a, r.MemString())
+			}
 		})
 	}
 }

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchJSON renders a minimal saved benchmark record with one engine table.
+func benchJSON(p50, p95, max, mean string) string {
+	return fmt.Sprintf(`{
+  "quick": false,
+  "results": [{
+    "id": "engine",
+    "title": "Engine run-time metrics",
+    "tables": [{
+      "Title": "Engine run-time metrics",
+      "Header": ["mode", "slot p50", "slot p95", "slot max", "slot mean", "allocs/slot"],
+      "Rows": [["sequential", %q, %q, %q, %q, "0.00"]],
+      "Notes": []
+    }]
+  }]
+}`, p50, p95, max, mean)
+}
+
+func writeBench(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func runDiffArgs(t *testing.T, base, against string, extra ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	args := append([]string{"-diff", "-baseline", base, "-against", against}, extra...)
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestDiffNoRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "BENCH_0.json", benchJSON("60µs", "120µs", "2ms", "50µs"))
+	against := writeBench(t, dir, "BENCH_1.json", benchJSON("55µs", "110µs", "3ms", "48µs"))
+	code, out, errb := runDiffArgs(t, base, against)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(out, "no regressions") {
+		t.Fatalf("missing summary:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Fatalf("spurious regression:\n%s", out)
+	}
+}
+
+func TestDiffDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "BENCH_0.json", benchJSON("60µs", "120µs", "2ms", "50µs"))
+	// p95 blows past both gates: 120µs -> 600µs is 5x and +480µs.
+	against := writeBench(t, dir, "BENCH_1.json", benchJSON("60µs", "600µs", "2ms", "50µs"))
+	code, out, _ := runDiffArgs(t, base, against)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "slot p95") {
+		t.Fatalf("regression not attributed to slot p95:\n%s", out)
+	}
+}
+
+// TestDiffRespectsMinDelta: a large ratio on a tiny absolute delta is
+// noise, not a regression — the whole point of the -mindelta floor.
+func TestDiffRespectsMinDelta(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "BENCH_0.json", benchJSON("10µs", "20µs", "2ms", "15µs"))
+	against := writeBench(t, dir, "BENCH_1.json", benchJSON("50µs", "90µs", "2ms", "70µs"))
+	code, out, _ := runDiffArgs(t, base, against) // deltas all < default 100µs floor
+	if code != 0 {
+		t.Fatalf("sub-floor deltas flagged: exit %d\n%s", code, out)
+	}
+	// Tighten the floor and the same record must fail.
+	code, out, _ = runDiffArgs(t, base, against, "-mindelta", "10us")
+	if code != 1 {
+		t.Fatalf("exit %d with 10µs floor, want 1:\n%s", code, out)
+	}
+}
+
+// TestDiffSkipsSlotMax: a single worst outlier must never gate.
+func TestDiffSkipsSlotMax(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "BENCH_0.json", benchJSON("60µs", "120µs", "1ms", "50µs"))
+	against := writeBench(t, dir, "BENCH_1.json", benchJSON("60µs", "120µs", "500ms", "50µs"))
+	code, out, _ := runDiffArgs(t, base, against)
+	if code != 0 {
+		t.Fatalf("slot max gated: exit %d\n%s", code, out)
+	}
+}
+
+func TestDiffThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "BENCH_0.json", benchJSON("60µs", "120µs", "2ms", "500µs"))
+	against := writeBench(t, dir, "BENCH_1.json", benchJSON("60µs", "120µs", "2ms", "800µs")) // +60%, +300µs
+	if code, out, _ := runDiffArgs(t, base, against); code != 0 {
+		t.Fatalf("+60%% tripped the default 100%% threshold:\n%s", out)
+	}
+	if code, out, _ := runDiffArgs(t, base, against, "-threshold", "0.5"); code != 1 {
+		t.Fatalf("+60%% passed a 50%% threshold:\n%s", out)
+	}
+}
+
+// TestDiffToleratesShapeMismatch: extra rows or tables on either side are
+// noted and skipped, never fatal — the record evolves between sessions.
+func TestDiffToleratesShapeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "BENCH_0.json", benchJSON("60µs", "120µs", "2ms", "50µs"))
+	against := writeBench(t, dir, "BENCH_1.json", strings.Replace(
+		benchJSON("60µs", "120µs", "2ms", "50µs"),
+		`["sequential"`, `["worker-pool", "1µs", "1µs", "1µs", "1µs", "0"], ["sequential"`, 1))
+	code, out, _ := runDiffArgs(t, base, against)
+	if code != 0 {
+		t.Fatalf("new row broke the diff: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "note: row \"worker-pool\" has no baseline") {
+		t.Fatalf("missing shape-mismatch note:\n%s", out)
+	}
+}
+
+func TestDiffDiscoversLatest(t *testing.T) {
+	dir := t.TempDir()
+	writeBench(t, dir, "BENCH_0.json", benchJSON("60µs", "120µs", "2ms", "50µs"))
+	writeBench(t, dir, "BENCH_1.json", benchJSON("59µs", "119µs", "2ms", "49µs"))
+	writeBench(t, dir, "BENCH_2.json", benchJSON("58µs", "118µs", "2ms", "48µs"))
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "BENCH_2.json") {
+		t.Fatalf("did not pick the latest record:\n%s", out.String())
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-diff"}, &out, &errb); code != 1 {
+		t.Fatalf("no records: exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "bench-save") {
+		t.Fatalf("error does not point at bench-save: %s", errb.String())
+	}
+
+	// A record with no duration cells in common is an error, not a pass:
+	// an empty comparison must not green-light the gate.
+	base := writeBench(t, dir, "BENCH_0.json", benchJSON("a", "b", "c", "d"))
+	against := writeBench(t, dir, "BENCH_1.json", benchJSON("e", "f", "g", "h"))
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-diff", "-baseline", base, "-against", against}, &out, &errb); code != 1 {
+		t.Fatalf("empty comparison passed: exit %d\n%s", code, out.String())
+	}
+}

@@ -12,6 +12,13 @@
 //	wdmbench -engine         # slot-engine run-time metrics (latency, allocs)
 //	wdmbench -faults         # graceful-degradation study under converter faults
 //	wdmbench -json           # structured JSON (perf-trajectory record; make bench-save)
+//	wdmbench -diff           # compare the latest BENCH_<n>.json against BENCH_0.json
+//
+// -diff is the bench-regression gate (make bench-diff): it compares every
+// duration cell of the newest saved benchmark record against the baseline,
+// matching tables by experiment and index, rows by first cell and columns
+// by header, and exits non-zero when any cell is worse by more than
+// -threshold (fractional) and -mindelta (absolute) at once.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	wdm "wdmsched"
 )
@@ -47,9 +55,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trials  = fs.Int("trials", 0, "random trials per data point (0 = default)")
 		seed    = fs.Uint64("seed", 0, "random seed (0 = default)")
 		outDir  = fs.String("o", "", "also write one CSV file per table into this directory")
+
+		diff      = fs.Bool("diff", false, "compare the latest BENCH_<n>.json against the baseline; non-zero exit on regression")
+		baseline  = fs.String("baseline", "", "baseline record for -diff (default BENCH_0.json)")
+		against   = fs.String("against", "", "record to compare for -diff (default: highest-numbered BENCH_<n>.json, n >= 1)")
+		threshold = fs.Float64("threshold", 1.0, "fractional slowdown that counts as a regression for -diff (1.0 = 2x)")
+		minDelta  = fs.Duration("mindelta", 100*time.Microsecond, "absolute slowdown floor for -diff; smaller deltas are noise")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *diff {
+		regressions, err := runDiff(stdout, *baseline, *against, *threshold, *minDelta)
+		if err != nil {
+			fmt.Fprintf(stderr, "wdmbench: %v\n", err)
+			return 1
+		}
+		if regressions > 0 {
+			return 1
+		}
+		return 0
 	}
 
 	if *list {

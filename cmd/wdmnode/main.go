@@ -11,6 +11,16 @@
 //
 // Unix sockets: -listen unix:/tmp/wdmnode.sock (any address containing a
 // slash is treated as a socket path).
+//
+// Observability: -http binds a telemetry endpoint exposing the node's own
+// wdm_node_* metrics (Prometheus text at /metrics, JSON at /snapshot,
+// expvar, pprof) plus the node-side span dump at /spans — fetch it after a
+// traced run and merge with the controller's -spandump output:
+//
+//	wdmnode -listen 127.0.0.1:9301 -http 127.0.0.1:9391 &
+//	wdmsim -cluster 127.0.0.1:9301 ... -spandump ctrl.spans
+//	curl -s http://127.0.0.1:9391/spans > node0.spans
+//	wdmtrace -merge ctrl.spans node0.spans
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,10 +47,16 @@ func run(args []string, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wdmnode", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		listen  = fs.String("listen", "127.0.0.1:9301", "address to serve on: host:port for TCP, unix:/path for a unix socket")
-		verbose = fs.Bool("v", false, "log session lifecycle events")
+		listen   = fs.String("listen", "127.0.0.1:9301", "address to serve on: host:port for TCP, unix:/path for a unix socket")
+		httpAddr = fs.String("http", "", "optional telemetry address serving wdm_node_* /metrics, /snapshot, /spans, expvar and pprof")
+		spanCap  = fs.Int("spancap", 1<<14, "spans retained per lane for the /spans dump (newest win)")
+		verbose  = fs.Bool("v", false, "log session lifecycle events")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *spanCap <= 0 {
+		fmt.Fprintln(stderr, "wdmnode: -spancap must be positive")
 		return 2
 	}
 
@@ -59,7 +76,26 @@ func run(args []string, stderr io.Writer) int {
 	if *verbose {
 		cfg.Logf = logger.Printf
 	}
+	if *httpAddr != "" {
+		cfg.Telemetry = wdm.NewTelemetryRegistry()
+		cfg.Spans = wdm.NewSpanTracer(1, *spanCap)
+	}
 	node := wdm.NewClusterNode(cfg)
+	if *httpAddr != "" {
+		srv, err := wdm.ServeTelemetry(*httpAddr, cfg.Telemetry)
+		if err != nil {
+			fmt.Fprintf(stderr, "wdmnode: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		srv.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			if err := node.WriteSpans(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		logger.Printf("telemetry on http://%s (metrics, snapshot, spans, pprof)", srv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -67,6 +67,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		netDup      = fs.Float64("netdup", 0, "injected frame duplication probability on the cluster transport")
 		netDelay    = fs.Float64("netdelay", 0, "injected frame delay probability on the cluster transport")
 		rpcTimeout  = fs.Duration("rpctimeout", 0, "cluster schedule RPC deadline (default 500ms)")
+		spanDump    = fs.String("spandump", "", "write the controller-side span dump (trace context + JSONL spans) to this file after a cluster run; merge with node /spans dumps via wdmtrace -merge")
+		clusterOut  = fs.String("clusterstats", "", "write cluster runtime statistics as JSON to this file (kept separate from -json so engine outputs stay byte-comparable)")
 		listen      = fs.String("listen", "", "serve live telemetry on this address (/metrics, /snapshot, /debug/pprof)")
 		quiet       = fs.Bool("quiet", false, "suppress the statistics table")
 		jsonOut     = fs.Bool("json", false, "print statistics as JSON instead of the table")
@@ -84,6 +86,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *clusterTo != "" && *nodes > 0 {
 		return fail(fmt.Errorf("-cluster and -nodes are mutually exclusive"))
+	}
+	if (*spanDump != "" || *clusterOut != "") && *clusterTo == "" && *nodes == 0 {
+		return fail(fmt.Errorf("-spandump and -clusterstats require a cluster run (-cluster or -nodes)"))
 	}
 
 	kind, err := wdm.ParseKind(*kindFlag)
@@ -184,10 +189,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return fail(err)
 			}
 		}
+		var spans *wdm.SpanTracer
+		if *spanDump != "" {
+			spans = wdm.NewSpanTracer(1, 1<<14)
+		}
 		ctrl, err = wdm.NewClusterController(wdm.ClusterControllerConfig{
 			Addrs: addrs, N: *n, Conv: conv, Scheduler: *scheduler,
 			RPCTimeout: *rpcTimeout, Faults: tf, Seed: *seed + 4,
-			DialTimeout: 10 * time.Second,
+			DialTimeout: 10 * time.Second, Spans: spans,
 		})
 		if err != nil {
 			return fail(err)
@@ -229,6 +238,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	st, err := sw.Run(gen, *slots)
 	if err != nil {
 		return fail(err)
+	}
+	if *spanDump != "" {
+		if err := writeToFile(*spanDump, ctrl.WriteSpans); err != nil {
+			return fail(err)
+		}
+	}
+	if *clusterOut != "" {
+		if err := writeToFile(*clusterOut, func(w io.Writer) error {
+			return writeClusterJSON(w, st.Cluster)
+		}); err != nil {
+			return fail(err)
+		}
 	}
 
 	if *jsonOut {
@@ -342,6 +363,80 @@ func writeJSONStats(w io.Writer, st *wdm.Stats, n, k int) error {
 			LostGrants:          st.Fault.LostGrants.Value(),
 			KilledConnections:   st.Fault.KilledConnections.Value(),
 		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// writeToFile creates path and streams fn's output into it.
+func writeToFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeClusterJSON prints the cluster runtime statistics as one JSON
+// document. This lives in its own file (-clusterstats) rather than inside
+// -json: the smoke test byte-compares -json output across engines, and
+// wire counters are engine-specific by construction.
+func writeClusterJSON(w io.Writer, c *wdm.ClusterStats) error {
+	if c == nil {
+		return fmt.Errorf("no cluster statistics: run did not schedule over the cluster")
+	}
+	type stage struct {
+		Count  int64   `json:"count"`
+		MeanNS int64   `json:"mean_ns"`
+		SumSec float64 `json:"sum_seconds"`
+	}
+	mk := func(h *wdm.DurationHistogram) stage {
+		return stage{Count: h.Count(), MeanNS: h.Mean().Nanoseconds(), SumSec: h.Sum().Seconds()}
+	}
+	out := struct {
+		Nodes          int              `json:"nodes"`
+		RemoteItems    int64            `json:"remote_items"`
+		FallbackItems  int64            `json:"fallback_items"`
+		EmptyItems     int64            `json:"empty_items"`
+		FallbackSlots  int64            `json:"fallback_slots"`
+		Retries        int64            `json:"retries"`
+		DeadlineMisses int64            `json:"deadline_misses"`
+		Reconnects     int64            `json:"reconnects"`
+		BytesSent      int64            `json:"bytes_sent"`
+		BytesReceived  int64            `json:"bytes_received"`
+		FramesSent     int64            `json:"frames_sent"`
+		FramesReceived int64            `json:"frames_received"`
+		RPCMeanNS      int64            `json:"rpc_mean_ns"`
+		RPCP99NS       int64            `json:"rpc_p99_ns"`
+		Stages         map[string]stage `json:"stages"`
+	}{
+		Nodes:          c.Nodes,
+		RemoteItems:    c.RemoteItems.Value(),
+		FallbackItems:  c.LocalFallbackItems.Value(),
+		EmptyItems:     c.EmptyItems.Value(),
+		FallbackSlots:  c.FallbackSlots.Value(),
+		Retries:        c.Retries.Value(),
+		DeadlineMisses: c.DeadlineMisses.Value(),
+		Reconnects:     c.Reconnects.Value(),
+		BytesSent:      c.BytesSent.Value(),
+		BytesReceived:  c.BytesReceived.Value(),
+		FramesSent:     c.FramesSent.Value(),
+		FramesReceived: c.FramesReceived.Value(),
+		RPCMeanNS:      c.RPCLatency.Mean().Nanoseconds(),
+		RPCP99NS:       c.RPCLatency.Quantile(0.99).Nanoseconds(),
+		Stages: map[string]stage{
+			"prepare":       mk(c.PrepareTime),
+			"encode":        mk(c.EncodeTime),
+			"node-decode":   mk(c.NodeDecodeTime),
+			"node-schedule": mk(c.NodeScheduleTime),
+			"node-encode":   mk(c.NodeEncodeTime),
+			"commit":        mk(c.CommitTime),
+		},
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
@@ -218,6 +219,92 @@ func TestListenFlagServesMetrics(t *testing.T) {
 	}
 	if code := <-done; code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+}
+
+func TestSpanDumpAndClusterStats(t *testing.T) {
+	dir := t.TempDir()
+	spanPath := dir + "/ctrl.spans"
+	statsPath := dir + "/cluster.json"
+	var out, errb bytes.Buffer
+	code := run([]string{"-nodes", "2", "-n", "4", "-k", "8", "-slots", "300", "-quiet",
+		"-spandump", spanPath, "-clusterstats", statsPath}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+
+	spans, err := os.ReadFile(spanPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(spans), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("span dump has %d lines, want meta + spans", len(lines))
+	}
+	var meta struct {
+		Meta struct {
+			Role  string `json:"role"`
+			RunID uint64 `json:"run_id"`
+			Links []struct {
+				Shard int `json:"shard"`
+			} `json:"links"`
+		} `json:"meta"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatalf("meta line: %v\n%s", err, lines[0])
+	}
+	if meta.Meta.Role != "controller" || meta.Meta.RunID == 0 || len(meta.Meta.Links) != 2 {
+		t.Fatalf("implausible meta: %+v", meta.Meta)
+	}
+	stages := map[string]bool{}
+	for _, line := range lines[1:] {
+		var sp struct {
+			Stage string `json:"stage"`
+		}
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("span line: %v\n%s", err, line)
+		}
+		stages[sp.Stage] = true
+	}
+	for _, want := range []string{"slot", "prepare", "encode", "rpc", "commit"} {
+		if !stages[want] {
+			t.Errorf("span dump missing stage %q (have %v)", want, stages)
+		}
+	}
+
+	statsBytes, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs struct {
+		Nodes          int   `json:"nodes"`
+		RemoteItems    int64 `json:"remote_items"`
+		FramesSent     int64 `json:"frames_sent"`
+		FramesReceived int64 `json:"frames_received"`
+		Stages         map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(statsBytes, &cs); err != nil {
+		t.Fatalf("cluster stats not JSON: %v\n%s", err, statsBytes)
+	}
+	if cs.Nodes != 2 || cs.RemoteItems == 0 || cs.FramesSent == 0 || cs.FramesReceived == 0 {
+		t.Fatalf("implausible cluster stats: %+v", cs)
+	}
+	for _, want := range []string{"prepare", "encode", "node-decode", "node-schedule", "node-encode", "commit"} {
+		if cs.Stages[want].Count == 0 {
+			t.Errorf("stage %q has no observations", want)
+		}
+	}
+}
+
+func TestSpanDumpRequiresCluster(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-spandump", "/tmp/x.spans", "-n", "4", "-k", "4", "-slots", "10"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "-spandump") {
+		t.Fatalf("error does not mention the flag: %s", errb.String())
 	}
 }
 

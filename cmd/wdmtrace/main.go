@@ -9,6 +9,16 @@
 //	wdmtrace -info trace.bin
 //	wdmtrace -decisions trace.bin -dump decisions.jsonl
 //	wdmtrace -decisions trace.bin -format chrome -dump run.trace.json
+//
+// -merge joins the span dumps of a traced cluster run — the controller's
+// wdmsim -spandump file plus each node's /spans endpoint output — into one
+// Chrome trace_event timeline (load it in chrome://tracing or Perfetto)
+// with all node clocks corrected onto the controller's, and prints the
+// per-stage latency attribution table. -check additionally verifies the
+// cross-process invariants (node spans contained in their RPC windows,
+// stages summing to slot latency):
+//
+//	wdmtrace -merge -mout merged.trace.json -check ctrl.spans node0.spans node1.spans
 package main
 
 import (
@@ -30,6 +40,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		genMode   = fs.Bool("gen", false, "generate a trace")
+		mergeMode = fs.Bool("merge", false, "merge cluster span dumps (controller dump first, then node dumps) into one Chrome trace")
+		mout      = fs.String("mout", "merged.trace.json", "merged Chrome trace output path for -merge")
+		mcheck    = fs.Bool("check", false, "with -merge: verify containment and attribution invariants, non-zero exit on failure")
 		info      = fs.String("info", "", "inspect an existing trace file")
 		decisions = fs.String("decisions", "", "replay a trace and dump scheduling decisions")
 		dump      = fs.String("dump", "decisions.jsonl", "decision dump path for -decisions")
@@ -64,6 +77,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	switch {
+	case *mergeMode:
+		if err := runMerge(stdout, fs.Args(), *mout, *mcheck); err != nil {
+			return fail(err)
+		}
+		return 0
 	case *decisions != "":
 		if err := runDecisions(stdout, *decisions, *dump, *format, *kindFlag,
 			*scheduler, *selector, *d, *laneCap, *distrib, *disturb); err != nil {
@@ -127,7 +145,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wrote %d packets over %d slots to %s\n", tr.NumPackets(), *slots, *out)
 		return 0
 	default:
-		fmt.Fprintln(stderr, "wdmtrace: need -gen, -info or -decisions (see -h)")
+		fmt.Fprintln(stderr, "wdmtrace: need -gen, -info, -decisions or -merge (see -h)")
 		return 2
 	}
 }

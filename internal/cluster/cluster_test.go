@@ -10,6 +10,7 @@ import (
 	"wdmsched/internal/core"
 	"wdmsched/internal/fault"
 	"wdmsched/internal/interconnect"
+	"wdmsched/internal/telemetry"
 	"wdmsched/internal/traffic"
 	"wdmsched/internal/wavelength"
 )
@@ -34,7 +35,13 @@ func startNode(t *testing.T, network string) (string, *Node) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node := NewNode(NodeConfig{})
+	// Every test node runs with its own telemetry registry and span tracer
+	// attached, so the equivalence suites double as proof that node-side
+	// observability never changes the results.
+	node := NewNode(NodeConfig{
+		Telemetry: telemetry.NewRegistry(),
+		Spans:     telemetry.NewSpanTracer(1, 1<<12),
+	})
 	go node.Serve(ln)
 	t.Cleanup(func() { node.Close() })
 	return addr, node
@@ -143,7 +150,10 @@ func TestClusterEquivalence(t *testing.T) {
 				label += "+disturb"
 			}
 			want := clusterRun(t, base, nil, 0.9, 60)
-			got := clusterRun(t, base, &ControllerConfig{Addrs: addrs, Seed: 7}, 0.9, 60)
+			// Every cluster run is traced: results must stay byte-identical
+			// with span recording on.
+			spans := telemetry.NewSpanTracer(1, 1<<12)
+			got := clusterRun(t, base, &ControllerConfig{Addrs: addrs, Seed: 7, Spans: spans}, 0.9, 60)
 			requireStatsEqual(t, label, want, got)
 			if got.Cluster == nil {
 				t.Fatalf("%s: cluster stats missing", label)
@@ -154,6 +164,24 @@ func TestClusterEquivalence(t *testing.T) {
 			}
 			if got.Cluster.RemoteItems.Value() == 0 {
 				t.Fatalf("%s: no remote scheduling happened", label)
+			}
+			if spans.Emitted() == 0 {
+				t.Fatalf("%s: traced run emitted no spans", label)
+			}
+			seen := map[telemetry.SpanStage]bool{}
+			for _, sp := range spans.Spans() {
+				seen[sp.Stage] = true
+			}
+			for _, stage := range []telemetry.SpanStage{
+				telemetry.StageSlot, telemetry.StagePrepare, telemetry.StageEncode,
+				telemetry.StageRPC, telemetry.StageCommit,
+			} {
+				if !seen[stage] {
+					t.Fatalf("%s: no %v span recorded", label, stage)
+				}
+			}
+			if got.Cluster.PrepareTime.Count() == 0 || got.Cluster.NodeScheduleTime.Count() == 0 {
+				t.Fatalf("%s: stage attribution histograms stayed empty", label)
 			}
 		}
 	}

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"sync"
@@ -12,6 +14,7 @@ import (
 	"wdmsched/internal/core"
 	"wdmsched/internal/fault"
 	"wdmsched/internal/interconnect"
+	"wdmsched/internal/metrics"
 	"wdmsched/internal/telemetry"
 	"wdmsched/internal/traffic"
 	"wdmsched/internal/wavelength"
@@ -53,6 +56,11 @@ type ControllerConfig struct {
 	Faults *fault.TransportFaults
 	// Seed drives the retry jitter and handshake nonces.
 	Seed uint64
+	// Spans, when non-nil, records controller-side spans — encode, RPC
+	// in-flight, local fallback — on lane 1+shard for every slot (lane 0
+	// is left to the switch's prepare/commit spans). Merge with node span
+	// dumps via wdmtrace -merge.
+	Spans *telemetry.SpanTracer
 	// Logf, when non-nil, receives connection lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -88,6 +96,7 @@ type Controller struct {
 	cfg   ControllerConfig
 	links []*link
 	stats *interconnect.ClusterStats
+	runID uint64 // trace context carried by every v2 schedule frame
 
 	// curReqs/curOut are the in-flight slot's batch, indexed by the links'
 	// item lists. Set by ScheduleBatch before the fan-out, read-only to
@@ -120,6 +129,15 @@ type link struct {
 	ports    []byte // cached config payload
 	fellBack bool   // set when this slot's items were scheduled locally
 
+	// Clock reconciliation: every grants frame carries node span-clock
+	// stamps; the lowest-RTT sample wins (NTP-style, RTT/2 correction).
+	// gt holds the last reply's t1..t4; bestRTT is worker-goroutine state;
+	// offset/rtt are atomics so LinkSyncs can read them mid-run.
+	gt      [4]int64
+	bestRTT int64
+	offset  atomic.Int64 // node span clock minus controller span clock, ns
+	rtt     atomic.Int64
+
 	work chan int64
 	once sync.Once
 }
@@ -144,7 +162,14 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 	if len(cfg.Addrs) > cfg.N {
 		return nil, fmt.Errorf("cluster: %d nodes for %d ports", len(cfg.Addrs), cfg.N)
 	}
-	ctrl := &Controller{cfg: cfg, stats: interconnect.NewClusterStats(len(cfg.Addrs))}
+	ctrl := &Controller{
+		cfg:   cfg,
+		stats: interconnect.NewClusterStats(len(cfg.Addrs)),
+		runID: traffic.NewRNG(cfg.Seed^0x52554e5f49445f31).Uint64() | 1,
+	}
+	if cfg.Spans != nil {
+		cfg.Spans.EnsureLanes(1 + len(cfg.Addrs))
+	}
 	for i, addr := range cfg.Addrs {
 		fb, err := core.NewByName(cfg.Scheduler, cfg.Conv)
 		if err != nil {
@@ -173,6 +198,13 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 			for {
 				err := l.connect()
 				if err == nil {
+					return
+				}
+				var verr *VersionError
+				if errors.As(err, &verr) {
+					// A protocol mismatch will not heal by waiting;
+					// fail the whole controller fast with both versions.
+					errs[i] = err
 					return
 				}
 				if time.Now().After(deadline) {
@@ -207,6 +239,61 @@ func (c *Controller) logf(format string, args ...any) {
 // ClusterStats exposes the runtime counters; the switch links them into
 // its Stats via interconnect.ClusterStatsSource.
 func (c *Controller) ClusterStats() *interconnect.ClusterStats { return c.stats }
+
+// RunID identifies this controller run. Every v2 schedule frame carries
+// it, so wdmtrace -merge can refuse to merge dumps from different runs.
+func (c *Controller) RunID() uint64 { return c.runID }
+
+// Spans exposes the configured span tracer (nil when tracing is off);
+// implements interconnect.SpanSource so the switch emits its
+// prepare/commit/slot spans into the same tracer.
+func (c *Controller) Spans() *telemetry.SpanTracer { return c.cfg.Spans }
+
+// LinkSync is one node link's clock reconciliation estimate, derived from
+// the lowest-RTT schedule RPC observed so far.
+type LinkSync struct {
+	Addr     string `json:"node"`
+	Shard    int    `json:"shard"`
+	OffsetNS int64  `json:"offset_ns"` // node span clock minus controller span clock
+	RTTNS    int64  `json:"rtt_ns"`    // round trip minus node processing time
+}
+
+// LinkSyncs returns the current per-link clock estimates. Safe to call
+// mid-run.
+func (c *Controller) LinkSyncs() []LinkSync {
+	out := make([]LinkSync, len(c.links))
+	for i, l := range c.links {
+		out[i] = LinkSync{Addr: l.addr, Shard: l.id, OffsetNS: l.offset.Load(), RTTNS: l.rtt.Load()}
+	}
+	return out
+}
+
+// WriteSpans dumps the controller's span dump: one meta line (role, run
+// ID, per-link clock estimates) followed by the retained spans as JSONL —
+// the controller half of a wdmtrace -merge input pair.
+func (c *Controller) WriteSpans(w io.Writer) error {
+	if c.cfg.Spans == nil {
+		return errors.New("cluster: controller has no span tracer")
+	}
+	meta := struct {
+		Meta struct {
+			Role  string     `json:"role"`
+			RunID uint64     `json:"run_id"`
+			Links []LinkSync `json:"links"`
+		} `json:"meta"`
+	}{}
+	meta.Meta.Role = "controller"
+	meta.Meta.RunID = c.runID
+	meta.Meta.Links = c.LinkSyncs()
+	enc, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(enc, '\n')); err != nil {
+		return err
+	}
+	return c.cfg.Spans.WriteJSONL(w)
+}
 
 // ScheduleBatch implements interconnect.BatchScheduler: partition the
 // slot's non-empty request vectors across the node links, fan out one
@@ -288,7 +375,19 @@ func (c *Controller) RegisterTelemetry(r *telemetry.Registry) {
 	r.CounterFunc("wdm_cluster_reconnects_total", "Node sessions re-established after a transport failure.", nil, st.Reconnects.Value)
 	r.CounterFunc("wdm_cluster_bytes_sent_total", "Bytes written to node links, framing included.", nil, st.BytesSent.Value)
 	r.CounterFunc("wdm_cluster_bytes_received_total", "Bytes read from node links, framing included.", nil, st.BytesReceived.Value)
+	r.CounterFunc("wdm_cluster_frames_sent_total", "Frames written to node links.", nil, st.FramesSent.Value)
+	r.CounterFunc("wdm_cluster_frames_received_total", "Frames read from node links.", nil, st.FramesReceived.Value)
 	r.DurationHistogram("wdm_cluster_rpc_latency_seconds", "Successful schedule RPC round-trip time.", nil, st.RPCLatency)
+	stage := func(name string, h *metrics.DurationHistogram) {
+		r.DurationHistogram("wdm_cluster_stage_seconds", "Per-stage latency attribution of the distributed slot pipeline.",
+			[]telemetry.Label{{Key: "stage", Value: name}}, h)
+	}
+	stage("prepare", st.PrepareTime)
+	stage("encode", st.EncodeTime)
+	stage("node-decode", st.NodeDecodeTime)
+	stage("node-schedule", st.NodeScheduleTime)
+	stage("node-encode", st.NodeEncodeTime)
+	stage("commit", st.CommitTime)
 	r.GaugeFunc("wdm_cluster_remote_fraction", "Fraction of non-empty decisions computed remotely.", nil, st.RemoteFraction)
 	for _, l := range c.links {
 		lbl := []telemetry.Label{{Key: "node", Value: l.addr}, {Key: "shard", Value: strconv.Itoa(l.id)}}
@@ -327,14 +426,24 @@ func (l *link) worker() {
 func (l *link) runSlot(slot int64) {
 	l.fellBack = false
 	if l.tr == nil && !l.reconnect(slot) {
-		l.fallback()
+		l.fallback(slot)
 		return
 	}
 	if err := l.rpc(slot); err != nil {
 		l.ctrl.logf("node %s: slot %d falling back: %v", l.addr, slot, err)
 		l.disconnect(slot)
-		l.fallback()
+		l.fallback(slot)
 	}
+}
+
+// retryDelay is the pause before retry attempt n (n ≥ 1): the attempt's
+// exponential backoff base plus uniform seeded jitter in [0, base].
+func retryDelay(rng *traffic.RNG, base time.Duration, attempt int) time.Duration {
+	if attempt > 32 {
+		attempt = 32 // clamp the shift; real retry budgets are single digits
+	}
+	d := base << (attempt - 1)
+	return d + time.Duration(rng.Intn(int(d)+1))
 }
 
 // rpc sends the slot's batched schedule frame and decodes the grants,
@@ -346,12 +455,10 @@ func (l *link) runSlot(slot int64) {
 func (l *link) rpc(slot int64) error {
 	st := l.ctrl.stats
 	var lastErr error
-	backoff := l.ctrl.cfg.BackoffBase
 	for attempt := 0; attempt <= l.ctrl.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			st.Retries.Inc()
-			time.Sleep(backoff + time.Duration(l.rng.Intn(int(backoff)+1)))
-			backoff *= 2
+			time.Sleep(retryDelay(l.rng, l.ctrl.cfg.BackoffBase, attempt))
 			if l.tr == nil {
 				if l.connect() != nil {
 					continue
@@ -376,17 +483,29 @@ func (l *link) rpc(slot int64) error {
 			l.tr = nil
 			l.healthy.Store(false)
 		}
+		var verr *VersionError
+		if errors.As(err, &verr) {
+			return err // a protocol mismatch will not heal; skip the retries
+		}
 	}
 	return lastErr
 }
 
-// attempt runs one send/receive round for the current slot's items.
+// attempt runs one send/receive round for the current slot's items. The
+// v2 frame carries the trace context (run ID, span ID = seq<<20|shard)
+// and the send-time stamp t0, patched into the encoded payload last so
+// the network span excludes encode time.
 func (l *link) attempt(slot int64) error {
 	l.seq++
+	spanID := l.seq<<20 | uint64(l.id)
 	reqs := l.ctrl.curReqs
+	encStart := telemetry.NowNS()
 	b := l.payload[:0]
 	b = putU64(b, l.seq)
 	b = putU64(b, uint64(slot))
+	b = putU64(b, l.ctrl.runID)
+	b = putU64(b, spanID)
+	b = putI64(b, 0) // t0, patched below at send time
 	b = putU32(b, uint32(len(l.items)))
 	for _, i := range l.items {
 		req := &reqs[i]
@@ -405,6 +524,10 @@ func (l *link) attempt(slot int64) error {
 		}
 	}
 	l.payload = b
+	encEnd := telemetry.NowNS()
+	l.ctrl.stats.EncodeTime.Observe(time.Duration(encEnd - encStart))
+	t0 := telemetry.NowNS()
+	patchU64(l.payload, schedT0Off, uint64(t0))
 	if err := l.tr.send(msgSchedule, l.payload); err != nil {
 		return err
 	}
@@ -412,21 +535,62 @@ func (l *link) attempt(slot int64) error {
 	if err != nil {
 		return err
 	}
-	return l.decodeGrants(payload)
+	t5 := telemetry.NowNS()
+	if err := l.decodeGrants(payload, spanID); err != nil {
+		return err
+	}
+	l.observeSync(t0, t5)
+	if tr := l.ctrl.cfg.Spans; tr != nil {
+		lane := 1 + l.id
+		tr.Emit(lane, telemetry.Span{Slot: slot, Lane: int32(lane), Stage: telemetry.StageEncode,
+			Port: -1, ID: spanID, Start: encStart, Dur: encEnd - encStart})
+		tr.Emit(lane, telemetry.Span{Slot: slot, Lane: int32(lane), Stage: telemetry.StageRPC,
+			Port: -1, ID: spanID, Start: t0, Dur: t5 - t0})
+	}
+	return nil
+}
+
+// observeSync folds one RPC's piggybacked node stamps into the link's
+// clock-offset estimate. The sample with the lowest round-trip time bounds
+// the asymmetry error tightest, so only improvements are kept.
+func (l *link) observeSync(t0, t5 int64) {
+	rtt := (t5 - t0) - (l.gt[3] - l.gt[0])
+	if rtt < 0 {
+		rtt = 0
+	}
+	if l.bestRTT != 0 && rtt >= l.bestRTT {
+		return
+	}
+	l.bestRTT = rtt
+	l.offset.Store(((l.gt[0] - t0) + (l.gt[3] - t5)) / 2)
+	l.rtt.Store(rtt)
 }
 
 // decodeGrants writes a grants payload into the slot's result buffers,
-// checking that the node answered exactly the items asked, in order.
-func (l *link) decodeGrants(payload []byte) error {
+// checking that the node answered exactly the items asked, in order, and
+// harvesting the piggybacked node timestamps for stage attribution.
+func (l *link) decodeGrants(payload []byte, spanID uint64) error {
 	reqs, out := l.ctrl.curReqs, l.ctrl.curOut
+	st := l.ctrl.stats
 	k := l.ctrl.cfg.Conv.K()
 	r := reader{b: payload}
 	r.u64() // seq, already matched by expect
 	r.u64() // slot echo
+	span := r.u64()
+	l.gt[0] = r.i64() // t1: node received the schedule frame
+	l.gt[1] = r.i64() // t2: node finished decoding
+	l.gt[2] = r.i64() // t3: node schedule barrier done
+	l.gt[3] = r.i64() // t4: node finished encoding the reply
 	items := int(r.u32())
 	if r.Err() != nil {
 		return r.Err()
 	}
+	if span != spanID {
+		return fmt.Errorf("cluster: grants echo span %#x, want %#x", span, spanID)
+	}
+	st.NodeDecodeTime.Observe(time.Duration(l.gt[1] - l.gt[0]))
+	st.NodeScheduleTime.Observe(time.Duration(l.gt[2] - l.gt[1]))
+	st.NodeEncodeTime.Observe(time.Duration(l.gt[3] - l.gt[2]))
 	if items != len(l.items) {
 		return fmt.Errorf("cluster: grants carry %d items, want %d", items, len(l.items))
 	}
@@ -460,7 +624,8 @@ func (l *link) decodeGrants(payload []byte) error {
 // fallback schedules this link's items on the controller with the same
 // pure scheduler the node would have used — bit-identical results, so
 // degradation changes only where the work ran, never what it produced.
-func (l *link) fallback() {
+func (l *link) fallback(slot int64) {
+	start := telemetry.NowNS()
 	reqs, out := l.ctrl.curReqs, l.ctrl.curOut
 	for _, i := range l.items {
 		req := &reqs[i]
@@ -473,6 +638,11 @@ func (l *link) fallback() {
 		l.ctrl.stats.LocalFallbackItems.Inc()
 	}
 	l.fellBack = true
+	if tr := l.ctrl.cfg.Spans; tr != nil {
+		lane := 1 + l.id
+		tr.Emit(lane, telemetry.Span{Slot: slot, Lane: int32(lane), Stage: telemetry.StageFallback,
+			Port: -1, Start: start, Dur: telemetry.NowNS() - start})
+	}
 }
 
 // reconnect decides whether a downed link should redial this slot, and
@@ -514,6 +684,8 @@ func (l *link) connect() error {
 	tr.faults = l.ctrl.cfg.Faults
 	tr.bytesOut = &l.ctrl.stats.BytesSent
 	tr.bytesIn = &l.ctrl.stats.BytesReceived
+	tr.framesOut = &l.ctrl.stats.FramesSent
+	tr.framesIn = &l.ctrl.stats.FramesReceived
 	l.tr = tr
 	nonce := l.rng.Uint64()
 	hb := putU64(nil, nonce)

@@ -5,9 +5,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"wdmsched/internal/core"
+	"wdmsched/internal/metrics"
+	"wdmsched/internal/telemetry"
 	"wdmsched/internal/wavelength"
 )
 
@@ -16,6 +21,15 @@ type NodeConfig struct {
 	// Logf, when non-nil, receives one line per session event (open,
 	// configure, close). Nil disables logging.
 	Logf func(format string, args ...any)
+	// Telemetry, when non-nil, receives the node's own wdm_node_* series
+	// (frame/byte counters, decode/schedule/encode latency histograms,
+	// per-port busy gauges) — served by wdmnode on its -http address.
+	Telemetry *telemetry.Registry
+	// Spans, when non-nil, records node-side spans: frame decode and
+	// reply encode on lane 0, each port's schedule computation on lane
+	// 1+local-index. Dump with WriteSpans and merge with the controller
+	// dump via wdmtrace -merge.
+	Spans *telemetry.SpanTracer
 }
 
 // Node is a cluster worker: it hosts the schedulers for its assigned
@@ -30,11 +44,82 @@ type Node struct {
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
+
+	nm      nodeMetrics
+	busy    map[int]*metrics.Counter // cumulative busy ns per global port
+	lastRun atomic.Uint64            // run ID of the last schedule frame served
 }
 
-// NewNode builds a node.
+// nodeMetrics is the node's own observability: written on the session hot
+// paths (plain atomics, allocation-free), surfaced as wdm_node_* series
+// when NodeConfig.Telemetry is set.
+type nodeMetrics struct {
+	framesIn, framesOut metrics.Counter
+	bytesIn, bytesOut   metrics.Counter
+	sessions            metrics.Counter
+	scheduleFrames      metrics.Counter
+	scheduledItems      metrics.Counter
+	decode              *metrics.DurationHistogram
+	schedule            *metrics.DurationHistogram
+	encode              *metrics.DurationHistogram
+}
+
+// NewNode builds a node. When cfg.Telemetry is set, the wdm_node_* series
+// are registered immediately (per-port busy gauges appear lazily as
+// controllers assign ports).
 func NewNode(cfg NodeConfig) *Node {
-	return &Node{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	n := &Node{cfg: cfg, conns: make(map[net.Conn]struct{}), busy: make(map[int]*metrics.Counter)}
+	n.nm.decode = metrics.NewDurationHistogram()
+	n.nm.schedule = metrics.NewDurationHistogram()
+	n.nm.encode = metrics.NewDurationHistogram()
+	if r := cfg.Telemetry; r != nil {
+		r.CounterFunc("wdm_node_frames_received_total", "Frames read from controller sessions.", nil, n.nm.framesIn.Value)
+		r.CounterFunc("wdm_node_frames_sent_total", "Frames written to controller sessions.", nil, n.nm.framesOut.Value)
+		r.CounterFunc("wdm_node_bytes_received_total", "Bytes read from controller sessions, framing included.", nil, n.nm.bytesIn.Value)
+		r.CounterFunc("wdm_node_bytes_sent_total", "Bytes written to controller sessions, framing included.", nil, n.nm.bytesOut.Value)
+		r.CounterFunc("wdm_node_sessions_total", "Controller sessions accepted.", nil, n.nm.sessions.Value)
+		r.CounterFunc("wdm_node_schedule_frames_total", "Schedule frames served.", nil, n.nm.scheduleFrames.Value)
+		r.CounterFunc("wdm_node_scheduled_items_total", "Port-slot scheduling decisions computed.", nil, n.nm.scheduledItems.Value)
+		r.DurationHistogram("wdm_node_decode_seconds", "Schedule frame decode time.", nil, n.nm.decode)
+		r.DurationHistogram("wdm_node_schedule_seconds", "Per-port matching computation time.", nil, n.nm.schedule)
+		r.DurationHistogram("wdm_node_encode_seconds", "Grants reply encode time.", nil, n.nm.encode)
+	}
+	return n
+}
+
+// portBusy returns (registering on first use) the cumulative busy-time
+// counter for a global output port assigned to this node.
+func (n *Node) portBusy(port int) *metrics.Counter {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c, ok := n.busy[port]; ok {
+		return c
+	}
+	c := new(metrics.Counter)
+	n.busy[port] = c
+	if r := n.cfg.Telemetry; r != nil {
+		r.GaugeFunc("wdm_node_port_busy_seconds", "Cumulative matching-computation time for this assigned port.",
+			[]telemetry.Label{{Key: "port", Value: strconv.Itoa(port)}},
+			func() float64 { return float64(c.Value()) / 1e9 })
+	}
+	return c
+}
+
+// LastRunID reports the run ID carried by the most recent schedule frame
+// (0 before any); wdmtrace -merge checks it against the controller dump.
+func (n *Node) LastRunID() uint64 { return n.lastRun.Load() }
+
+// WriteSpans dumps the node's span dump: a meta line (role, last run ID)
+// followed by the retained spans as JSONL — one node's half of a
+// wdmtrace -merge input set, served by wdmnode on /spans.
+func (n *Node) WriteSpans(w io.Writer) error {
+	if n.cfg.Spans == nil {
+		return errors.New("cluster: node has no span tracer")
+	}
+	if _, err := fmt.Fprintf(w, `{"meta":{"role":"node","run_id":%d}}`+"\n", n.lastRun.Load()); err != nil {
+		return err
+	}
+	return n.cfg.Spans.WriteJSONL(w)
 }
 
 func (n *Node) logf(format string, args ...any) {
@@ -105,8 +190,14 @@ func (n *Node) handle(c net.Conn) {
 		delete(n.conns, c)
 		n.mu.Unlock()
 	}()
-	s := &session{tr: newTransport(c), logf: n.logf}
+	tr := newTransport(c)
+	tr.bytesIn = &n.nm.bytesIn
+	tr.bytesOut = &n.nm.bytesOut
+	tr.framesIn = &n.nm.framesIn
+	tr.framesOut = &n.nm.framesOut
+	s := &session{tr: tr, logf: n.logf, node: n, spans: n.cfg.Spans}
 	defer s.teardown()
+	n.nm.sessions.Inc()
 	n.logf("session open from %v", c.RemoteAddr())
 	if err := s.run(); err != nil && !errors.Is(err, io.EOF) {
 		n.logf("session from %v ended: %v", c.RemoteAddr(), err)
@@ -121,14 +212,23 @@ func (n *Node) handle(c net.Conn) {
 // persistent worker goroutine per assigned port (the same worker-pool
 // shape as the in-process engine).
 type session struct {
-	tr   *transport
-	logf func(format string, args ...any)
+	tr    *transport
+	logf  func(format string, args ...any)
+	node  *Node                 // nil in bare protocol tests
+	spans *telemetry.SpanTracer // nil when tracing is off
 
 	configured bool
 	nports, k  int
 	conv       wavelength.Conversion
 	ports      []int // assigned global port IDs
 	idx        []int32
+
+	// timed gates the hot-path clock reads: set at configure time when any
+	// consumer (metrics, busy counters, spans) exists.
+	timed   bool
+	busy    []*metrics.Counter // per local port, nil without telemetry
+	curSlot int64              // in-flight batch trace context, set before
+	curSpan uint64             // the fan-out, read by workers after wake
 
 	scheds   []core.Scheduler
 	count    [][]int
@@ -152,6 +252,15 @@ func (s *session) run() error {
 	for {
 		mt, payload, err := s.tr.recv()
 		if err != nil {
+			var verr *VersionError
+			if errors.As(err, &verr) {
+				// Tell the peer why it is being rejected, framed in ITS
+				// version so an old controller can decode the message
+				// (the error payload layout is identical in v1 and v2).
+				b := putU64(nil, 0)
+				b = putString(b, verr.Error())
+				_ = s.tr.sendVersioned(verr.Peer, msgError, b)
+			}
 			return err
 		}
 		switch mt {
@@ -289,6 +398,17 @@ func (s *session) configure(payload []byte) error {
 	s.configured = true
 	s.nports, s.k, s.conv = n, k, conv
 	s.ports, s.idx, s.scheds = ports, idx, scheds
+	s.busy = nil
+	if s.node != nil && s.node.cfg.Telemetry != nil {
+		s.busy = make([]*metrics.Counter, nPorts)
+		for i, p := range ports {
+			s.busy[i] = s.node.portBusy(p)
+		}
+	}
+	if s.spans != nil {
+		s.spans.EnsureLanes(1 + nPorts)
+	}
+	s.timed = s.node != nil || s.spans != nil
 	s.count = make([][]int, nPorts)
 	s.occupied = make([][]bool, nPorts)
 	s.mask = make([]core.ChannelMask, nPorts)
@@ -341,7 +461,25 @@ func (s *session) worker(li int) {
 		case <-s.stop:
 			return
 		case <-s.wake[li]:
+			if !s.timed {
+				s.compute(li)
+				s.barrier.Done()
+				continue
+			}
+			start := telemetry.NowNS()
 			s.compute(li)
+			dur := telemetry.NowNS() - start
+			if s.node != nil {
+				s.node.nm.schedule.Observe(time.Duration(dur))
+			}
+			if s.busy != nil {
+				s.busy[li].Add(dur)
+			}
+			if s.spans != nil {
+				s.spans.Emit(1+li, telemetry.Span{Slot: s.curSlot, Lane: int32(1 + li),
+					Stage: telemetry.StageSchedule, Port: int32(s.ports[li]),
+					ID: s.curSpan, Start: start, Dur: dur})
+			}
 			s.barrier.Done()
 		}
 	}
@@ -362,11 +500,17 @@ func (s *session) compute(li int) {
 // handleSchedule decodes a schedule frame into the per-port input buffers,
 // fans the batch out to the worker pool, and encodes the grants reply.
 // Allocation-free in steady state: every buffer it touches is preallocated
-// at configure time and reused.
+// at configure time and reused. The reply carries the span clock stamps
+// t1..t4 (receipt, decode done, barrier done, reply encoded); t4 is
+// patched in after encoding so it covers the encode itself.
 func (s *session) handleSchedule(payload []byte) ([]byte, error) {
+	t1 := telemetry.NowNS()
 	r := reader{b: payload}
 	seq := r.u64()
 	slot := r.u64()
+	run := r.u64()
+	span := r.u64()
+	r.i64() // t0: controller send stamp, on the controller's clock
 	items := int(r.u32())
 	if r.Err() != nil {
 		return nil, r.Err()
@@ -420,6 +564,14 @@ func (s *session) handleSchedule(payload []byte) ([]byte, error) {
 	if r.Rem() != 0 {
 		return nil, fmt.Errorf("cluster: %d trailing schedule bytes", r.Rem())
 	}
+	t2 := telemetry.NowNS()
+	s.curSlot, s.curSpan = int64(slot), span
+	if s.node != nil {
+		s.node.lastRun.Store(run)
+		s.node.nm.scheduleFrames.Inc()
+		s.node.nm.scheduledItems.Add(int64(len(s.active)))
+		s.node.nm.decode.Observe(time.Duration(t2 - t1))
+	}
 
 	// Fan out to the persistent workers and wait for the slot barrier.
 	s.barrier.Add(len(s.active))
@@ -427,11 +579,17 @@ func (s *session) handleSchedule(payload []byte) ([]byte, error) {
 		s.wake[li] <- struct{}{}
 	}
 	s.barrier.Wait()
+	t3 := telemetry.NowNS()
 
 	// Encode the reply in request order.
 	b := s.pbuf[:0]
 	b = putU64(b, seq)
 	b = putU64(b, slot)
+	b = putU64(b, span)
+	b = putI64(b, t1)
+	b = putI64(b, t2)
+	b = putI64(b, t3)
+	b = putI64(b, 0) // t4, patched below once encoding is done
 	b = putU32(b, uint32(len(s.active)))
 	for _, li := range s.active {
 		b = putU32(b, uint32(s.ports[li]))
@@ -443,7 +601,18 @@ func (s *session) handleSchedule(payload []byte) ([]byte, error) {
 			b = append(b, 0)
 		}
 	}
+	t4 := telemetry.NowNS()
+	patchU64(b, grantsT4Off, uint64(t4))
 	s.pbuf = b
+	if s.node != nil {
+		s.node.nm.encode.Observe(time.Duration(t4 - t3))
+	}
+	if s.spans != nil {
+		s.spans.Emit(0, telemetry.Span{Slot: int64(slot), Stage: telemetry.StageDecode,
+			Port: -1, ID: span, Start: t1, Dur: t2 - t1})
+		s.spans.Emit(0, telemetry.Span{Slot: int64(slot), Stage: telemetry.StageNodeEncode,
+			Port: -1, ID: span, Start: t3, Dur: t4 - t3})
+	}
 	return b, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"wdmsched/internal/metrics"
+	"wdmsched/internal/telemetry"
 	"wdmsched/internal/wavelength"
 )
 
@@ -25,11 +27,15 @@ func buildConfigPayload(n, k int, ports []int) []byte {
 	return b
 }
 
-// buildSchedulePayload encodes one schedule frame: each ports[i] asks with
-// counts[i] and no occupancy; mask, when non-nil, applies to every item.
+// buildSchedulePayload encodes one v2 schedule frame: each ports[i] asks
+// with counts[i] and no occupancy; mask, when non-nil, applies to every
+// item. The trace context (run, span, t0) is synthetic but well-formed.
 func buildSchedulePayload(seq, slot uint64, k int, ports []int, counts [][]int, mask []byte) []byte {
 	b := putU64(nil, seq)
 	b = putU64(b, slot)
+	b = putU64(b, 0xABCD)    // run ID
+	b = putU64(b, seq<<20)   // span ID
+	b = putI64(b, 123456789) // t0
 	b = putU32(b, uint32(len(ports)))
 	occupied := make([]bool, k)
 	for i, p := range ports {
@@ -66,10 +72,10 @@ func newTestSession(t testing.TB, n, k int, ports []int) *session {
 // TestNodeScheduleHotPathAllocs asserts the acceptance criterion that a
 // zero-fault cluster run adds no allocations to the node-side scheduling
 // hot path: after the first (buffer-growing) call, handleSchedule must not
-// allocate, masked or not.
+// allocate — masked or not, and with node telemetry and span tracing both
+// enabled (the observability must be free on the hot path).
 func TestNodeScheduleHotPathAllocs(t *testing.T) {
 	const n, k = 8, 8
-	s := newTestSession(t, n, k, []int{0, 2, 4, 6})
 	counts := [][]int{
 		{2, 0, 1, 3, 0, 1, 0, 2},
 		{0, 1, 0, 0, 2, 0, 4, 0},
@@ -79,28 +85,54 @@ func TestNodeScheduleHotPathAllocs(t *testing.T) {
 	mask := make([]byte, k)
 	mask[2] = 1 // converter failed
 	mask[5] = 2 // dark
-	for _, tc := range []struct {
-		name    string
-		payload []byte
+	for _, mode := range []struct {
+		name      string
+		telemetry bool
 	}{
-		{"unmasked", buildSchedulePayload(1, 10, k, []int{0, 2, 4, 6}, counts, nil)},
-		{"masked", buildSchedulePayload(2, 11, k, []int{0, 2, 4, 6}, counts, mask)},
+		{"plain", false},
+		{"telemetry+spans", true},
 	} {
-		t.Run(tc.name, func(t *testing.T) {
-			var err error
-			if _, err = s.handleSchedule(tc.payload); err != nil { // warm buffers
-				t.Fatal(err)
-			}
-			allocs := testing.AllocsPerRun(100, func() {
-				_, err = s.handleSchedule(tc.payload)
+		s := newTestSession(t, n, k, []int{0, 2, 4, 6})
+		if mode.telemetry {
+			node := NewNode(NodeConfig{
+				Telemetry: telemetry.NewRegistry(),
+				Spans:     telemetry.NewSpanTracer(1, 1<<10),
 			})
-			if err != nil {
-				t.Fatal(err)
+			s.node, s.spans = node, node.cfg.Spans
+			// Re-run the configure-time wiring the test session skipped.
+			s.busy = make([]*metrics.Counter, len(s.ports))
+			for i, p := range s.ports {
+				s.busy[i] = node.portBusy(p)
 			}
-			if allocs != 0 {
-				t.Fatalf("handleSchedule allocates %.1f objects per call, want 0", allocs)
-			}
-		})
+			s.spans.EnsureLanes(1 + len(s.ports))
+			s.timed = true
+		}
+		for _, tc := range []struct {
+			name    string
+			payload []byte
+		}{
+			{"unmasked", buildSchedulePayload(1, 10, k, []int{0, 2, 4, 6}, counts, nil)},
+			{"masked", buildSchedulePayload(2, 11, k, []int{0, 2, 4, 6}, counts, mask)},
+		} {
+			t.Run(mode.name+"/"+tc.name, func(t *testing.T) {
+				var err error
+				if _, err = s.handleSchedule(tc.payload); err != nil { // warm buffers
+					t.Fatal(err)
+				}
+				allocs := testing.AllocsPerRun(100, func() {
+					_, err = s.handleSchedule(tc.payload)
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if allocs != 0 {
+					t.Fatalf("handleSchedule allocates %.1f objects per call, want 0", allocs)
+				}
+				if mode.telemetry && s.spans.Emitted() == 0 {
+					t.Fatal("span tracer saw no spans")
+				}
+			})
+		}
 	}
 }
 

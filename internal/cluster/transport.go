@@ -29,8 +29,12 @@ type transport struct {
 	faults *fault.TransportFaults
 
 	// bytesOut/bytesIn, when non-nil, total the wire traffic (frames
-	// actually written or read, headers and checksums included).
-	bytesOut, bytesIn *metrics.Counter
+	// actually written or read, headers and checksums included);
+	// framesOut/framesIn count the frames themselves. On a fault-free run
+	// one end's framesOut equals the other end's framesIn — the
+	// cross-process consistency check the cluster smoke test asserts.
+	bytesOut, bytesIn   *metrics.Counter
+	framesOut, framesIn *metrics.Counter
 }
 
 func newTransport(c net.Conn) *transport {
@@ -42,12 +46,20 @@ func newTransport(c net.Conn) *transport {
 // frame stalls the caller, a duplicated frame is written twice — the
 // receiver's sequence matching makes the duplicate harmless.
 func (t *transport) send(mt msgType, payload []byte) error {
+	return t.sendVersioned(wireVersion, mt, payload)
+}
+
+// sendVersioned frames a message with an explicit version byte. The only
+// caller that passes anything but wireVersion is the node's
+// version-mismatch reply, framed in the peer's version so the peer can
+// decode the rejection.
+func (t *transport) sendVersioned(version uint8, mt msgType, payload []byte) error {
 	if len(payload) > maxPayload {
 		return fmt.Errorf("cluster: payload %d exceeds limit", len(payload))
 	}
 	t.wbuf = t.wbuf[:0]
 	t.wbuf = putU16(t.wbuf, wireMagic)
-	t.wbuf = append(t.wbuf, wireVersion, byte(mt))
+	t.wbuf = append(t.wbuf, version, byte(mt))
 	t.wbuf = putU32(t.wbuf, uint32(len(payload)))
 	t.wbuf = append(t.wbuf, payload...)
 	t.wbuf = putU32(t.wbuf, crc32.ChecksumIEEE(payload))
@@ -70,6 +82,9 @@ func (t *transport) send(mt msgType, payload []byte) error {
 		}
 		if t.bytesOut != nil {
 			t.bytesOut.Add(int64(len(t.wbuf)))
+		}
+		if t.framesOut != nil {
+			t.framesOut.Inc()
 		}
 	}
 	return nil
@@ -101,7 +116,7 @@ func (t *transport) recvRaw() (msgType, []byte, error) {
 		return 0, nil, fmt.Errorf("cluster: bad magic %#04x", m)
 	}
 	if hdr[2] != wireVersion {
-		return 0, nil, fmt.Errorf("cluster: wire version %d, want %d", hdr[2], wireVersion)
+		return 0, nil, &VersionError{Peer: hdr[2], Local: wireVersion}
 	}
 	mt := msgType(hdr[3])
 	n := int(uint32(hdr[4])<<24 | uint32(hdr[5])<<16 | uint32(hdr[6])<<8 | uint32(hdr[7]))
@@ -117,6 +132,9 @@ func (t *transport) recvRaw() (msgType, []byte, error) {
 	}
 	if t.bytesIn != nil {
 		t.bytesIn.Add(int64(headerLen + n + crcLen))
+	}
+	if t.framesIn != nil {
+		t.framesIn.Inc()
 	}
 	payload := buf[:n]
 	wantCRC := uint32(buf[n])<<24 | uint32(buf[n+1])<<16 | uint32(buf[n+2])<<8 | uint32(buf[n+3])

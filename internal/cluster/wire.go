@@ -18,14 +18,20 @@
 // sequential and distributed engines given the same seed and trace — the
 // keystone correctness property, asserted by tests and CI.
 //
-// Wire protocol (version 1): length-prefixed binary frames, big-endian:
+// Wire protocol (version 2): length-prefixed binary frames, big-endian:
 //
 //	magic   uint16  0x57C1
-//	version uint8   1
+//	version uint8   2
 //	type    uint8   message type
 //	length  uint32  payload byte count
 //	payload [length]byte
 //	crc     uint32  IEEE CRC-32 of the payload
+//
+// A frame whose version byte differs from this build's is rejected with a
+// *VersionError naming both versions; the node additionally replies with
+// an error frame stamped with the peer's version byte so an old
+// controller can still decode the rejection. There is no downgrade path —
+// v2 peers fail fast against v1 peers and vice versa.
 //
 // Messages (controller → node unless noted):
 //
@@ -33,19 +39,30 @@
 //	config    n u32, kind u8, k u32, e u32, f u32, scheduler string,
 //	          ports u32 + u32×ports — node builds one scheduler per
 //	          assigned port and echoes configAck
-//	schedule  seq u64, slot u64, items u32, then per item:
-//	          port u32, count u16×k, occupied bitmap ⌈k/8⌉ bytes,
-//	          maskFlag u8 (+ k mask bytes when 1)
-//	grants    (node → controller) seq u64, slot u64, items u32, then per
-//	          item: port u32, result, shadowFlag u8 (+ shadow result when
-//	          the request was masked); result = size u16, break i16,
-//	          byOutput i16×k (−1 = unassigned; Granted is re-derived)
+//	schedule  seq u64, slot u64, run u64, span u64, t0 i64, items u32,
+//	          then per item: port u32, count u16×k, occupied bitmap
+//	          ⌈k/8⌉ bytes, maskFlag u8 (+ k mask bytes when 1).
+//	          run/span are the trace context (run ID, per-RPC span ID);
+//	          t0 is the controller's span clock at send time.
+//	grants    (node → controller) seq u64, slot u64, span u64 (echoed),
+//	          t1 i64, t2 i64, t3 i64, t4 i64, items u32, then per item:
+//	          port u32, result, shadowFlag u8 (+ shadow result when the
+//	          request was masked); result = size u16, break i16,
+//	          byOutput i16×k (−1 = unassigned; Granted is re-derived).
+//	          t1..t4 are node span-clock stamps: frame receipt, decode
+//	          done, schedule barrier done, reply encoded — the controller
+//	          derives per-stage attribution and, with its own send/receive
+//	          stamps, the node's clock offset (NTP-style RTT/2 correction).
 //	ping/pong seq u64 — health probe
 //	error     (node → controller) seq u64, message string
 //
+// Version 1 lacked run/span/t* trace context on schedule and grants
+// frames; everything else is unchanged.
+//
 // Encoding and decoding on the schedule/grants hot path are
 // allocation-free: frames build in reused buffers and decode by cursor
-// over the read buffer.
+// over the read buffer; the late timestamps (t0, t4) are patched into the
+// encoded frame at fixed offsets immediately before it is written.
 package cluster
 
 import (
@@ -55,11 +72,17 @@ import (
 
 const (
 	wireMagic   = 0x57C1
-	wireVersion = 1
+	wireVersion = 2
 
 	headerLen  = 8
 	crcLen     = 4
 	maxPayload = 64 << 20 // sanity cap against corrupt length prefixes
+
+	// Payload offsets of the timestamps patched in after encoding:
+	// schedule t0 follows seq+slot+run+span; grants t4 follows
+	// seq+slot+span+t1+t2+t3.
+	schedT0Off  = 32
+	grantsT4Off = 48
 
 	// Shape caps: validated at configure time so per-item sizes computed
 	// from k cannot overflow and counts fit the u16 wire width.
@@ -110,6 +133,20 @@ func (m msgType) String() string {
 // return zero values after it is set, and callers check Err once.
 var errShortPayload = errors.New("cluster: truncated payload")
 
+// VersionError reports a wire-protocol version mismatch with a peer.
+// Both ends fail fast on it: the controller gives up on the node without
+// retrying, and the node closes the session after a best-effort error
+// reply framed in the peer's version.
+type VersionError struct {
+	Peer  uint8 // version byte the peer sent
+	Local uint8 // version this build speaks
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("cluster: wire protocol version mismatch: peer speaks v%d, this build speaks v%d",
+		e.Peer, e.Local)
+}
+
 // Append-style big-endian encoders. All return the extended slice so the
 // hot path stays a chain of appends into one reused buffer.
 
@@ -125,6 +162,22 @@ func putU64(b []byte, v uint64) []byte {
 }
 
 func putI16(b []byte, v int16) []byte { return putU16(b, uint16(v)) }
+
+func putI64(b []byte, v int64) []byte { return putU64(b, uint64(v)) }
+
+// patchU64 overwrites 8 bytes at off in an already-encoded payload — used
+// to stamp send-time timestamps without re-encoding the frame.
+func patchU64(b []byte, off int, v uint64) {
+	_ = b[off+7]
+	b[off] = byte(v >> 56)
+	b[off+1] = byte(v >> 48)
+	b[off+2] = byte(v >> 40)
+	b[off+3] = byte(v >> 32)
+	b[off+4] = byte(v >> 24)
+	b[off+5] = byte(v >> 16)
+	b[off+6] = byte(v >> 8)
+	b[off+7] = byte(v)
+}
 
 func putString(b []byte, s string) []byte {
 	if len(s) > 0xffff {
@@ -196,6 +249,8 @@ func (r *reader) u64() uint64 {
 }
 
 func (r *reader) i16() int16 { return int16(r.u16()) }
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
 
 // bytes returns the next n payload bytes without copying; the slice is
 // valid only until the underlying read buffer is reused.

@@ -131,6 +131,10 @@ type Switch struct {
 	// Batch scratch for remote (cluster) mode, reused every slot.
 	batchReqs []BatchRequest
 	batchOut  []BatchResult
+	// remoteSpans is the batch scheduler's span tracer (SpanSource), when
+	// tracing is on: the slot loop emits prepare/commit/slot spans on
+	// lane 0 so they interleave with the controller's per-link RPC spans.
+	remoteSpans *telemetry.SpanTracer
 
 	// Allocation-rate sampling state for Stats.Engine.AllocsPerSlot.
 	memStats      runtime.MemStats
@@ -228,6 +232,12 @@ func New(cfg Config) (*Switch, error) {
 		sw.batchOut = make([]BatchResult, 0, cfg.N)
 		if src, ok := cfg.Remote.(ClusterStatsSource); ok {
 			sw.stats.Cluster = src.ClusterStats()
+		}
+		if src, ok := cfg.Remote.(SpanSource); ok {
+			if tr := src.Spans(); tr != nil {
+				tr.EnsureLanes(1)
+				sw.remoteSpans = tr
+			}
 		}
 	}
 	if cfg.Distributed {
@@ -418,6 +428,7 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 // bookkeeping stay on the switch, so a cluster run's statistics are
 // byte-identical to the in-process engines'.
 func (s *Switch) runSlotRemote(slot int64) error {
+	t0 := telemetry.NowNS()
 	s.batchReqs = s.batchReqs[:0]
 	s.batchOut = s.batchOut[:0]
 	for o, p := range s.ports {
@@ -431,12 +442,24 @@ func (s *Switch) runSlotRemote(slot int64) error {
 		}
 		s.batchOut = append(s.batchOut, out)
 	}
+	t1 := telemetry.NowNS()
 	if err := s.cfg.Remote.ScheduleBatch(slot, s.batchReqs, s.batchOut); err != nil {
 		return fmt.Errorf("interconnect: remote scheduling slot %d: %w", slot, err)
 	}
+	t2 := telemetry.NowNS()
 	for o, p := range s.ports {
 		p.afterRemote()
 		s.results[o] = p.commit()
+	}
+	t3 := telemetry.NowNS()
+	if cs := s.stats.Cluster; cs != nil {
+		cs.PrepareTime.Observe(time.Duration(t1 - t0))
+		cs.CommitTime.Observe(time.Duration(t3 - t2))
+	}
+	if tr := s.remoteSpans; tr != nil {
+		tr.Emit(0, telemetry.Span{Slot: slot, Stage: telemetry.StagePrepare, Port: -1, Start: t0, Dur: t1 - t0})
+		tr.Emit(0, telemetry.Span{Slot: slot, Stage: telemetry.StageCommit, Port: -1, Start: t2, Dur: t3 - t2})
+		tr.Emit(0, telemetry.Span{Slot: slot, Stage: telemetry.StageSlot, Port: -1, Start: t0, Dur: t3 - t0})
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package interconnect
 import (
 	"wdmsched/internal/core"
 	"wdmsched/internal/metrics"
+	"wdmsched/internal/telemetry"
 )
 
 // BatchRequest is one output port's scheduling instance for the current
@@ -51,6 +52,15 @@ type ClusterStatsSource interface {
 	ClusterStats() *ClusterStats
 }
 
+// SpanSource is implemented by batch schedulers that record distributed
+// tracing spans. When the switch detects it on Config.Remote at
+// construction, the slot loop emits its own prepare/commit/slot spans
+// into the same tracer (on lane 0), so a single dump holds the whole
+// controller-side span tree.
+type SpanSource interface {
+	Spans() *telemetry.SpanTracer
+}
+
 // ClusterStats reports the runtime behavior of a networked cluster run:
 // how scheduling work split between remote nodes and the controller's
 // local fallback, and what the transport cost. Counters are written by the
@@ -83,20 +93,44 @@ type ClusterStats struct {
 	// after a transport failure.
 	Reconnects metrics.Counter
 	// BytesSent and BytesReceived total the wire traffic between the
-	// controller and all nodes, frame headers and checksums included.
-	BytesSent     metrics.Counter
-	BytesReceived metrics.Counter
+	// controller and all nodes, frame headers and checksums included;
+	// FramesSent and FramesReceived count the frames themselves. On a
+	// fault-free run the controller's FramesSent equals the sum of the
+	// nodes' received-frame counters (and vice versa) — the cross-process
+	// consistency invariant the cluster smoke test asserts.
+	BytesSent      metrics.Counter
+	BytesReceived  metrics.Counter
+	FramesSent     metrics.Counter
+	FramesReceived metrics.Counter
 	// RPCLatency is the distribution of successful schedule-RPC round
 	// trips, aggregated over nodes.
 	RPCLatency *metrics.DurationHistogram
+	// Per-stage latency attribution of the distributed slot pipeline
+	// (wire v2 tracing). PrepareTime and CommitTime are observed by the
+	// switch around ScheduleBatch; EncodeTime by the controller per RPC;
+	// the Node* histograms come from the timestamps every grants frame
+	// piggybacks (node frame receipt → decode done → schedule barrier →
+	// reply encoded), so attribution works even without span dumps.
+	PrepareTime      *metrics.DurationHistogram
+	EncodeTime       *metrics.DurationHistogram
+	NodeDecodeTime   *metrics.DurationHistogram
+	NodeScheduleTime *metrics.DurationHistogram
+	NodeEncodeTime   *metrics.DurationHistogram
+	CommitTime       *metrics.DurationHistogram
 }
 
 // NewClusterStats returns zeroed cluster statistics for a controller
 // spanning the given number of nodes.
 func NewClusterStats(nodes int) *ClusterStats {
 	return &ClusterStats{
-		Nodes:      nodes,
-		RPCLatency: metrics.NewDurationHistogram(),
+		Nodes:            nodes,
+		RPCLatency:       metrics.NewDurationHistogram(),
+		PrepareTime:      metrics.NewDurationHistogram(),
+		EncodeTime:       metrics.NewDurationHistogram(),
+		NodeDecodeTime:   metrics.NewDurationHistogram(),
+		NodeScheduleTime: metrics.NewDurationHistogram(),
+		NodeEncodeTime:   metrics.NewDurationHistogram(),
+		CommitTime:       metrics.NewDurationHistogram(),
 	}
 }
 

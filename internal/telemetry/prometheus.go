@@ -32,7 +32,9 @@ func labelString(labels []Label, extra ...Label) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, `%s=%q`, l.Key, escapeLabel(l.Value))
+		// escapeLabel already produced the exact exposition-format escapes;
+		// %q would escape the backslashes a second time.
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
 	}
 	b.WriteByte('}')
 	return b.String()

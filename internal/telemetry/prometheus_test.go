@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"wdmsched/internal/metrics"
+)
+
+// TestPrometheusLabelEscaping: backslash, double quote and newline in a
+// label value must escape exactly per the text exposition format —
+// `\\`, `\"` and `\n` — and the HELP string must escape backslash and
+// newline (but NOT quotes, which are legal there).
+func TestPrometheusLabelEscaping(t *testing.T) {
+	snapshot := []Metric{{
+		Name: "wdm_test_escapes_total",
+		Help: "line one\nline two with \\ and \"quotes\"",
+		Kind: "counter",
+		Labels: []Label{
+			{"newline", "a\nb"},
+			{"quote", `say "hi"`},
+			{"backslash", `c:\path\x`},
+		},
+		Value: 7,
+	}}
+	var b strings.Builder
+	if err := WritePrometheus(&b, snapshot); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	wantLines := []string{
+		`# HELP wdm_test_escapes_total line one\nline two with \\ and "quotes"`,
+		`# TYPE wdm_test_escapes_total counter`,
+		`wdm_test_escapes_total{newline="a\nb",quote="say \"hi\"",backslash="c:\\path\\x"} 7`,
+	}
+	gotLines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(gotLines) != len(wantLines) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(gotLines), len(wantLines), out)
+	}
+	for i, want := range wantLines {
+		if gotLines[i] != want {
+			t.Errorf("line %d:\n got %q\nwant %q", i, gotLines[i], want)
+		}
+	}
+	// No raw control characters may survive anywhere in the exposition.
+	if strings.ContainsAny(out[:len(out)-1], "\r") || strings.Count(out, "\n") != len(wantLines) {
+		t.Fatalf("raw newline leaked into a value:\n%q", out)
+	}
+}
+
+// TestPrometheusEmptyLabels: a series with no labels must render bare —
+// no "{}" — for the sample line and every histogram expansion.
+func TestPrometheusEmptyLabels(t *testing.T) {
+	snapshot := []Metric{
+		{Name: "wdm_test_plain_total", Kind: "counter", Value: 3},
+		{
+			Name: "wdm_test_plain_seconds", Kind: "histogram",
+			Buckets: []Bucket{{Upper: 0.1, Count: 2}, {Upper: 1, Count: 1}},
+			Count:   4, Sum: 2.5,
+		},
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, snapshot); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "{}") {
+		t.Fatalf("empty label set rendered as {}:\n%s", out)
+	}
+	for _, want := range []string{
+		"wdm_test_plain_total 3\n",
+		`wdm_test_plain_seconds_bucket{le="0.1"} 2` + "\n",
+		`wdm_test_plain_seconds_bucket{le="+Inf"} 4` + "\n",
+		"wdm_test_plain_seconds_sum 2.5\n",
+		"wdm_test_plain_seconds_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestPrometheusHistogramCumulativeInvariants: bucket counts must be
+// cumulative and monotonically non-decreasing, the +Inf bucket must always
+// be present and equal _count, and the invariants must hold with labels
+// attached (le composes with existing labels, in order).
+func TestPrometheusHistogramCumulativeInvariants(t *testing.T) {
+	snapshot := []Metric{{
+		Name:   "wdm_test_lat_seconds",
+		Kind:   "histogram",
+		Labels: []Label{{"stage", "encode"}},
+		Buckets: []Bucket{
+			{Upper: 0.001, Count: 5},
+			{Upper: 0.01, Count: 0}, // empty bucket: cumulative must not dip
+			{Upper: 0.1, Count: 3},
+		},
+		Count: 10, // one observation beyond the last finite bucket
+		Sum:   0.42,
+	}}
+	var b strings.Builder
+	if err := WritePrometheus(&b, snapshot); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	var prev int64 = -1
+	var infSeen bool
+	var infVal int64
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "wdm_test_lat_seconds_bucket{") {
+			continue
+		}
+		if !strings.Contains(line, `stage="encode"`) {
+			t.Fatalf("bucket line lost its series labels: %q", line)
+		}
+		val, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if val < prev {
+			t.Fatalf("cumulative bucket count decreased (%d after %d): %q", val, prev, line)
+		}
+		prev = val
+		if strings.Contains(line, `le="+Inf"`) {
+			infSeen, infVal = true, val
+		}
+	}
+	if !infSeen {
+		t.Fatalf("no +Inf bucket in:\n%s", out)
+	}
+	if infVal != 10 {
+		t.Fatalf("+Inf bucket %d, want the observation count 10", infVal)
+	}
+	if !strings.Contains(out, `wdm_test_lat_seconds_count{stage="encode"} 10`) {
+		t.Fatalf("_count must equal the +Inf bucket:\n%s", out)
+	}
+	// Finite buckets: 5, 5, 8 — the +Inf bucket (10) must dominate them.
+	if prev != infVal {
+		t.Fatalf("+Inf bucket %d is not the final cumulative value %d", infVal, prev)
+	}
+}
+
+// TestPrometheusLiveHistogramConformance runs the same invariants against
+// a real DurationHistogram registered in a Registry, so the conformance
+// holds for what the node actually serves, not just hand-built snapshots.
+func TestPrometheusLiveHistogramConformance(t *testing.T) {
+	reg := NewRegistry()
+	h := metrics.NewDurationHistogram()
+	reg.DurationHistogram("wdm_test_live_seconds", "live conformance", nil, h)
+	for _, d := range []time.Duration{500, 2_000, 150_000, 9_000_000, 3_000_000_000} {
+		h.Observe(d)
+	}
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	var prev int64 = -1
+	n := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "wdm_test_live_seconds_bucket{") {
+			continue
+		}
+		n++
+		val, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket line %q: %v", line, err)
+		}
+		if val < prev {
+			t.Fatalf("live histogram bucket decreased: %q", line)
+		}
+		prev = val
+	}
+	if n == 0 {
+		t.Fatalf("no bucket lines in:\n%s", out)
+	}
+	if prev != 5 {
+		t.Fatalf("+Inf cumulative %d, want 5 observations", prev)
+	}
+}

@@ -39,6 +39,7 @@ type Server struct {
 	ln  net.Listener
 	srv *http.Server
 	reg *Registry
+	mux *http.ServeMux
 }
 
 // NewServer binds addr (e.g. ":8080" or "127.0.0.1:0") and starts serving
@@ -55,6 +56,7 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 
 	s := &Server{ln: ln, reg: reg}
 	mux := http.NewServeMux()
+	s.mux = mux
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
@@ -72,6 +74,14 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 
 // Addr returns the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// HandleFunc registers an extra handler on the server's mux — e.g. a node
+// process exposing its span dump at /spans next to /metrics. Register
+// before any request arrives; ServeMux is not safe for concurrent
+// registration and serving.
+func (s *Server) HandleFunc(pattern string, f func(http.ResponseWriter, *http.Request)) {
+	s.mux.HandleFunc(pattern, f)
+}
 
 // Close stops the server and releases the listener.
 func (s *Server) Close() error { return s.srv.Close() }

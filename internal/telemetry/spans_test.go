@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanStageStrings(t *testing.T) {
+	for s := StageSlot; s <= StageFallback; s++ {
+		name := s.String()
+		if name == "unknown" {
+			t.Fatalf("stage %d has no name", s)
+		}
+		if got := ParseSpanStage(name); got != s {
+			t.Fatalf("ParseSpanStage(%q) = %d, want %d", name, got, s)
+		}
+	}
+	if SpanStage(0).String() != "unknown" || ParseSpanStage("nope") != 0 {
+		t.Fatal("unknown stage round-trip broken")
+	}
+}
+
+func TestSpanTracerEmitAndSnapshot(t *testing.T) {
+	tr := NewSpanTracer(2, 8)
+	tr.Emit(0, Span{Slot: 1, Stage: StagePrepare, Port: -1, Start: 100, Dur: 10})
+	tr.Emit(1, Span{Slot: 1, Lane: 1, Stage: StageRPC, ID: 42, Port: -1, Start: 50, Dur: 30})
+	tr.Emit(5, Span{Slot: 1, Stage: StageCommit}) // lane never ensured: dropped
+	if got := tr.Emitted(); got != 2 {
+		t.Fatalf("Emitted = %d, want 2", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("Spans len = %d, want 2", len(spans))
+	}
+	if spans[0].Stage != StageRPC || spans[1].Stage != StagePrepare {
+		t.Fatalf("spans not sorted by start: %+v", spans)
+	}
+	tr.Reset()
+	if tr.Emitted() != 0 || len(tr.Spans()) != 0 {
+		t.Fatal("Reset did not clear lanes")
+	}
+}
+
+func TestSpanTracerOverflowKeepsNewest(t *testing.T) {
+	tr := NewSpanTracer(1, 4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(0, Span{Slot: int64(i), Stage: StageSchedule, Start: int64(i)})
+	}
+	if got := tr.Emitted(); got != 10 {
+		t.Fatalf("Emitted = %d, want 10", got)
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if s.Slot != int64(6+i) {
+			t.Fatalf("span %d has slot %d, want %d (newest retained)", i, s.Slot, 6+i)
+		}
+	}
+}
+
+func TestSpanTracerEnsureLanesConcurrentWithEmit(t *testing.T) {
+	tr := NewSpanTracer(1, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.EnsureLanes(g + 2)
+				tr.Emit(g, Span{Slot: int64(i), Stage: StageSchedule})
+				tr.Spans()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Lanes() < 5 {
+		t.Fatalf("Lanes = %d, want >= 5", tr.Lanes())
+	}
+}
+
+func TestSpanTracerWriteJSONL(t *testing.T) {
+	tr := NewSpanTracer(2, 8)
+	tr.Emit(0, Span{Slot: 3, Stage: StageDecode, Port: -1, ID: 7, Start: 10, Dur: 5})
+	tr.Emit(1, Span{Slot: 3, Lane: 1, Stage: StageSchedule, Port: 2, Start: 12, Dur: 3})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var rec struct {
+		Slot  int64  `json:"slot"`
+		Lane  int32  `json:"lane"`
+		Stage string `json:"stage"`
+		Port  int32  `json:"port"`
+		ID    uint64 `json:"id"`
+		Start int64  `json:"start"`
+		Dur   int64  `json:"dur"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec.Stage != "decode" || rec.ID != 7 || rec.Port != -1 || rec.Dur != 5 {
+		t.Fatalf("unexpected record: %+v", rec)
+	}
+}

@@ -4,9 +4,13 @@
 # Launches a controller plus two real wdmnode processes — one TCP, one unix
 # socket — and asserts the keystone property end to end: the clustered
 # run's statistics are byte-identical to the sequential and in-process
-# distributed engines, with and without injected transport faults. Then
-# scrapes a live /metrics endpoint of a clustered run and checks the
-# wdm_cluster_* series are exposed.
+# distributed engines, with and without injected transport faults. The
+# clean clustered run goes first with tracing on, so the three span dumps
+# (controller -spandump plus each node's /spans endpoint) merge into one
+# cross-process Chrome timeline that wdmtrace -check verifies, and the
+# node-side wdm_node_* frame counters reconcile exactly with the
+# controller's wdm_cluster_* ledger. Finally a long run is scraped live on
+# both the controller and node /metrics endpoints.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,25 +23,111 @@ trap cleanup EXIT
 
 go build -o "$dir/wdmsim" ./cmd/wdmsim
 go build -o "$dir/wdmnode" ./cmd/wdmnode
+go build -o "$dir/wdmtrace" ./cmd/wdmtrace
 
-"$dir/wdmnode" -listen 127.0.0.1:19301 &
-"$dir/wdmnode" -listen "unix:$dir/node2.sock" &
+"$dir/wdmnode" -listen 127.0.0.1:19301 -http 127.0.0.1:19391 &
+"$dir/wdmnode" -listen "unix:$dir/node2.sock" -http 127.0.0.1:19392 &
 nodes="127.0.0.1:19301,unix:$dir/node2.sock"
+node_http="127.0.0.1:19391 127.0.0.1:19392"
+
+# Wait for both node telemetry endpoints.
+for addr in $node_http; do
+  for _ in $(seq 1 50); do
+    curl -sf "http://$addr/metrics" > /dev/null 2>&1 && break
+    sleep 0.1
+  done
+done
+
+node_counter() { # addr series -> value (0 when the series is absent)
+  curl -sf "http://$1/metrics" | awk -v s="$2" '$1 == s {print $2; f=1} END {if (!f) print 0}'
+}
 
 args="-n 8 -k 16 -d 3 -load 0.9 -hold 2 -slots 2000 -seed 42 -json"
+
+# The clean clustered run goes first (fresh node span rings), traced and
+# with the cluster wire ledger dumped to its own file so the -json output
+# stays byte-comparable against the other engines.
+before_in=0; before_out=0
+for addr in $node_http; do
+  before_in=$((before_in + $(node_counter "$addr" wdm_node_frames_received_total)))
+  before_out=$((before_out + $(node_counter "$addr" wdm_node_frames_sent_total)))
+done
+"$dir/wdmsim" $args -cluster "$nodes" \
+  -spandump "$dir/ctrl.spans" -clusterstats "$dir/cstats.json" > "$dir/cluster.json"
+expected_in=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["frames_sent"])' "$dir/cstats.json")
+# The controller exits as soon as it has written its last frame; give the
+# nodes a moment to drain their sockets before reading the counters.
+after_in=0; after_out=0
+for _ in $(seq 1 50); do
+  after_in=0; after_out=0
+  for addr in $node_http; do
+    after_in=$((after_in + $(node_counter "$addr" wdm_node_frames_received_total)))
+    after_out=$((after_out + $(node_counter "$addr" wdm_node_frames_sent_total)))
+  done
+  [ $((after_in - before_in)) -ge "$expected_in" ] && break
+  sleep 0.1
+done
+
+# Cross-process wire ledger: on a clean run every frame the controller
+# sent arrived at a node and vice versa.
+python3 - "$dir/cstats.json" $((after_in - before_in)) $((after_out - before_out)) <<'EOF'
+import json, sys
+cs = json.load(open(sys.argv[1]))
+node_in, node_out = int(sys.argv[2]), int(sys.argv[3])
+assert cs["frames_sent"] > 0, "controller sent no frames"
+assert cs["frames_sent"] == node_in, \
+    f"controller sent {cs['frames_sent']} frames, nodes received {node_in}"
+assert cs["frames_received"] == node_out, \
+    f"controller received {cs['frames_received']} frames, nodes sent {node_out}"
+assert all(cs["stages"][s]["count"] > 0 for s in
+           ("prepare", "encode", "node-decode", "node-schedule", "node-encode", "commit")), \
+    f"stage attribution incomplete: {cs['stages']}"
+print(f"cluster smoke: wire ledger reconciles ({cs['frames_sent']} frames out, "
+      f"{cs['frames_received']} in) and all six stages attributed")
+EOF
+
+# Node observability: the wdm_node_* surface must be live and consistent.
+for addr in $node_http; do
+  curl -sf "http://$addr/metrics" > "$dir/node_metrics.txt"
+  grep -q '^wdm_node_schedule_frames_total [0-9]' "$dir/node_metrics.txt"
+  grep -q '^wdm_node_scheduled_items_total [0-9]' "$dir/node_metrics.txt"
+  grep -q '^# TYPE wdm_node_schedule_seconds histogram' "$dir/node_metrics.txt"
+  grep -q '^wdm_node_port_busy_seconds{port="' "$dir/node_metrics.txt"
+done
+echo "cluster smoke: node /metrics expose the wdm_node_* series"
+
+# Merge the controller dump with each node's /spans dump into one Chrome
+# timeline; -check asserts node spans sit inside their clock-corrected RPC
+# windows and the stage attribution sums to slot latency.
+curl -sf http://127.0.0.1:19391/spans > "$dir/node1.spans"
+curl -sf http://127.0.0.1:19392/spans > "$dir/node2.spans"
+"$dir/wdmtrace" -merge -mout "$dir/merged.trace.json" -check \
+  "$dir/ctrl.spans" "$dir/node1.spans" "$dir/node2.spans"
+python3 - "$dir/merged.trace.json" <<'EOF'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+procs = {e["pid"]: e["args"]["name"] for e in events if e.get("ph") == "M"}
+assert procs.get(0) == "controller" and len(procs) == 3, f"process rows: {procs}"
+node_spans = [e for e in events if e.get("ph") == "X" and e["pid"] > 0]
+flows = [e for e in events if e.get("ph") in ("s", "f")]
+assert node_spans and flows, "merged trace lacks node spans or RPC flow arrows"
+print(f"cluster smoke: merged timeline has {len(procs)} processes, "
+      f"{len(node_spans)} node spans, {len(flows)} flow events")
+EOF
+
 "$dir/wdmsim" $args > "$dir/seq.json"
 "$dir/wdmsim" $args -distributed > "$dir/dist.json"
-"$dir/wdmsim" $args -cluster "$nodes" > "$dir/cluster.json"
 "$dir/wdmsim" $args -cluster "$nodes" \
   -netdrop 0.02 -netdup 0.02 -netdelay 0.01 -rpctimeout 50ms > "$dir/faulted.json"
 
 cmp "$dir/seq.json" "$dir/dist.json"
 cmp "$dir/seq.json" "$dir/cluster.json"
 cmp "$dir/seq.json" "$dir/faulted.json"
-echo "cluster smoke: sequential, distributed, cluster and faulted-cluster statistics identical"
+echo "cluster smoke: sequential, distributed, traced-cluster and faulted-cluster statistics identical"
 
 # Live telemetry: a long clustered run must expose the cluster runtime
-# counters on /metrics while it runs.
+# counters on the controller's /metrics — and the nodes' own endpoints
+# must advance while it runs.
 "$dir/wdmsim" -quiet -n 8 -k 16 -load 0.9 -slots 2000000 -seed 7 \
   -cluster "$nodes" -listen 127.0.0.1:19380 &
 sim=$!
@@ -50,8 +140,17 @@ for _ in $(seq 1 50); do
   fi
   sleep 0.2
 done
+mid1=$(node_counter 127.0.0.1:19391 wdm_node_schedule_frames_total)
+sleep 0.5
+mid2=$(node_counter 127.0.0.1:19391 wdm_node_schedule_frames_total)
 kill "$sim" 2>/dev/null || true
 [ "$ok" = 1 ] || { echo "cluster smoke: wdm_cluster_* never appeared on /metrics" >&2; exit 1; }
 grep -q '^wdm_cluster_node_healthy{' "$dir/metrics.txt"
 grep -q '^# TYPE wdm_cluster_rpc_latency_seconds histogram' "$dir/metrics.txt"
-echo "cluster smoke: live /metrics exposes the cluster runtime series"
+grep -q '^wdm_cluster_frames_sent_total [0-9]' "$dir/metrics.txt"
+grep -q '^wdm_cluster_stage_seconds_count{stage="node-schedule"}' "$dir/metrics.txt"
+[ "$mid2" -gt "$mid1" ] || {
+  echo "cluster smoke: node schedule-frame counter did not advance mid-run ($mid1 -> $mid2)" >&2
+  exit 1
+}
+echo "cluster smoke: live /metrics expose the cluster and node runtime series"

@@ -337,6 +337,23 @@ const (
 	RejectLostMatching   = telemetry.ReasonLostMatching
 )
 
+// SpanTracer records cross-process tracing spans — controller prepare,
+// frame encode, RPC in-flight, node decode/schedule/encode, commit — into
+// bounded allocation-free per-lane rings. Attach one via
+// ClusterControllerConfig.Spans (controller side) or
+// ClusterNodeConfig.Spans (node side); dump with WriteSpans and merge the
+// dumps into one Chrome timeline with wdmtrace -merge.
+type SpanTracer = telemetry.SpanTracer
+
+// TraceSpan is one recorded span.
+type TraceSpan = telemetry.Span
+
+// NewSpanTracer builds a tracer with the given number of lanes, retaining
+// up to perLaneCap spans per lane (newest win on overflow).
+func NewSpanTracer(lanes, perLaneCap int) *SpanTracer {
+	return telemetry.NewSpanTracer(lanes, perLaneCap)
+}
+
 // CloseScheduler releases background resources a scheduler may hold — the
 // parallel Section IV-B scheduler keeps d persistent worker goroutines
 // between Schedule calls. It is a no-op for schedulers without such
