@@ -44,7 +44,7 @@ func benchScheduler(b *testing.B, s core.Scheduler, k, maxPer int) {
 // BenchmarkFirstAvailable — P5/P7: the O(k) exact scheduler for
 // non-circular conversion (paper Table 2).
 func BenchmarkFirstAvailable(b *testing.B) {
-	for _, k := range []int{8, 16, 32, 64, 128} {
+	for _, k := range []int{8, 16, 32, 64, 128, 256} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			conv := wavelength.MustNew(wavelength.NonCircular, k, 2, 2)
 			s, err := core.NewFirstAvailable(conv)
@@ -59,10 +59,45 @@ func BenchmarkFirstAvailable(b *testing.B) {
 // BenchmarkBreakAndFirstAvailable — P6/P7: the O(dk) exact scheduler for
 // circular conversion (paper Table 3).
 func BenchmarkBreakAndFirstAvailable(b *testing.B) {
-	for _, k := range []int{8, 16, 32, 64, 128} {
+	for _, k := range []int{8, 16, 32, 64, 128, 256} {
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
 			conv := wavelength.MustNew(wavelength.Circular, k, 2, 2)
 			s, err := core.NewBreakFirstAvailable(conv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchScheduler(b, s, k, 3)
+		})
+	}
+}
+
+// BenchmarkFastFirstAvailable — the word-parallel FA kernel on the same
+// workload as BenchmarkFirstAvailable, plus the large-k points where the
+// packed layout pays.
+func BenchmarkFastFirstAvailable(b *testing.B) {
+	for _, k := range []int{8, 16, 32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			conv := wavelength.MustNew(wavelength.NonCircular, k, 2, 2)
+			s, err := core.NewFastFirstAvailable(conv)
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchScheduler(b, s, k, 3)
+		})
+	}
+}
+
+// BenchmarkFastBreakAndFirstAvailable — the word-parallel BFA kernel on
+// the same dense-uniform workload as BenchmarkBreakAndFirstAvailable.
+// Dense vectors are the kernel's worst case (every wavelength is a
+// bucket), so expect rough parity here; the concentrated hot-band
+// variants of BenchmarkSwitchRunSlot carry the k=128/256 speedup
+// acceptance numbers.
+func BenchmarkFastBreakAndFirstAvailable(b *testing.B) {
+	for _, k := range []int{8, 16, 32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			conv := wavelength.MustNew(wavelength.Circular, k, 2, 2)
+			s, err := core.NewFastBFA(conv)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -353,35 +388,60 @@ func BenchmarkSimulatedSlot(b *testing.B) { benchSwitch(b, false) }
 // pool start/stop each iteration).
 func BenchmarkDistributedSlot(b *testing.B) { benchSwitch(b, true) }
 
-// switchRunSlotModes are the BenchmarkSwitchRunSlot variants: the two
-// engines bare, plus the sequential engine with full observability on
-// (telemetry registry + decision tracer) — tracing must be free.
-var switchRunSlotModes = []struct {
+// runSlotMode is one BenchmarkSwitchRunSlot variant: an engine/telemetry
+// selection on the base shape (n=8, k=16, circular(1,1), uniform Bernoulli
+// load 1.0), or — when band > 0 — a large-k kernel comparison point: n=4,
+// circular(8,8), hot-band traffic (all arrivals on the first band
+// wavelengths, all to port 0), scalar vs word-parallel scheduler.
+type runSlotMode struct {
 	name        string
 	distributed bool
 	traced      bool
-}{
-	{"sequential", false, false},
-	{"distributed", true, false},
-	{"sequential-traced", false, true},
+	n, k, e, f  int
+	sched       string // Config.Scheduler; "" = default exact
+	band        int    // hot-band width; 0 = uniform Bernoulli
+}
+
+// switchRunSlotModes are the BenchmarkSwitchRunSlot variants: the two
+// engines bare, the sequential engine with full observability on
+// (telemetry registry + decision tracer — tracing must be free), and the
+// large-k scalar-vs-kernel pairs whose ratio is the word-parallel speedup
+// recorded in the BENCH trajectory.
+var switchRunSlotModes = []runSlotMode{
+	{name: "sequential", n: 8, k: 16, e: 1, f: 1},
+	{name: "distributed", distributed: true, n: 8, k: 16, e: 1, f: 1},
+	{name: "sequential-traced", traced: true, n: 8, k: 16, e: 1, f: 1},
+	{name: "k=128-scalar", n: 8, k: 128, e: 20, f: 20, sched: "exact", band: 8},
+	{name: "k=128-fast", n: 8, k: 128, e: 20, f: 20, sched: "fast", band: 8},
+	{name: "k=256-scalar", n: 8, k: 256, e: 20, f: 20, sched: "exact", band: 8},
+	{name: "k=256-fast", n: 8, k: 256, e: 20, f: 20, sched: "fast", band: 8},
 }
 
 // newRunSlotSwitch builds the long-lived switch and pregenerated slots
 // shared by BenchmarkSwitchRunSlot and its zero-alloc pin.
-func newRunSlotSwitch(tb testing.TB, distributed, traced bool) (*interconnect.Switch, [][]traffic.Packet) {
+func newRunSlotSwitch(tb testing.TB, mode runSlotMode) (*interconnect.Switch, [][]traffic.Packet) {
 	tb.Helper()
-	const n, k, slots = 8, 16, 64
-	conv := wavelength.MustNew(wavelength.Circular, k, 1, 1)
-	cfg := interconnect.Config{N: n, Conv: conv, Seed: 5, Distributed: distributed}
-	if traced {
+	const slots = 64
+	conv := wavelength.MustNew(wavelength.Circular, mode.k, mode.e, mode.f)
+	cfg := interconnect.Config{
+		N: mode.n, Conv: conv, Seed: 5,
+		Scheduler: mode.sched, Distributed: mode.distributed,
+	}
+	if mode.traced {
 		cfg.Telemetry = telemetry.NewRegistry()
-		cfg.Trace = telemetry.NewDecisionTracer(n, 1<<10)
+		cfg.Trace = telemetry.NewDecisionTracer(mode.n, 1<<10)
 	}
 	sw, err := interconnect.New(cfg)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	gen, err := traffic.NewBernoulli(traffic.Config{N: n, K: k, Seed: 5}, 1.0)
+	tcfg := traffic.Config{N: mode.n, K: mode.k, Seed: 5}
+	var gen traffic.Generator
+	if mode.band > 0 {
+		gen, err = traffic.NewHotBand(tcfg, 0.9, 0, mode.band)
+	} else {
+		gen, err = traffic.NewBernoulli(tcfg, 1.0)
+	}
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -408,7 +468,7 @@ func newRunSlotSwitch(tb testing.TB, distributed, traced bool) (*interconnect.Sw
 func BenchmarkSwitchRunSlot(b *testing.B) {
 	for _, mode := range switchRunSlotModes {
 		b.Run(mode.name, func(b *testing.B) {
-			sw, pre := newRunSlotSwitch(b, mode.distributed, mode.traced)
+			sw, pre := newRunSlotSwitch(b, mode)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -429,7 +489,7 @@ func BenchmarkSwitchRunSlot(b *testing.B) {
 func TestSwitchRunSlotZeroAllocs(t *testing.T) {
 	for _, mode := range switchRunSlotModes {
 		t.Run(mode.name, func(t *testing.T) {
-			sw, pre := newRunSlotSwitch(t, mode.distributed, mode.traced)
+			sw, pre := newRunSlotSwitch(t, mode)
 			defer sw.Finalize()
 			r := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()

@@ -101,25 +101,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *engine || *faults {
-		mode, study := "engine", runEngineStudy
+		var (
+			mode   string
+			tables []*wdm.Table
+			err    error
+		)
 		if *faults {
-			mode, study = "faults", runFaultStudy
+			mode = "faults"
+			var t *wdm.Table
+			if t, err = runFaultStudy(cfg); err == nil {
+				tables = []*wdm.Table{t}
+			}
+		} else {
+			mode = "engine"
+			tables, err = runEngineStudy(cfg)
 		}
-		t, err := study(cfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "wdmbench: %s study failed: %v\n", mode, err)
 			return 1
 		}
 		switch {
 		case *jsonOut:
-			if err := writeBenchJSON(stdout, cfg, []benchGroup{{ID: mode, Title: t.Title, Tables: []*wdm.Table{t}}}); err != nil {
+			if err := writeBenchJSON(stdout, cfg, []benchGroup{{ID: mode, Title: tables[0].Title, Tables: tables}}); err != nil {
 				fmt.Fprintf(stderr, "wdmbench: %v\n", err)
 				return 1
 			}
 		case *csv:
-			fmt.Fprintf(stdout, "# %s\n%s\n", t.Title, t.CSV())
+			for _, t := range tables {
+				fmt.Fprintf(stdout, "# %s\n%s\n", t.Title, t.CSV())
+			}
 		default:
-			fmt.Fprintln(stdout, t.ASCII())
+			for _, t := range tables {
+				fmt.Fprintln(stdout, t.ASCII())
+			}
 		}
 		return 0
 	}
@@ -212,10 +226,25 @@ func runExperiments(toRun []wdm.Experiment, cfg wdm.ExperimentConfig, csv, jsonO
 }
 
 // runEngineStudy measures the slot engine itself rather than the paper's
-// traffic metrics: per-slot scheduling latency, steady-state allocation
-// rate, and worker-pool utilization, for the sequential loop and the
-// persistent worker pool on the same seeded workload.
-func runEngineStudy(cfg wdm.ExperimentConfig) (*wdm.Table, error) {
+// traffic metrics: the engine-mode table (sequential loop vs worker pool)
+// plus the word-parallel kernel table (scalar vs packed schedulers at
+// large k on the contended hot-band workload).
+func runEngineStudy(cfg wdm.ExperimentConfig) ([]*wdm.Table, error) {
+	t, err := runEngineModes(cfg)
+	if err != nil {
+		return nil, err
+	}
+	kt, err := runKernelStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*wdm.Table{t, kt}, nil
+}
+
+// runEngineModes compares the sequential loop against the persistent
+// worker pool on the same seeded workload: per-slot scheduling latency,
+// steady-state allocation rate, and pool utilization.
+func runEngineModes(cfg wdm.ExperimentConfig) (*wdm.Table, error) {
 	const n, k, load = 16, 16, 0.9
 	slots := 4000
 	if cfg.Quick {
@@ -273,6 +302,75 @@ func runEngineStudy(cfg wdm.ExperimentConfig) (*wdm.Table, error) {
 	}
 	t.AddNote("allocs/slot is a process-global runtime.ReadMemStats delta: an upper bound on the engine's own rate.")
 	t.AddNote("speedup = total port scheduling time / scheduling wall time; up to N for the worker pool.")
+	return t, nil
+}
+
+// runKernelStudy measures the word-parallel scheduler kernels against the
+// scalar reference at large k: the same switch and the same seeded
+// hot-band workload (every packet on one of the first band wavelengths,
+// all destined to one output fiber), with only Config.Scheduler differing
+// between rows. The last column is the scalar/fast ratio of mean slot
+// latency at the same k.
+func runKernelStudy(cfg wdm.ExperimentConfig) (*wdm.Table, error) {
+	const n, load, band, deg = 8, 0.9, 8, 20
+	slots := 2000
+	if cfg.Quick {
+		slots = 300
+	}
+	if cfg.Slots > 0 {
+		slots = cfg.Slots
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	t := &wdm.Table{
+		Title: fmt.Sprintf("Word-parallel kernels — slot latency, N=%d, circular(%d,%d), hot-band load %.1f on %d wavelengths, %d slots",
+			n, deg, deg, load, band, slots),
+		Header: []string{"shape", "slot p50", "slot p95", "slot mean",
+			"allocs/slot", "speedup vs scalar"},
+	}
+	for _, k := range []int{128, 256} {
+		conv, err := wdm.NewConversion(wdm.Circular, k, deg, deg)
+		if err != nil {
+			return nil, err
+		}
+		var scalarMean time.Duration
+		for _, sched := range []string{"exact", "fast"} {
+			sw, err := wdm.NewSwitch(wdm.SwitchConfig{
+				N: n, Conv: conv, Seed: seed, Scheduler: sched,
+			})
+			if err != nil {
+				return nil, err
+			}
+			gen, err := wdm.NewHotBandTraffic(wdm.TrafficConfig{N: n, K: k, Seed: seed + 1}, load, 0, band)
+			if err != nil {
+				return nil, err
+			}
+			st, err := sw.Run(gen, slots)
+			if err != nil {
+				return nil, err
+			}
+			es := st.Engine
+			mean := es.SlotLatency.Mean()
+			speed := "1.00x" // the scalar row is its own reference
+			if sched == "fast" {
+				if mean > 0 {
+					speed = fmt.Sprintf("%.2fx", float64(scalarMean)/float64(mean))
+				}
+			} else {
+				scalarMean = mean
+			}
+			allocs := "n/a"
+			if es.AllocsPerSlot.Valid() {
+				allocs = fmt.Sprintf("%.2f", es.AllocsPerSlot.Value())
+			}
+			t.AddRowf(fmt.Sprintf("k=%d %s", k, sched),
+				es.SlotLatency.Quantile(0.50), es.SlotLatency.Quantile(0.95),
+				mean, allocs, speed)
+		}
+	}
+	t.AddNote("scalar (exact) and fast rows run the identical seeded workload; their Stats are byte-identical, only the kernel differs.")
 	return t, nil
 }
 

@@ -140,7 +140,7 @@ func TestClusterEquivalence(t *testing.T) {
 	a3, _ := startNode(t, "unix")
 	addrs := []string{a1, a2, a3}
 
-	for _, sched := range []string{"exact", "shortest-edge"} {
+	for _, sched := range []string{"exact", "fast", "shortest-edge"} {
 		for _, disturb := range []bool{false, true} {
 			base := interconnect.Config{
 				N: 5, Conv: conv, Scheduler: sched, Seed: 7, Disturb: disturb,

@@ -94,7 +94,7 @@ func exactSchedulers(t *testing.T, conv wavelength.Conversion) ([]Scheduler, fun
 }
 
 func resultsIdentical(a, b *Result) bool {
-	if a.Size != b.Size {
+	if a.Size != b.Size || a.BreakChannel != b.BreakChannel {
 		return false
 	}
 	for i := range a.ByOutput {

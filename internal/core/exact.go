@@ -25,18 +25,26 @@ func NewExact(conv wavelength.Conversion) (Scheduler, error) {
 }
 
 // NewByName constructs a scheduler by its flag/table name. Recognized
-// names: "exact" (dispatch by conversion kind), "first-available",
-// "break-first-available", "parallel-break-first-available",
+// names: "exact" (dispatch by conversion kind), "fast" (the word-parallel
+// kernels, dispatched by conversion kind), "first-available",
+// "fast-first-available", "break-first-available",
+// "fast-break-first-available", "parallel-break-first-available",
 // "shortest-edge", "delta-break(<δ>)" via NewDeltaBreak, "full-range",
 // and "hopcroft-karp" (the baseline).
 func NewByName(name string, conv wavelength.Conversion) (Scheduler, error) {
 	switch name {
 	case "exact":
 		return NewExact(conv)
+	case "fast":
+		return NewFastExact(conv)
 	case "first-available":
 		return NewFirstAvailable(conv)
+	case "fast-first-available":
+		return NewFastFirstAvailable(conv)
 	case "break-first-available":
 		return NewBreakFirstAvailable(conv)
+	case "fast-break-first-available":
+		return NewFastBFA(conv)
 	case "parallel-break-first-available":
 		return NewParallelBreakFirstAvailable(conv)
 	case "shortest-edge":

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"wdmsched/internal/wavelength"
+)
+
+// randomMaskedInstance draws a request vector, occupancy and fault mask for k
+// wavelengths. Roughly a third of the draws have no occupancy and a third
+// no faults, so the plain paths stay covered.
+func randomMaskedInstance(rng *rand.Rand, k int) (vec []int, occ []bool, mask ChannelMask) {
+	vec = make([]int, k)
+	density := []float64{0.1, 0.5, 0.9}[rng.Intn(3)]
+	for w := 0; w < k; w++ {
+		if rng.Float64() < density {
+			vec[w] = rng.Intn(4) + 1
+		}
+	}
+	if rng.Intn(3) > 0 {
+		occ = make([]bool, k)
+		for b := 0; b < k; b++ {
+			occ[b] = rng.Float64() < 0.3
+		}
+	}
+	if rng.Intn(3) > 0 {
+		mask = make(ChannelMask, k)
+		for b := 0; b < k; b++ {
+			if rng.Float64() < 0.15 {
+				mask[b] = ChannelState(rng.Intn(2) + 1)
+			}
+		}
+	}
+	return vec, occ, mask
+}
+
+// TestFastKernelsWordBoundaries cross-checks the word-parallel kernels
+// against the scalar schedulers — byte-identical Results — at k values
+// around the uint64 word boundaries, where tail-masking bugs live. The
+// in-package fuzzers cover k ≤ 16; this covers the large-k regime the
+// kernels exist for. Every eighth trial also checks the matching size
+// against the Hopcroft–Karp oracle.
+func TestFastKernelsWordBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(20030422))
+	for _, k := range []int{5, 63, 64, 65, 127, 128, 129} {
+		for trial := 0; trial < 40; trial++ {
+			e := rng.Intn(k)
+			f := rng.Intn(k - e)
+			vec, occ, mask := randomMaskedInstance(rng, k)
+			for _, kind := range []wavelength.Kind{wavelength.Circular, wavelength.NonCircular} {
+				conv, err := wavelength.New(kind, k, e, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scalar, err := NewExact(conv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast, err := NewFastExact(conv)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sres, fres := NewResult(k), NewResult(k)
+				scalar.ScheduleMasked(vec, occ, mask, sres)
+				fast.ScheduleMasked(vec, occ, mask, fres)
+				if err := ValidateMasked(conv, vec, occ, mask, fres); err != nil {
+					t.Fatalf("%v trial %d: %s infeasible: %v", conv, trial, fast.Name(), err)
+				}
+				if !resultsIdentical(fres, sres) {
+					t.Fatalf("%v trial %d vec=%v occ=%v mask=%v: %s diverged from %s (fast size=%d scalar size=%d)",
+						conv, trial, vec, occ, mask, fast.Name(), scalar.Name(), fres.Size, sres.Size)
+				}
+				if trial%8 == 0 {
+					want := NewResult(k)
+					NewBaseline(conv).ScheduleMasked(vec, occ, mask, want)
+					if fres.Size != want.Size {
+						t.Fatalf("%v trial %d: %s=%d HK=%d", conv, trial, fast.Name(), fres.Size, want.Size)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastKernelsPlainScheduleIdentical exercises the maskless Schedule
+// entry point directly (the interconnect hot path) at word-boundary sizes.
+func TestFastKernelsPlainScheduleIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{63, 64, 65, 128, 129} {
+		for trial := 0; trial < 30; trial++ {
+			e := rng.Intn(min(k, 32))
+			f := rng.Intn(min(k-e, 32))
+			vec, occ, _ := randomMaskedInstance(rng, k)
+			for _, kind := range []wavelength.Kind{wavelength.Circular, wavelength.NonCircular} {
+				conv, err := wavelength.New(kind, k, e, f)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scalar, _ := NewExact(conv)
+				fast, _ := NewFastExact(conv)
+				sres, fres := NewResult(k), NewResult(k)
+				scalar.Schedule(vec, occ, sres)
+				fast.Schedule(vec, occ, fres)
+				if !resultsIdentical(fres, sres) {
+					t.Fatalf("%v trial %d vec=%v occ=%v: fast diverged (size %d vs %d)",
+						conv, trial, vec, occ, fres.Size, sres.Size)
+				}
+			}
+		}
+	}
+}
+
+// TestFastKernelsZeroAlloc pins the kernels' steady-state Schedule and
+// ScheduleMasked to zero allocations per slot, like the scalar schedulers.
+func TestFastKernelsZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, kind := range []wavelength.Kind{wavelength.Circular, wavelength.NonCircular} {
+		k := 128
+		conv, err := wavelength.New(kind, k, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := NewFastExact(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec, occ, mask := randomMaskedInstance(rng, k)
+		res := NewResult(k)
+		if allocs := testing.AllocsPerRun(50, func() {
+			fast.Schedule(vec, occ, res)
+		}); allocs != 0 {
+			t.Errorf("%s Schedule: %v allocs/op, want 0", fast.Name(), allocs)
+		}
+		if allocs := testing.AllocsPerRun(50, func() {
+			fast.ScheduleMasked(vec, occ, mask, res)
+		}); allocs != 0 {
+			t.Errorf("%s ScheduleMasked: %v allocs/op, want 0", fast.Name(), allocs)
+		}
+	}
+}
+
+// TestNewByNameFastKernels covers the constructor wiring used by the
+// interconnect, cluster node and command-line flags.
+func TestNewByNameFastKernels(t *testing.T) {
+	circ := wavelength.MustNew(wavelength.Circular, 16, 2, 1)
+	nonc := wavelength.MustNew(wavelength.NonCircular, 16, 2, 1)
+	full := wavelength.MustNew(wavelength.Full, 16, 0, 0)
+	for _, tc := range []struct {
+		name string
+		conv wavelength.Conversion
+		want string
+	}{
+		{"fast", circ, "fast-break-first-available"},
+		{"fast", nonc, "fast-first-available"},
+		{"fast", full, "full-range"},
+		{"fast-first-available", nonc, "fast-first-available"},
+		{"fast-break-first-available", circ, "fast-break-first-available"},
+	} {
+		s, err := NewByName(tc.name, tc.conv)
+		if err != nil {
+			t.Fatalf("NewByName(%q, %v): %v", tc.name, tc.conv, err)
+		}
+		if s.Name() != tc.want {
+			t.Fatalf("NewByName(%q, %v).Name() = %q, want %q", tc.name, tc.conv, s.Name(), tc.want)
+		}
+	}
+	if _, err := NewByName("fast-first-available", circ); err == nil {
+		t.Fatal("fast-first-available accepted circular conversion")
+	}
+	if _, err := NewByName("fast-break-first-available", nonc); err == nil {
+		t.Fatal("fast-break-first-available accepted non-circular conversion")
+	}
+}

@@ -77,6 +77,18 @@ func FuzzExactSchedulers(f *testing.F) {
 				t.Fatalf("%v vec=%v occ=%v mask=%v: %s=%d HK=%d",
 					conv, vec, occ, mask, sched.Name(), res.Size, want.Size)
 			}
+			// The word-parallel kernel must reproduce the scalar reference
+			// assignment byte for byte, faults and occupancy included.
+			fast, err := NewFastExact(conv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fres := NewResult(k)
+			fast.ScheduleMasked(vec, occ, mask, fres)
+			if !resultsIdentical(fres, res) {
+				t.Fatalf("%v vec=%v occ=%v mask=%v: %s diverged from %s:\nfast   %+v\nscalar %+v",
+					conv, vec, occ, mask, fast.Name(), sched.Name(), fres, res)
+			}
 		}
 	})
 }
@@ -123,8 +135,12 @@ func FuzzCircularSchedulersAgree(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		fast, err := NewFastBFA(conv)
+		if err != nil {
+			t.Fatal(err)
+		}
 		res := NewResult(k)
-		for _, s := range []Scheduler{bfa, par, mb} {
+		for _, s := range []Scheduler{bfa, par, mb, fast} {
 			s.ScheduleMasked(vec, occ, mask, res)
 			if err := ValidateMasked(conv, vec, occ, mask, res); err != nil {
 				t.Fatalf("%v vec=%v occ=%v mask=%v: %s infeasible: %v", conv, vec, occ, mask, s.Name(), err)
@@ -133,6 +149,15 @@ func FuzzCircularSchedulersAgree(f *testing.F) {
 				t.Fatalf("%v vec=%v occ=%v mask=%v: %s=%d HK=%d",
 					conv, vec, occ, mask, s.Name(), res.Size, want.Size)
 			}
+		}
+		// Byte-identical agreement between the word-parallel kernel and the
+		// scalar reference, beyond the size agreement checked above.
+		sres, fres := NewResult(k), NewResult(k)
+		bfa.ScheduleMasked(vec, occ, mask, sres)
+		fast.ScheduleMasked(vec, occ, mask, fres)
+		if !resultsIdentical(fres, sres) {
+			t.Fatalf("%v vec=%v occ=%v mask=%v: fast BFA diverged:\nfast   %+v\nscalar %+v",
+				conv, vec, occ, mask, fres, sres)
 		}
 	})
 }

@@ -1,21 +1,22 @@
-package fabric
+package fabric_test
 
 import (
 	"math/rand"
 	"testing"
 
 	"wdmsched/internal/core"
+	"wdmsched/internal/fabric"
 	"wdmsched/internal/wavelength"
 )
 
 func TestHardwareFAValidation(t *testing.T) {
-	if _, err := NewHardwareFirstAvailable(0, 4, 1, 1, nil); err == nil {
+	if _, err := fabric.NewHardwareFirstAvailable(0, 4, 1, 1, nil); err == nil {
 		t.Fatal("N=0 accepted")
 	}
-	if _, err := NewHardwareFirstAvailable(2, 4, 2, 2, nil); err == nil {
+	if _, err := fabric.NewHardwareFirstAvailable(2, 4, 2, 2, nil); err == nil {
 		t.Fatal("degree > k accepted")
 	}
-	h, err := NewHardwareFirstAvailable(2, 4, 1, 1, nil)
+	h, err := fabric.NewHardwareFirstAvailable(2, 4, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestHardwareFAMatchesCoreAlgorithm(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		hw, err := NewHardwareFirstAvailable(n, k, e, f, nil)
+		hw, err := fabric.NewHardwareFirstAvailable(n, k, e, f, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +95,7 @@ func TestHardwareFAMatchesCoreAlgorithm(t *testing.T) {
 // regardless of N or request count.
 func TestHardwareFACycleCount(t *testing.T) {
 	for _, n := range []int{1, 8, 64} {
-		hw, err := NewHardwareFirstAvailable(n, 16, 1, 1, nil)
+		hw, err := fabric.NewHardwareFirstAvailable(n, 16, 1, 1, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func TestHardwareFACycleCount(t *testing.T) {
 // TestHardwareFARoundRobinFairness: repeated contention between two fibers
 // on one wavelength alternates winners.
 func TestHardwareFARoundRobinFairness(t *testing.T) {
-	hw, err := NewHardwareFirstAvailable(2, 2, 0, 0, nil) // d=1: pure contention
+	hw, err := fabric.NewHardwareFirstAvailable(2, 2, 0, 0, nil) // d=1: pure contention
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestHardwareFARoundRobinFairness(t *testing.T) {
 // TestHardwareFARegisterClearedBetweenSlots: leftover requests must not
 // leak across slots.
 func TestHardwareFARegisterClearedBetweenSlots(t *testing.T) {
-	hw, err := NewHardwareFirstAvailable(2, 4, 1, 1, nil)
+	hw, err := fabric.NewHardwareFirstAvailable(2, 4, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -171,7 +171,10 @@ func TestDistributedParallelSchedulerStack(t *testing.T) {
 // arbitrary shapes, seeds, loads, holding times, and disturb modes, the
 // sequential loop and the persistent worker pool must produce identical
 // statistics — counters, per-input grants, per-channel busy slots, and the
-// match-size histogram.
+// match-size histogram. The word-parallel kernel ("fast") rides the same
+// differential: it must match the scalar exact scheduler's statistics
+// through either engine, which only holds if its per-slot Results are
+// byte-identical.
 func FuzzSeqDistStatsEquivalence(f *testing.F) {
 	f.Add(uint8(4), uint8(6), uint8(1), uint8(1), uint64(7), uint8(80), uint8(0), false)
 	f.Add(uint8(8), uint8(8), uint8(2), uint8(3), uint64(42), uint8(100), uint8(3), false)
@@ -190,9 +193,9 @@ func FuzzSeqDistStatsEquivalence(f *testing.F) {
 		if err != nil {
 			t.Fatalf("decoded invalid conversion: %v", err)
 		}
-		run := func(distributed bool) *Stats {
+		run := func(distributed bool, sched string) *Stats {
 			sw, err := New(Config{
-				N: n, Conv: conv, Seed: seed,
+				N: n, Conv: conv, Seed: seed, Scheduler: sched,
 				Disturb: disturb, Distributed: distributed,
 			})
 			if err != nil {
@@ -208,35 +211,46 @@ func FuzzSeqDistStatsEquivalence(f *testing.F) {
 			}
 			return st
 		}
-		a, b := run(false), run(true)
-		if a.Offered.Value() != b.Offered.Value() ||
-			a.Granted.Value() != b.Granted.Value() ||
-			a.InputBlocked.Value() != b.InputBlocked.Value() ||
-			a.OutputDropped.Value() != b.OutputDropped.Value() ||
-			a.Preempted.Value() != b.Preempted.Value() ||
-			a.BusyChannelSlots.Value() != b.BusyChannelSlots.Value() {
-			t.Fatalf("counters diverged: seq {o=%d g=%d ib=%d od=%d p=%d bs=%d} vs dist {o=%d g=%d ib=%d od=%d p=%d bs=%d}",
-				a.Offered.Value(), a.Granted.Value(), a.InputBlocked.Value(),
-				a.OutputDropped.Value(), a.Preempted.Value(), a.BusyChannelSlots.Value(),
-				b.Offered.Value(), b.Granted.Value(), b.InputBlocked.Value(),
-				b.OutputDropped.Value(), b.Preempted.Value(), b.BusyChannelSlots.Value())
-		}
-		for f := range a.PerInputGranted {
-			if a.PerInputGranted[f] != b.PerInputGranted[f] {
-				t.Fatalf("per-input grants diverged at fiber %d: %d vs %d",
-					f, a.PerInputGranted[f], b.PerInputGranted[f])
+		a := run(false, "")
+		for _, leg := range []struct {
+			name string
+			b    *Stats
+		}{
+			{"dist/exact", run(true, "")},
+			{"seq/fast", run(false, "fast")},
+			{"dist/fast", run(true, "fast")},
+		} {
+			b := leg.b
+			if a.Offered.Value() != b.Offered.Value() ||
+				a.Granted.Value() != b.Granted.Value() ||
+				a.InputBlocked.Value() != b.InputBlocked.Value() ||
+				a.OutputDropped.Value() != b.OutputDropped.Value() ||
+				a.Preempted.Value() != b.Preempted.Value() ||
+				a.BusyChannelSlots.Value() != b.BusyChannelSlots.Value() {
+				t.Fatalf("counters diverged: seq/exact {o=%d g=%d ib=%d od=%d p=%d bs=%d} vs %s {o=%d g=%d ib=%d od=%d p=%d bs=%d}",
+					a.Offered.Value(), a.Granted.Value(), a.InputBlocked.Value(),
+					a.OutputDropped.Value(), a.Preempted.Value(), a.BusyChannelSlots.Value(),
+					leg.name,
+					b.Offered.Value(), b.Granted.Value(), b.InputBlocked.Value(),
+					b.OutputDropped.Value(), b.Preempted.Value(), b.BusyChannelSlots.Value())
 			}
-		}
-		for c := range a.PerChannelBusy {
-			if a.PerChannelBusy[c] != b.PerChannelBusy[c] {
-				t.Fatalf("per-channel busy diverged at channel %d: %d vs %d",
-					c, a.PerChannelBusy[c], b.PerChannelBusy[c])
+			for f := range a.PerInputGranted {
+				if a.PerInputGranted[f] != b.PerInputGranted[f] {
+					t.Fatalf("%s: per-input grants diverged at fiber %d: %d vs %d",
+						leg.name, f, a.PerInputGranted[f], b.PerInputGranted[f])
+				}
 			}
-		}
-		for v := 0; v <= k; v++ {
-			if a.MatchSizes.Bucket(v) != b.MatchSizes.Bucket(v) {
-				t.Fatalf("match-size histogram diverged at %d: %d vs %d",
-					v, a.MatchSizes.Bucket(v), b.MatchSizes.Bucket(v))
+			for c := range a.PerChannelBusy {
+				if a.PerChannelBusy[c] != b.PerChannelBusy[c] {
+					t.Fatalf("%s: per-channel busy diverged at channel %d: %d vs %d",
+						leg.name, c, a.PerChannelBusy[c], b.PerChannelBusy[c])
+				}
+			}
+			for v := 0; v <= k; v++ {
+				if a.MatchSizes.Bucket(v) != b.MatchSizes.Bucket(v) {
+					t.Fatalf("%s: match-size histogram diverged at %d: %d vs %d",
+						leg.name, v, a.MatchSizes.Bucket(v), b.MatchSizes.Bucket(v))
+				}
 			}
 		}
 	})

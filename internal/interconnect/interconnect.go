@@ -109,8 +109,10 @@ type Switch struct {
 
 	// inputHold[(i·k)+w] > 0 means input channel (i, λw) is still
 	// transmitting an earlier multi-slot connection and cannot carry a
-	// new packet (input admission).
-	inputHold []int
+	// new packet (input admission). inputHoldLive counts the positive
+	// entries so an all-idle sweep can be skipped.
+	inputHold     []int
+	inputHoldLive int
 
 	// Per-slot scratch, reused across slots so steady-state RunSlot does
 	// not allocate. The outer slices are fixed-length and never
@@ -365,10 +367,12 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 	} else if s.eng != nil {
 		s.eng.runSlot()
 	} else {
+		t0 := start
 		for o := 0; o < n; o++ {
-			t0 := time.Now()
 			s.results[o] = s.ports[o].runSlot(s.perPort[o])
-			d := time.Since(t0)
+			t1 := time.Now()
+			d := t1.Sub(t0)
+			t0 = t1
 			es.addBusy(o, d)
 			if t := s.cfg.Trace; t != nil {
 				t.Emit(o, telemetry.Event{
@@ -380,12 +384,31 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 	}
 	es.SlotLatency.Observe(time.Since(start))
 
+	// Age the input holds of earlier slots before recording this slot's:
+	// a fresh grant of duration d leaves d-1 slots of hold after the
+	// current one, so recording d-1 now is the one pass that both sweeps
+	// (set all, then age all) amounted to — and lets a switch with no
+	// live holds skip the O(Nk) sweep entirely.
+	if s.inputHoldLive > 0 {
+		for i := range s.inputHold {
+			if s.inputHold[i] > 0 {
+				s.inputHold[i]--
+				if s.inputHold[i] == 0 {
+					s.inputHoldLive--
+				}
+			}
+		}
+	}
+
 	// Input-hold bookkeeping and (optionally) datapath validation.
 	s.slotGrants = s.slotGrants[:0]
 	for o, grants := range s.results {
 		for _, g := range grants {
 			if !g.held {
-				s.inputHold[g.fiber*k+g.wave] = g.duration
+				if d := g.duration - 1; d > 0 {
+					s.inputHold[g.fiber*k+g.wave] = d
+					s.inputHoldLive++
+				}
 			}
 			if s.cfg.ValidateFabric {
 				s.slotGrants = append(s.slotGrants, fabric.Grant{
@@ -399,18 +422,15 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 		// Disturb-mode preemption aborts the in-flight transmission and
 		// frees its input channel immediately.
 		for _, pre := range s.ports[o].preemptees {
-			s.inputHold[pre.fiber*k+pre.wave] = 0
+			if idx := pre.fiber*k + pre.wave; s.inputHold[idx] > 0 {
+				s.inputHold[idx] = 0
+				s.inputHoldLive--
+			}
 		}
 	}
 	if s.cfg.ValidateFabric {
 		if err := s.dp.Route(s.slotGrants); err != nil {
 			return fmt.Errorf("interconnect: slot physically infeasible: %w", err)
-		}
-	}
-	// Age input holds.
-	for i := range s.inputHold {
-		if s.inputHold[i] > 0 {
-			s.inputHold[i]--
 		}
 	}
 	s.stats.Slots++

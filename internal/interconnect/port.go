@@ -64,6 +64,11 @@ type outputPort struct {
 	count    []int
 	occupied []bool
 	res      *core.Result
+	anyReqs  bool // any requests this slot (arrivals or disturb requeues)
+	// waveMark flags the wavelengths holding requests this slot, so the
+	// commit expansion and the next prepare's request-list reset touch
+	// only the active wavelengths instead of sweeping all k.
+	waveMark *fabric.BitVector
 
 	// Fault injection (Config.Faults): mask is this slot's channel-state
 	// view, written by the switch before the per-port fan-out (nil when
@@ -81,14 +86,28 @@ type outputPort struct {
 	// one once set). heldSource[b] records who is transmitting.
 	holdRemaining []int
 	heldSource    []portGrant
+	// holdsLive is true while any holdRemaining entry is positive, and
+	// occDirty while any occupied entry is true: together they let an
+	// idle slot skip the O(k) occupancy and hold-aging sweeps entirely.
+	holdsLive bool
+	occDirty  bool
 
 	// Per-slot scratch.
-	reqs       [][]portRequest // per wavelength
-	fibers     []int           // selector input buffer
-	winners    []int           // selector output buffer
-	channels   []int           // channels granted to the wavelength under expansion
-	grants     []portGrant     // this slot's switched connections
-	preemptees []portGrant     // held connections displaced this slot (disturb mode)
+	reqs        [][]portRequest // per wavelength
+	fibers      []int           // selector input buffer
+	winners     []int           // selector output buffer
+	grants      []portGrant     // this slot's switched connections
+	preemptees  []portGrant     // held connections displaced this slot (disturb mode)
+	fiberGrants []int64         // per-input grant tallies, flushed once per slot
+
+	// Counting-sorted channel index of the slot's Result: the channels
+	// granted to wavelength w are chanBuf[chanOff[w]:chanOff[w+1]], in
+	// ascending channel order. Built in one O(k) pass by buildChannelIndex,
+	// replacing the former O(k) ByOutput scan per granted wavelength
+	// (O(k²) per slot, which dominated commit at large k).
+	chanBuf []int
+	chanOff []int // len k+1
+	chanPos []int // fill cursor per wavelength, doubles as a consistency check
 
 	// Per-port statistics, merged (moved) into the run totals by the
 	// switch after the run; keeping them port-local avoids cross-
@@ -119,11 +138,16 @@ func newOutputPort(fiberID, n, k int, conv wavelength.Conversion, sched core.Sch
 		occupied:        make([]bool, k),
 		res:             core.NewResult(k),
 		shadow:          core.NewResult(k),
+		waveMark:        fabric.NewBitVector(k),
 		holdRemaining:   make([]int, k),
 		heldSource:      make([]portGrant, k),
 		reqs:            make([][]portRequest, k),
+		chanBuf:         make([]int, k),
+		chanOff:         make([]int, k+1),
+		chanPos:         make([]int, k),
 		busyPerChannel:  make([]int64, k),
 		perInputGranted: make([]int64, n),
+		fiberGrants:     make([]int64, n),
 		matchSizes:      metrics.NewHistogram(k),
 	}
 	return p
@@ -233,6 +257,45 @@ func (p *outputPort) schedule() {
 	}
 }
 
+// buildChannelIndex counting-sorts res.ByOutput into the per-wavelength
+// channel index (chanBuf/chanOff): offsets come from the prefix sums of
+// res.Granted, then one ascending-b pass drops each granted channel into
+// its wavelength's bucket, preserving ascending channel order within a
+// wavelength — the same order the per-wavelength ByOutput scans produced.
+func (p *outputPort) buildChannelIndex(res *core.Result) {
+	off := 0
+	for w := 0; w < p.k; w++ {
+		p.chanOff[w] = off
+		p.chanPos[w] = off
+		off += res.Granted[w]
+	}
+	p.chanOff[p.k] = off
+	for b := 0; b < p.k; b++ {
+		w := res.ByOutput[b]
+		if w == core.Unassigned {
+			continue
+		}
+		if p.chanPos[w] == p.chanOff[w+1] {
+			panic(fmt.Sprintf("interconnect: port %d wavelength %d: more channels than %d grants",
+				p.fiberID, w, res.Granted[w]))
+		}
+		p.chanBuf[p.chanPos[w]] = b
+		p.chanPos[w]++
+	}
+}
+
+// grantedChannels returns wavelength w's granted channels from the index,
+// panicking (like the old scan did) if the Result's ByOutput and Granted
+// disagree.
+func (p *outputPort) grantedChannels(w, g int) []int {
+	chs := p.chanBuf[p.chanOff[w]:p.chanPos[w]]
+	if len(chs) != g {
+		panic(fmt.Sprintf("interconnect: port %d wavelength %d: %d channels for %d grants",
+			p.fiberID, w, len(chs), g))
+	}
+	return chs
+}
+
 // runSlot processes the port's share of one slot: arrivals is the list of
 // packets destined to this output fiber (already input-admission-filtered
 // by the switch). It returns the slot's switched connections (valid until
@@ -288,6 +351,9 @@ func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 	for c := 0; c < p.classes; c++ {
 		res := p.results[c]
 		slotSize += res.Size
+		if res.Size > 0 {
+			p.buildChannelIndex(res)
+		}
 		for w := 0; w < p.k; w++ {
 			g := res.Granted[w]
 			reqs := p.classReqs[c][w]
@@ -301,12 +367,7 @@ func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 				}
 				continue
 			}
-			p.channels = p.channels[:0]
-			for b := 0; b < p.k; b++ {
-				if res.ByOutput[b] == w {
-					p.channels = append(p.channels, b)
-				}
-			}
+			channels := p.grantedChannels(w, g)
 			p.fibers = p.fibers[:0]
 			for _, r := range reqs {
 				p.fibers = append(p.fibers, r.fiber)
@@ -321,13 +382,13 @@ func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 					}
 				}
 				p.grants = append(p.grants, portGrant{
-					fiber: f, wave: w, channel: p.channels[ci], duration: dur,
+					fiber: f, wave: w, channel: channels[ci], duration: dur,
 				})
 				atomic.AddInt64(&p.granted, 1)
 				atomic.AddInt64(&p.clsGrant[c], 1)
 				atomic.AddInt64(&p.perInputGranted[f], 1)
 				if p.tracer != nil {
-					p.emit(telemetry.EvGrant, telemetry.ReasonNone, f, w, p.channels[ci], int64(c))
+					p.emit(telemetry.EvGrant, telemetry.ReasonNone, f, w, channels[ci], int64(c))
 				}
 			}
 			atomic.AddInt64(&p.outputDropped, int64(len(reqs)-g))
@@ -354,19 +415,23 @@ func (p *outputPort) runSlotClasses(arrivals []arrival) []portGrant {
 		p.holdRemaining[g.channel] = g.duration
 		p.heldSource[g.channel] = g
 	}
-	for b := 0; b < p.k; b++ {
-		if p.holdRemaining[b] > 0 {
-			atomic.AddInt64(&p.busyslots, 1)
-			atomic.AddInt64(&p.busyPerChannel[b], 1)
-			p.holdRemaining[b]--
-		}
+	if len(p.grants) > 0 {
+		p.holdsLive = true
 	}
+	p.ageHolds()
 	return p.grants
 }
 
 func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
 	p.prepare(arrivals)
-	p.schedule()
+	if p.anyReqs {
+		p.schedule()
+	} else {
+		// Empty instance: any scheduler returns the empty matching, so
+		// skip the call and pin the two Result fields commit reads.
+		p.res.Size = 0
+		p.res.BreakChannel = core.Unassigned
+	}
 	return p.commit()
 }
 
@@ -378,28 +443,45 @@ func (p *outputPort) runSlotSingle(arrivals []arrival) []portGrant {
 // p.schedule locally.
 func (p *outputPort) prepare(arrivals []arrival) {
 	p.reg.Reset()
-	for w := range p.reqs {
+	// Only wavelengths marked active last slot can hold stale requests
+	// or a stale count entry.
+	for w := p.waveMark.NextSet(0); w >= 0; w = p.waveMark.NextSet(w + 1) {
 		p.reqs[w] = p.reqs[w][:0]
+		p.count[w] = 0
 	}
+	p.waveMark.Reset()
 	p.grants = p.grants[:0]
 	p.preemptees = p.preemptees[:0]
 	p.killFaultedHolds()
+	p.anyReqs = len(arrivals) > 0
 
 	// Occupancy from connections still holding their channels. In
 	// disturb mode held connections are rescheduled from scratch
 	// alongside new arrivals (Section V: "the existing connections can
 	// be disturbed, i.e., be reassigned to a different output channel").
-	for b := 0; b < p.k; b++ {
-		if p.holdRemaining[b] > 0 && p.disturb {
-			src := p.heldSource[b]
-			p.reqs[src.wave] = append(p.reqs[src.wave], portRequest{
-				fiber:    src.fiber,
-				duration: p.holdRemaining[b],
-				held:     true,
-			})
-			p.holdRemaining[b] = 0
+	// With no live holds and a clean occupancy vector the sweep is a
+	// no-op and is skipped outright.
+	if p.holdsLive || p.occDirty {
+		dirty := false
+		for b := 0; b < p.k; b++ {
+			if p.holdRemaining[b] > 0 && p.disturb {
+				src := p.heldSource[b]
+				p.reqs[src.wave] = append(p.reqs[src.wave], portRequest{
+					fiber:    src.fiber,
+					duration: p.holdRemaining[b],
+					held:     true,
+				})
+				p.waveMark.Set(src.wave)
+				p.count[src.wave]++
+				p.holdRemaining[b] = 0
+				p.anyReqs = true
+			}
+			occ := p.holdRemaining[b] > 0
+			p.occupied[b] = occ
+			dirty = dirty || occ
 		}
-		p.occupied[b] = p.holdRemaining[b] > 0
+		p.holdsLive = dirty
+		p.occDirty = dirty
 	}
 
 	// New arrivals populate the request register (the paper's Nk-bit
@@ -408,21 +490,11 @@ func (p *outputPort) prepare(arrivals []arrival) {
 	for _, a := range arrivals {
 		p.reg.Mark(a.fiber, a.wave)
 		p.reqs[a.wave] = append(p.reqs[a.wave], portRequest{fiber: a.fiber, duration: a.duration})
-	}
-
-	// Request vector: register counts plus (disturb mode) held
-	// connections re-requesting.
-	p.reg.CountVector(p.count)
-	if p.disturb {
-		for w := range p.reqs {
-			held := 0
-			for _, r := range p.reqs[w] {
-				if r.held {
-					held++
-				}
-			}
-			p.count[w] += held
-		}
+		p.waveMark.Set(a.wave)
+		// Request vector, maintained incrementally: one register mark per
+		// arrival plus (above) one per disturb-mode requeue — the same
+		// totals reg.CountVector would derive, without the O(k) sweep.
+		p.count[a.wave]++
 	}
 }
 
@@ -447,12 +519,25 @@ func (p *outputPort) afterRemote() {
 // switched connections (valid until the next slot).
 func (p *outputPort) commit() []portGrant {
 	p.matchSizes.Observe(p.res.Size)
+	if p.res.Size == 0 {
+		// Nothing was granted: the channel index would be empty, and with
+		// no requests either there is nothing to reject or preempt — only
+		// the hold aging at the bottom still applies.
+		if !p.anyReqs {
+			p.ageHolds()
+			return p.grants
+		}
+	} else {
+		p.buildChannelIndex(p.res)
+	}
+	var granted, dropped, preempted int64
 
 	// Expand per-wavelength grant counts into concrete winners. Held
 	// connections are served first (keeping an in-flight connection beats
 	// admitting a new one); the fair selector breaks ties among new
-	// requests.
-	for w := 0; w < p.k; w++ {
+	// requests. Only the active wavelengths can hold requests or grants,
+	// so the sweep follows waveMark instead of scanning all k.
+	for w := p.waveMark.NextSet(0); w >= 0; w = p.waveMark.NextSet(w + 1) {
 		g := p.res.Granted[w]
 		if g == 0 {
 			var reason telemetry.RejectReason
@@ -461,13 +546,13 @@ func (p *outputPort) commit() []portGrant {
 			}
 			for _, r := range p.reqs[w] {
 				if r.held {
-					atomic.AddInt64(&p.preempted, 1)
+					preempted++
 					p.preemptees = append(p.preemptees, portGrant{fiber: r.fiber, wave: w})
 					if p.tracer != nil {
 						p.emit(telemetry.EvPreempt, telemetry.ReasonNone, r.fiber, w, -1, 0)
 					}
 				} else {
-					atomic.AddInt64(&p.outputDropped, 1)
+					dropped++
 					if p.tracer != nil {
 						p.emit(telemetry.EvReject, reason, r.fiber, w, -1, 0)
 					}
@@ -475,16 +560,7 @@ func (p *outputPort) commit() []portGrant {
 			}
 			continue
 		}
-		p.channels = p.channels[:0]
-		for b := 0; b < p.k; b++ {
-			if p.res.ByOutput[b] == w {
-				p.channels = append(p.channels, b)
-			}
-		}
-		if len(p.channels) != g {
-			panic(fmt.Sprintf("interconnect: port %d wavelength %d: %d channels for %d grants",
-				p.fiberID, w, len(p.channels), g))
-		}
+		channels := p.grantedChannels(w, g)
 		ci := 0
 		remaining := g
 		// Held-first placement.
@@ -494,7 +570,7 @@ func (p *outputPort) commit() []portGrant {
 					continue
 				}
 				if remaining == 0 {
-					atomic.AddInt64(&p.preempted, 1)
+					preempted++
 					p.preemptees = append(p.preemptees, portGrant{fiber: r.fiber, wave: w})
 					if p.tracer != nil {
 						p.emit(telemetry.EvPreempt, telemetry.ReasonNone, r.fiber, w, -1, 0)
@@ -502,11 +578,11 @@ func (p *outputPort) commit() []portGrant {
 					continue
 				}
 				p.grants = append(p.grants, portGrant{
-					fiber: r.fiber, wave: w, channel: p.channels[ci],
+					fiber: r.fiber, wave: w, channel: channels[ci],
 					duration: r.duration, held: true,
 				})
 				if p.tracer != nil {
-					p.emit(telemetry.EvRegrant, telemetry.ReasonNone, r.fiber, w, p.channels[ci], 0)
+					p.emit(telemetry.EvRegrant, telemetry.ReasonNone, r.fiber, w, channels[ci], 0)
 				}
 				ci++
 				remaining--
@@ -530,15 +606,15 @@ func (p *outputPort) commit() []portGrant {
 					}
 				}
 				p.grants = append(p.grants, portGrant{
-					fiber: f, wave: w, channel: p.channels[ci],
+					fiber: f, wave: w, channel: channels[ci],
 					duration: dur,
 				})
 				if p.tracer != nil {
-					p.emit(telemetry.EvGrant, telemetry.ReasonNone, f, w, p.channels[ci], 0)
+					p.emit(telemetry.EvGrant, telemetry.ReasonNone, f, w, channels[ci], 0)
 				}
 				ci++
-				atomic.AddInt64(&p.granted, 1)
-				atomic.AddInt64(&p.perInputGranted[f], 1)
+				granted++
+				p.fiberGrants[f]++
 			}
 		}
 		// New requests that lost contention.
@@ -557,7 +633,7 @@ func (p *outputPort) commit() []portGrant {
 				}
 			}
 		}
-		atomic.AddInt64(&p.outputDropped, int64(newReqs-newGranted))
+		dropped += int64(newReqs - newGranted)
 		if p.tracer != nil && newReqs > newGranted {
 			// Identify the losers: new requests without a grant this slot
 			// on this wavelength (grant list scan; tracer-only cost).
@@ -579,21 +655,59 @@ func (p *outputPort) commit() []portGrant {
 		}
 	}
 
+	// Flush the slot's batched statistics in one atomic add per counter
+	// (per-input tallies once per touched fiber) — the totals are what
+	// the per-grant adds would have accumulated.
+	if granted != 0 {
+		atomic.AddInt64(&p.granted, granted)
+	}
+	if dropped != 0 {
+		atomic.AddInt64(&p.outputDropped, dropped)
+	}
+	if preempted != 0 {
+		atomic.AddInt64(&p.preempted, preempted)
+	}
+	for f, c := range p.fiberGrants {
+		if c != 0 {
+			atomic.AddInt64(&p.perInputGranted[f], c)
+			p.fiberGrants[f] = 0
+		}
+	}
+
 	// Hold bookkeeping: every switched connection occupies its channel
 	// for its (remaining) duration starting this slot.
 	for _, g := range p.grants {
 		p.holdRemaining[g.channel] = g.duration
 		p.heldSource[g.channel] = g
 	}
-	// Channels transmitting this slot, then age the holds.
+	if len(p.grants) > 0 {
+		p.holdsLive = true
+	}
+	p.ageHolds()
+	return p.grants
+}
+
+// ageHolds tallies the channels transmitting this slot and ages every
+// live hold. A port with no live holds skips the sweep, and holdsLive is
+// recomputed from what survives the aging.
+func (p *outputPort) ageHolds() {
+	if !p.holdsLive {
+		return
+	}
+	busy := int64(0)
+	live := false
 	for b := 0; b < p.k; b++ {
 		if p.holdRemaining[b] > 0 {
-			atomic.AddInt64(&p.busyslots, 1)
+			busy++
 			atomic.AddInt64(&p.busyPerChannel[b], 1)
 			p.holdRemaining[b]--
+			live = live || p.holdRemaining[b] > 0
 		}
 	}
-	return p.grants
+	if busy != 0 {
+		atomic.AddInt64(&p.busyslots, busy)
+	}
+	p.holdsLive = live
 }
 
 // mergeInto moves the port's local statistics into the run totals: each

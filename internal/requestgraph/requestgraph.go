@@ -21,6 +21,7 @@ import (
 
 	"wdmsched/internal/bipartite"
 	"wdmsched/internal/core"
+	"wdmsched/internal/fabric"
 	"wdmsched/internal/wavelength"
 )
 
@@ -40,6 +41,14 @@ type Graph struct {
 	reqs     []Request        // sorted by wavelength (stable)
 	occupied []bool           // occupied[b]: output channel b unavailable (Section V)
 	states   core.ChannelMask // per-channel fault state (fault injection)
+
+	// Packed mirrors of the right-side removals, kept in sync by the
+	// setters: occBits has a bit per §V-occupied channel, darkBits per dark
+	// channel. UsableChannels folds them over the full channel set with
+	// word-parallel AND NOT, the packed form of the occupancy overlay the
+	// schedulers' masker computes per slot.
+	occBits  *fabric.BitVector
+	darkBits *fabric.BitVector
 }
 
 // New builds a request graph. Requests are stably sorted by arrival
@@ -59,6 +68,8 @@ func New(conv wavelength.Conversion, reqs []Request) (*Graph, error) {
 		reqs:     sorted,
 		occupied: make([]bool, conv.K()),
 		states:   make(core.ChannelMask, conv.K()),
+		occBits:  fabric.NewBitVector(conv.K()),
+		darkBits: fabric.NewBitVector(conv.K()),
 	}, nil
 }
 
@@ -124,6 +135,11 @@ func (g *Graph) Vector() []int {
 // right side: no edges reach them.
 func (g *Graph) SetOccupied(b int, occ bool) {
 	g.occupied[b] = occ
+	if occ {
+		g.occBits.Set(b)
+	} else {
+		g.occBits.Clear(b)
+	}
 }
 
 // Occupied reports whether output channel b is occupied.
@@ -134,6 +150,11 @@ func (g *Graph) Occupied(b int) bool { return g.occupied[b] }
 // a ConverterFailed channel keeps only the edge from its own wavelength.
 func (g *Graph) SetChannelState(b int, st core.ChannelState) {
 	g.states[b] = st
+	if st == core.Dark {
+		g.darkBits.Set(b)
+	} else {
+		g.darkBits.Clear(b)
+	}
 }
 
 // ChannelState reports output channel b's fault state.
@@ -145,12 +166,19 @@ func (g *Graph) SetMask(mask core.ChannelMask) {
 		for b := range g.states {
 			g.states[b] = core.Healthy
 		}
+		g.darkBits.Reset()
 		return
 	}
 	if len(mask) != len(g.states) {
 		panic(fmt.Sprintf("requestgraph: mask length %d != k %d", len(mask), len(g.states)))
 	}
 	copy(g.states, mask)
+	g.darkBits.Reset()
+	for b, st := range g.states {
+		if st == core.Dark {
+			g.darkBits.Set(b)
+		}
+	}
 }
 
 // usable reports whether channel b can carry wavelength w under the
@@ -165,15 +193,21 @@ func (g *Graph) usable(w, b int) bool {
 // OccupiedMask returns a copy of the per-channel occupancy.
 func (g *Graph) OccupiedMask() []bool { return append([]bool(nil), g.occupied...) }
 
-// NumAvailable reports the number of unoccupied output channels.
+// NumAvailable reports the number of unoccupied output channels
+// (popcount over the packed occupancy).
 func (g *Graph) NumAvailable() int {
-	n := 0
-	for _, o := range g.occupied {
-		if !o {
-			n++
-		}
-	}
-	return n
+	return g.conv.K() - g.occBits.Count()
+}
+
+// UsableChannels writes the packed set of channels still on the graph's
+// right side — neither §V-occupied nor dark — into dst (length k): the
+// full channel set AND NOT occupied AND NOT dark, three word-parallel
+// passes. Converter-failed channels remain set; they still carry their
+// own wavelength.
+func (g *Graph) UsableChannels(dst *fabric.BitVector) {
+	dst.Fill()
+	dst.AndNot(g.occBits)
+	dst.AndNot(g.darkBits)
 }
 
 // HasEdge reports whether left vertex i is adjacent to output channel b,
@@ -222,12 +256,17 @@ func (g *Graph) Bipartite() *bipartite.Graph {
 
 // Clone returns a deep copy of the request graph.
 func (g *Graph) Clone() *Graph {
-	return &Graph{
+	c := &Graph{
 		conv:     g.conv,
 		reqs:     append([]Request(nil), g.reqs...),
 		occupied: append([]bool(nil), g.occupied...),
 		states:   append(core.ChannelMask(nil), g.states...),
+		occBits:  fabric.NewBitVector(g.conv.K()),
+		darkBits: fabric.NewBitVector(g.conv.K()),
 	}
+	c.occBits.CopyFrom(g.occBits)
+	c.darkBits.CopyFrom(g.darkBits)
+	return c
 }
 
 // String renders a compact description for test failures.

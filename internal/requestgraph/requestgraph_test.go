@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 
+	"wdmsched/internal/core"
+	"wdmsched/internal/fabric"
 	"wdmsched/internal/wavelength"
 )
 
@@ -197,4 +199,51 @@ func randomGraphFor(rng *rand.Rand, kind wavelength.Kind, maxK, maxPerWavelength
 		}
 	}
 	return g
+}
+
+// TestUsableChannelsPacked cross-checks the packed occupancy/dark overlay
+// (word-parallel AND NOT) against the scalar usable predicate, including a
+// word-boundary k and incremental set/clear churn.
+func TestUsableChannelsPacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{6, 64, 65, 129} {
+		conv := wavelength.MustNew(wavelength.Circular, k, 1, 1)
+		g := MustFromVector(conv, make([]int, k))
+		usable := fabric.NewBitVector(k)
+		for trial := 0; trial < 100; trial++ {
+			b := rng.Intn(k)
+			switch rng.Intn(4) {
+			case 0:
+				g.SetOccupied(b, true)
+			case 1:
+				g.SetOccupied(b, false)
+			case 2:
+				g.SetChannelState(b, core.ChannelState(rng.Intn(3)))
+			case 3:
+				if rng.Intn(4) == 0 {
+					g.SetMask(nil)
+				} else {
+					mask := make(core.ChannelMask, k)
+					for i := range mask {
+						mask[i] = core.ChannelState(rng.Intn(3))
+					}
+					g.SetMask(mask)
+				}
+			}
+			g.UsableChannels(usable)
+			avail := 0
+			for ch := 0; ch < k; ch++ {
+				want := !g.Occupied(ch) && g.ChannelState(ch) != core.Dark
+				if got := usable.Get(ch); got != want {
+					t.Fatalf("k=%d trial %d channel %d: packed usable=%v, scalar=%v", k, trial, ch, got, want)
+				}
+				if !g.Occupied(ch) {
+					avail++
+				}
+			}
+			if got := g.NumAvailable(); got != avail {
+				t.Fatalf("k=%d trial %d: NumAvailable=%d, want %d", k, trial, got, avail)
+			}
+		}
+	}
 }

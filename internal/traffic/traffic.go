@@ -163,6 +163,63 @@ func (g *Hotspot) Generate(slot int, dst []Packet) []Packet {
 	return dst
 }
 
+// HotBand is doubly concentrated traffic: every packet arrives on one of
+// the first band wavelengths and heads to one hot output fiber. All
+// contention therefore lands in a single scheduler's ring neighborhood —
+// the adversarial shape for the per-port matching algorithms, where the
+// request vector has few nonzero wavelengths but high multiplicity on each.
+// It is the workload of the word-parallel kernel benchmarks.
+type HotBand struct {
+	cfg  Config
+	load float64
+	hot  int
+	band int
+	rng  *RNG
+}
+
+// NewHotBand builds the concentrated workload: each of the N·band in-band
+// input channels carries a new packet each slot with probability load,
+// always destined to fiber hot.
+func NewHotBand(cfg Config, load float64, hot, band int) (*HotBand, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("traffic: load %v outside [0,1]", load)
+	}
+	if hot < 0 || hot >= cfg.N {
+		return nil, fmt.Errorf("traffic: hot fiber %d outside [0,%d)", hot, cfg.N)
+	}
+	if band < 1 || band > cfg.K {
+		return nil, fmt.Errorf("traffic: band %d outside [1,%d]", band, cfg.K)
+	}
+	return &HotBand{cfg: cfg, load: load, hot: hot, band: band, rng: NewRNG(cfg.Seed)}, nil
+}
+
+// Name implements Generator.
+func (g *HotBand) Name() string {
+	return fmt.Sprintf("hotband(load=%.2f,hot=%d,band=%d)", g.load, g.hot, g.band)
+}
+
+// Generate implements Generator.
+func (g *HotBand) Generate(slot int, dst []Packet) []Packet {
+	for in := 0; in < g.cfg.N; in++ {
+		for w := 0; w < g.band; w++ {
+			if !g.rng.Bernoulli(g.load) {
+				continue
+			}
+			dst = append(dst, Packet{
+				InputFiber: in,
+				Wavelength: w,
+				DestFiber:  g.hot,
+				Duration:   g.cfg.Hold.draw(g.rng),
+				Slot:       slot,
+			})
+		}
+	}
+	return dst
+}
+
 // Bursty is two-state Markov (on–off) traffic per input channel: in the ON
 // state the channel emits a packet every slot, all packets of one burst
 // sharing a destination fiber; state transitions give geometrically
@@ -290,6 +347,7 @@ func (g *Prioritized) Generate(slot int, dst []Packet) []Packet {
 var (
 	_ Generator = (*Bernoulli)(nil)
 	_ Generator = (*Hotspot)(nil)
+	_ Generator = (*HotBand)(nil)
 	_ Generator = (*Bursty)(nil)
 	_ Generator = (*Prioritized)(nil)
 )
