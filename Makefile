@@ -3,16 +3,21 @@
 # detector over the concurrent packages (the slot engine's worker pool in
 # internal/interconnect and the parallel breaker pool in internal/core).
 # CI (.github/workflows/ci.yml) enforces `fmt-check` and `check` on every
-# push and pull request, plus short fuzz and benchmark smoke jobs.
+# push and pull request, plus short fuzz and benchmark smoke jobs and the
+# bounded `soak-smoke` chaos run (SOAKSLOTS slots, all three engines);
+# `soak` (SOAKTIME wall-clock budget) is the long form the scheduled
+# nightly workflow (.github/workflows/nightly.yml) runs per engine.
 
 GO ?= go
 BENCHTIME ?= 1s
 FUZZTIME ?= 30s
 DIFF_THRESHOLD ?= 1.0
 DIFF_MINDELTA ?= 100us
+SOAKTIME ?= 10m
+SOAKSLOTS ?= 20000
 
 .PHONY: check vet build test race fmt fmt-check bench fuzz fuzz-short output trace \
-	bench-save bench-diff examples-smoke cluster-smoke
+	bench-save bench-diff examples-smoke cluster-smoke soak soak-smoke
 
 check: vet build test race
 
@@ -27,7 +32,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/interconnect ./internal/core ./internal/telemetry \
-		./internal/metrics ./internal/cluster
+		./internal/metrics ./internal/cluster ./internal/traffic
 
 fmt:
 	gofmt -l -w .
@@ -80,6 +85,20 @@ examples-smoke:
 # engines, live /metrics scrape included.
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# Adversarial chaos soak: all three engines in lockstep on heavy-tailed
+# arrivals under Markov channel/converter faults and cluster transport
+# faults, invariants checked at every resync point. SOAKTIME caps the
+# wall clock (nightly CI runs one engine per matrix leg for longer).
+soak:
+	$(GO) run ./cmd/wdmsoak -time $(SOAKTIME) -resync 10000 \
+		-engines sequential,distributed,cluster
+
+# Bounded soak for the per-push CI lane: SOAKSLOTS slots, all engines,
+# still enough to cross many resync points and exercise the span checks.
+soak-smoke:
+	$(GO) run ./cmd/wdmsoak -slots $(SOAKSLOTS) -resync 1000 \
+		-engines sequential,distributed,cluster
 
 # Regenerate the sample wdmbench output (not committed; see .gitignore).
 output:

@@ -400,6 +400,7 @@ type runSlotMode struct {
 	n, k, e, f  int
 	sched       string // Config.Scheduler; "" = default exact
 	band        int    // hot-band width; 0 = uniform Bernoulli
+	workload    string // adversarial generator: "heavytail", "selfsimilar"; "" = Bernoulli/hot-band
 }
 
 // switchRunSlotModes are the BenchmarkSwitchRunSlot variants: the two
@@ -411,6 +412,8 @@ var switchRunSlotModes = []runSlotMode{
 	{name: "sequential", n: 8, k: 16, e: 1, f: 1},
 	{name: "distributed", distributed: true, n: 8, k: 16, e: 1, f: 1},
 	{name: "sequential-traced", traced: true, n: 8, k: 16, e: 1, f: 1},
+	{name: "heavytail", n: 8, k: 16, e: 1, f: 1, workload: "heavytail"},
+	{name: "selfsimilar", distributed: true, n: 8, k: 16, e: 1, f: 1, workload: "selfsimilar"},
 	{name: "k=128-scalar", n: 8, k: 128, e: 20, f: 20, sched: "exact", band: 8},
 	{name: "k=128-fast", n: 8, k: 128, e: 20, f: 20, sched: "fast", band: 8},
 	{name: "k=256-scalar", n: 8, k: 256, e: 20, f: 20, sched: "exact", band: 8},
@@ -437,9 +440,17 @@ func newRunSlotSwitch(tb testing.TB, mode runSlotMode) (*interconnect.Switch, []
 	}
 	tcfg := traffic.Config{N: mode.n, K: mode.k, Seed: 5}
 	var gen traffic.Generator
-	if mode.band > 0 {
+	switch {
+	case mode.workload == "heavytail":
+		// The adversarial generators drive the same 0 allocs/op pin: bursty
+		// Pareto arrivals with skewed destinations must not knock the engine
+		// off its steady state.
+		gen, err = traffic.NewHeavyTail(tcfg, 0.7, 1.5, 0.8)
+	case mode.workload == "selfsimilar":
+		gen, err = traffic.NewSelfSimilar(tcfg, 0.9, 1.5, 8*mode.k)
+	case mode.band > 0:
 		gen, err = traffic.NewHotBand(tcfg, 0.9, 0, mode.band)
-	} else {
+	default:
 		gen, err = traffic.NewBernoulli(tcfg, 1.0)
 	}
 	if err != nil {

@@ -12,6 +12,7 @@
 //	wdmbench -engine         # slot-engine run-time metrics (latency, allocs)
 //	wdmbench -faults         # graceful-degradation study under converter faults
 //	wdmbench -json           # structured JSON (perf-trajectory record; make bench-save)
+//	wdmbench -validate       # verify a -json document read from stdin (CI gate)
 //	wdmbench -diff           # compare the latest BENCH_<n>.json against BENCH_0.json
 //
 // -diff is the bench-regression gate (make bench-diff): it compares every
@@ -56,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed    = fs.Uint64("seed", 0, "random seed (0 = default)")
 		outDir  = fs.String("o", "", "also write one CSV file per table into this directory")
 
+		validate  = fs.Bool("validate", false, "read a -json document from stdin and verify its structure; non-zero exit when malformed")
 		diff      = fs.Bool("diff", false, "compare the latest BENCH_<n>.json against the baseline; non-zero exit on regression")
 		baseline  = fs.String("baseline", "", "baseline record for -diff (default BENCH_0.json)")
 		against   = fs.String("against", "", "record to compare for -diff (default: highest-numbered BENCH_<n>.json, n >= 1)")
@@ -64,6 +66,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *validate {
+		if err := runValidate(os.Stdin, stdout); err != nil {
+			fmt.Fprintf(stderr, "wdmbench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	if *diff {
@@ -168,6 +178,55 @@ type benchGroup struct {
 	ID     string       `json:"id"`
 	Title  string       `json:"title"`
 	Tables []*wdm.Table `json:"tables"`
+}
+
+// runValidate verifies a -json benchmark document read from r: it must
+// parse, contain at least one result group, and every table must have a
+// header with rows of matching width. This is the CI structured-output
+// gate, replacing an inline python JSON check.
+func runValidate(r io.Reader, stdout io.Writer) error {
+	var doc struct {
+		Quick   bool         `json:"quick"`
+		Results []benchGroup `json:"results"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("parsing bench document: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after bench document")
+	}
+	if len(doc.Results) == 0 {
+		return fmt.Errorf("bench document has no results")
+	}
+	var tables, cells int
+	for _, g := range doc.Results {
+		if g.ID == "" {
+			return fmt.Errorf("result group %d has no id", tables)
+		}
+		if len(g.Tables) == 0 {
+			return fmt.Errorf("result group %q has no tables", g.ID)
+		}
+		for _, t := range g.Tables {
+			tables++
+			if len(t.Header) == 0 {
+				return fmt.Errorf("table %q in %q has no header", t.Title, g.ID)
+			}
+			if len(t.Rows) == 0 {
+				return fmt.Errorf("table %q in %q has no rows", t.Title, g.ID)
+			}
+			for i, row := range t.Rows {
+				if len(row) != len(t.Header) {
+					return fmt.Errorf("table %q in %q: row %d has %d cells, header has %d",
+						t.Title, g.ID, i, len(row), len(t.Header))
+				}
+				cells += len(row)
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "bench document ok: %d groups, %d tables, %d cells\n",
+		len(doc.Results), tables, cells)
+	return nil
 }
 
 // writeBenchJSON emits the structured benchmark document -json and the

@@ -1,119 +1,13 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"time"
+
+	"wdmsched/internal/spancheck"
 )
-
-// spanRec is one parsed span dump line (telemetry.SpanTracer.WriteJSONL).
-// Start/Dur are nanoseconds on the dumping process's local span clock.
-type spanRec struct {
-	Slot  int64  `json:"slot"`
-	Lane  int32  `json:"lane"`
-	Stage string `json:"stage"`
-	Port  int32  `json:"port"`
-	ID    uint64 `json:"id"`
-	Start int64  `json:"start"`
-	Dur   int64  `json:"dur"`
-}
-
-// linkSync mirrors cluster.LinkSync: the controller's clock estimate for
-// one node link, used to place node spans on the controller timeline.
-type linkSync struct {
-	Node     string `json:"node"`
-	Shard    int    `json:"shard"`
-	OffsetNS int64  `json:"offset_ns"`
-	RTTNS    int64  `json:"rtt_ns"`
-}
-
-type dumpMeta struct {
-	Role  string     `json:"role"`
-	RunID uint64     `json:"run_id"`
-	Links []linkSync `json:"links"`
-}
-
-type spanDump struct {
-	path  string
-	meta  dumpMeta
-	spans []spanRec
-}
-
-// readSpanDump parses one dump file: a meta line followed by span JSONL.
-func readSpanDump(path string) (*spanDump, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return nil, fmt.Errorf("%s: empty span dump", path)
-	}
-	var first struct {
-		Meta *dumpMeta `json:"meta"`
-	}
-	if err := json.Unmarshal(sc.Bytes(), &first); err != nil || first.Meta == nil {
-		return nil, fmt.Errorf("%s: first line is not a span-dump meta object", path)
-	}
-	d := &spanDump{path: path, meta: *first.Meta}
-	for sc.Scan() {
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var s spanRec
-		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
-			return nil, fmt.Errorf("%s: bad span line: %w", path, err)
-		}
-		d.spans = append(d.spans, s)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	return d, nil
-}
-
-// shardOf recovers the controller link a node dump talked to. Span IDs
-// are seq<<20|shard, so any echoed ID names the shard directly.
-func shardOf(d *spanDump, nLinks int) (int, error) {
-	for _, s := range d.spans {
-		if s.ID != 0 {
-			shard := int(s.ID & (1<<20 - 1))
-			if shard >= nLinks {
-				return 0, fmt.Errorf("%s: span id %#x names shard %d, controller has %d links",
-					d.path, s.ID, shard, nLinks)
-			}
-			return shard, nil
-		}
-	}
-	return 0, fmt.Errorf("%s: no span carries a trace ID; cannot map the dump to a controller link", d.path)
-}
-
-// traceEvent is one Chrome trace_event record; ts and dur are microseconds.
-type traceEvent struct {
-	Name string         `json:"name"`
-	Ph   string         `json:"ph"`
-	Pid  int            `json:"pid"`
-	Tid  int32          `json:"tid"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Cat  string         `json:"cat,omitempty"`
-	ID   string         `json:"id,omitempty"`
-	BP   string         `json:"bp,omitempty"`
-	Args map[string]any `json:"args,omitempty"`
-}
-
-func metaEvent(pid int, name string) traceEvent {
-	return traceEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}}
-}
 
 // runMerge joins one controller span dump with any number of node dumps
 // into a single Chrome trace_event timeline (process 0 is the controller,
@@ -121,103 +15,35 @@ func metaEvent(pid int, name string) traceEvent {
 // corrected by the controller's piggybacked-timestamp offset estimate and
 // an RPC flow arrow from each controller RPC span to the node work it
 // covered. It always prints the per-stage latency attribution table;
-// -check additionally enforces the cross-process invariants.
+// -check additionally enforces the cross-process invariants. The heavy
+// lifting lives in internal/spancheck, which wdmsoak shares.
 func runMerge(stdout io.Writer, paths []string, outPath string, check bool) error {
 	if len(paths) < 2 {
 		return fmt.Errorf("-merge needs a controller dump and at least one node dump")
 	}
-	ctrl, err := readSpanDump(paths[0])
+	ctrl, err := spancheck.ReadDumpFile(paths[0])
 	if err != nil {
 		return err
 	}
-	if ctrl.meta.Role != "controller" {
-		return fmt.Errorf("%s: role %q, want controller first (node dumps follow in any order)",
-			ctrl.path, ctrl.meta.Role)
-	}
-	nodes := make(map[int]*spanDump) // shard -> dump
+	nodes := make([]*spancheck.Dump, 0, len(paths)-1)
 	for _, p := range paths[1:] {
-		d, err := readSpanDump(p)
+		d, err := spancheck.ReadDumpFile(p)
 		if err != nil {
 			return err
 		}
-		if d.meta.Role != "node" {
-			return fmt.Errorf("%s: role %q, want node", p, d.meta.Role)
-		}
-		if d.meta.RunID != 0 && d.meta.RunID != ctrl.meta.RunID {
-			return fmt.Errorf("%s: run %#x does not match controller run %#x (dumps from different runs?)",
-				p, d.meta.RunID, ctrl.meta.RunID)
-		}
-		shard, err := shardOf(d, len(ctrl.meta.Links))
-		if err != nil {
-			return err
-		}
-		if prev, dup := nodes[shard]; dup {
-			return fmt.Errorf("%s and %s both map to shard %d", prev.path, d.path, shard)
-		}
-		nodes[shard] = d
+		nodes = append(nodes, d)
 	}
-
-	offsets := make(map[int]int64, len(ctrl.meta.Links))
-	rtts := make(map[int]int64, len(ctrl.meta.Links))
-	for _, l := range ctrl.meta.Links {
-		offsets[l.Shard], rtts[l.Shard] = l.OffsetNS, l.RTTNS
-	}
-
-	// rpcByID lets node spans attach flow arrows (and -check containment)
-	// to the controller RPC that carried them.
-	rpcByID := make(map[uint64]spanRec)
-	for _, s := range ctrl.spans {
-		if s.Stage == "rpc" && s.ID != 0 {
-			rpcByID[s.ID] = s
-		}
-	}
-
-	events := []traceEvent{metaEvent(0, "controller")}
-	for shard := range nodes {
-		events = append(events, metaEvent(shard+1, fmt.Sprintf("node %s", ctrl.meta.Links[shard].Node)))
-	}
-	addSpan := func(pid int, s spanRec, start int64) {
-		events = append(events, traceEvent{
-			Name: s.Stage, Ph: "X", Pid: pid, Tid: s.Lane,
-			Ts: float64(start) / 1e3, Dur: float64(s.Dur) / 1e3,
-			Args: map[string]any{"slot": s.Slot, "port": s.Port, "id": s.ID},
-		})
-	}
-	for _, s := range ctrl.spans {
-		addSpan(0, s, s.Start)
-		if s.Stage == "rpc" && s.ID != 0 {
-			events = append(events, traceEvent{
-				Name: "rpc", Ph: "s", Cat: "rpc", Pid: 0, Tid: s.Lane,
-				Ts: float64(s.Start) / 1e3, ID: fmt.Sprintf("%#x", s.ID),
-			})
-		}
-	}
-	flows := 0
-	for shard, d := range nodes {
-		off := offsets[shard]
-		for _, s := range d.spans {
-			start := s.Start - off // node clock -> controller clock
-			addSpan(shard+1, s, start)
-			if s.Stage == "decode" && s.ID != 0 {
-				if _, ok := rpcByID[s.ID]; ok {
-					events = append(events, traceEvent{
-						Name: "rpc", Ph: "f", BP: "e", Cat: "rpc", Pid: shard + 1, Tid: s.Lane,
-						Ts: float64(start) / 1e3, ID: fmt.Sprintf("%#x", s.ID),
-					})
-					flows++
-				}
-			}
-		}
+	m, err := spancheck.Merge(ctrl, nodes)
+	if err != nil {
+		return err
 	}
 
 	of, err := os.Create(outPath)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(of)
-	if err := enc.Encode(struct {
-		TraceEvents []traceEvent `json:"traceEvents"`
-	}{events}); err != nil {
+	flows, err := m.WriteChrome(of)
+	if err != nil {
 		of.Close()
 		return err
 	}
@@ -225,21 +51,28 @@ func runMerge(stdout io.Writer, paths []string, outPath string, check bool) erro
 		return err
 	}
 
-	nodeSpans := 0
-	for _, d := range nodes {
-		nodeSpans += len(d.spans)
-	}
 	fmt.Fprintf(stdout, "merged         %d controller + %d node spans from %d processes -> %s\n",
-		len(ctrl.spans), nodeSpans, 1+len(nodes), outPath)
+		len(ctrl.Spans), m.NodeSpanCount(), 1+len(m.Nodes), outPath)
 	fmt.Fprintf(stdout, "flow arrows    %d RPC send->receive edges\n", flows)
-	for _, l := range ctrl.meta.Links {
+	for _, l := range ctrl.Meta.Links {
 		fmt.Fprintf(stdout, "clock sync     shard %d (%s): offset %v, rtt %v\n",
 			l.Shard, l.Node, time.Duration(l.OffsetNS), time.Duration(l.RTTNS))
 	}
 
-	printAttribution(stdout, ctrl, nodes)
+	printAttribution(stdout, m)
 	if check {
-		return checkMerge(stdout, ctrl, nodes, offsets, rtts, rpcByID)
+		rep, cerr := m.Check()
+		if rep.Checked > 0 {
+			fmt.Fprintf(stdout, "containment    %d/%d node spans outside their RPC window (%.2f%%)\n",
+				rep.Violations, rep.Checked, 100*rep.ContainmentFrac())
+		}
+		if rep.AttributionChecked {
+			fmt.Fprintf(stdout, "attribution    stages explain %.1f%% of slot time\n", 100*rep.AttributionRatio)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintln(stdout, "check          ok")
 	}
 	return nil
 }
@@ -247,139 +80,21 @@ func runMerge(stdout io.Writer, paths []string, outPath string, check bool) erro
 // printAttribution renders the per-stage latency table over every process's
 // spans: how the distributed slot pipeline's time divides among its stages,
 // each stage's share expressed against total slot-span time.
-func printAttribution(w io.Writer, ctrl *spanDump, nodes map[int]*spanDump) {
-	type agg struct {
-		count int64
-		total int64
-	}
-	stages := map[string]*agg{}
-	add := func(spans []spanRec) {
-		for _, s := range spans {
-			a := stages[s.Stage]
-			if a == nil {
-				a = &agg{}
-				stages[s.Stage] = a
-			}
-			a.count++
-			a.total += s.Dur
-		}
-	}
-	add(ctrl.spans)
-	for _, d := range nodes {
-		add(d.spans)
-	}
+func printAttribution(w io.Writer, m *spancheck.Merged) {
+	rows := m.Attribution()
 	var slotTotal int64
-	if a := stages["slot"]; a != nil {
-		slotTotal = a.total
+	for _, a := range rows {
+		if a.Stage == "slot" {
+			slotTotal = a.Total
+		}
 	}
-	names := make([]string, 0, len(stages))
-	for name := range stages {
-		names = append(names, name)
-	}
-	sort.Slice(names, func(i, j int) bool { return stages[names[i]].total > stages[names[j]].total })
 	fmt.Fprintf(w, "\n%-14s %10s %14s %12s %8s\n", "stage", "spans", "total", "mean", "of slot")
-	for _, name := range names {
-		a := stages[name]
+	for _, a := range rows {
 		share := "-"
-		if slotTotal > 0 && name != "slot" {
-			share = fmt.Sprintf("%.1f%%", 100*float64(a.total)/float64(slotTotal))
+		if slotTotal > 0 && a.Stage != "slot" {
+			share = fmt.Sprintf("%.1f%%", 100*float64(a.Total)/float64(slotTotal))
 		}
-		fmt.Fprintf(w, "%-14s %10d %14v %12v %8s\n", name, a.count,
-			time.Duration(a.total), time.Duration(a.total/a.count), share)
+		fmt.Fprintf(w, "%-14s %10d %14v %12v %8s\n", a.Stage, a.Count,
+			time.Duration(a.Total), time.Duration(a.Total/a.Count), share)
 	}
-}
-
-// checkMerge enforces the merged timeline's invariants:
-//
-//  1. Containment — every node span, after clock correction, must lie
-//     within the controller RPC span that carried it, give or take the
-//     link RTT plus a fixed 100µs slack (the offset estimate is only as
-//     good as the best sample). At most 2% of spans may violate.
-//  2. Attribution — prepare + commit + the per-slot critical path of
-//     encode/RPC/fallback must explain 40–105% of total slot-span time;
-//     far less means spans are missing, more than ~100% means
-//     double-counting or broken clocks.
-func checkMerge(w io.Writer, ctrl *spanDump, nodes map[int]*spanDump,
-	offsets, rtts map[int]int64, rpcByID map[uint64]spanRec) error {
-	checked, violations := 0, 0
-	for shard, d := range nodes {
-		slack := rtts[shard] + 100_000
-		off := offsets[shard]
-		for _, s := range d.spans {
-			if s.ID == 0 {
-				continue
-			}
-			rpc, ok := rpcByID[s.ID]
-			if !ok {
-				continue // RPC span rotated out of the controller ring
-			}
-			checked++
-			start := s.Start - off
-			if start < rpc.Start-slack || start+s.Dur > rpc.Start+rpc.Dur+slack {
-				violations++
-			}
-		}
-	}
-	if checked == 0 {
-		return fmt.Errorf("check: no node span matched a controller RPC span")
-	}
-	frac := float64(violations) / float64(checked)
-	fmt.Fprintf(w, "containment    %d/%d node spans outside their RPC window (%.2f%%)\n",
-		violations, checked, 100*frac)
-	if frac > 0.02 {
-		return fmt.Errorf("check: %.2f%% of node spans fall outside their clock-corrected RPC window (limit 2%%)", 100*frac)
-	}
-
-	type slotAgg struct {
-		perLane map[int32]int64 // encode+rpc+fallback per controller lane
-		prep    int64
-		commit  int64
-		slot    int64
-	}
-	slots := map[int64]*slotAgg{}
-	at := func(slot int64) *slotAgg {
-		a := slots[slot]
-		if a == nil {
-			a = &slotAgg{perLane: map[int32]int64{}}
-			slots[slot] = a
-		}
-		return a
-	}
-	for _, s := range ctrl.spans {
-		a := at(s.Slot)
-		switch s.Stage {
-		case "slot":
-			a.slot += s.Dur
-		case "prepare":
-			a.prep += s.Dur
-		case "commit":
-			a.commit += s.Dur
-		case "encode", "rpc", "fallback":
-			a.perLane[s.Lane] += s.Dur
-		}
-	}
-	var explained, slotTotal int64
-	for _, a := range slots {
-		if a.slot == 0 {
-			continue // slot span rotated out; nothing to attribute against
-		}
-		slotTotal += a.slot
-		var critical int64
-		for _, d := range a.perLane {
-			if d > critical {
-				critical = d
-			}
-		}
-		explained += a.prep + a.commit + critical
-	}
-	if slotTotal == 0 {
-		return fmt.Errorf("check: no slot spans retained; raise the span capacity")
-	}
-	ratio := float64(explained) / float64(slotTotal)
-	fmt.Fprintf(w, "attribution    stages explain %.1f%% of slot time\n", 100*ratio)
-	if ratio < 0.4 || ratio > 1.05 {
-		return fmt.Errorf("check: stage attribution explains %.1f%% of slot time, want 40%%-105%%", 100*ratio)
-	}
-	fmt.Fprintln(w, "check          ok")
-	return nil
 }

@@ -1,0 +1,45 @@
+package analysis
+
+import "fmt"
+
+// OpenShopMakespanLB returns the trivial open-shop lower bound on the
+// makespan of a bulk-transfer demand matrix on an N×N interconnect with k
+// channels per fiber: every input fiber can launch at most k units per
+// slot and every output fiber can absorb at most k, so no schedule beats
+// ⌈max(max row sum, max column sum) / k⌉ slots (the "machine load" and
+// "job length" bounds of open-shop scheduling; with full-range conversion
+// the bound is tight by Birkhoff–von Neumann style decomposition, which is
+// what experiment S14 measures schedulers against).
+func OpenShopMakespanLB(demand [][]int, k int) (int, error) {
+	n := len(demand)
+	if n == 0 {
+		return 0, fmt.Errorf("analysis: empty demand matrix")
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("analysis: non-positive k %d", k)
+	}
+	maxLoad := 0
+	colSums := make([]int, n)
+	for i, row := range demand {
+		if len(row) != n {
+			return 0, fmt.Errorf("analysis: demand row %d has %d entries, want %d", i, len(row), n)
+		}
+		rowSum := 0
+		for j, d := range row {
+			if d < 0 {
+				return 0, fmt.Errorf("analysis: negative demand %d at (%d,%d)", d, i, j)
+			}
+			rowSum += d
+			colSums[j] += d
+		}
+		if rowSum > maxLoad {
+			maxLoad = rowSum
+		}
+	}
+	for _, c := range colSums {
+		if c > maxLoad {
+			maxLoad = c
+		}
+	}
+	return (maxLoad + k - 1) / k, nil
+}

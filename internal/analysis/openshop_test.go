@@ -1,0 +1,44 @@
+package analysis
+
+import "testing"
+
+func TestOpenShopMakespanLB(t *testing.T) {
+	cases := []struct {
+		demand [][]int
+		k      int
+		want   int
+	}{
+		// Row 0 sums to 10, k=2 → 5 slots.
+		{[][]int{{4, 6}, {1, 1}}, 2, 5},
+		// Column 1 dominates: 6+1 = 7, k=2 → 4.
+		{[][]int{{0, 6}, {0, 1}}, 2, 4},
+		// Balanced permutation load, k=1 → exactly the per-pair demand.
+		{[][]int{{3, 0}, {0, 3}}, 1, 3},
+		// Empty demand → 0.
+		{[][]int{{0, 0}, {0, 0}}, 4, 0},
+	}
+	for i, c := range cases {
+		got, err := OpenShopMakespanLB(c.demand, c.k)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != c.want {
+			t.Errorf("case %d: LB = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestOpenShopMakespanLBValidation(t *testing.T) {
+	if _, err := OpenShopMakespanLB(nil, 2); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := OpenShopMakespanLB([][]int{{1, 1}}, 2); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, err := OpenShopMakespanLB([][]int{{1, -1}, {0, 0}}, 2); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if _, err := OpenShopMakespanLB([][]int{{1}}, 0); err == nil {
+		t.Error("k = 0 accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"wdmsched/internal/traffic"
+)
+
+// RunBulk drives the switch closed-loop over an open-shop bulk-transfer
+// workload until every unit is delivered: each slot the generator offers
+// pending transfers, the switch schedules them, and every grant is fed
+// back to the workload as a delivery. It returns the makespan (slots
+// until the last delivery) and the finalized statistics; maxSlots bounds
+// runaway workloads (an error is returned when it is hit first).
+//
+// The schedule, and hence the makespan, is a deterministic function of
+// the demand matrix, the scheduler, and the seed — identical across the
+// sequential, distributed and cluster engines — so makespan doubles as a
+// cross-engine soak invariant.
+func RunBulk(s *Switch, bulk *traffic.BulkTransfer, maxSlots int) (makespan int, stats *Stats, err error) {
+	var (
+		buf    []traffic.Packet
+		grants []SlotGrant
+	)
+	slot := 0
+	for ; !bulk.Done(); slot++ {
+		if slot >= maxSlots {
+			s.Finalize()
+			return 0, nil, fmt.Errorf("interconnect: bulk transfer incomplete after %d slots (%d units left)",
+				maxSlots, bulk.Remaining())
+		}
+		buf = bulk.Generate(slot, buf[:0])
+		if err := s.RunSlot(buf); err != nil {
+			return 0, nil, err
+		}
+		grants = s.LastGrants(grants[:0])
+		for _, g := range grants {
+			if err := bulk.Deliver(g.InputFiber, g.OutputFiber); err != nil {
+				return 0, nil, err
+			}
+		}
+	}
+	return slot, s.Finalize(), nil
+}

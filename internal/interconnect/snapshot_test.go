@@ -1,0 +1,241 @@
+package interconnect
+
+import (
+	"testing"
+
+	"wdmsched/internal/analysis"
+	"wdmsched/internal/fault"
+	"wdmsched/internal/traffic"
+	"wdmsched/internal/wavelength"
+)
+
+func snapTestSwitch(t *testing.T, distributed bool, seed uint64) *Switch {
+	t.Helper()
+	conv, err := wavelength.New(wavelength.Circular, 8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := fault.NewMarkov(fault.MarkovConfig{
+		N: 6, K: 8, Seed: seed + 7,
+		ConverterFail: 0.002, ConverterRepair: 0.05,
+		ChannelDark: 0.001, ChannelRestore: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(Config{
+		N: 6, Conv: conv, Seed: seed, Distributed: distributed, Faults: inj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+// TestSnapshotConservationAndFinalize checks the mid-run snapshot
+// identity (totals + port locals), the packet-count partition, and that
+// the snapshot is unchanged by Finalize's destructive merge.
+func TestSnapshotConservationAndFinalize(t *testing.T) {
+	sw := snapTestSwitch(t, false, 3)
+	gen, err := traffic.NewHeavyTail(traffic.Config{N: 6, K: 8, Seed: 5, Hold: traffic.HoldingTime{Mean: 3}}, 0.4, 1.5, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []traffic.Packet
+	var snap Snapshot
+	for s := 0; s < 400; s++ {
+		buf = gen.Generate(s, buf[:0])
+		if err := sw.RunSlot(buf); err != nil {
+			t.Fatal(err)
+		}
+		if s%37 == 0 {
+			sw.Snapshot(&snap)
+			if msg := snap.Conserved(); msg != "" {
+				t.Fatalf("slot %d: conservation violated: %s", s, msg)
+			}
+			if snap.Slots != int64(s+1) {
+				t.Fatalf("snapshot slots %d, want %d", snap.Slots, s+1)
+			}
+		}
+	}
+	var before Snapshot
+	sw.Snapshot(&before)
+	stats := sw.Finalize()
+	var after Snapshot
+	sw.Snapshot(&after)
+	if msg := before.Diff(&after); msg != "" {
+		t.Fatalf("snapshot changed across Finalize: %s", msg)
+	}
+	if before.Offered != stats.Offered.Value() || before.Granted != stats.Granted.Value() ||
+		before.OutputDropped != stats.OutputDropped.Value() || before.InputBlocked != stats.InputBlocked.Value() {
+		t.Fatalf("snapshot %+v disagrees with finalized stats", before)
+	}
+	if before.Offered == 0 || before.Granted == 0 {
+		t.Fatal("degenerate run: no traffic")
+	}
+	if before.FaultLostGrants == 0 && before.FaultKilled == 0 {
+		t.Log("note: fault chain produced no losses this seed")
+	}
+}
+
+// TestSnapshotEquivalenceAcrossEngines drives the sequential and
+// distributed engines in lockstep on identical arrivals and faults and
+// requires identical snapshots at every resync point — the wdmsoak
+// equivalence invariant.
+func TestSnapshotEquivalenceAcrossEngines(t *testing.T) {
+	seq := snapTestSwitch(t, false, 11)
+	dist := snapTestSwitch(t, true, 11)
+	genSeq, err := traffic.NewSelfSimilar(traffic.Config{N: 6, K: 8, Seed: 21}, 0.5, 1.5, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genDist, err := traffic.NewSelfSimilar(traffic.Config{N: 6, K: 8, Seed: 21}, 0.5, 1.5, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufA, bufB []traffic.Packet
+	var snapA, snapB Snapshot
+	for s := 0; s < 300; s++ {
+		bufA = genSeq.Generate(s, bufA[:0])
+		bufB = genDist.Generate(s, bufB[:0])
+		if err := seq.RunSlot(bufA); err != nil {
+			t.Fatal(err)
+		}
+		if err := dist.RunSlot(bufB); err != nil {
+			t.Fatal(err)
+		}
+		if s%25 == 0 {
+			seq.Snapshot(&snapA)
+			dist.Snapshot(&snapB)
+			if msg := snapA.Diff(&snapB); msg != "" {
+				t.Fatalf("slot %d: engines diverged: %s", s, msg)
+			}
+		}
+	}
+	seq.Finalize()
+	dist.Finalize()
+}
+
+// TestLastGrantsLedger accumulates LastGrants over a run and reconciles
+// the ledger against the final statistics.
+func TestLastGrantsLedger(t *testing.T) {
+	conv, err := wavelength.New(wavelength.Circular, 6, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(Config{N: 5, Conv: conv, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := traffic.NewBernoulli(traffic.Config{N: 5, K: 6, Seed: 9, Hold: traffic.HoldingTime{Mean: 2}}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []traffic.Packet
+	var grants []SlotGrant
+	total := int64(0)
+	perInput := make([]int64, 5)
+	for s := 0; s < 500; s++ {
+		buf = gen.Generate(s, buf[:0])
+		if err := sw.RunSlot(buf); err != nil {
+			t.Fatal(err)
+		}
+		grants = sw.LastGrants(grants[:0])
+		for _, g := range grants {
+			if g.Held {
+				t.Fatalf("held grant without disturb mode: %+v", g)
+			}
+			if g.InputFiber < 0 || g.InputFiber >= 5 || g.OutputFiber < 0 || g.OutputFiber >= 5 ||
+				g.Wavelength < 0 || g.Wavelength >= 6 || g.Channel < 0 || g.Channel >= 6 || g.Duration < 1 {
+				t.Fatalf("malformed grant %+v", g)
+			}
+			total++
+			perInput[g.InputFiber]++
+		}
+	}
+	stats := sw.Finalize()
+	if total != stats.Granted.Value() {
+		t.Fatalf("ledger grants %d != stats granted %d", total, stats.Granted.Value())
+	}
+	for f, g := range perInput {
+		if g != stats.PerInputGranted[f] {
+			t.Fatalf("ledger per-input[%d] %d != stats %d", f, g, stats.PerInputGranted[f])
+		}
+	}
+	if total == 0 {
+		t.Fatal("degenerate run: no grants")
+	}
+}
+
+// TestRunBulkMakespan runs an open-shop bulk transfer through the real
+// fabric and checks delivery completeness, the analytic lower bound, and
+// cross-engine makespan equality.
+func TestRunBulkMakespan(t *testing.T) {
+	const (
+		n = 6
+		k = 4
+	)
+	demand := traffic.RandomDemand(n, 300, 13)
+	lb, err := analysis.OpenShopMakespanLB(demand, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb <= 0 {
+		t.Fatalf("lower bound %d not positive", lb)
+	}
+	run := func(distributed bool) (int, *Stats) {
+		conv, err := wavelength.New(wavelength.Circular, k, k/2, k/2-1) // full range: d = k
+		if err != nil {
+			t.Fatal(err)
+		}
+		bulk, err := traffic.NewBulkTransfer(traffic.Config{N: n, K: k, Seed: 1}, demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := New(Config{N: n, Conv: conv, Seed: 4, Distributed: distributed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		makespan, stats, err := RunBulk(sw, bulk, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bulk.Done() {
+			t.Fatal("RunBulk returned before the workload drained")
+		}
+		return makespan, stats
+	}
+	msSeq, statsSeq := run(false)
+	msDist, _ := run(true)
+	if msSeq != msDist {
+		t.Fatalf("makespan differs across engines: sequential %d, distributed %d", msSeq, msDist)
+	}
+	if msSeq < lb {
+		t.Fatalf("makespan %d beats the open-shop lower bound %d", msSeq, lb)
+	}
+	if msSeq > 6*lb {
+		t.Errorf("makespan %d more than 6× the lower bound %d — scheduler or feedback loop broken", msSeq, lb)
+	}
+	if statsSeq.Granted.Value() != 300 {
+		t.Fatalf("granted %d units, want 300", statsSeq.Granted.Value())
+	}
+}
+
+// TestRunBulkMaxSlots checks the runaway bound surfaces as an error.
+func TestRunBulkMaxSlots(t *testing.T) {
+	conv, err := wavelength.New(wavelength.Circular, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := traffic.NewBulkTransfer(traffic.Config{N: 2, K: 2, Seed: 1}, [][]int{{50, 0}, {0, 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(Config{N: 2, Conv: conv, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunBulk(sw, bulk, 3); err == nil {
+		t.Fatal("maxSlots exhaustion not reported")
+	}
+}

@@ -1,0 +1,111 @@
+package spancheck
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const (
+	ctrlDump = `{"meta":{"role":"controller","run_id":7,"links":[{"node":"a:1","shard":0,"offset_ns":0,"rtt_ns":1000}]}}
+{"slot":1,"lane":1,"stage":"rpc","port":-1,"id":1048576,"start":1000,"dur":500}
+{"slot":1,"lane":0,"stage":"slot","port":-1,"id":0,"start":900,"dur":800}
+{"slot":1,"lane":0,"stage":"prepare","port":-1,"id":0,"start":900,"dur":100}
+{"slot":1,"lane":0,"stage":"commit","port":-1,"id":0,"start":1600,"dur":100}
+{"slot":1,"lane":1,"stage":"encode","port":-1,"id":0,"start":950,"dur":50}`
+	nodeDump = `{"meta":{"role":"node","run_id":7}}
+{"slot":1,"lane":0,"stage":"decode","port":-1,"id":1048576,"start":1100,"dur":100}
+{"slot":1,"lane":0,"stage":"schedule","port":0,"id":1048576,"start":1200,"dur":200}`
+)
+
+func mergedFixture(t *testing.T) *Merged {
+	t.Helper()
+	ctrl, err := ReadDump("ctrl", strings.NewReader(ctrlDump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := ReadDump("node", strings.NewReader(nodeDump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(ctrl, []*Dump{node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMergeAndCheckInMemory(t *testing.T) {
+	m := mergedFixture(t)
+	rep, err := m.Check()
+	if err != nil {
+		t.Fatalf("check failed: %v (report %+v)", err, rep)
+	}
+	if rep.Checked != 2 || rep.Violations != 0 {
+		t.Errorf("containment report %+v, want 2 checked / 0 violations", rep)
+	}
+	if !rep.AttributionChecked {
+		t.Error("attribution not checked")
+	}
+	var buf bytes.Buffer
+	flows, err := m.WriteChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flows != 1 {
+		t.Errorf("flows = %d, want 1", flows)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Error("Chrome trace missing traceEvents")
+	}
+	rows := m.Attribution()
+	if len(rows) == 0 || rows[0].Stage != "slot" {
+		t.Errorf("attribution rows %+v, want slot first", rows)
+	}
+}
+
+func TestCheckFlagsContainmentViolation(t *testing.T) {
+	ctrl, err := ReadDump("ctrl", strings.NewReader(ctrlDump))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node span far outside the RPC window (slack is rtt+100µs = 101µs;
+	// start 10ms after the RPC).
+	bad := `{"meta":{"role":"node","run_id":7}}
+{"slot":1,"lane":0,"stage":"decode","port":-1,"id":1048576,"start":10001000,"dur":100}`
+	node, err := ReadDump("node", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(ctrl, []*Dump{node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Check()
+	if err == nil {
+		t.Fatalf("containment violation not flagged (report %+v)", rep)
+	}
+	if rep.Violations == 0 {
+		t.Errorf("report %+v records no violation", rep)
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	ctrl, _ := ReadDump("ctrl", strings.NewReader(ctrlDump))
+	node, _ := ReadDump("node", strings.NewReader(nodeDump))
+	if _, err := Merge(node, nil); err == nil {
+		t.Error("node-first accepted")
+	}
+	if _, err := Merge(ctrl, []*Dump{ctrl}); err == nil {
+		t.Error("controller as node accepted")
+	}
+	if _, err := Merge(ctrl, []*Dump{node, node}); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	if _, err := ReadDump("junk", strings.NewReader("junk")); err == nil {
+		t.Error("junk dump accepted")
+	}
+	if _, err := ReadDump("empty", strings.NewReader("")); err == nil {
+		t.Error("empty dump accepted")
+	}
+}

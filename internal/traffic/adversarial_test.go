@@ -1,0 +1,398 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+// empiricalLoad runs gen for slots slots and returns packets per
+// channel-slot.
+func empiricalLoad(t *testing.T, gen Generator, cfg Config, slots int) float64 {
+	t.Helper()
+	total := 0
+	var buf []Packet
+	for s := 0; s < slots; s++ {
+		buf = gen.Generate(s, buf[:0])
+		total += len(buf)
+	}
+	return float64(total) / (float64(slots) * float64(cfg.N*cfg.K))
+}
+
+func TestParetoTailIndex(t *testing.T) {
+	// For X ~ Pareto(alpha, 1), ln X ~ Exp(alpha), so the MLE of alpha is
+	// 1 / mean(ln X) — the Hill estimator over the whole sample.
+	rng := NewRNG(7)
+	for _, alpha := range []float64{1.3, 1.6, 2.0, 3.0} {
+		const n = 200000
+		sum := 0.0
+		min := math.Inf(1)
+		for i := 0; i < n; i++ {
+			x := rng.Pareto(alpha)
+			if x < min {
+				min = x
+			}
+			sum += math.Log(x)
+		}
+		if min < 1 {
+			t.Fatalf("alpha=%v: Pareto sample %v below scale 1", alpha, min)
+		}
+		est := float64(n) / sum
+		if rel := math.Abs(est-alpha) / alpha; rel > 0.02 {
+			t.Errorf("alpha=%v: Hill estimate %.3f off by %.1f%%", alpha, est, 100*rel)
+		}
+	}
+}
+
+func TestParetoPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pareto(0) did not panic")
+		}
+	}()
+	NewRNG(1).Pareto(0)
+}
+
+func TestParetoCeilMean(t *testing.T) {
+	// Monte Carlo cross-check of the ζ-based closed form.
+	rng := NewRNG(11)
+	for _, alpha := range []float64{1.5, 2.2} {
+		const n = 2000000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += math.Ceil(rng.Pareto(alpha))
+		}
+		emp := sum / n
+		want := paretoCeilMean(alpha)
+		if rel := math.Abs(emp-want) / want; rel > 0.03 {
+			t.Errorf("alpha=%v: E[ceil Pareto] closed form %.4f, empirical %.4f", alpha, want, emp)
+		}
+	}
+}
+
+func TestHeavyTailLoadAndSkew(t *testing.T) {
+	cfg := Config{N: 8, K: 8, Seed: 42}
+	const load = 0.3
+	g, err := NewHeavyTail(cfg, load, 2.2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slots = 40000
+	destCount := make([]int, cfg.N)
+	total := 0
+	var buf []Packet
+	for s := 0; s < slots; s++ {
+		buf = g.Generate(s, buf[:0])
+		for _, p := range buf {
+			if p.InputFiber < 0 || p.InputFiber >= cfg.N || p.Wavelength < 0 || p.Wavelength >= cfg.K ||
+				p.DestFiber < 0 || p.DestFiber >= cfg.N || p.Duration != 1 || p.Slot != s {
+				t.Fatalf("malformed packet %+v at slot %d", p, s)
+			}
+			destCount[p.DestFiber]++
+			total++
+		}
+	}
+	emp := float64(total) / (float64(slots) * float64(cfg.N*cfg.K))
+	if math.Abs(emp-load) > 0.1*load {
+		t.Errorf("empirical load %.4f, want %.2f ± 10%%", emp, load)
+	}
+	// Zipf skew: fiber 0 must dominate, and popularity must be monotone
+	// enough that rank 0 beats the average by the Zipf(1) margin.
+	if destCount[0] <= destCount[cfg.N-1] {
+		t.Errorf("zipf skew absent: dest[0]=%d <= dest[%d]=%d", destCount[0], cfg.N-1, destCount[cfg.N-1])
+	}
+	if float64(destCount[0]) < 2*float64(total)/float64(cfg.N) {
+		t.Errorf("hot fiber share %d of %d below 2× uniform", destCount[0], total)
+	}
+}
+
+func TestHeavyTailValidation(t *testing.T) {
+	cfg := Config{N: 4, K: 4, Seed: 1}
+	cases := []struct {
+		load, alpha, zipf float64
+	}{
+		{0, 1.5, 0}, {1, 1.5, 0}, {0.3, 1.0, 0}, {0.3, 1.5, -1}, {0.99, 1.2, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewHeavyTail(cfg, c.load, c.alpha, c.zipf); err == nil {
+			t.Errorf("NewHeavyTail(load=%v,alpha=%v,zipf=%v) accepted", c.load, c.alpha, c.zipf)
+		}
+	}
+	if _, err := NewHeavyTail(Config{}, 0.3, 1.5, 0); err == nil {
+		t.Error("NewHeavyTail accepted zero shape")
+	}
+}
+
+func TestSelfSimilarLoadAndBurstiness(t *testing.T) {
+	cfg := Config{N: 4, K: 16, Seed: 99}
+	const load = 0.4
+	g, err := NewSelfSimilar(cfg, load, 1.5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bern, err := NewBernoulli(Config{N: cfg.N, K: cfg.K, Seed: 100}, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burstiness of a superposition of many independent sources shows up
+	// in the time correlation, not the per-slot marginal (which is near-
+	// binomial either way): measure the index of dispersion of counts
+	// aggregated over blocks of slots. For memoryless Bernoulli the block
+	// IDC stays below 1 at any block size; heavy-tailed on/off sources
+	// are positively correlated across slots, so their block IDC grows
+	// with the block — the variance-time signature of self-similarity.
+	const (
+		slots = 60000
+		block = 200
+	)
+	counts := func(gen Generator) (mean, blockIDC float64) {
+		var buf []Packet
+		sum := 0.0
+		bsum, bsumSq, nb := 0.0, 0.0, 0
+		acc := 0.0
+		for s := 0; s < slots; s++ {
+			buf = gen.Generate(s, buf[:0])
+			c := float64(len(buf))
+			sum += c
+			acc += c
+			if (s+1)%block == 0 {
+				bsum += acc
+				bsumSq += acc * acc
+				nb++
+				acc = 0
+			}
+		}
+		bmean := bsum / float64(nb)
+		bvar := bsumSq/float64(nb) - bmean*bmean
+		return sum / slots, bvar / bmean
+	}
+	ssMean, ssIDC := counts(g)
+	bMean, bIDC := counts(bern)
+	wantMean := load * float64(cfg.N*cfg.K)
+	if math.Abs(ssMean-wantMean) > 0.12*wantMean {
+		t.Errorf("selfsimilar mean %.2f packets/slot, want %.2f ± 12%%", ssMean, wantMean)
+	}
+	if math.Abs(bMean-wantMean) > 0.05*wantMean {
+		t.Errorf("bernoulli mean %.2f packets/slot, want %.2f ± 5%%", bMean, wantMean)
+	}
+	if ssIDC < 3*bIDC || ssIDC < 2 {
+		t.Errorf("selfsimilar block IDC %.3f not ≫ bernoulli block IDC %.3f at equal load", ssIDC, bIDC)
+	}
+	if bIDC >= 1 {
+		t.Errorf("bernoulli block IDC %.3f should be < 1", bIDC)
+	}
+}
+
+func TestSelfSimilarValidation(t *testing.T) {
+	cfg := Config{N: 2, K: 8, Seed: 1}
+	if _, err := NewSelfSimilar(cfg, 0.3, 1.5, 4); err == nil {
+		t.Error("accepted users < k")
+	}
+	if _, err := NewSelfSimilar(cfg, 0, 1.5, 100); err == nil {
+		t.Error("accepted load 0")
+	}
+	if _, err := NewSelfSimilar(cfg, 0.3, 1.0, 100); err == nil {
+		t.Error("accepted alpha 1.0")
+	}
+	// Too few users for the load: per-user ON probability near 1 leaves
+	// no room for an OFF period ≥ 1 slot.
+	if _, err := NewSelfSimilar(cfg, 0.9, 1.2, 8); err == nil {
+		t.Error("accepted unreachable load/users combination")
+	}
+}
+
+func TestDiurnalModulation(t *testing.T) {
+	cfg := Config{N: 8, K: 8, Seed: 5}
+	const period = 2000
+	base, err := NewBernoulli(cfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := WithDiurnal(base, period, 0.2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trough (first and last tenth of the cycle) vs peak (middle tenth):
+	// the modulated load must follow the curve.
+	var buf []Packet
+	troughN, peakN := 0, 0
+	troughSlots, peakSlots := 0, 0
+	for s := 0; s < 10*period; s++ {
+		buf = g.Generate(s, buf[:0])
+		phase := s % period
+		switch {
+		case phase < period/10 || phase >= 9*period/10:
+			troughN += len(buf)
+			troughSlots++
+		case phase >= 4*period/10 && phase < 6*period/10:
+			peakN += len(buf)
+			peakSlots++
+		}
+	}
+	trough := float64(troughN) / float64(troughSlots)
+	peak := float64(peakN) / float64(peakSlots)
+	if trough >= 0.5*peak {
+		t.Errorf("diurnal trough %.2f not well below peak %.2f", trough, peak)
+	}
+	if lvl := g.Level(0); math.Abs(lvl-0.2) > 1e-9 {
+		t.Errorf("Level(0) = %v, want floor 0.2", lvl)
+	}
+	if lvl := g.Level(period / 2); math.Abs(lvl-1) > 1e-9 {
+		t.Errorf("Level(period/2) = %v, want 1", lvl)
+	}
+	if _, err := WithDiurnal(base, 1, 0.2, 6); err == nil {
+		t.Error("accepted period 1")
+	}
+	if _, err := WithDiurnal(base, 100, 1.5, 6); err == nil {
+		t.Error("accepted floor > 1")
+	}
+}
+
+// TestAdversarialDeterminismBySeed checks every new generator reproduces
+// its packet stream exactly from the seed, and diverges on a different
+// seed.
+func TestAdversarialDeterminismBySeed(t *testing.T) {
+	build := map[string]func(seed uint64) Generator{
+		"heavytail": func(seed uint64) Generator {
+			g, err := NewHeavyTail(Config{N: 4, K: 4, Seed: seed}, 0.3, 1.5, 0.8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"selfsimilar": func(seed uint64) Generator {
+			g, err := NewSelfSimilar(Config{N: 4, K: 8, Seed: seed}, 0.4, 1.5, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+		"diurnal": func(seed uint64) Generator {
+			base, err := NewBernoulli(Config{N: 4, K: 4, Seed: seed}, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := WithDiurnal(base, 500, 0.1, seed+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		},
+	}
+	const slots = 2000
+	stream := func(g Generator) []Packet {
+		var all []Packet
+		for s := 0; s < slots; s++ {
+			all = g.Generate(s, all)
+		}
+		return all
+	}
+	for name, mk := range build {
+		a, b, c := stream(mk(1)), stream(mk(1)), stream(mk(2))
+		if len(a) != len(b) {
+			t.Fatalf("%s: same seed, different stream lengths %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverges at packet %d: %+v vs %+v", name, i, a[i], b[i])
+			}
+		}
+		if len(a) == len(c) {
+			same := true
+			for i := range a {
+				if a[i] != c[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("%s: different seeds produced identical streams", name)
+			}
+		}
+	}
+}
+
+func TestBulkTransferDrainsAndAccounts(t *testing.T) {
+	cfg := Config{N: 4, K: 4, Seed: 3}
+	demand := RandomDemand(cfg.N, 200, 17)
+	g, err := NewBulkTransfer(cfg, demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Remaining() != 200 {
+		t.Fatalf("Remaining = %d, want 200", g.Remaining())
+	}
+	// Simulate an ideal fabric: every offer is granted.
+	var buf []Packet
+	slot := 0
+	for !g.Done() {
+		if slot > 10000 {
+			t.Fatalf("bulk transfer stuck with %d remaining", g.Remaining())
+		}
+		buf = g.Generate(slot, buf[:0])
+		if len(buf) == 0 && !g.Done() {
+			t.Fatalf("slot %d: no offers with %d remaining", slot, g.Remaining())
+		}
+		seen := make(map[[2]int]bool)
+		for _, p := range buf {
+			key := [2]int{p.InputFiber, p.Wavelength}
+			if seen[key] {
+				t.Fatalf("slot %d: duplicate offer on channel %v", slot, key)
+			}
+			seen[key] = true
+			if p.Duration != 1 {
+				t.Fatalf("bulk offer with duration %d", p.Duration)
+			}
+			if err := g.Deliver(p.InputFiber, p.DestFiber); err != nil {
+				t.Fatal(err)
+			}
+		}
+		slot++
+	}
+	if g.Delivered() != 200 {
+		t.Errorf("Delivered = %d, want 200", g.Delivered())
+	}
+	if err := g.Deliver(0, 0); err == nil {
+		t.Error("over-delivery accepted")
+	}
+}
+
+func TestBulkTransferValidation(t *testing.T) {
+	cfg := Config{N: 2, K: 2, Seed: 1}
+	if _, err := NewBulkTransfer(cfg, [][]int{{1, 2}}); err == nil {
+		t.Error("accepted wrong row count")
+	}
+	if _, err := NewBulkTransfer(cfg, [][]int{{1}, {2}}); err == nil {
+		t.Error("accepted ragged matrix")
+	}
+	if _, err := NewBulkTransfer(cfg, [][]int{{1, -1}, {0, 0}}); err == nil {
+		t.Error("accepted negative demand")
+	}
+	g, err := NewBulkTransfer(cfg, [][]int{{1, 0}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Deliver(5, 0); err == nil {
+		t.Error("accepted out-of-shape delivery")
+	}
+}
+
+func TestAdversarialGeneratorNames(t *testing.T) {
+	cfg := Config{N: 4, K: 4, Seed: 1}
+	ht, _ := NewHeavyTail(cfg, 0.3, 1.5, 0.8)
+	if got, want := ht.Name(), "heavytail(load=0.30,alpha=1.50,zipf=0.80)"; got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+	ss, _ := NewSelfSimilar(Config{N: 4, K: 4, Seed: 1}, 0.4, 1.5, 64)
+	if got, want := ss.Name(), "selfsimilar(load=0.40,alpha=1.50,users=64)"; got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+	base, _ := NewBernoulli(cfg, 0.5)
+	d, _ := WithDiurnal(base, 100, 0.25, 2)
+	if got, want := d.Name(), "diurnal(bernoulli(load=0.50),period=100,floor=0.25)"; got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+	bt, _ := NewBulkTransfer(cfg, RandomDemand(4, 10, 1))
+	if got, want := bt.Name(), "bulk(left=10)"; got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+}

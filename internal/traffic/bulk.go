@@ -1,0 +1,139 @@
+package traffic
+
+import "fmt"
+
+// BulkTransfer is an open-shop workload: a demand matrix D where D[i][j]
+// counts unit transfers from input fiber i to output fiber j, all present
+// at slot 0, and the metric of interest is the makespan — the number of
+// slots until the last transfer completes — rather than per-slot
+// throughput (PAPERS.md: Aslanidis & Birmpilis, "An Open Shop Approach in
+// Approximating Optimal Data Transmission Duration in WDM Networks").
+//
+// Unlike the stochastic generators, BulkTransfer is closed-loop: each slot
+// it offers up to k packets per input fiber (one per wavelength) toward
+// destinations with remaining demand, and the driver reports back which
+// offers were actually switched by calling Deliver for every grant — see
+// interconnect.RunBulk. Offers that lost contention are simply re-offered
+// in later slots. At most Remaining(i, j) offers are made per (i, j) pair
+// per slot, so grants can never exceed demand.
+type BulkTransfer struct {
+	cfg       Config
+	remaining [][]int
+	left      int   // total remaining units
+	rr        []int // per-input round-robin destination cursor
+	offered   int64 // cumulative offers, for ledger checks
+	delivered int64
+}
+
+// NewBulkTransfer builds the workload from a demand matrix: demand[i][j]
+// is the number of unit transfers from input fiber i to output fiber j.
+// The matrix must be N×N with non-negative entries.
+func NewBulkTransfer(cfg Config, demand [][]int) (*BulkTransfer, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(demand) != cfg.N {
+		return nil, fmt.Errorf("traffic: demand matrix has %d rows, want %d", len(demand), cfg.N)
+	}
+	g := &BulkTransfer{
+		cfg:       cfg,
+		remaining: make([][]int, cfg.N),
+		rr:        make([]int, cfg.N),
+	}
+	for i, row := range demand {
+		if len(row) != cfg.N {
+			return nil, fmt.Errorf("traffic: demand row %d has %d entries, want %d", i, len(row), cfg.N)
+		}
+		// Stagger the destination cursors: when per-pair demand exceeds k,
+		// aligned cursors would march every input onto the same output each
+		// slot, making the output fiber the bottleneck regardless of
+		// scheduler. The diagonal start spreads the offers like the
+		// column-disjoint rounds of an open-shop decomposition.
+		g.rr[i] = i % cfg.N
+		g.remaining[i] = make([]int, cfg.N)
+		for j, d := range row {
+			if d < 0 {
+				return nil, fmt.Errorf("traffic: negative demand %d at (%d,%d)", d, i, j)
+			}
+			g.remaining[i][j] = d
+			g.left += d
+		}
+	}
+	return g, nil
+}
+
+// RandomDemand builds a random demand matrix with the given total number
+// of unit transfers spread uniformly over the N² pairs — a convenience
+// for soak runs and experiments.
+func RandomDemand(n, total int, seed uint64) [][]int {
+	rng := NewRNG(seed)
+	d := make([][]int, n)
+	for i := range d {
+		d[i] = make([]int, n)
+	}
+	for t := 0; t < total; t++ {
+		d[rng.Intn(n)][rng.Intn(n)]++
+	}
+	return d
+}
+
+// Name implements Generator.
+func (g *BulkTransfer) Name() string {
+	return fmt.Sprintf("bulk(left=%d)", g.left)
+}
+
+// Generate implements Generator. Offers are unit-duration (open-shop unit
+// operations); round-robin over destinations with remaining demand keeps
+// each input's wavelengths spread across columns.
+func (g *BulkTransfer) Generate(slot int, dst []Packet) []Packet {
+	n, k := g.cfg.N, g.cfg.K
+	for in := 0; in < n; in++ {
+		row := g.remaining[in]
+		w := 0
+		// Walk destinations round-robin from the cursor, offering up to
+		// the pair's remaining demand, until the fiber's k wavelengths are
+		// exhausted or no demand is left in the row.
+		for step := 0; step < n && w < k; step++ {
+			j := (g.rr[in] + step) % n
+			for c := 0; c < row[j] && w < k; c++ {
+				dst = append(dst, Packet{
+					InputFiber: in,
+					Wavelength: w,
+					DestFiber:  j,
+					Duration:   1,
+					Slot:       slot,
+				})
+				g.offered++
+				w++
+			}
+		}
+		g.rr[in] = (g.rr[in] + 1) % n
+	}
+	return dst
+}
+
+// Deliver records that one unit from input fiber in to output fiber out
+// was switched. The driver calls it once per grant observed.
+func (g *BulkTransfer) Deliver(in, out int) error {
+	if in < 0 || in >= g.cfg.N || out < 0 || out >= g.cfg.N {
+		return fmt.Errorf("traffic: bulk delivery (%d,%d) out of shape", in, out)
+	}
+	if g.remaining[in][out] <= 0 {
+		return fmt.Errorf("traffic: bulk over-delivery at (%d,%d)", in, out)
+	}
+	g.remaining[in][out]--
+	g.left--
+	g.delivered++
+	return nil
+}
+
+// Done reports whether every transfer has been delivered.
+func (g *BulkTransfer) Done() bool { return g.left == 0 }
+
+// Remaining reports the total units not yet delivered.
+func (g *BulkTransfer) Remaining() int { return g.left }
+
+// Delivered reports the cumulative delivered units.
+func (g *BulkTransfer) Delivered() int64 { return g.delivered }
+
+var _ Generator = (*BulkTransfer)(nil)

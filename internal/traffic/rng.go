@@ -110,6 +110,22 @@ func (r *RNG) Exp(rate float64) float64 {
 	return -math.Log(u) / rate
 }
 
+// Pareto draws from a Pareto distribution with tail index alpha > 0 and
+// scale 1 (support [1, ∞)), via inverse transform: X = U^(-1/alpha). The
+// mean is alpha/(alpha−1) for alpha > 1 and infinite otherwise; for
+// alpha < 2 the variance is infinite, which is the heavy-tail regime that
+// produces self-similar aggregate traffic (Taqqu/Willinger/Sherman).
+func (r *RNG) Pareto(alpha float64) float64 {
+	if alpha <= 0 {
+		panic("traffic: Pareto with non-positive alpha")
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return math.Pow(u, -1/alpha)
+}
+
 // Geometric draws from a geometric distribution on {1, 2, …} with the
 // given mean ≥ 1 (success probability 1/mean). It is the standard
 // memoryless holding-time model for burst durations.

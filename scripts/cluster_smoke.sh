@@ -24,19 +24,38 @@ trap cleanup EXIT
 go build -o "$dir/wdmsim" ./cmd/wdmsim
 go build -o "$dir/wdmnode" ./cmd/wdmnode
 go build -o "$dir/wdmtrace" ./cmd/wdmtrace
+go build -o "$dir/smokecheck" ./scripts/smokecheck
 
 "$dir/wdmnode" -listen 127.0.0.1:19301 -http 127.0.0.1:19391 &
+node_pids="$!"
 "$dir/wdmnode" -listen "unix:$dir/node2.sock" -http 127.0.0.1:19392 &
+node_pids="$node_pids $!"
 nodes="127.0.0.1:19301,unix:$dir/node2.sock"
 node_http="127.0.0.1:19391 127.0.0.1:19392"
+
+# Background nodes fail silently under `set -e`; a crashed node would
+# otherwise surface only as an opaque controller dial error (or worse, a
+# hang in a curl retry loop). Check liveness explicitly and propagate the
+# dead node's exit status.
+check_nodes() {
+  for pid in $node_pids; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      wait "$pid" && status=0 || status=$?
+      echo "cluster smoke: wdmnode (pid $pid) exited early with status $status" >&2
+      exit "$status"
+    fi
+  done
+}
 
 # Wait for both node telemetry endpoints.
 for addr in $node_http; do
   for _ in $(seq 1 50); do
     curl -sf "http://$addr/metrics" > /dev/null 2>&1 && break
+    check_nodes
     sleep 0.1
   done
 done
+check_nodes
 
 node_counter() { # addr series -> value (0 when the series is absent)
   curl -sf "http://$1/metrics" | awk -v s="$2" '$1 == s {print $2; f=1} END {if (!f) print 0}'
@@ -54,7 +73,7 @@ for addr in $node_http; do
 done
 "$dir/wdmsim" $args -cluster "$nodes" \
   -spandump "$dir/ctrl.spans" -clusterstats "$dir/cstats.json" > "$dir/cluster.json"
-expected_in=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["frames_sent"])' "$dir/cstats.json")
+expected_in=$("$dir/smokecheck" frames "$dir/cstats.json")
 # The controller exits as soon as it has written its last frame; give the
 # nodes a moment to drain their sockets before reading the counters.
 after_in=0; after_out=0
@@ -70,21 +89,7 @@ done
 
 # Cross-process wire ledger: on a clean run every frame the controller
 # sent arrived at a node and vice versa.
-python3 - "$dir/cstats.json" $((after_in - before_in)) $((after_out - before_out)) <<'EOF'
-import json, sys
-cs = json.load(open(sys.argv[1]))
-node_in, node_out = int(sys.argv[2]), int(sys.argv[3])
-assert cs["frames_sent"] > 0, "controller sent no frames"
-assert cs["frames_sent"] == node_in, \
-    f"controller sent {cs['frames_sent']} frames, nodes received {node_in}"
-assert cs["frames_received"] == node_out, \
-    f"controller received {cs['frames_received']} frames, nodes sent {node_out}"
-assert all(cs["stages"][s]["count"] > 0 for s in
-           ("prepare", "encode", "node-decode", "node-schedule", "node-encode", "commit")), \
-    f"stage attribution incomplete: {cs['stages']}"
-print(f"cluster smoke: wire ledger reconciles ({cs['frames_sent']} frames out, "
-      f"{cs['frames_received']} in) and all six stages attributed")
-EOF
+"$dir/smokecheck" ledger "$dir/cstats.json" $((after_in - before_in)) $((after_out - before_out))
 
 # Node observability: the wdm_node_* surface must be live and consistent.
 for addr in $node_http; do
@@ -103,17 +108,7 @@ curl -sf http://127.0.0.1:19391/spans > "$dir/node1.spans"
 curl -sf http://127.0.0.1:19392/spans > "$dir/node2.spans"
 "$dir/wdmtrace" -merge -mout "$dir/merged.trace.json" -check \
   "$dir/ctrl.spans" "$dir/node1.spans" "$dir/node2.spans"
-python3 - "$dir/merged.trace.json" <<'EOF'
-import json, sys
-events = json.load(open(sys.argv[1]))["traceEvents"]
-procs = {e["pid"]: e["args"]["name"] for e in events if e.get("ph") == "M"}
-assert procs.get(0) == "controller" and len(procs) == 3, f"process rows: {procs}"
-node_spans = [e for e in events if e.get("ph") == "X" and e["pid"] > 0]
-flows = [e for e in events if e.get("ph") in ("s", "f")]
-assert node_spans and flows, "merged trace lacks node spans or RPC flow arrows"
-print(f"cluster smoke: merged timeline has {len(procs)} processes, "
-      f"{len(node_spans)} node spans, {len(flows)} flow events")
-EOF
+"$dir/smokecheck" trace "$dir/merged.trace.json"
 
 "$dir/wdmsim" $args > "$dir/seq.json"
 "$dir/wdmsim" $args -distributed > "$dir/dist.json"
@@ -123,6 +118,7 @@ EOF
 cmp "$dir/seq.json" "$dir/dist.json"
 cmp "$dir/seq.json" "$dir/cluster.json"
 cmp "$dir/seq.json" "$dir/faulted.json"
+check_nodes
 echo "cluster smoke: sequential, distributed, traced-cluster and faulted-cluster statistics identical"
 
 # Live telemetry: a long clustered run must expose the cluster runtime
@@ -153,4 +149,5 @@ grep -q '^wdm_cluster_stage_seconds_count{stage="node-schedule"}' "$dir/metrics.
   echo "cluster smoke: node schedule-frame counter did not advance mid-run ($mid1 -> $mid2)" >&2
   exit 1
 }
+check_nodes
 echo "cluster smoke: live /metrics expose the cluster and node runtime series"

@@ -1,0 +1,163 @@
+// Command smokecheck is the assertion helper behind scripts/cluster_smoke.sh:
+// the structured checks the smoke pipeline used to inline as python3
+// snippets, reimplemented in Go so the smoke job has no interpreter
+// dependency beyond the toolchain that builds the repo anyway.
+//
+// Subcommands:
+//
+//	smokecheck frames <cstats.json>
+//	    Print the controller's frames_sent count (the number of frames the
+//	    node counters are expected to absorb).
+//
+//	smokecheck ledger <cstats.json> <node-frames-in> <node-frames-out>
+//	    Verify the cross-process wire ledger: every frame the controller
+//	    sent arrived at a node and vice versa, and all six pipeline stages
+//	    carry attribution samples.
+//
+//	smokecheck trace <merged.trace.json>
+//	    Verify the merged Chrome timeline: a controller process row plus
+//	    one per node, node spans present, and RPC flow arrows in both
+//	    directions.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "smokecheck: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: smokecheck frames|ledger|trace ...")
+	}
+	switch cmd := args[0]; cmd {
+	case "frames":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: smokecheck frames <cstats.json>")
+		}
+		cs, err := readClusterStats(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(cs.FramesSent)
+		return nil
+	case "ledger":
+		if len(args) != 4 {
+			return fmt.Errorf("usage: smokecheck ledger <cstats.json> <node-frames-in> <node-frames-out>")
+		}
+		nodeIn, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("node-frames-in: %w", err)
+		}
+		nodeOut, err := strconv.ParseInt(args[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("node-frames-out: %w", err)
+		}
+		return checkLedger(args[1], nodeIn, nodeOut)
+	case "trace":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: smokecheck trace <merged.trace.json>")
+		}
+		return checkTrace(args[1])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want frames, ledger or trace)", cmd)
+	}
+}
+
+// clusterStats mirrors the wdmsim -clusterstats document.
+type clusterStats struct {
+	FramesSent     int64 `json:"frames_sent"`
+	FramesReceived int64 `json:"frames_received"`
+	Stages         map[string]struct {
+		Count int64 `json:"count"`
+	} `json:"stages"`
+}
+
+func readClusterStats(path string) (*clusterStats, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cs clusterStats
+	if err := json.Unmarshal(raw, &cs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &cs, nil
+}
+
+func checkLedger(path string, nodeIn, nodeOut int64) error {
+	cs, err := readClusterStats(path)
+	if err != nil {
+		return err
+	}
+	if cs.FramesSent == 0 {
+		return fmt.Errorf("controller sent no frames")
+	}
+	if cs.FramesSent != nodeIn {
+		return fmt.Errorf("controller sent %d frames, nodes received %d", cs.FramesSent, nodeIn)
+	}
+	if cs.FramesReceived != nodeOut {
+		return fmt.Errorf("controller received %d frames, nodes sent %d", cs.FramesReceived, nodeOut)
+	}
+	for _, stage := range []string{"prepare", "encode", "node-decode", "node-schedule", "node-encode", "commit"} {
+		if cs.Stages[stage].Count == 0 {
+			return fmt.Errorf("stage attribution incomplete: %q has no samples", stage)
+		}
+	}
+	fmt.Printf("cluster smoke: wire ledger reconciles (%d frames out, %d in) and all six stages attributed\n",
+		cs.FramesSent, cs.FramesReceived)
+	return nil
+}
+
+func checkTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+			Args struct {
+				Name string `json:"name"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	procs := map[int]string{}
+	var nodeSpans, flows int
+	for _, e := range trace.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" {
+				procs[e.Pid] = e.Args.Name
+			}
+		case "X":
+			if e.Pid > 0 {
+				nodeSpans++
+			}
+		case "s", "f":
+			flows++
+		}
+	}
+	if procs[0] != "controller" || len(procs) != 3 {
+		return fmt.Errorf("process rows %v, want controller plus two nodes", procs)
+	}
+	if nodeSpans == 0 || flows == 0 {
+		return fmt.Errorf("merged trace lacks node spans (%d) or RPC flow arrows (%d)", nodeSpans, flows)
+	}
+	fmt.Printf("cluster smoke: merged timeline has %d processes, %d node spans, %d flow events\n",
+		len(procs), nodeSpans, flows)
+	return nil
+}

@@ -195,6 +195,73 @@ func NewBurstyTraffic(cfg TrafficConfig, meanOn, meanOff float64) (Generator, er
 	return traffic.NewBursty(cfg, meanOn, meanOff)
 }
 
+// NewHeavyTailTraffic builds heavy-tailed on–off traffic: Pareto(alpha)
+// burst lengths (infinite variance for alpha < 2) and zipf-skewed
+// destinations (exponent zipf; 0 = uniform, rank 0 = fiber 0 hottest), at
+// the given long-run per-channel load.
+func NewHeavyTailTraffic(cfg TrafficConfig, load, alpha, zipf float64) (Generator, error) {
+	return traffic.NewHeavyTail(cfg, load, alpha, zipf)
+}
+
+// NewSelfSimilarTraffic builds self-similar traffic by superposing many
+// heavy-tailed on/off users per input fiber (users ≥ k across the fiber),
+// the Willinger–Taqqu construction: block-aggregated counts stay bursty at
+// every time scale instead of smoothing out like Bernoulli.
+func NewSelfSimilarTraffic(cfg TrafficConfig, load, alpha float64, users int) (Generator, error) {
+	return traffic.NewSelfSimilar(cfg, load, alpha, users)
+}
+
+// NewDiurnalTraffic modulates any generator with a raised-cosine load
+// curve of the given period in slots: offered load swings between
+// floor×peak and peak, the daily rush-hour shape soak runs sweep through.
+func NewDiurnalTraffic(gen Generator, period int, floor float64, seed uint64) (Generator, error) {
+	return traffic.WithDiurnal(gen, period, floor, seed)
+}
+
+// BulkTransfer is the open-shop workload: a fixed N×N demand matrix of
+// transfer units drained in closed loop — each slot it offers the still-
+// pending units (at most k per input) and Deliver feeds grants back. The
+// figure of merit is the makespan; compare with OpenShopMakespanLB.
+type BulkTransfer = traffic.BulkTransfer
+
+// NewBulkTransfer validates the demand matrix and builds the workload.
+func NewBulkTransfer(cfg TrafficConfig, demand [][]int) (*BulkTransfer, error) {
+	return traffic.NewBulkTransfer(cfg, demand)
+}
+
+// RandomBulkDemand spreads total transfer units uniformly at random over
+// an n×n demand matrix.
+func RandomBulkDemand(n, total int, seed uint64) [][]int {
+	return traffic.RandomDemand(n, total, seed)
+}
+
+// CompressedTraceWriter streams a workload trace in the compressed ctrace
+// format: slot-by-slot in constant memory, so soak-scale traces (multiple
+// gigaslots) never materialize in RAM. Close emits the footer that makes
+// truncation detectable.
+type CompressedTraceWriter = traffic.TraceWriter
+
+// CompressedTraceReader streams a compressed trace back; its Generator
+// method adapts it for replay through Switch.Run.
+type CompressedTraceReader = traffic.TraceReader
+
+// NewCompressedTraceWriter starts a compressed trace with the given shape.
+func NewCompressedTraceWriter(w io.Writer, n, k int) (*CompressedTraceWriter, error) {
+	return traffic.NewTraceWriter(w, n, k)
+}
+
+// OpenCompressedTrace validates the header and positions the reader at
+// the first slot.
+func OpenCompressedTrace(r io.Reader) (*CompressedTraceReader, error) {
+	return traffic.OpenTraceReader(r)
+}
+
+// ReadCompressedTrace loads a whole compressed trace into memory — the
+// bridge back to the in-memory Trace for small traces.
+func ReadCompressedTrace(r io.Reader) (*Trace, error) {
+	return traffic.ReadCompressedTrace(r)
+}
+
 // NewPrioritizedTraffic wraps a generator with QoS class marking:
 // classProbs[c] is the probability a packet belongs to class c (0 =
 // highest). Pair with SwitchConfig.PriorityClasses.
@@ -239,6 +306,31 @@ type Gauge = metrics.Gauge
 // switch starts one persistent scheduling worker per output port; call
 // Finalize (or Run, which finalizes) to stop them.
 func NewSwitch(cfg SwitchConfig) (*Switch, error) { return interconnect.New(cfg) }
+
+// SwitchSnapshot is a consistent mid-run view of a switch's cumulative
+// counters, taken between slots with Switch.Snapshot. Its Conserved method
+// checks the packet-accounting partition and Diff compares two engines'
+// snapshots field by field — the invariants the wdmsoak harness enforces
+// continuously.
+type SwitchSnapshot = interconnect.Snapshot
+
+// SlotGrant is one switched connection of the most recent slot, exposed by
+// Switch.LastGrants for closed-loop drivers and grant ledgers.
+type SlotGrant = interconnect.SlotGrant
+
+// RunBulk drives a bulk transfer through the switch in closed loop until
+// the demand drains, returning the makespan in slots. maxSlots bounds
+// runaway workloads.
+func RunBulk(s *Switch, bulk *BulkTransfer, maxSlots int) (int, *Stats, error) {
+	return interconnect.RunBulk(s, bulk, maxSlots)
+}
+
+// OpenShopMakespanLB is the open-shop scheduling lower bound for draining
+// a demand matrix through an N×N interconnect with k channels per fiber:
+// no schedule beats ⌈max(max row sum, max column sum)/k⌉ slots.
+func OpenShopMakespanLB(demand [][]int, k int) (int, error) {
+	return analysis.OpenShopMakespanLB(demand, k)
+}
 
 // FaultInjector is a deterministic fault schedule the switch consumes
 // (SwitchConfig.Faults): converter failures, dark channels and port flaps,

@@ -104,8 +104,8 @@ func TestTraceRoundTripThroughFacade(t *testing.T) {
 
 func TestExperimentRegistryThroughFacade(t *testing.T) {
 	exps := wdm.Experiments()
-	if len(exps) != 23 {
-		t.Fatalf("%d experiments, want 23", len(exps))
+	if len(exps) != 24 {
+		t.Fatalf("%d experiments, want 24", len(exps))
 	}
 	tables, err := wdm.RunExperiment("P1", wdm.ExperimentConfig{Quick: true})
 	if err != nil {
