@@ -15,9 +15,14 @@ DIFF_THRESHOLD ?= 1.0
 DIFF_MINDELTA ?= 100us
 SOAKTIME ?= 10m
 SOAKSLOTS ?= 20000
+# Seed for every soak lane: arrivals, fault chains and selector tie-breaks
+# all derive from it, so a failing run's incident bundle replays bit-exact
+# with wdmreplay. The nightly workflow sets SOAKSEED from the UTC date so
+# each night explores a different trajectory while staying reproducible.
+SOAKSEED ?= 1
 
 .PHONY: check vet build test race fmt fmt-check bench fuzz fuzz-short output trace \
-	bench-save bench-diff examples-smoke cluster-smoke soak soak-smoke
+	bench-save bench-diff examples-smoke cluster-smoke soak soak-smoke replay-verify
 
 check: vet build test race
 
@@ -32,7 +37,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/interconnect ./internal/core ./internal/telemetry \
-		./internal/metrics ./internal/cluster ./internal/traffic
+		./internal/metrics ./internal/cluster ./internal/traffic ./internal/soak
 
 fmt:
 	gofmt -l -w .
@@ -91,14 +96,29 @@ cluster-smoke:
 # faults, invariants checked at every resync point. SOAKTIME caps the
 # wall clock (nightly CI runs one engine per matrix leg for longer).
 soak:
-	$(GO) run ./cmd/wdmsoak -time $(SOAKTIME) -resync 10000 \
+	$(GO) run ./cmd/wdmsoak -time $(SOAKTIME) -resync 10000 -seed $(SOAKSEED) \
 		-engines sequential,distributed,cluster
 
 # Bounded soak for the per-push CI lane: SOAKSLOTS slots, all engines,
 # still enough to cross many resync points and exercise the span checks.
 soak-smoke:
-	$(GO) run ./cmd/wdmsoak -slots $(SOAKSLOTS) -resync 1000 \
+	$(GO) run ./cmd/wdmsoak -slots $(SOAKSLOTS) -resync 1000 -seed $(SOAKSEED) \
 		-engines sequential,distributed,cluster
+
+# End-to-end forensics proof: inject the ledger accounting bug, capture
+# the violation as an incident bundle, then replay the bundle alone and
+# require the identical violation to re-fire (wdmreplay exit 0). CI runs
+# this as the replay-verify job.
+replay-verify:
+	@rm -f replay-verify.tgz
+	@set +e; \
+	$(GO) run ./cmd/wdmsoak -slots 8000 -resync 1000 -seed $(SOAKSEED) \
+		-engines sequential,distributed -chaosbug ledger \
+		-bundle replay-verify.tgz -report ""; \
+	status=$$?; set -e; \
+	test "$$status" -eq 1 || { echo "chaosbug soak exited $$status, want 1"; exit 1; }
+	$(GO) run ./cmd/wdmreplay -verify replay-verify.tgz
+	@rm -f replay-verify.tgz
 
 # Regenerate the sample wdmbench output (not committed; see .gitignore).
 output:

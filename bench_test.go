@@ -397,6 +397,7 @@ type runSlotMode struct {
 	name        string
 	distributed bool
 	traced      bool
+	recorded    bool // attach a FlightRecorder (snapshot cadence inside the 64-slot window)
 	n, k, e, f  int
 	sched       string // Config.Scheduler; "" = default exact
 	band        int    // hot-band width; 0 = uniform Bernoulli
@@ -412,6 +413,7 @@ var switchRunSlotModes = []runSlotMode{
 	{name: "sequential", n: 8, k: 16, e: 1, f: 1},
 	{name: "distributed", distributed: true, n: 8, k: 16, e: 1, f: 1},
 	{name: "sequential-traced", traced: true, n: 8, k: 16, e: 1, f: 1},
+	{name: "sequential-recorded", recorded: true, n: 8, k: 16, e: 1, f: 1},
 	{name: "heavytail", n: 8, k: 16, e: 1, f: 1, workload: "heavytail"},
 	{name: "selfsimilar", distributed: true, n: 8, k: 16, e: 1, f: 1, workload: "selfsimilar"},
 	{name: "k=128-scalar", n: 8, k: 128, e: 20, f: 20, sched: "exact", band: 8},
@@ -433,6 +435,15 @@ func newRunSlotSwitch(tb testing.TB, mode runSlotMode) (*interconnect.Switch, []
 	if mode.traced {
 		cfg.Telemetry = telemetry.NewRegistry()
 		cfg.Trace = telemetry.NewDecisionTracer(mode.n, 1<<10)
+	}
+	if mode.recorded {
+		// Full observability stack with the flight recorder on: the
+		// snapshot cadence of 16 fires 4× inside the 64-slot window, so
+		// the pin proves cadenced recording itself is allocation-free.
+		cfg.Telemetry = telemetry.NewRegistry()
+		cfg.Recorder = telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{
+			Ports: mode.n, DecisionCap: 1 << 10, SnapshotEvery: 16,
+		})
 	}
 	sw, err := interconnect.New(cfg)
 	if err != nil {

@@ -50,6 +50,7 @@ func run(args []string, stderr io.Writer) int {
 		listen   = fs.String("listen", "127.0.0.1:9301", "address to serve on: host:port for TCP, unix:/path for a unix socket")
 		httpAddr = fs.String("http", "", "optional telemetry address serving wdm_node_* /metrics, /snapshot, /spans, expvar and pprof")
 		spanCap  = fs.Int("spancap", 1<<14, "spans retained per lane for the /spans dump (newest win)")
+		bundle   = fs.String("bundle", "wdmnode.incident.tgz", "flight-recorder bundle path (dumped on SIGQUIT without stopping the node; empty disables)")
 		verbose  = fs.Bool("v", false, "log session lifecycle events")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -76,10 +77,10 @@ func run(args []string, stderr io.Writer) int {
 	if *verbose {
 		cfg.Logf = logger.Printf
 	}
-	if *httpAddr != "" {
-		cfg.Telemetry = wdm.NewTelemetryRegistry()
-		cfg.Spans = wdm.NewSpanTracer(1, *spanCap)
-	}
+	// The registry and span tracer are always on — they feed the SIGQUIT
+	// flight-recorder bundle even when no -http endpoint serves them.
+	cfg.Telemetry = wdm.NewTelemetryRegistry()
+	cfg.Spans = wdm.NewSpanTracer(1, *spanCap)
 	node := wdm.NewClusterNode(cfg)
 	if *httpAddr != "" {
 		srv, err := wdm.ServeTelemetry(*httpAddr, cfg.Telemetry)
@@ -105,10 +106,49 @@ func run(args []string, stderr io.Writer) int {
 		node.Close()
 	}()
 
+	// SIGQUIT dumps a flight-recorder bundle — the node's wdm_node_*
+	// metric scrape plus its span rings — and the node keeps serving.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		n := 0
+		for range quit {
+			path := *bundle
+			if n > 0 {
+				path = strings.TrimSuffix(path, ".tgz") + fmt.Sprintf("-%d.tgz", n)
+			}
+			n++
+			if err := dumpNodeBundle(path, node, cfg.Telemetry); err != nil {
+				logger.Printf("dumping flight-recorder bundle: %v", err)
+				continue
+			}
+			logger.Printf("flight-recorder bundle (still serving): %s", path)
+		}
+	}()
+
 	logger.Printf("serving on %s://%s", network, ln.Addr())
 	if err := node.Serve(ln); err != nil {
 		fmt.Fprintf(stderr, "wdmnode: %v\n", err)
 		return 1
 	}
 	return 0
+}
+
+// dumpNodeBundle writes the node's observable state — its wdm_node_*
+// metric scrape and span rings — as one incident bundle.
+func dumpNodeBundle(path string, node *wdm.ClusterNode, reg *wdm.TelemetryRegistry) error {
+	if path == "" {
+		return nil
+	}
+	w := wdm.NewIncidentBundleWriter("wdmnode", "sigquit", 0)
+	if err := w.AddFunc("node.metrics", func(out io.Writer) error {
+		return wdm.WriteTelemetryPrometheus(out, reg)
+	}); err != nil {
+		return err
+	}
+	if err := w.AddFunc("node.spans", node.WriteSpans); err != nil {
+		return err
+	}
+	return w.WriteFile(path)
 }

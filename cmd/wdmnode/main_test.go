@@ -4,12 +4,15 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	wdm "wdmsched"
 )
 
 // syncBuffer lets the test read run()'s log output while run is writing it.
@@ -109,5 +112,74 @@ func TestRunFlagValidation(t *testing.T) {
 	buf = syncBuffer{}
 	if code := run([]string{"-listen", "127.0.0.1:0", "-http", "256.0.0.1:bad"}, &buf); code != 1 {
 		t.Fatalf("bad http addr: exit %d, want 1", code)
+	}
+}
+
+// TestSigquitBundle boots a node, sends SIGQUIT, and expects a
+// flight-recorder bundle on disk while the node keeps serving — only the
+// later SIGTERM shuts it down.
+func TestSigquitBundle(t *testing.T) {
+	bundle := filepath.Join(t.TempDir(), "node.tgz")
+	var buf syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-listen", "127.0.0.1:0", "-bundle", bundle}, &buf)
+	}()
+
+	// Wait for the serve log: signal handlers are registered before it,
+	// so from here SIGQUIT is owned by run(), not the Go runtime.
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(buf.String(), "serving on") {
+		if time.Now().After(deadline) {
+			t.Fatalf("node never started:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGQUIT); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(bundle); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("bundle never written:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	b, err := wdm.ReadIncidentBundleFile(bundle)
+	if err != nil {
+		t.Fatalf("bundle does not decode: %v", err)
+	}
+	if b.Manifest.Tool != "wdmnode" || b.Manifest.Trigger != "sigquit" {
+		t.Errorf("manifest %+v", b.Manifest)
+	}
+	raw, err := b.File("node.metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "wdm_node_") {
+		t.Errorf("metric scrape carries no wdm_node_* series:\n%s", raw)
+	}
+	if !b.Has("node.spans") {
+		t.Errorf("bundle missing node.spans (has %v)", b.Names())
+	}
+
+	// The dump must not have stopped the node.
+	select {
+	case code := <-done:
+		t.Fatalf("node exited %d after SIGQUIT:\n%s", code, buf.String())
+	default:
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d:\n%s", code, buf.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("node ignored SIGTERM:\n%s", buf.String())
 	}
 }

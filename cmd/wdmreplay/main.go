@@ -1,0 +1,151 @@
+// Command wdmreplay is the incident forensics tool: it loads a
+// flight-recorder bundle dumped by wdmsoak (or any soak.Harness), prints
+// what the black box captured, and can deterministically re-run the
+// recorded slot window to prove the original violation reproduces from
+// the bundle alone.
+//
+// Without flags it prints the bundle summary: manifest, embedded config,
+// the incident, and the pre-violation counter baseline.
+//
+//	wdmreplay wdmsoak.incident.tgz
+//
+// -verify replays the recorded window (same seeds, same fault chains,
+// same engines, slot budget clamped one resync past the incident) and
+// asserts the violation re-fires with identical invariant, engine, slot
+// and detail — and that the pre-violation counter baseline matches.
+// Exit 0 means the incident is deterministic and fully captured; exit 1
+// means it did not reproduce; exit 3 means the incident is outside the
+// determinism contract (span-* invariants depend on wall-clock span
+// timings and are never replayable).
+//
+//	wdmreplay -verify wdmsoak.incident.tgz
+//
+// -extract unpacks every bundle entry (recorder rings as JSONL, span
+// dumps, node metric scrapes) into a directory for ad-hoc inspection.
+//
+//	wdmreplay -extract incident/ wdmsoak.incident.tgz
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wdmsched/internal/soak"
+	"wdmsched/internal/telemetry"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdmreplay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		verify  = fs.Bool("verify", false, "replay the recorded window and assert the original violation reproduces")
+		extract = fs.String("extract", "", "directory to unpack every bundle entry into")
+		show    = fs.Bool("progress", false, "show the replay's soak output (default: replay silently)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "wdmreplay: %v\n", err)
+		return 2
+	}
+	if fs.NArg() != 1 {
+		return fail(errors.New("exactly one bundle path required"))
+	}
+	b, err := telemetry.ReadBundleFile(fs.Arg(0))
+	if err != nil {
+		return fail(err)
+	}
+
+	m := b.Manifest
+	fmt.Fprintf(stdout, "bundle         %s v%d, dumped by %s on %q at slot %d (%s)\n",
+		fs.Arg(0), m.Version, m.Tool, m.Trigger, m.Slot,
+		time.Unix(0, m.UnixNS).UTC().Format(time.RFC3339))
+	var total int64
+	for _, f := range m.Files {
+		total += f.Size
+	}
+	fmt.Fprintf(stdout, "contents       %d files, %d bytes uncompressed\n", len(m.Files), total)
+
+	// Bundles from wdmnode (a metric scrape + span rings, no embedded run
+	// config) can still be summarized and extracted — only -verify needs
+	// the config to rebuild the harness.
+	var inc *soak.Incident
+	if b.Has(soak.BundleConfigName) {
+		cfg, err := soak.BundleConfig(b)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "config         %s engines, %s workload, N=%d k=%d, seed %d, resync %d\n",
+			strings.Join(cfg.Engines, "+"), cfg.Workload, cfg.N, cfg.K, cfg.Seed, cfg.Resync)
+		if inc, err = soak.BundleIncident(b); err != nil {
+			return fail(err)
+		}
+		if inc != nil {
+			fmt.Fprintf(stdout, "incident       [%s] engine %s slot %d: %s\n",
+				inc.Invariant, inc.Engine, inc.Slot, inc.Detail)
+		} else {
+			fmt.Fprintf(stdout, "incident       none (requested dump)\n")
+		}
+		if pre, err := soak.BundlePresnap(b); err != nil {
+			return fail(err)
+		} else if pre != nil {
+			fmt.Fprintf(stdout, "baseline       slot %d: offered %d, granted %d, blocked %d, dropped %d\n",
+				pre.Slot, pre.Offered, pre.Granted, pre.InputBlocked, pre.OutputDropped)
+		}
+	} else {
+		fmt.Fprintf(stdout, "config         none (%s state dump, not a replayable run)\n", m.Tool)
+	}
+
+	if *extract != "" {
+		for _, name := range b.Names() {
+			raw, err := b.File(name)
+			if err != nil {
+				return fail(err)
+			}
+			dst := filepath.Join(*extract, filepath.FromSlash(name))
+			if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+				return fail(err)
+			}
+			if err := os.WriteFile(dst, raw, 0o644); err != nil {
+				return fail(err)
+			}
+		}
+		fmt.Fprintf(stdout, "extracted      %d files into %s\n", len(m.Files), *extract)
+	}
+
+	if !*verify {
+		return 0
+	}
+	if inc == nil {
+		return fail(errors.New("bundle carries no incident — nothing to verify"))
+	}
+	opt := soak.Options{Stderr: stderr}
+	if *show {
+		opt.Stdout = stdout
+	}
+	start := time.Now()
+	rep, err := soak.Replay(b, opt)
+	if err != nil {
+		return fail(err)
+	}
+	if err := rep.Verify(); err != nil {
+		if errors.Is(err, soak.ErrNotReplayable) {
+			fmt.Fprintf(stderr, "wdmreplay: %v\n", err)
+			return 3
+		}
+		fmt.Fprintf(stderr, "wdmreplay: VERIFY FAILED: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "verify         ok: [%s] reproduced at slot %d over %d replayed slots in %v\n",
+		inc.Invariant, inc.Slot, rep.Config.Slots, time.Since(start).Round(time.Millisecond))
+	return 0
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wdmsched/internal/soak"
+	"wdmsched/internal/telemetry"
+)
+
+// dumpTestBundle runs a small chaos soak (optionally with a harness bug)
+// and returns the path of the bundle it dumped.
+func dumpTestBundle(t *testing.T, chaosbug string) string {
+	t.Helper()
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "incident.tgz")
+	cfg := soak.Config{
+		Engines: []string{"sequential", "distributed"}, Workload: "heavytail",
+		N: 4, K: 8, Kind: "circular", D: 3, Scheduler: "exact",
+		Load: 0.7, Alpha: 1.5, Zipf: 0.8, Hold: 1,
+		Slots: 4000, Resync: 500, Seed: 7, Nodes: 2,
+		ConvFail: 0.002, ConvRepair: 0.05, Dark: 0.001, Restore: 0.05,
+		ChaosBug: chaosbug,
+	}
+	h, err := soak.New(cfg, soak.Options{BundlePath: bundle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	code := h.Run()
+	if chaosbug == "" {
+		if code != 0 {
+			t.Fatalf("clean soak exited %d", code)
+		}
+		if err := h.DumpBundle(bundle, "request", cfg.Slots, nil); err != nil {
+			t.Fatal(err)
+		}
+	} else if code != 1 {
+		t.Fatalf("chaosbug soak exited %d, want 1", code)
+	}
+	return bundle
+}
+
+func runReplay(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestReplaySummary: the default mode prints manifest, config and
+// incident without replaying.
+func TestReplaySummary(t *testing.T) {
+	bundle := dumpTestBundle(t, "ledger")
+	code, out, errb := runReplay(t, bundle)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	for _, want := range []string{
+		`dumped by wdmsoak on "violation"`,
+		"sequential+distributed engines",
+		"incident       [ledger]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestReplayVerifyReproduces is the acceptance gate: capture via chaosbug,
+// replay from the bundle alone, violation re-fires → exit 0.
+func TestReplayVerifyReproduces(t *testing.T) {
+	bundle := dumpTestBundle(t, "ledger")
+	code, out, errb := runReplay(t, "-verify", bundle)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(out, "verify         ok") {
+		t.Errorf("verify output incomplete:\n%s", out)
+	}
+}
+
+// TestReplayVerifyEquivalence: the seed-perturbation bug also reproduces.
+func TestReplayVerifyEquivalence(t *testing.T) {
+	bundle := dumpTestBundle(t, "equivalence")
+	if code, out, errb := runReplay(t, "-verify", bundle); code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+}
+
+// TestReplayVerifyRequestedDump: a bundle without an incident cannot be
+// verified — usage error, exit 2.
+func TestReplayVerifyRequestedDump(t *testing.T) {
+	bundle := dumpTestBundle(t, "")
+	code, out, errb := runReplay(t, "-verify", bundle)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(errb, "no incident") {
+		t.Errorf("stderr missing reason: %s", errb)
+	}
+	if !strings.Contains(out, "incident       none") {
+		t.Errorf("summary did not flag the missing incident:\n%s", out)
+	}
+}
+
+// TestReplayExtract unpacks every entry to disk.
+func TestReplayExtract(t *testing.T) {
+	bundle := dumpTestBundle(t, "ledger")
+	dir := filepath.Join(t.TempDir(), "unpacked")
+	code, out, errb := runReplay(t, "-extract", dir, bundle)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	for _, name := range []string{
+		"config.json", "incident.json",
+		"engines/0-sequential/snapshots.jsonl",
+		"engines/1-distributed/decisions.jsonl",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, filepath.FromSlash(name))); err != nil {
+			t.Errorf("extracted entry missing: %v", err)
+		}
+	}
+}
+
+// TestReplayUsage: missing or unreadable bundles exit 2.
+func TestReplayUsage(t *testing.T) {
+	if code, _, _ := runReplay(t); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code, _, _ := runReplay(t, "a.tgz", "b.tgz"); code != 2 {
+		t.Errorf("two args: exit %d, want 2", code)
+	}
+	if code, _, _ := runReplay(t, filepath.Join(t.TempDir(), "absent.tgz")); code != 2 {
+		t.Errorf("absent bundle: exit %d, want 2", code)
+	}
+}
+
+// TestReplaySummaryNodeBundle: wdmnode state dumps have no embedded run
+// config — the summary (and -extract) must still work, only -verify
+// needs one.
+func TestReplaySummaryNodeBundle(t *testing.T) {
+	bundle := filepath.Join(t.TempDir(), "node.tgz")
+	w := telemetry.NewBundleWriter("wdmnode", "sigquit", 0)
+	w.Add("node.metrics", []byte("wdm_node_frames_total 1\n"))
+	if err := w.WriteFile(bundle); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runReplay(t, bundle)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(out, "config         none (wdmnode state dump") {
+		t.Errorf("summary did not flag the missing config:\n%s", out)
+	}
+	if code, _, errb := runReplay(t, "-verify", bundle); code != 2 ||
+		!strings.Contains(errb, "no incident") {
+		t.Errorf("verify on a config-less bundle: exit %d, stderr %q", code, errb)
+	}
+}

@@ -19,7 +19,9 @@ import (
 	"io"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	wdm "wdmsched"
@@ -70,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		spanDump    = fs.String("spandump", "", "write the controller-side span dump (trace context + JSONL spans) to this file after a cluster run; merge with node /spans dumps via wdmtrace -merge")
 		clusterOut  = fs.String("clusterstats", "", "write cluster runtime statistics as JSON to this file (kept separate from -json so engine outputs stay byte-comparable)")
 		listen      = fs.String("listen", "", "serve live telemetry on this address (/metrics, /snapshot, /debug/pprof)")
+		bundlePath  = fs.String("bundle", "wdmsim.incident.tgz", "flight-recorder bundle path (dumped on SIGQUIT, panic or engine error; empty disables)")
 		quiet       = fs.Bool("quiet", false, "suppress the statistics table")
 		jsonOut     = fs.Bool("json", false, "print statistics as JSON instead of the table")
 	)
@@ -211,6 +214,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ctrl.RegisterTelemetry(reg)
 		}
 	}
+	// The always-on black box: bounded zero-alloc rings taping decisions,
+	// counter snapshots and fault-mask transitions, dumped as a bundle on
+	// SIGQUIT, a recovered panic, or an engine error.
+	rec := wdm.NewFlightRecorder(wdm.FlightRecorderConfig{Ports: *n})
+	scfg := simConfig{
+		N: *n, K: *k, Kind: *kindFlag, D: *d,
+		Scheduler: *scheduler, Selector: *selector, Workload: *workload,
+		Load: *load, Hold: *hold, Slots: *slots, Seed: *seed,
+		Disturb: *disturb, Distributed: *distributed, Classes: *classes,
+	}
 	swCfg := wdm.SwitchConfig{
 		N: *n, Conv: conv,
 		Scheduler: *scheduler, Selector: *selector,
@@ -219,6 +232,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		PriorityClasses: *classes,
 		Faults:          faults,
 		Telemetry:       reg,
+		Recorder:        rec,
 	}
 	if ctrl != nil {
 		swCfg.Remote = ctrl
@@ -235,7 +249,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer srv.Close()
 		fmt.Fprintf(stderr, "telemetry: listening on http://%s\n", srv.Addr())
 	}
-	st, err := sw.Run(gen, *slots)
+	st, err := runRecorded(sw, gen, *slots, rec, *bundlePath, scfg, stderr)
 	if err != nil {
 		return fail(err)
 	}
@@ -302,6 +316,98 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "match size     mean %.2f, p99 %d (per output fiber per slot)\n",
 		st.MatchSizes.Mean(), st.MatchSizes.Quantile(0.99))
 	return 0
+}
+
+// simConfig is the effective run shape embedded in wdmsim incident
+// bundles so a dump is interpretable (and re-runnable) on its own.
+type simConfig struct {
+	N           int     `json:"n"`
+	K           int     `json:"k"`
+	Kind        string  `json:"kind"`
+	D           int     `json:"d"`
+	Scheduler   string  `json:"scheduler"`
+	Selector    string  `json:"selector"`
+	Workload    string  `json:"workload"`
+	Load        float64 `json:"load"`
+	Hold        float64 `json:"hold"`
+	Slots       int     `json:"slots"`
+	Seed        uint64  `json:"seed"`
+	Disturb     bool    `json:"disturb"`
+	Distributed bool    `json:"distributed"`
+	Classes     int     `json:"classes"`
+}
+
+// runRecorded drives the slot loop explicitly (rather than Switch.Run) so
+// SIGQUIT dump requests are honored at slot boundaries — where the
+// recorder's single-writer rings are safe to read — and a panic escaping
+// slot processing is recovered there with the black-box tape saved before
+// the error propagates. SIGQUIT dumps do not stop the run.
+func runRecorded(sw *wdm.Switch, gen wdm.Generator, slots int, rec *wdm.FlightRecorder, bundlePath string, cfg simConfig, stderr io.Writer) (st *wdm.Stats, err error) {
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			select {
+			case <-quit:
+				rec.RequestDump()
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	slot := 0
+	defer func() {
+		if r := recover(); r != nil {
+			dumpSimBundle(bundlePath, "panic", int64(slot), cfg, rec, stderr)
+			st, err = nil, fmt.Errorf("panic at slot %d: %v", slot, r)
+		}
+	}()
+	var buf []wdm.Packet
+	for ; slot < slots; slot++ {
+		buf = gen.Generate(slot, buf[:0])
+		if err := sw.RunSlot(buf); err != nil {
+			dumpSimBundle(bundlePath, "error", int64(slot), cfg, rec, stderr)
+			return nil, err
+		}
+		if rec.TakeDumpRequest() {
+			path := strings.TrimSuffix(bundlePath, ".tgz") + fmt.Sprintf("-sigquit-%d.tgz", slot)
+			dumpSimBundle(path, "sigquit", int64(slot), cfg, rec, stderr)
+		}
+	}
+	return sw.Finalize(), nil
+}
+
+// dumpSimBundle writes the recorder rings plus the run config as one
+// incident bundle; failures are reported but never fail the run.
+func dumpSimBundle(path, trigger string, slot int64, cfg simConfig, rec *wdm.FlightRecorder, stderr io.Writer) {
+	if path == "" {
+		return
+	}
+	start := time.Now()
+	w := wdm.NewIncidentBundleWriter("wdmsim", trigger, slot)
+	err := w.AddJSON("config.json", cfg)
+	if err == nil {
+		err = w.AddFunc("decisions.jsonl", rec.Decisions().WriteJSONL)
+	}
+	if err == nil {
+		err = w.AddFunc("snapshots.jsonl", rec.WriteSnapshotsJSONL)
+	}
+	if err == nil {
+		err = w.AddFunc("faults.jsonl", rec.WriteFaultsJSONL)
+	}
+	if err == nil {
+		err = w.WriteFile(path)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "wdmsim: dumping flight-recorder bundle: %v\n", err)
+		return
+	}
+	rec.NoteDump(time.Since(start))
+	fmt.Fprintf(stderr, "wdmsim: flight-recorder bundle: %s\n", path)
 }
 
 // writeJSONStats prints the run statistics as one indented JSON document,

@@ -6,11 +6,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	wdm "wdmsched"
 )
 
 // syncBuffer is a bytes.Buffer safe to read while run() writes it from
@@ -315,4 +318,93 @@ func TestAsyncRejectsJSONAndListen(t *testing.T) {
 			t.Fatalf("%s: exit %d, want 1", extra, code)
 		}
 	}
+}
+
+// newRecordedTestSwitch builds a small switch with a flight recorder for
+// the runRecorded tests.
+func newRecordedTestSwitch(t *testing.T, rec *wdm.FlightRecorder) (*wdm.Switch, wdm.Generator) {
+	t.Helper()
+	conv, err := wdm.NewSymmetricConversion(wdm.Circular, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := wdm.NewSwitch(wdm.SwitchConfig{N: 4, Conv: conv, Seed: 1, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := wdm.NewBernoulliTraffic(wdm.TrafficConfig{N: 4, K: 8, Seed: 2}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw, gen
+}
+
+// TestRunRecordedDumpRequest: a pending dump request (the SIGQUIT path)
+// produces a decodable suffixed bundle at the next slot boundary and the
+// run completes normally.
+func TestRunRecordedDumpRequest(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "sim.tgz")
+	rec := wdm.NewFlightRecorder(wdm.FlightRecorderConfig{Ports: 4, SnapshotEvery: 16})
+	sw, gen := newRecordedTestSwitch(t, rec)
+	rec.RequestDump()
+	var errb bytes.Buffer
+	st, err := runRecorded(sw, gen, 100, rec, bundle, simConfig{N: 4, K: 8}, &errb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil || st.Slots != 100 {
+		t.Fatalf("run incomplete: %+v", st)
+	}
+	b, err := wdm.ReadIncidentBundleFile(filepath.Join(dir, "sim-sigquit-0.tgz"))
+	if err != nil {
+		t.Fatalf("requested bundle not written: %v\nstderr: %s", err, errb.String())
+	}
+	if b.Manifest.Tool != "wdmsim" || b.Manifest.Trigger != "sigquit" {
+		t.Errorf("manifest %+v", b.Manifest)
+	}
+	for _, name := range []string{"config.json", "decisions.jsonl", "snapshots.jsonl", "faults.jsonl"} {
+		if !b.Has(name) {
+			t.Errorf("bundle missing %s (has %v)", name, b.Names())
+		}
+	}
+	if rec.Dumps() != 1 {
+		t.Errorf("recorder booked %d dumps, want 1", rec.Dumps())
+	}
+}
+
+// panicAtGen panics at a chosen slot, exercising the recovered slot-loop
+// boundary.
+type panicAtGen struct {
+	wdm.Generator
+	at int
+}
+
+func (p panicAtGen) Generate(slot int, buf []wdm.Packet) []wdm.Packet {
+	if slot == p.at {
+		panic("injected sim panic")
+	}
+	return p.Generator.Generate(slot, buf)
+}
+
+// TestRunRecordedPanicBundle: a panic mid-run is recovered, the black box
+// is dumped, and the error names the slot.
+func TestRunRecordedPanicBundle(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "sim.tgz")
+	rec := wdm.NewFlightRecorder(wdm.FlightRecorderConfig{Ports: 4, SnapshotEvery: 16})
+	sw, gen := newRecordedTestSwitch(t, rec)
+	var errb bytes.Buffer
+	st, err := runRecorded(sw, panicAtGen{Generator: gen, at: 42}, 100, rec, bundle, simConfig{N: 4, K: 8}, &errb)
+	if err == nil || st != nil || !strings.Contains(err.Error(), "panic at slot 42") {
+		t.Fatalf("st=%v err=%v", st, err)
+	}
+	b, err := wdm.ReadIncidentBundleFile(bundle)
+	if err != nil {
+		t.Fatalf("panic bundle not written: %v\nstderr: %s", err, errb.String())
+	}
+	if b.Manifest.Trigger != "panic" || b.Manifest.Slot != 42 {
+		t.Errorf("manifest %+v, want panic at slot 42", b.Manifest)
+	}
+	sw.Finalize()
 }

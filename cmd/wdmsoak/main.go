@@ -18,7 +18,11 @@
 //
 // The run is bounded by a slot budget (-slots), a wall-clock budget
 // (-time), or both; on the first violation wdmsoak writes a JSON incident
-// report to -report and exits 1. A clean soak exits 0.
+// report to -report, dumps a self-contained flight-recorder bundle to
+// -bundle (replayable with wdmreplay), and exits 1. A clean soak exits 0.
+// The first output line is the full effective config as JSON, so any run
+// is reproducible from its log alone. SIGQUIT dumps a flight-recorder
+// bundle at the next slot boundary without stopping the run.
 //
 // Usage:
 //
@@ -34,71 +38,26 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net"
 	"os"
-	"path/filepath"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	wdm "wdmsched"
-	"wdmsched/internal/spancheck"
+	"wdmsched/internal/soak"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
-// soakConfig is the parsed flag set, embedded verbatim in incident
-// reports so a failure is reproducible from the artifact alone.
-type soakConfig struct {
-	Engines   []string      `json:"engines"`
-	Workload  string        `json:"workload"`
-	N         int           `json:"n"`
-	K         int           `json:"k"`
-	Kind      string        `json:"kind"`
-	D         int           `json:"d"`
-	Scheduler string        `json:"scheduler"`
-	Load      float64       `json:"load"`
-	Alpha     float64       `json:"alpha"`
-	Zipf      float64       `json:"zipf"`
-	Users     int           `json:"users"`
-	Diurnal   int           `json:"diurnal_period"`
-	Floor     float64       `json:"diurnal_floor"`
-	Hold      float64       `json:"hold"`
-	BulkUnits int           `json:"bulk_units"`
-	Trace     string        `json:"trace,omitempty"`
-	Slots     int64         `json:"slots"`
-	Time      time.Duration `json:"time_ns"`
-	Resync    int64         `json:"resync"`
-	Seed      uint64        `json:"seed"`
-	Nodes     int           `json:"nodes"`
-
-	ConvFail   float64       `json:"conv_fail"`
-	ConvRepair float64       `json:"conv_repair"`
-	Dark       float64       `json:"chan_dark"`
-	Restore    float64       `json:"chan_restore"`
-	PortDown   float64       `json:"port_down"`
-	PortUp     float64       `json:"port_up"`
-	TDrop      float64       `json:"transport_drop"`
-	TDup       float64       `json:"transport_dup"`
-	TDelay     float64       `json:"transport_delay"`
-	RPCTimeout time.Duration `json:"rpc_timeout_ns"`
-
-	ChaosBug string `json:"chaosbug,omitempty"`
-}
-
-// incident is the JSON report written on the first invariant violation.
-type incident struct {
-	Invariant string     `json:"invariant"`
-	Engine    string     `json:"engine,omitempty"`
-	Slot      int64      `json:"slot"`
-	Detail    string     `json:"detail"`
-	Wall      string     `json:"wall_clock"`
-	Config    soakConfig `json:"config"`
-}
+// soakConfig and incident alias the harness types so incident reports can
+// be decoded with this package's names (and the tests do).
+type (
+	soakConfig = soak.Config
+	incident   = soak.Incident
+)
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("wdmsoak", flag.ContinueOnError)
@@ -136,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tDelay      = fs.Float64("tdelay", 0.002, "P[cluster frame delayed]")
 		rpcTimeout  = fs.Duration("rpctimeout", 25*time.Millisecond, "cluster schedule RPC deadline (each dropped frame stalls this long)")
 		report      = fs.String("report", "wdmsoak.report.json", "incident report path (written on violation)")
+		bundle      = fs.String("bundle", "wdmsoak.incident.tgz", "flight-recorder bundle path (written on violation/panic/SIGQUIT; empty disables)")
 		spandir     = fs.String("spandir", "", "directory for cluster span dumps (always written when set)")
 		progress    = fs.Int64("progress", 0, "slots between progress lines (0 = 25 resync intervals)")
 		chaosBug    = fs.String("chaosbug", "", "deliberately break the harness: ledger or equivalence (testing the checker)")
@@ -147,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "wdmsoak: "+format+"\n", a...)
 		return 2
 	}
-	cfg := soakConfig{
+	cfg := soak.Config{
 		Workload: *workload, N: *n, K: *k, Kind: *kindFlag, D: *d, Scheduler: *scheduler,
 		Load: *load, Alpha: *alpha, Zipf: *zipf, Users: *users,
 		Diurnal: *diurnal, Floor: *floor, Hold: *hold, BulkUnits: *bulkUnits, Trace: *tracePath,
@@ -158,531 +118,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ChaosBug: *chaosBug,
 	}
 	for _, e := range strings.Split(*enginesFlag, ",") {
-		e = strings.TrimSpace(e)
-		if e == "" {
-			continue
-		}
-		switch e {
-		case "sequential", "distributed", "cluster":
+		if e = strings.TrimSpace(e); e != "" {
 			cfg.Engines = append(cfg.Engines, e)
-		default:
-			return usage("unknown engine %q (want sequential, distributed or cluster)", e)
-		}
-	}
-	if len(cfg.Engines) == 0 {
-		return usage("no engines selected")
-	}
-	if cfg.Slots <= 0 && cfg.Time <= 0 && cfg.Workload != "bulk" {
-		return usage("need a budget: -slots, -time, or -workload bulk (which ends when the demand drains)")
-	}
-	if cfg.Resync <= 0 {
-		return usage("-resync must be positive")
-	}
-	switch cfg.ChaosBug {
-	case "", "ledger":
-	case "equivalence":
-		if len(cfg.Engines) < 2 {
-			return usage("-chaosbug equivalence needs at least two engines")
-		}
-	default:
-		return usage("unknown -chaosbug %q (want ledger or equivalence)", cfg.ChaosBug)
-	}
-	if cfg.Workload == "trace" && cfg.Trace == "" {
-		return usage("-workload trace needs -trace")
-	}
-
-	s := &soak{cfg: cfg, stdout: stdout, stderr: stderr, report: *report, spandir: *spandir, progress: *progress}
-	defer s.closeEngines()
-	if err := s.buildEngines(); err != nil {
-		return usage("%v", err)
-	}
-	return s.run()
-}
-
-// engine is one lockstep participant: a switch plus its own identically
-// seeded generator and fault chain, and the grant ledger the harness
-// reconciles against the switch's own statistics.
-type engine struct {
-	name     string
-	sw       *wdm.Switch
-	gen      wdm.Generator
-	bulk     *wdm.BulkTransfer
-	traceErr func() error // ctrace decode-error probe, nil otherwise
-
-	buf      []wdm.Packet
-	grants   []wdm.SlotGrant
-	seen     int64 // grants observed (pre-chaosbug)
-	ledger   int64 // grants admitted to the ledger
-	perInput []int64
-	snap     wdm.SwitchSnapshot
-	skipMod  int64 // -chaosbug ledger: drop every skipMod-th grant
-
-	ctrl    *wdm.ClusterController
-	nodes   []*wdm.ClusterNode
-	closers []func() error
-}
-
-type soak struct {
-	cfg      soakConfig
-	stdout   io.Writer
-	stderr   io.Writer
-	report   string
-	spandir  string
-	progress int64
-	engines  []*engine
-	start    time.Time
-}
-
-func (s *soak) buildEngines() error {
-	for i, name := range s.cfg.Engines {
-		e, err := s.buildEngine(i, name)
-		if err != nil {
-			return fmt.Errorf("building %s engine: %w", name, err)
-		}
-		s.engines = append(s.engines, e)
-	}
-	switch s.cfg.ChaosBug {
-	case "ledger":
-		s.engines[0].skipMod = 997
-	}
-	return nil
-}
-
-func (s *soak) buildEngine(index int, name string) (*engine, error) {
-	cfg := s.cfg
-	e := &engine{name: name, perInput: make([]int64, cfg.N)}
-
-	conv, err := buildConversion(cfg)
-	if err != nil {
-		return nil, err
-	}
-	// The arrival seed is identical across engines — byte-identical
-	// workloads are what makes the equivalence invariant exact. The
-	// equivalence chaosbug perturbs the last engine's seed to prove the
-	// checker notices.
-	genSeed := cfg.Seed
-	if cfg.ChaosBug == "equivalence" && index == len(cfg.Engines)-1 {
-		genSeed++
-	}
-	if err := s.attachWorkload(e, genSeed); err != nil {
-		return nil, err
-	}
-
-	// Every engine gets its own injector from the same seed: identical
-	// fault histories, so degraded-mode statistics must agree too.
-	var faults wdm.FaultInjector
-	if cfg.ConvFail > 0 || cfg.Dark > 0 || cfg.PortDown > 0 {
-		faults, err = wdm.NewMarkovFaults(wdm.MarkovFaultConfig{
-			N: cfg.N, K: cfg.K, Seed: cfg.Seed + 101,
-			ConverterFail: cfg.ConvFail, ConverterRepair: cfg.ConvRepair,
-			ChannelDark: cfg.Dark, ChannelRestore: cfg.Restore,
-			PortDown: cfg.PortDown, PortUp: cfg.PortUp,
-		})
-		if err != nil {
-			return nil, err
 		}
 	}
 
-	swCfg := wdm.SwitchConfig{
-		N: cfg.N, Conv: conv, Scheduler: cfg.Scheduler,
-		Seed: cfg.Seed, Faults: faults,
-	}
-	switch name {
-	case "sequential":
-	case "distributed":
-		swCfg.Distributed = true
-	case "cluster":
-		ctrl, err := s.startCluster(e, conv)
-		if err != nil {
-			return nil, err
-		}
-		swCfg.Remote = ctrl
-	}
-	sw, err := wdm.NewSwitch(swCfg)
-	if err != nil {
-		return nil, err
-	}
-	e.sw = sw
-	return e, nil
-}
-
-// startCluster brings up in-process loopback worker nodes and a traced
-// controller with transport fault injection on every link.
-func (s *soak) startCluster(e *engine, conv wdm.Conversion) (*wdm.ClusterController, error) {
-	cfg := s.cfg
-	var addrs []string
-	for i := 0; i < cfg.Nodes; i++ {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return nil, err
-		}
-		node := wdm.NewClusterNode(wdm.ClusterNodeConfig{
-			Spans: wdm.NewSpanTracer(1, 1<<12),
-		})
-		go node.Serve(ln)
-		e.nodes = append(e.nodes, node)
-		e.closers = append(e.closers, node.Close)
-		addrs = append(addrs, ln.Addr().String())
-	}
-	var tf *wdm.TransportFaults
-	if cfg.TDrop > 0 || cfg.TDup > 0 || cfg.TDelay > 0 {
-		var err error
-		tf, err = wdm.NewTransportFaults(wdm.TransportFaultConfig{
-			Seed: cfg.Seed + 202, Drop: cfg.TDrop, Duplicate: cfg.TDup, Delay: cfg.TDelay,
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	ctrl, err := wdm.NewClusterController(wdm.ClusterControllerConfig{
-		Addrs: addrs, N: cfg.N, Conv: conv, Scheduler: cfg.Scheduler,
-		Seed: cfg.Seed, DialTimeout: 10 * time.Second, RPCTimeout: cfg.RPCTimeout,
-		Faults: tf, Spans: wdm.NewSpanTracer(1, 1<<12),
+	h, err := soak.New(cfg, soak.Options{
+		Stdout: stdout, Stderr: stderr,
+		Report: *report, BundlePath: *bundle, SpanDir: *spandir, Progress: *progress,
 	})
 	if err != nil {
-		return nil, err
+		return usage("%v", err)
 	}
-	e.ctrl = ctrl
-	e.closers = append(e.closers, ctrl.Close)
-	return ctrl, nil
-}
+	defer h.Close()
 
-func buildConversion(cfg soakConfig) (wdm.Conversion, error) {
-	kind, err := wdm.ParseKind(cfg.Kind)
-	if err != nil {
-		return wdm.Conversion{}, err
-	}
-	if kind == wdm.Full {
-		return wdm.NewConversion(wdm.Full, cfg.K, 0, 0)
-	}
-	return wdm.NewSymmetricConversion(kind, cfg.K, cfg.D)
-}
+	// SIGQUIT dumps a flight-recorder bundle at the next slot boundary;
+	// the run keeps going — the black-box tape is readable without
+	// sacrificing the soak.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			select {
+			case <-quit:
+				h.RequestDump()
+			case <-done:
+				return
+			}
+		}
+	}()
 
-func (s *soak) attachWorkload(e *engine, seed uint64) error {
-	cfg := s.cfg
-	tc := wdm.TrafficConfig{N: cfg.N, K: cfg.K, Seed: seed, Hold: wdm.HoldingTime{Mean: cfg.Hold}}
-	var gen wdm.Generator
-	var err error
-	switch cfg.Workload {
-	case "bernoulli":
-		gen, err = wdm.NewBernoulliTraffic(tc, cfg.Load)
-	case "hotspot":
-		gen, err = wdm.NewHotspotTraffic(tc, cfg.Load, 0, 0.5)
-	case "bursty":
-		meanOn := 8.0
-		gen, err = wdm.NewBurstyTraffic(tc, meanOn, meanOn*(1-cfg.Load)/cfg.Load)
-	case "heavytail":
-		gen, err = wdm.NewHeavyTailTraffic(tc, cfg.Load, cfg.Alpha, cfg.Zipf)
-	case "selfsimilar":
-		u := cfg.Users
-		if u == 0 {
-			u = 12 * cfg.K
-		}
-		gen, err = wdm.NewSelfSimilarTraffic(tc, cfg.Load, cfg.Alpha, u)
-	case "bulk":
-		demand := wdm.RandomBulkDemand(cfg.N, cfg.BulkUnits, cfg.Seed)
-		e.bulk, err = wdm.NewBulkTransfer(tc, demand)
-		gen = e.bulk
-	case "trace":
-		f, err := os.Open(cfg.Trace)
-		if err != nil {
-			return err
-		}
-		rd, err := wdm.OpenCompressedTrace(f)
-		if err != nil {
-			f.Close()
-			return err
-		}
-		if rd.N() != cfg.N || rd.K() != cfg.K {
-			f.Close()
-			return fmt.Errorf("trace shape N=%d k=%d disagrees with -n %d -k %d", rd.N(), rd.K(), cfg.N, cfg.K)
-		}
-		e.traceErr = rd.Err
-		e.closers = append(e.closers, rd.Close, f.Close)
-		gen = rd.Generator()
-	default:
-		return fmt.Errorf("unknown workload %q", cfg.Workload)
-	}
-	if err != nil {
-		return err
-	}
-	if cfg.Diurnal > 0 {
-		if cfg.Workload == "bulk" {
-			return fmt.Errorf("-diurnal does not compose with the closed-loop bulk workload")
-		}
-		gen, err = wdm.NewDiurnalTraffic(gen, cfg.Diurnal, cfg.Floor, seed+1)
-		if err != nil {
-			return err
-		}
-	}
-	e.gen = gen
-	return nil
-}
-
-func (s *soak) closeEngines() {
-	for _, e := range s.engines {
-		if e.sw != nil {
-			e.sw.Finalize()
-		}
-		for _, c := range e.closers {
-			c()
-		}
-	}
-}
-
-func (s *soak) run() int {
-	cfg := s.cfg
-	s.start = time.Now()
-	progressEvery := s.progress
-	if progressEvery <= 0 {
-		progressEvery = 25 * cfg.Resync
-	}
-	fmt.Fprintf(s.stdout, "soak           %s on %s, N=%d k=%d %s/d=%d, seed %d\n",
-		s.engines[0].gen.Name(), strings.Join(cfg.Engines, "+"), cfg.N, cfg.K, cfg.Kind, cfg.D, cfg.Seed)
-
-	var slot int64
-	stop := ""
-	for stop == "" {
-		switch {
-		case cfg.Slots > 0 && slot >= cfg.Slots:
-			stop = "slot budget"
-		case cfg.Time > 0 && slot%256 == 0 && time.Since(s.start) >= cfg.Time:
-			stop = "time budget"
-		}
-		if stop != "" {
-			break
-		}
-		for _, e := range s.engines {
-			e.buf = e.gen.Generate(int(slot), e.buf[:0])
-			if err := e.sw.RunSlot(e.buf); err != nil {
-				return s.violation(&incident{Invariant: "runtime", Engine: e.name, Slot: slot, Detail: err.Error()})
-			}
-			e.grants = e.sw.LastGrants(e.grants[:0])
-			for _, g := range e.grants {
-				e.seen++
-				if e.skipMod > 0 && e.seen%e.skipMod == 0 {
-					continue // -chaosbug ledger: this grant vanishes from the books
-				}
-				e.ledger++
-				e.perInput[g.InputFiber]++
-				if e.bulk != nil {
-					if err := e.bulk.Deliver(g.InputFiber, g.OutputFiber); err != nil {
-						return s.violation(&incident{Invariant: "bulk-delivery", Engine: e.name, Slot: slot, Detail: err.Error()})
-					}
-				}
-			}
-		}
-		slot++
-		if slot%cfg.Resync == 0 {
-			if inc := s.checkInvariants(slot); inc != nil {
-				return s.violation(inc)
-			}
-			if slot%progressEvery == 0 {
-				e := s.engines[0]
-				fmt.Fprintf(s.stdout, "slot %-12d offered %-12d granted %-12d lost-to-faults %d\n",
-					slot, e.snap.Offered, e.snap.Granted, e.snap.FaultLostGrants)
-			}
-		}
-		if s.engines[0].bulk != nil {
-			done := true
-			for _, e := range s.engines {
-				if !e.bulk.Done() {
-					done = false
-					break
-				}
-			}
-			if done {
-				stop = "bulk drained"
-			}
-		}
-	}
-
-	if inc := s.checkInvariants(slot); inc != nil {
-		return s.violation(inc)
-	}
-	if inc := s.checkSpans(slot); inc != nil {
-		return s.violation(inc)
-	}
-	e := s.engines[0]
-	fmt.Fprintf(s.stdout, "stopped        %s after %d slots in %v\n", stop, slot, time.Since(s.start).Round(time.Millisecond))
-	fmt.Fprintf(s.stdout, "totals         offered %d, granted %d, blocked %d, dropped %d, fault-lost %d, fault-killed %d\n",
-		e.snap.Offered, e.snap.Granted, e.snap.InputBlocked, e.snap.OutputDropped,
-		e.snap.FaultLostGrants, e.snap.FaultKilled)
-	if e.bulk != nil {
-		lb := 0
-		if demand := wdm.RandomBulkDemand(cfg.N, cfg.BulkUnits, cfg.Seed); true {
-			lb, _ = wdm.OpenShopMakespanLB(demand, cfg.K)
-		}
-		fmt.Fprintf(s.stdout, "makespan       %d slots for %d units (open-shop lower bound %d)\n",
-			slot, e.bulk.Delivered(), lb)
-	}
-	fmt.Fprintf(s.stdout, "soak           ok: %d invariant checks, 0 violations\n", slot/cfg.Resync+1)
-	return 0
-}
-
-// checkInvariants snapshots every engine and enforces conservation, the
-// grant ledger, and cross-engine equivalence. It returns the first
-// violation found, nil when all hold.
-func (s *soak) checkInvariants(slot int64) *incident {
-	for _, e := range s.engines {
-		if e.traceErr != nil {
-			if err := e.traceErr(); err != nil {
-				return &incident{Invariant: "trace-decode", Engine: e.name, Slot: slot, Detail: err.Error()}
-			}
-		}
-		e.sw.Snapshot(&e.snap)
-		if msg := e.snap.Conserved(); msg != "" {
-			return &incident{Invariant: "conservation", Engine: e.name, Slot: slot, Detail: msg}
-		}
-		if e.ledger != e.snap.Granted {
-			return &incident{Invariant: "ledger", Engine: e.name, Slot: slot,
-				Detail: fmt.Sprintf("grant ledger %d != stats granted %d", e.ledger, e.snap.Granted)}
-		}
-		for f, g := range e.perInput {
-			if g != e.snap.PerInput[f] {
-				return &incident{Invariant: "ledger", Engine: e.name, Slot: slot,
-					Detail: fmt.Sprintf("per-input[%d] ledger %d != stats %d", f, g, e.snap.PerInput[f])}
-			}
-		}
-		if e.bulk != nil && e.bulk.Delivered() != e.snap.Granted {
-			return &incident{Invariant: "bulk-delivery", Engine: e.name, Slot: slot,
-				Detail: fmt.Sprintf("delivered %d != granted %d", e.bulk.Delivered(), e.snap.Granted)}
-		}
-	}
-	ref := s.engines[0]
-	for _, e := range s.engines[1:] {
-		if msg := ref.snap.Diff(&e.snap); msg != "" {
-			return &incident{Invariant: "equivalence", Engine: ref.name + " vs " + e.name, Slot: slot, Detail: msg}
-		}
-	}
-	return nil
-}
-
-// checkSpans dumps and verifies the cluster engine's cross-process spans:
-// write the dumps (to -spandir when set), trim every dump to the slot
-// window all span rings still retain, and run the shared wdmtrace -check
-// logic on the merged view.
-func (s *soak) checkSpans(slot int64) *incident {
-	var cl *engine
-	for _, e := range s.engines {
-		if e.ctrl != nil {
-			cl = e
-		}
-	}
-	if cl == nil {
-		return nil
-	}
-	dumpOne := func(name string, write func(io.Writer) error) (*spancheck.Dump, error) {
-		var buf bytes.Buffer
-		if err := write(&buf); err != nil {
-			return nil, err
-		}
-		if s.spandir != "" {
-			if err := os.WriteFile(filepath.Join(s.spandir, name+".spans"), buf.Bytes(), 0o644); err != nil {
-				return nil, err
-			}
-		}
-		return spancheck.ReadDump(name, &buf)
-	}
-	ctrl, err := dumpOne("ctrl", cl.ctrl.WriteSpans)
-	if err != nil {
-		return &incident{Invariant: "span-dump", Engine: cl.name, Slot: slot, Detail: err.Error()}
-	}
-	var nodes []*spancheck.Dump
-	for i, node := range cl.nodes {
-		d, err := dumpOne(fmt.Sprintf("node%d", i), node.WriteSpans)
-		if err != nil {
-			return &incident{Invariant: "span-dump", Engine: cl.name, Slot: slot, Detail: err.Error()}
-		}
-		nodes = append(nodes, d)
-	}
-	trimDumps(append([]*spancheck.Dump{ctrl}, nodes...))
-	m, err := spancheck.Merge(ctrl, nodes)
-	if err != nil {
-		return &incident{Invariant: "span-merge", Engine: cl.name, Slot: slot, Detail: err.Error()}
-	}
-	rep, err := m.CheckContainment()
-	if err != nil {
-		return &incident{Invariant: "span-containment", Engine: cl.name, Slot: slot, Detail: err.Error()}
-	}
-	// Attribution only holds when the controller never stalled in retry
-	// backoff or deadline waits — that time is deliberately unattributed,
-	// so the invariant is meaningful only on a fault-free transport.
-	if s.cfg.TDrop == 0 && s.cfg.TDup == 0 && s.cfg.TDelay == 0 {
-		if rep, err = m.CheckAttribution(rep); err != nil {
-			return &incident{Invariant: "span-attribution", Engine: cl.name, Slot: slot, Detail: err.Error()}
-		}
-		fmt.Fprintf(s.stdout, "spans          containment %d/%d outside windows, attribution %.1f%% of slot time\n",
-			rep.Violations, rep.Checked, 100*rep.AttributionRatio)
-	} else {
-		fmt.Fprintf(s.stdout, "spans          containment %d/%d outside windows (attribution skipped: transport faults active)\n",
-			rep.Violations, rep.Checked)
-	}
-	return nil
-}
-
-// trimDumps drops every span at or below the newest slot any ring had
-// already evicted. The tracers keep a bounded ring per lane and lanes
-// carry different span counts per slot, so after a long run each lane's
-// retained window starts at a different slot; the containment and
-// attribution checks are only meaningful over the window every lane still
-// covers in full.
-func trimDumps(dumps []*spancheck.Dump) {
-	lo := int64(0)
-	for _, d := range dumps {
-		laneMin := map[int32]int64{}
-		for _, sp := range d.Spans {
-			if m, ok := laneMin[sp.Lane]; !ok || sp.Slot < m {
-				laneMin[sp.Lane] = sp.Slot
-			}
-		}
-		for _, m := range laneMin {
-			if m+1 > lo {
-				lo = m + 1
-			}
-		}
-	}
-	for _, d := range dumps {
-		kept := d.Spans[:0]
-		for _, sp := range d.Spans {
-			if sp.Slot >= lo {
-				kept = append(kept, sp)
-			}
-		}
-		d.Spans = kept
-	}
-}
-
-// violation writes the incident report, dumps cluster spans for the CI
-// artifact when -spandir is set, and prints the failure.
-func (s *soak) violation(inc *incident) int {
-	inc.Wall = time.Since(s.start).String()
-	inc.Config = s.cfg
-	if s.spandir != "" {
-		for _, e := range s.engines {
-			if e.ctrl == nil {
-				continue
-			}
-			writeSpanFile := func(name string, write func(io.Writer) error) {
-				var buf bytes.Buffer
-				if write(&buf) == nil {
-					os.WriteFile(filepath.Join(s.spandir, name+".spans"), buf.Bytes(), 0o644)
-				}
-			}
-			writeSpanFile("ctrl", e.ctrl.WriteSpans)
-			for i, node := range e.nodes {
-				writeSpanFile(fmt.Sprintf("node%d", i), node.WriteSpans)
-			}
-		}
-	}
-	raw, err := json.MarshalIndent(inc, "", "  ")
-	if err == nil {
-		err = os.WriteFile(s.report, append(raw, '\n'), 0o644)
-	}
-	if err != nil {
-		fmt.Fprintf(s.stderr, "wdmsoak: writing incident report: %v\n", err)
-	}
-	fmt.Fprintf(s.stderr, "wdmsoak: INVARIANT VIOLATION [%s] engine %s slot %d: %s (report: %s)\n",
-		inc.Invariant, inc.Engine, inc.Slot, inc.Detail, s.report)
-	return 1
+	return h.Run()
 }

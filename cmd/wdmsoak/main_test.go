@@ -9,6 +9,8 @@ import (
 	"testing"
 
 	wdm "wdmsched"
+	"wdmsched/internal/soak"
+	"wdmsched/internal/telemetry"
 )
 
 func runSoak(t *testing.T, args ...string) (int, string, string) {
@@ -25,10 +27,11 @@ func runSoak(t *testing.T, args ...string) (int, string, string) {
 func TestSoakCleanAllEngines(t *testing.T) {
 	dir := t.TempDir()
 	report := filepath.Join(dir, "report.json")
+	bundle := filepath.Join(dir, "incident.tgz")
 	code, out, errb := runSoak(t,
 		"-slots", "1500", "-resync", "250", "-n", "4", "-k", "8",
 		"-engines", "sequential,distributed,cluster",
-		"-spandir", dir, "-report", report)
+		"-spandir", dir, "-report", report, "-bundle", bundle)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errb, out)
 	}
@@ -37,8 +40,25 @@ func TestSoakCleanAllEngines(t *testing.T) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
+	// The first output line is the full effective config as JSON, so any
+	// run is reproducible from its log alone.
+	first, _, _ := strings.Cut(out, "\n")
+	rawCfg, ok := strings.CutPrefix(first, "config         ")
+	if !ok {
+		t.Fatalf("first line is not the effective config: %q", first)
+	}
+	var cfg soakConfig
+	if err := json.Unmarshal([]byte(rawCfg), &cfg); err != nil {
+		t.Fatalf("config line is not JSON: %v\n%s", err, rawCfg)
+	}
+	if cfg.Seed != 1 || cfg.Slots != 1500 || cfg.Resync != 250 || len(cfg.Engines) != 3 {
+		t.Errorf("config line incomplete: %+v", cfg)
+	}
 	if _, err := os.Stat(report); !os.IsNotExist(err) {
 		t.Errorf("clean run wrote an incident report: %v", err)
+	}
+	if _, err := os.Stat(bundle); !os.IsNotExist(err) {
+		t.Errorf("clean run wrote an incident bundle: %v", err)
 	}
 	for _, name := range []string{"ctrl.spans", "node0.spans", "node1.spans"} {
 		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
@@ -64,10 +84,13 @@ func readIncident(t *testing.T, path string) incident {
 // corrupted grant ledger must be caught at the first resync point with a
 // non-zero exit and a parseable JSON incident report.
 func TestSoakCatchesLedgerBug(t *testing.T) {
-	report := filepath.Join(t.TempDir(), "report.json")
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
+	bundle := filepath.Join(dir, "incident.tgz")
 	code, out, errb := runSoak(t,
 		"-slots", "4000", "-resync", "500", "-n", "4", "-k", "8",
-		"-engines", "sequential,distributed", "-chaosbug", "ledger", "-report", report)
+		"-engines", "sequential,distributed", "-chaosbug", "ledger",
+		"-report", report, "-bundle", bundle)
 	if code != 1 {
 		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out, errb)
 	}
@@ -81,15 +104,34 @@ func TestSoakCatchesLedgerBug(t *testing.T) {
 	if !strings.Contains(errb, "INVARIANT VIOLATION") {
 		t.Errorf("stderr missing violation banner: %s", errb)
 	}
+
+	// Capture → replay → reproduce, end to end: the dumped bundle alone
+	// must deterministically re-create the violation.
+	b, err := telemetry.ReadBundleFile(bundle)
+	if err != nil {
+		t.Fatalf("incident bundle does not decode: %v", err)
+	}
+	if b.Manifest.Trigger != "violation" {
+		t.Errorf("bundle trigger %q, want violation", b.Manifest.Trigger)
+	}
+	rep, err := soak.Replay(b, soak.Options{})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := rep.Verify(); err != nil {
+		t.Fatalf("replay did not reproduce the violation: %v", err)
+	}
 }
 
 // TestSoakCatchesEquivalenceBug: perturbing one engine's arrival seed
 // must surface as an equivalence violation between engines.
 func TestSoakCatchesEquivalenceBug(t *testing.T) {
-	report := filepath.Join(t.TempDir(), "report.json")
+	dir := t.TempDir()
+	report := filepath.Join(dir, "report.json")
 	code, out, errb := runSoak(t,
 		"-slots", "4000", "-resync", "500", "-n", "4", "-k", "8",
-		"-engines", "sequential,distributed", "-chaosbug", "equivalence", "-report", report)
+		"-engines", "sequential,distributed", "-chaosbug", "equivalence",
+		"-report", report, "-bundle", filepath.Join(dir, "incident.tgz"))
 	if code != 1 {
 		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out, errb)
 	}

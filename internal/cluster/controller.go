@@ -268,6 +268,24 @@ func (c *Controller) LinkSyncs() []LinkSync {
 	return out
 }
 
+// NodeHealth is one node link's identity and liveness — the per-node view
+// the flight recorder samples into its node ring.
+type NodeHealth struct {
+	Shard   int
+	Addr    string
+	Healthy bool
+}
+
+// NodeHealth appends the current health of every node link to dst and
+// returns it. Safe to call mid-run (reads only atomics); pass a reused
+// slice to keep sampling allocation-free.
+func (c *Controller) NodeHealth(dst []NodeHealth) []NodeHealth {
+	for _, l := range c.links {
+		dst = append(dst, NodeHealth{Shard: l.id, Addr: l.addr, Healthy: l.healthy.Load()})
+	}
+	return dst
+}
+
 // WriteSpans dumps the controller's span dump: one meta line (role, run
 // ID, per-link clock estimates) followed by the retained spans as JSONL —
 // the controller half of a wdmtrace -merge input pair.
@@ -388,6 +406,12 @@ func (c *Controller) RegisterTelemetry(r *telemetry.Registry) {
 	stage("node-schedule", st.NodeScheduleTime)
 	stage("node-encode", st.NodeEncodeTime)
 	stage("commit", st.CommitTime)
+	// Per-stage latency SLOs (wdm_slo_* burn-rate gauges): the RPC round
+	// trip gets a wider budget than the controller-local stages.
+	telemetry.RegisterSLO(r, "rpc", st.RPCLatency, 10*time.Millisecond, 0.999)
+	telemetry.RegisterSLO(r, "prepare", st.PrepareTime, time.Millisecond, 0.999)
+	telemetry.RegisterSLO(r, "encode", st.EncodeTime, time.Millisecond, 0.999)
+	telemetry.RegisterSLO(r, "commit", st.CommitTime, time.Millisecond, 0.999)
 	r.GaugeFunc("wdm_cluster_remote_fraction", "Fraction of non-empty decisions computed remotely.", nil, st.RemoteFraction)
 	for _, l := range c.links {
 		lbl := []telemetry.Label{{Key: "node", Value: l.addr}, {Key: "shard", Value: strconv.Itoa(l.id)}}

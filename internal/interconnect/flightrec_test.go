@@ -1,0 +1,240 @@
+package interconnect
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"wdmsched/internal/fault"
+	"wdmsched/internal/telemetry"
+	"wdmsched/internal/traffic"
+)
+
+// newRecordedSwitch builds a faulted switch with a flight recorder and
+// telemetry attached, plus its traffic generator.
+func newRecordedSwitch(t *testing.T, distributed bool, rec *telemetry.FlightRecorder, reg *telemetry.Registry) (*Switch, traffic.Generator) {
+	t.Helper()
+	const n, k = 4, 8
+	inj, err := fault.NewMarkov(fault.MarkovConfig{
+		N: n, K: k, Seed: 3,
+		ConverterFail: 0.02, ConverterRepair: 0.2,
+		ChannelDark: 0.01, ChannelRestore: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := mustSwitch(t, Config{
+		N: n, Conv: circ(k, 1, 1), Seed: 8, Distributed: distributed,
+		Telemetry: reg, Recorder: rec, Faults: inj,
+	})
+	gen, err := traffic.NewBernoulli(traffic.Config{N: n, K: k, Seed: 21,
+		Hold: traffic.HoldingTime{Mean: 2}}, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw, gen
+}
+
+// TestFlightRecorderConcurrentScrape races live /metrics and /snapshot
+// scrapes against the slot loop while it takes mid-run Snapshots and dumps
+// incident bundles at slot boundaries — the full observability surface
+// active at once, exercised under the race gate (`go test -race`, the
+// interconnect leg of `make check`).
+func TestFlightRecorderConcurrentScrape(t *testing.T) {
+	for _, mode := range []struct {
+		name        string
+		distributed bool
+	}{{"sequential", false}, {"distributed", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			const slots = 400
+			reg := telemetry.NewRegistry()
+			rec := telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{
+				Ports: 4, SnapshotEvery: 32, SnapshotCap: 8,
+			})
+			sw, gen := newRecordedSwitch(t, mode.distributed, rec, reg)
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							// Both scrape formats the telemetry.Server
+							// serves: Prometheus text and JSON snapshot.
+							var sb strings.Builder
+							snap := reg.Snapshot()
+							if err := telemetry.WritePrometheus(&sb, snap); err != nil {
+								t.Error(err)
+								return
+							}
+							if err := telemetry.WriteJSON(io.Discard, snap); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+				}()
+			}
+
+			var snap Snapshot
+			var buf []traffic.Packet
+			dumps := 0
+			for slot := 0; slot < slots; slot++ {
+				buf = gen.Generate(slot, buf[:0])
+				if err := sw.RunSlot(buf); err != nil {
+					t.Fatal(err)
+				}
+				if slot%100 == 99 {
+					// Slot boundary: a mid-run Snapshot and a full bundle
+					// dump race the scrapers above.
+					sw.Snapshot(&snap)
+					if msg := snap.Conserved(); msg != "" {
+						t.Fatalf("slot %d: %s", slot, msg)
+					}
+					w := telemetry.NewBundleWriter("test", "request", int64(slot))
+					if err := w.AddFunc("snapshots.jsonl", rec.WriteSnapshotsJSONL); err != nil {
+						t.Fatal(err)
+					}
+					if err := w.AddFunc("faults.jsonl", rec.WriteFaultsJSONL); err != nil {
+						t.Fatal(err)
+					}
+					var out bytes.Buffer
+					if _, err := w.WriteTo(&out); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := telemetry.ReadBundle(&out); err != nil {
+						t.Fatalf("dumped bundle does not round-trip: %v", err)
+					}
+					dumps++
+				}
+			}
+			close(stop)
+			wg.Wait()
+			if dumps != 4 {
+				t.Fatalf("took %d dumps, want 4", dumps)
+			}
+			sw.Finalize()
+		})
+	}
+}
+
+// TestFlightRecorderSnapshotCadence checks the switch records counter
+// snapshots at the configured cadence and that the recorded counters are
+// exactly what Switch.Snapshot reported at those slots.
+func TestFlightRecorderSnapshotCadence(t *testing.T) {
+	rec := telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{
+		Ports: 4, SnapshotEvery: 64, SnapshotCap: 16,
+	})
+	sw, gen := newRecordedSwitch(t, false, rec, nil)
+	var buf []traffic.Packet
+	want := map[int64]Snapshot{}
+	for slot := 0; slot < 300; slot++ {
+		buf = gen.Generate(slot, buf[:0])
+		if err := sw.RunSlot(buf); err != nil {
+			t.Fatal(err)
+		}
+		if (slot+1)%64 == 0 {
+			var s Snapshot
+			sw.Snapshot(&s)
+			s.PerInput = append([]int64(nil), s.PerInput...)
+			s.PerChannel = append([]int64(nil), s.PerChannel...)
+			want[int64(slot+1)] = s
+		}
+	}
+	got := rec.Snapshots()
+	if len(got) != len(want) {
+		t.Fatalf("recorded %d snapshots, want %d", len(got), len(want))
+	}
+	for _, g := range got {
+		w, ok := want[g.Slot]
+		if !ok {
+			t.Fatalf("recorded snapshot at unexpected slot %d", g.Slot)
+		}
+		if g.Offered != w.Offered || g.Granted != w.Granted ||
+			g.InputBlocked != w.InputBlocked || g.OutputDropped != w.OutputDropped ||
+			g.BusyChannelSlots != w.BusyChannelSlots ||
+			g.FaultLostGrants != w.FaultLostGrants || g.FaultKilled != w.FaultKilled {
+			t.Fatalf("slot %d: recorded %+v, want %+v", g.Slot, g, w)
+		}
+		for i := range w.PerInput {
+			if g.PerInput[i] != w.PerInput[i] {
+				t.Fatalf("slot %d: per_input[%d] = %d, want %d", g.Slot, i, g.PerInput[i], w.PerInput[i])
+			}
+		}
+		for b := range w.PerChannel {
+			if g.PerChannel[b] != w.PerChannel[b] {
+				t.Fatalf("slot %d: per_channel[%d] = %d, want %d", g.Slot, b, g.PerChannel[b], w.PerChannel[b])
+			}
+		}
+	}
+	if near := rec.NearestSnapshotBefore(200); near == nil || near.Slot != 192 {
+		t.Fatalf("NearestSnapshotBefore(200) = %v, want slot 192", near)
+	}
+}
+
+// TestFlightRecorderFaultTransitions checks mask-transition recording is
+// edge-triggered and internally consistent: per channel, each transition's
+// From matches the previous transition's To, starting from Healthy.
+func TestFlightRecorderFaultTransitions(t *testing.T) {
+	rec := telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{
+		Ports: 4, FaultCap: 1 << 16,
+	})
+	sw, gen := newRecordedSwitch(t, false, rec, nil)
+	var buf []traffic.Packet
+	for slot := 0; slot < 500; slot++ {
+		buf = gen.Generate(slot, buf[:0])
+		if err := sw.RunSlot(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trans := rec.FaultTransitions()
+	if len(trans) == 0 {
+		t.Fatal("Markov faults over 500 slots produced no transitions")
+	}
+	state := map[[2]int32]uint8{} // (port, channel) → last To
+	lastSlot := int64(-1)
+	for _, tr := range trans {
+		if tr.Slot < lastSlot {
+			t.Fatalf("transitions out of slot order: %d after %d", tr.Slot, lastSlot)
+		}
+		lastSlot = tr.Slot
+		key := [2]int32{tr.Port, tr.Channel}
+		if prev := state[key]; tr.From != prev {
+			t.Fatalf("port %d channel %d: transition From=%d, previous state %d", tr.Port, tr.Channel, tr.From, prev)
+		}
+		if tr.From == tr.To {
+			t.Fatalf("no-op transition recorded: %+v", tr)
+		}
+		state[key] = tr.To
+	}
+}
+
+// TestRecorderTraceConflict checks New rejects a config carrying both a
+// recorder and a distinct decision tracer (the events would be recorded
+// twice), but accepts Trace pointing at the recorder's own tracer.
+func TestRecorderTraceConflict(t *testing.T) {
+	const n, k = 4, 8
+	rec := telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{Ports: n})
+	_, err := New(Config{
+		N: n, Conv: circ(k, 1, 1), Seed: 1,
+		Recorder: rec, Trace: telemetry.NewDecisionTracer(n, 8),
+	})
+	if err == nil || !strings.Contains(err.Error(), "decision tracer") {
+		t.Fatalf("distinct Trace+Recorder accepted: %v", err)
+	}
+	sw, err := New(Config{
+		N: n, Conv: circ(k, 1, 1), Seed: 1,
+		Recorder: rec, Trace: rec.Decisions(),
+	})
+	if err != nil {
+		t.Fatalf("Trace = Recorder.Decisions() rejected: %v", err)
+	}
+	sw.Finalize()
+}

@@ -79,6 +79,14 @@ type Config struct {
 	// must have been built with NewDecisionTracer(N, …). Nil disables
 	// tracing; the disabled path is allocation-free.
 	Trace *telemetry.DecisionTracer
+	// Recorder, when non-nil, attaches an always-on flight recorder: the
+	// switch adopts the recorder's decision tracer as its Trace sink
+	// (setting both to different tracers is an error — the events would
+	// be recorded twice), takes a counter Snapshot into the recorder's
+	// ring every Recorder.SnapshotEvery() slots, and records every
+	// fault-mask transition (channel state changes, not per-slot state)
+	// when Faults is set. Recording is allocation-free on the slot path.
+	Recorder *telemetry.FlightRecorder
 	// Remote, when non-nil, delegates every slot's scheduling decisions
 	// to a batch scheduler running elsewhere — the cluster controller in
 	// internal/cluster, which shards the per-port schedulers across
@@ -138,6 +146,14 @@ type Switch struct {
 	// lane 0 so they interleave with the controller's per-link RPC spans.
 	remoteSpans *telemetry.SpanTracer
 
+	// Flight-recorder state: rec mirrors cfg.Recorder, recPrevMask holds
+	// the last observed channel states (N·k, faulted runs only) so mask
+	// transitions are recorded as edges, and recScratch is the reused
+	// Snapshot buffer for cadenced counter snapshots.
+	rec         *telemetry.FlightRecorder
+	recPrevMask []core.ChannelState
+	recScratch  Snapshot
+
 	// Allocation-rate sampling state for Stats.Engine.AllocsPerSlot.
 	memStats      runtime.MemStats
 	lastMallocs   uint64
@@ -170,6 +186,13 @@ func New(cfg Config) (*Switch, error) {
 	selName := cfg.Selector
 	if selName == "" {
 		selName = "round-robin"
+	}
+	if cfg.Recorder != nil {
+		if cfg.Trace == nil {
+			cfg.Trace = cfg.Recorder.Decisions()
+		} else if cfg.Trace != cfg.Recorder.Decisions() {
+			return nil, fmt.Errorf("interconnect: Trace and Recorder carry different decision tracers; use the recorder's (Recorder.Decisions()) or drop Trace")
+		}
 	}
 	if cfg.Trace != nil && cfg.Trace.Ports() != cfg.N {
 		return nil, fmt.Errorf("interconnect: tracer built for %d ports, switch has %d",
@@ -249,6 +272,17 @@ func New(cfg Config) (*Switch, error) {
 		// cleanup must not reference sw itself (the engine does not point
 		// back at the switch, so sw stays collectible).
 		runtime.AddCleanup(sw, func(e *engine) { e.shutdown() }, sw.eng)
+	}
+	if cfg.Recorder != nil {
+		sw.rec = cfg.Recorder
+		sw.rec.EnsureShape(cfg.N, k)
+		// Pre-size the scratch snapshot so cadenced recording never
+		// allocates on the slot path.
+		sw.recScratch.PerInput = make([]int64, cfg.N)
+		sw.recScratch.PerChannel = make([]int64, k)
+		if cfg.Faults != nil {
+			sw.recPrevMask = make([]core.ChannelState, cfg.N*k)
+		}
 	}
 	runtime.ReadMemStats(&sw.memStats)
 	sw.lastMallocs = sw.memStats.Mallocs
@@ -333,6 +367,9 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 		for o, p := range s.ports {
 			m := s.cfg.Faults.Mask(o)
 			p.mask = m
+			if s.recPrevMask != nil {
+				s.recordMaskTransitions(slot, o, m)
+			}
 			if m == nil {
 				healthy += k
 				continue
@@ -435,10 +472,63 @@ func (s *Switch) RunSlot(packets []traffic.Packet) error {
 	}
 	s.stats.Slots++
 	s.slotsDone.Store(int64(s.stats.Slots))
+	if s.rec != nil && int64(s.stats.Slots)%s.rec.SnapshotEvery() == 0 {
+		s.recordSnapshot()
+	}
 	if s.stats.Slots-s.lastAllocSlot >= memSampleEvery {
 		s.sampleAllocs()
 	}
 	return nil
+}
+
+// recordMaskTransitions diffs port o's new channel-state mask against the
+// last recorded states and appends one FaultTransition per changed
+// channel to the flight recorder. A nil mask means all-healthy. Runs on
+// the switch goroutine during the fault phase; allocation-free.
+func (s *Switch) recordMaskTransitions(slot int64, o int, m []core.ChannelState) {
+	base := o * s.k
+	if m == nil {
+		for c := 0; c < s.k; c++ {
+			if prev := s.recPrevMask[base+c]; prev != core.Healthy {
+				s.rec.RecordFaultTransition(telemetry.FaultTransition{
+					Slot: slot, Port: int32(o), Channel: int32(c),
+					From: uint8(prev), To: uint8(core.Healthy),
+				})
+				s.recPrevMask[base+c] = core.Healthy
+			}
+		}
+		return
+	}
+	for c, st := range m {
+		if prev := s.recPrevMask[base+c]; prev != st {
+			s.rec.RecordFaultTransition(telemetry.FaultTransition{
+				Slot: slot, Port: int32(o), Channel: int32(c),
+				From: uint8(prev), To: uint8(st),
+			})
+			s.recPrevMask[base+c] = st
+		}
+	}
+}
+
+// recordSnapshot copies the switch's current cumulative counters into the
+// flight recorder's snapshot ring. Runs between slots on the slot-driving
+// goroutine; allocation-free (both the scratch Snapshot and the ring
+// entry's slices are pre-sized).
+func (s *Switch) recordSnapshot() {
+	s.Snapshot(&s.recScratch)
+	rec := s.rec.BeginSnapshot()
+	rec.Slot = s.recScratch.Slots
+	rec.Offered = s.recScratch.Offered
+	rec.Granted = s.recScratch.Granted
+	rec.InputBlocked = s.recScratch.InputBlocked
+	rec.OutputDropped = s.recScratch.OutputDropped
+	rec.Preempted = s.recScratch.Preempted
+	rec.BusyChannelSlots = s.recScratch.BusyChannelSlots
+	rec.FaultLostGrants = s.recScratch.FaultLostGrants
+	rec.FaultKilled = s.recScratch.FaultKilled
+	copy(rec.PerInput, s.recScratch.PerInput)
+	copy(rec.PerChannel, s.recScratch.PerChannel)
+	s.rec.CommitSnapshot()
 }
 
 // runSlotRemote is the cluster-mode scheduling phase: every port's prepare

@@ -3,6 +3,7 @@ package interconnect
 import (
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"wdmsched/internal/metrics"
 	"wdmsched/internal/telemetry"
@@ -172,4 +173,23 @@ func (s *Switch) registerTelemetry(r *telemetry.Registry) {
 		r.CounterFunc("wdm_trace_events_emitted_total", "Decision events emitted.", nil, t.Emitted)
 		r.CounterFunc("wdm_trace_events_dropped_total", "Decision events overwritten by ring wraparound.", nil, t.Dropped)
 	}
+
+	// Flight-recorder health, when a recorder is attached.
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.RegisterTelemetry(r)
+	}
+
+	// Slot-latency SLO burn rate: the scheduling phase should finish
+	// within slotSLOBudget for at least slotSLOObjective of slots.
+	telemetry.RegisterSLO(r, "slot", es.SlotLatency, slotSLOBudget, slotSLOObjective)
 }
+
+// slotSLOBudget and slotSLOObjective define the engine's slot-latency SLO
+// exposed as wdm_slo_* gauges: 99.9% of scheduling phases within 1ms —
+// generous against the measured µs-scale slot times, so a sustained burn
+// rate above 1 always signals real scheduling-path trouble rather than
+// noise.
+const (
+	slotSLOBudget    = time.Millisecond
+	slotSLOObjective = 0.999
+)

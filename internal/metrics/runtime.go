@@ -147,6 +147,28 @@ func (h *DurationHistogram) Quantile(q float64) time.Duration {
 	return time.Duration(max)
 }
 
+// FractionAbove returns the fraction of observations whose bucket lies
+// entirely above d — the error fraction of a latency SLO with budget d,
+// resolved to the histogram's power-of-two bucket granularity (an
+// observation in d's own bucket counts as within budget). Returns 0 with
+// no samples.
+func (h *DurationHistogram) FractionAbove(d time.Duration) float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	over := bits.Len64(uint64(ns)) // d's own bucket index
+	var above int64
+	for b := over + 1; b < durationBuckets; b++ {
+		above += atomic.LoadInt64(&h.buckets[b])
+	}
+	return float64(above) / float64(n)
+}
+
 // Reset clears the histogram.
 func (h *DurationHistogram) Reset() {
 	for b := range h.buckets {

@@ -1,0 +1,140 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"wdmsched/internal/telemetry"
+)
+
+// Well-known incident-bundle entry names. Per-engine artifacts live under
+// engines/<index>-<name>/ so a run with duplicate engine names still
+// produces unique entries.
+const (
+	BundleConfigName   = "config.json"
+	BundleIncidentName = "incident.json"
+	BundlePresnapName  = "presnap.json"
+)
+
+// DumpBundle writes a self-contained incident bundle: the effective run
+// config, the incident (when the dump was triggered by one), the nearest
+// pre-violation counter snapshot, and every engine's flight-recorder
+// rings as JSONL — plus span dumps and per-node metric scrapes for
+// cluster engines. Safe only at a slot boundary (the rings are
+// single-writer); Run calls it from violation, panic recovery and the
+// RequestDump path, all of which sit at one.
+func (h *Harness) DumpBundle(path, trigger string, slot int64, inc *Incident) error {
+	start := time.Now()
+	w := telemetry.NewBundleWriter(h.opt.Tool, trigger, slot)
+	if err := w.AddJSON(BundleConfigName, h.cfg); err != nil {
+		return err
+	}
+	if inc != nil {
+		if err := w.AddJSON(BundleIncidentName, inc); err != nil {
+			return err
+		}
+		// The nearest snapshot strictly before the incident slot is the
+		// last resync checkpoint that passed — the clean baseline a
+		// replay must walk back to.
+		if pre := h.engines[0].rec.NearestSnapshotBefore(inc.Slot - 1); pre != nil {
+			if err := w.AddJSON(BundlePresnapName, pre); err != nil {
+				return err
+			}
+		}
+	}
+	for i, e := range h.engines {
+		dir := fmt.Sprintf("engines/%d-%s/", i, e.name)
+		add := func(name string, fill func(io.Writer) error) error {
+			return w.AddFunc(dir+name, fill)
+		}
+		if err := add("decisions.jsonl", e.rec.Decisions().WriteJSONL); err != nil {
+			return err
+		}
+		if err := add("snapshots.jsonl", e.rec.WriteSnapshotsJSONL); err != nil {
+			return err
+		}
+		if err := add("faults.jsonl", e.rec.WriteFaultsJSONL); err != nil {
+			return err
+		}
+		if e.ctrl == nil {
+			continue
+		}
+		if err := add("nodes.jsonl", e.rec.WriteNodesJSONL); err != nil {
+			return err
+		}
+		if err := add("ctrl.spans", e.ctrl.WriteSpans); err != nil {
+			return err
+		}
+		for j, node := range e.nodes {
+			if err := add(fmt.Sprintf("node%d.spans", j), node.WriteSpans); err != nil {
+				return err
+			}
+			reg := e.nodeRegs[j]
+			if err := add(fmt.Sprintf("node%d.metrics", j), func(out io.Writer) error {
+				return telemetry.WritePrometheus(out, reg.Snapshot())
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.WriteFile(path); err != nil {
+		return err
+	}
+	// Book the dump into every recorder's health gauges
+	// (wdm_recorder_dumps_total, wdm_recorder_last_dump_seconds).
+	d := time.Since(start)
+	for _, e := range h.engines {
+		e.rec.NoteDump(d)
+	}
+	return nil
+}
+
+// BundleConfig decodes the run configuration embedded in a bundle.
+func BundleConfig(b *telemetry.Bundle) (Config, error) {
+	var cfg Config
+	raw, err := b.File(BundleConfigName)
+	if err != nil {
+		return cfg, err
+	}
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return cfg, fmt.Errorf("bundle %s: %w", BundleConfigName, err)
+	}
+	return cfg, nil
+}
+
+// BundleIncident decodes the incident a bundle was dumped for, or
+// (nil, nil) for bundles without one (a requested/SIGQUIT dump).
+func BundleIncident(b *telemetry.Bundle) (*Incident, error) {
+	if !b.Has(BundleIncidentName) {
+		return nil, nil
+	}
+	raw, err := b.File(BundleIncidentName)
+	if err != nil {
+		return nil, err
+	}
+	inc := new(Incident)
+	if err := json.Unmarshal(raw, inc); err != nil {
+		return nil, fmt.Errorf("bundle %s: %w", BundleIncidentName, err)
+	}
+	return inc, nil
+}
+
+// BundlePresnap decodes the pre-violation counter snapshot, or (nil, nil)
+// when the bundle has none (violation at the first resync, or no
+// incident at all).
+func BundlePresnap(b *telemetry.Bundle) (*telemetry.SnapshotRecord, error) {
+	if !b.Has(BundlePresnapName) {
+		return nil, nil
+	}
+	raw, err := b.File(BundlePresnapName)
+	if err != nil {
+		return nil, err
+	}
+	pre := new(telemetry.SnapshotRecord)
+	if err := json.Unmarshal(raw, pre); err != nil {
+		return nil, fmt.Errorf("bundle %s: %w", BundlePresnapName, err)
+	}
+	return pre, nil
+}

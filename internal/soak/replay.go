@@ -1,0 +1,150 @@
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"wdmsched/internal/telemetry"
+)
+
+// ErrNotReplayable marks incidents outside the determinism contract:
+// span-* invariants depend on wall-clock span timings, which no replay
+// can reproduce. Everything else in an incident bundle — arrivals,
+// faults, scheduling, and therefore the conservation/ledger/equivalence/
+// bulk counters — derives from recorded seeds alone.
+var ErrNotReplayable = errors.New("incident is not deterministically replayable")
+
+// ReplayReport is the outcome of re-running a bundle's recorded window.
+type ReplayReport struct {
+	// Config is the bundle's embedded run configuration with the slot
+	// budget clamped to the incident window.
+	Config Config
+	// Original is the bundle's incident; nil for requested dumps.
+	Original *Incident
+	// Replayed is the violation the re-run hit; nil when it ran clean.
+	Replayed *Incident
+	// Presnap is the bundle's pre-violation snapshot and ReplaySnap the
+	// replay's recorded snapshot at the same slot; both non-nil when the
+	// baseline comparison is possible.
+	Presnap    *telemetry.SnapshotRecord
+	ReplaySnap *telemetry.SnapshotRecord
+}
+
+// Replay re-runs the simulation a bundle records, deterministically: the
+// embedded config seeds every generator, fault chain and scheduler
+// exactly as the original run, and the slot budget is clamped one resync
+// interval past the incident slot (the original violation, if
+// deterministic, must fire inside that window). The wall-clock budget is
+// cleared — it is the one config knob a replay cannot honor
+// reproducibly. opt.BundlePath and opt.Report are ignored: a replay
+// never dumps nested bundles or reports.
+func Replay(b *telemetry.Bundle, opt Options) (*ReplayReport, error) {
+	cfg, err := BundleConfig(b)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ReplayReport{}
+	if rep.Original, err = BundleIncident(b); err != nil {
+		return nil, err
+	}
+	if rep.Presnap, err = BundlePresnap(b); err != nil {
+		return nil, err
+	}
+	cfg.Time = 0
+	if rep.Original != nil {
+		window := rep.Original.Slot + cfg.Resync
+		if cfg.Slots <= 0 || cfg.Slots > window {
+			cfg.Slots = window
+		}
+	}
+	rep.Config = cfg
+
+	opt.BundlePath = ""
+	opt.Report = ""
+	h, err := New(cfg, opt)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding recorded run: %w", err)
+	}
+	defer h.Close()
+	h.Run()
+	rep.Replayed = h.Incident()
+	if rep.Presnap != nil {
+		for _, s := range h.engines[0].rec.Snapshots() {
+			if s.Slot == rep.Presnap.Slot {
+				s := s
+				rep.ReplaySnap = &s
+				break
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Verify asserts the replay reproduced the bundle's original violation:
+// same invariant, engine, slot and detail, and — when the bundle carries
+// a pre-violation snapshot still retained by the replay's recorder — an
+// identical counter baseline. A nil return is the forensic all-clear:
+// the incident is deterministic and the bundle alone reproduces it.
+func (r *ReplayReport) Verify() error {
+	orig := r.Original
+	if orig == nil {
+		return errors.New("bundle carries no incident (requested dump?) — nothing to verify")
+	}
+	if strings.HasPrefix(orig.Invariant, "span-") {
+		return fmt.Errorf("%w: %s depends on wall-clock span timings", ErrNotReplayable, orig.Invariant)
+	}
+	got := r.Replayed
+	if got == nil {
+		return fmt.Errorf("replay ran %d slots clean: %s violation at slot %d did not reproduce",
+			r.Config.Slots, orig.Invariant, orig.Slot)
+	}
+	if got.Invariant != orig.Invariant || got.Engine != orig.Engine ||
+		got.Slot != orig.Slot || got.Detail != orig.Detail {
+		return fmt.Errorf("replay diverged: got [%s] engine %s slot %d: %s, want [%s] engine %s slot %d: %s",
+			got.Invariant, got.Engine, got.Slot, got.Detail,
+			orig.Invariant, orig.Engine, orig.Slot, orig.Detail)
+	}
+	if r.Presnap != nil && r.ReplaySnap != nil {
+		if err := diffSnapshotRecords(r.Presnap, r.ReplaySnap); err != nil {
+			return fmt.Errorf("pre-violation baseline at slot %d diverged: %w", r.Presnap.Slot, err)
+		}
+	}
+	return nil
+}
+
+func diffSnapshotRecords(want, got *telemetry.SnapshotRecord) error {
+	type field struct {
+		name string
+		w, g int64
+	}
+	for _, f := range []field{
+		{"offered", want.Offered, got.Offered},
+		{"granted", want.Granted, got.Granted},
+		{"input_blocked", want.InputBlocked, got.InputBlocked},
+		{"output_dropped", want.OutputDropped, got.OutputDropped},
+		{"preempted", want.Preempted, got.Preempted},
+		{"busy_channel_slots", want.BusyChannelSlots, got.BusyChannelSlots},
+		{"fault_lost_grants", want.FaultLostGrants, got.FaultLostGrants},
+		{"fault_killed", want.FaultKilled, got.FaultKilled},
+	} {
+		if f.w != f.g {
+			return fmt.Errorf("%s: recorded %d, replayed %d", f.name, f.w, f.g)
+		}
+	}
+	if len(want.PerInput) != len(got.PerInput) || len(want.PerChannel) != len(got.PerChannel) {
+		return fmt.Errorf("shape: recorded %dx%d, replayed %dx%d",
+			len(want.PerInput), len(want.PerChannel), len(got.PerInput), len(got.PerChannel))
+	}
+	for i := range want.PerInput {
+		if want.PerInput[i] != got.PerInput[i] {
+			return fmt.Errorf("per_input[%d]: recorded %d, replayed %d", i, want.PerInput[i], got.PerInput[i])
+		}
+	}
+	for b := range want.PerChannel {
+		if want.PerChannel[b] != got.PerChannel[b] {
+			return fmt.Errorf("per_channel[%d]: recorded %d, replayed %d", b, want.PerChannel[b], got.PerChannel[b])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,294 @@
+package soak
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wdmsched/internal/telemetry"
+	"wdmsched/internal/traffic"
+)
+
+// testConfig is a small, fast chaos run: both local engines under Markov
+// faults, resync every 250 slots.
+func testConfig() Config {
+	return Config{
+		Engines: []string{"sequential", "distributed"}, Workload: "heavytail",
+		N: 4, K: 8, Kind: "circular", D: 3, Scheduler: "exact",
+		Load: 0.7, Alpha: 1.5, Zipf: 0.8, Hold: 1,
+		Slots: 2000, Resync: 250, Seed: 7, Nodes: 2,
+		ConvFail: 0.002, ConvRepair: 0.05, Dark: 0.001, Restore: 0.05,
+	}
+}
+
+// TestHarnessCleanRun: a fault-free-invariant run exits 0, records one
+// counter snapshot per resync, and leaves no incident.
+func TestHarnessCleanRun(t *testing.T) {
+	var out bytes.Buffer
+	h, err := New(testConfig(), Options{Stdout: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if code := h.Run(); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, out.String())
+	}
+	if h.Incident() != nil {
+		t.Fatalf("clean run left an incident: %+v", h.Incident())
+	}
+	snaps := h.engines[0].rec.Snapshots()
+	if len(snaps) != 8 {
+		t.Fatalf("recorded %d snapshots over 2000 slots at resync 250, want 8", len(snaps))
+	}
+	if !strings.HasPrefix(out.String(), "config         {") {
+		t.Fatalf("first output line is not the effective config:\n%s", out.String())
+	}
+}
+
+// TestChaosbugBundleReplayVerify is the forensic pipeline in one test:
+// the ledger chaosbug fires, the violation dumps a bundle, and Replay +
+// Verify prove the bundle alone reproduces the incident — including the
+// pre-violation counter baseline.
+func TestChaosbugBundleReplayVerify(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "incident.tgz")
+	cfg := testConfig()
+	cfg.Slots = 4000
+	cfg.ChaosBug = "ledger"
+	h, err := New(cfg, Options{BundlePath: bundle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if code := h.Run(); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	orig := h.Incident()
+	if orig == nil || orig.Invariant != "ledger" {
+		t.Fatalf("incident %+v, want ledger violation", orig)
+	}
+
+	b, err := telemetry.ReadBundleFile(bundle)
+	if err != nil {
+		t.Fatalf("bundle does not decode: %v", err)
+	}
+	for _, name := range []string{
+		BundleConfigName, BundleIncidentName,
+		"engines/0-sequential/decisions.jsonl",
+		"engines/0-sequential/snapshots.jsonl",
+		"engines/0-sequential/faults.jsonl",
+		"engines/1-distributed/snapshots.jsonl",
+	} {
+		if !b.Has(name) {
+			t.Errorf("bundle missing %s (has %v)", name, b.Names())
+		}
+	}
+	if inc, err := BundleIncident(b); err != nil || inc.Detail != orig.Detail {
+		t.Fatalf("bundle incident %+v (%v), want %+v", inc, err, orig)
+	}
+
+	rep, err := Replay(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Verify(); err != nil {
+		t.Fatalf("replay did not reproduce: %v", err)
+	}
+	if orig.Slot > cfg.Resync {
+		// The violation fired after the first resync, so the bundle must
+		// carry a clean pre-violation baseline and the replay must have
+		// matched it.
+		if rep.Presnap == nil || rep.ReplaySnap == nil {
+			t.Fatalf("pre-violation baseline not compared: presnap %v, replay %v", rep.Presnap, rep.ReplaySnap)
+		}
+	}
+
+	// A tampered incident must fail verification.
+	tampered := *rep
+	bad := *tampered.Original
+	bad.Slot++
+	tampered.Original = &bad
+	if err := tampered.Verify(); err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("tampered incident verified: %v", err)
+	}
+}
+
+// TestClusterBundleContents: a cluster-engine bundle carries the node
+// rings, span dumps and per-node metric scrapes.
+func TestClusterBundleContents(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "incident.tgz")
+	cfg := testConfig()
+	cfg.Engines = []string{"cluster"}
+	cfg.Slots = 500
+	h, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if code := h.Run(); code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if err := h.DumpBundle(bundle, "request", cfg.Slots, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, err := telemetry.ReadBundleFile(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"engines/0-cluster/nodes.jsonl",
+		"engines/0-cluster/ctrl.spans",
+		"engines/0-cluster/node0.spans",
+		"engines/0-cluster/node1.spans",
+		"engines/0-cluster/node0.metrics",
+		"engines/0-cluster/node1.metrics",
+	} {
+		if !b.Has(name) {
+			t.Errorf("cluster bundle missing %s (has %v)", name, b.Names())
+		}
+	}
+	raw, err := b.File("engines/0-cluster/node0.metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "wdm_node_") {
+		t.Errorf("node metric scrape carries no wdm_node_* series:\n%s", raw)
+	}
+	if inc, err := BundleIncident(b); inc != nil || err != nil {
+		t.Fatalf("requested dump decoded an incident: %v, %v", inc, err)
+	}
+	if _, err := Replay(b, Options{}); err != nil {
+		t.Fatalf("replay of a requested dump: %v", err)
+	}
+}
+
+// TestRequestDump: an asynchronous dump request (the SIGQUIT path) writes
+// a suffixed bundle at the next slot boundary and the run continues to a
+// clean exit.
+func TestRequestDump(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "incident.tgz")
+	cfg := testConfig()
+	cfg.Slots = 500
+	var errb bytes.Buffer
+	h, err := New(cfg, Options{Stderr: &errb, BundlePath: bundle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	h.RequestDump()
+	if code := h.Run(); code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, errb.String())
+	}
+	want := filepath.Join(dir, "incident-sigquit-1.tgz")
+	b, err := telemetry.ReadBundleFile(want)
+	if err != nil {
+		t.Fatalf("requested bundle not written: %v\nstderr: %s", err, errb.String())
+	}
+	if b.Manifest.Trigger != "sigquit" || b.Manifest.Slot != 1 {
+		t.Errorf("manifest %+v, want sigquit at slot 1", b.Manifest)
+	}
+	if _, err := os.Stat(bundle); !os.IsNotExist(err) {
+		t.Errorf("clean run wrote a violation bundle: %v", err)
+	}
+}
+
+// panicGen wraps a generator and panics at a chosen slot — the fault a
+// recovered slot-loop boundary must turn into a "panic" incident bundle.
+type panicGen struct {
+	traffic.Generator
+	at int
+}
+
+func (p panicGen) Generate(slot int, buf []traffic.Packet) []traffic.Packet {
+	if slot == p.at {
+		panic("injected test panic")
+	}
+	return p.Generator.Generate(slot, buf)
+}
+
+// TestPanicBundle: a panic escaping slot processing is recovered at the
+// loop boundary, dumped as an incident bundle, and reported as exit 1 —
+// not a crashed process with the evidence unsaved.
+func TestPanicBundle(t *testing.T) {
+	dir := t.TempDir()
+	bundle := filepath.Join(dir, "incident.tgz")
+	var errb bytes.Buffer
+	h, err := New(testConfig(), Options{Stderr: &errb, BundlePath: bundle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	h.engines[0].gen = panicGen{Generator: h.engines[0].gen, at: 300}
+	if code := h.Run(); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	inc := h.Incident()
+	if inc == nil || inc.Invariant != "panic" || !strings.Contains(inc.Detail, "injected test panic") {
+		t.Fatalf("incident %+v, want recovered panic", inc)
+	}
+	b, err := telemetry.ReadBundleFile(bundle)
+	if err != nil {
+		t.Fatalf("panic bundle not written: %v\nstderr: %s", err, errb.String())
+	}
+	if b.Manifest.Trigger != "violation" {
+		t.Errorf("manifest trigger %q", b.Manifest.Trigger)
+	}
+}
+
+// TestVerifyRefusals: incidents outside the determinism contract are
+// refused, and a missing incident is an explicit error.
+func TestVerifyRefusals(t *testing.T) {
+	rep := &ReplayReport{}
+	if err := rep.Verify(); err == nil || !strings.Contains(err.Error(), "no incident") {
+		t.Fatalf("verify without incident: %v", err)
+	}
+	rep.Original = &Incident{Invariant: "span-containment"}
+	if err := rep.Verify(); err == nil || !strings.Contains(err.Error(), "not deterministically replayable") {
+		t.Fatalf("span incident not refused: %v", err)
+	}
+	rep.Original = &Incident{Invariant: "ledger", Slot: 500}
+	if err := rep.Verify(); err == nil || !strings.Contains(err.Error(), "did not reproduce") {
+		t.Fatalf("clean replay verified: %v", err)
+	}
+}
+
+func TestSuffixPath(t *testing.T) {
+	for in, want := range map[string]string{
+		"incident.tgz":        "incident-x.tgz",
+		"incident.tar.gz":     "incident-x.tar.gz",
+		"dir.v1/incident.tgz": "dir.v1/incident-x.tgz",
+		"incident":            "incident-x",
+	} {
+		if got := suffixPath(in, "-x"); got != want {
+			t.Errorf("suffixPath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestConfigValidate mirrors the CLI usage-error cases.
+func TestConfigValidate(t *testing.T) {
+	cases := map[string]func(*Config){
+		"no engines":       func(c *Config) { c.Engines = nil },
+		"bad engine":       func(c *Config) { c.Engines = []string{"quantum"} },
+		"no budget":        func(c *Config) { c.Slots, c.Time = 0, 0 },
+		"bad resync":       func(c *Config) { c.Resync = 0 },
+		"bad chaosbug":     func(c *Config) { c.ChaosBug = "gremlins" },
+		"equiv one engine": func(c *Config) { c.Engines = []string{"sequential"}; c.ChaosBug = "equivalence" },
+		"trace sans path":  func(c *Config) { c.Workload = "trace" },
+	}
+	for name, mutate := range cases {
+		cfg := testConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+	cfg := testConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("base config rejected: %v", err)
+	}
+}

@@ -456,6 +456,62 @@ func NewSpanTracer(lanes, perLaneCap int) *SpanTracer {
 	return telemetry.NewSpanTracer(lanes, perLaneCap)
 }
 
+// FlightRecorder is the always-on black-box recorder: bounded,
+// allocation-free rings retaining the last window of scheduling
+// decisions, counter snapshots, fault-mask transitions and (cluster
+// runs) per-node health samples. Attach one via SwitchConfig.Recorder —
+// the switch adopts its decision tracer, records counter snapshots at
+// the configured cadence, and diffs fault masks edge-triggered — then
+// dump its rings into an incident bundle with an IncidentBundleWriter.
+type FlightRecorder = telemetry.FlightRecorder
+
+// FlightRecorderConfig sizes the recorder's rings and sets the counter
+// snapshot cadence.
+type FlightRecorderConfig = telemetry.FlightRecorderConfig
+
+// RecorderSnapshot is one recorded counter snapshot (FlightRecorder
+// Snapshots / NearestSnapshotBefore).
+type RecorderSnapshot = telemetry.SnapshotRecord
+
+// RecorderFaultTransition is one edge-triggered channel-state change.
+type RecorderFaultTransition = telemetry.FaultTransition
+
+// RecorderNodeSample is one per-node health/RPC sample from a cluster run.
+type RecorderNodeSample = telemetry.NodeSample
+
+// NewFlightRecorder builds a recorder; Ports must match the switch shape.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
+	return telemetry.NewFlightRecorder(cfg)
+}
+
+// IncidentBundleWriter assembles a self-contained incident bundle — a
+// gzip tarball with a versioned manifest (entry sizes and CRCs) listed
+// first, so truncation and corruption are detectable on read.
+type IncidentBundleWriter = telemetry.BundleWriter
+
+// IncidentBundle is a decoded, integrity-checked incident bundle.
+type IncidentBundle = telemetry.Bundle
+
+// IncidentBundleManifest describes a bundle: producing tool, trigger,
+// slot, wall-clock time and the file table.
+type IncidentBundleManifest = telemetry.BundleManifest
+
+// NewIncidentBundleWriter starts a bundle dumped by tool for the given
+// trigger ("violation", "sigquit", ...) at the given slot.
+func NewIncidentBundleWriter(tool, trigger string, slot int64) *IncidentBundleWriter {
+	return telemetry.NewBundleWriter(tool, trigger, slot)
+}
+
+// ReadIncidentBundle decodes and integrity-checks a bundle stream.
+func ReadIncidentBundle(r io.Reader) (*IncidentBundle, error) {
+	return telemetry.ReadBundle(r)
+}
+
+// ReadIncidentBundleFile decodes and integrity-checks a bundle file.
+func ReadIncidentBundleFile(path string) (*IncidentBundle, error) {
+	return telemetry.ReadBundleFile(path)
+}
+
 // CloseScheduler releases background resources a scheduler may hold — the
 // parallel Section IV-B scheduler keeps d persistent worker goroutines
 // between Schedule calls. It is a no-op for schedulers without such
