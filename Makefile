@@ -3,8 +3,10 @@
 # detector over the concurrent packages (the slot engine's worker pool in
 # internal/interconnect and the parallel breaker pool in internal/core).
 # CI (.github/workflows/ci.yml) enforces `fmt-check` and `check` on every
-# push and pull request, plus short fuzz and benchmark smoke jobs and the
-# bounded `soak-smoke` chaos run (SOAKSLOTS slots, all three engines);
+# push and pull request, plus short fuzz and benchmark smoke jobs, the
+# `serve-smoke` grant-service integration run (wdmserve driven by wdmload
+# over loopback) and the bounded `soak-smoke` chaos run (SOAKSLOTS slots,
+# all three engines);
 # `soak` (SOAKTIME wall-clock budget) is the long form the scheduled
 # nightly workflow (.github/workflows/nightly.yml) runs per engine.
 
@@ -20,9 +22,15 @@ SOAKSLOTS ?= 20000
 # with wdmreplay. The nightly workflow sets SOAKSEED from the UTC date so
 # each night explores a different trajectory while staying reproducible.
 SOAKSEED ?= 1
+# Knobs for the `make serve` / `make load` convenience pair.
+SERVEADDR ?= 127.0.0.1:9411
+LOADCONNS ?= 4
+LOADRATE ?= 20000
+LOADREQS ?= 100000
 
 .PHONY: check vet build test race fmt fmt-check bench fuzz fuzz-short output trace \
-	bench-save bench-diff examples-smoke cluster-smoke soak soak-smoke replay-verify
+	bench-save bench-diff examples-smoke cluster-smoke serve-smoke soak soak-smoke \
+	replay-verify serve load
 
 check: vet build test race
 
@@ -37,7 +45,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/interconnect ./internal/core ./internal/telemetry \
-		./internal/metrics ./internal/cluster ./internal/traffic ./internal/soak
+		./internal/metrics ./internal/cluster ./internal/traffic ./internal/soak \
+		./internal/grant
 
 fmt:
 	gofmt -l -w .
@@ -50,7 +59,7 @@ fmt-check:
 # Convenience targets (not part of the tier-1 gate).
 
 bench:
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' .
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' . ./internal/grant
 
 fuzz:
 	$(GO) test -fuzz FuzzSeqDistStatsEquivalence -fuzztime $(FUZZTIME) ./internal/interconnect
@@ -90,6 +99,24 @@ examples-smoke:
 # engines, live /metrics scrape included.
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# Grant-service integration smoke: wdmserve driven by wdmload over
+# loopback, ledger reconciled byte-exactly against the client report,
+# wdm_grant_* telemetry scraped live, clean SIGTERM drain asserted.
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
+# Serve live traffic locally (ctrl-C / SIGTERM drains gracefully and
+# prints the final ledger; see DESIGN.md §15 and README "serving live
+# traffic").
+serve:
+	$(GO) run ./cmd/wdmserve -grant $(SERVEADDR) -listen 127.0.0.1:9480
+
+# Drive a running `make serve` with the open-loop generator; the report
+# lands in wdmload_report.json (not committed; see .gitignore).
+load:
+	$(GO) run ./cmd/wdmload -server $(SERVEADDR) -conns $(LOADCONNS) \
+		-rate $(LOADRATE) -requests $(LOADREQS) -o wdmload_report.json
 
 # Adversarial chaos soak: all three engines in lockstep on heavy-tailed
 # arrivals under Markov channel/converter faults and cluster transport

@@ -297,7 +297,11 @@ func runEngineStudy(cfg wdm.ExperimentConfig) ([]*wdm.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []*wdm.Table{t, kt}, nil
+	gt, err := runGrantStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*wdm.Table{t, kt, gt}, nil
 }
 
 // runEngineModes compares the sequential loop against the persistent

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"wdmsched/internal/flagcheck"
+)
+
+func helpFlags(t *testing.T) map[string]flagcheck.Flag {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-h) = %d, want 2", code)
+	}
+	flags := flagcheck.Parse(errb.String())
+	if len(flags) == 0 {
+		t.Fatalf("no flags parsed from help output:\n%s", errb.String())
+	}
+	return flags
+}
+
+// TestFlagDefaults pins the load-generator defaults DESIGN.md §15
+// documents.
+func TestFlagDefaults(t *testing.T) {
+	flags := helpFlags(t)
+	want := map[string]string{
+		"server":   `"127.0.0.1:9411"`,
+		"tenant":   `"wdmload"`,
+		"conns":    "4",
+		"rate":     "10000",
+		"requests": "50000",
+		"arrivals": `"poisson"`,
+		"alpha":    "1.5",
+		"hold":     "2",
+		"seed":     "1",
+		"timeout":  "1m0s",
+	}
+	for name, def := range want {
+		f, ok := flags[name]
+		if !ok {
+			t.Errorf("flag -%s missing from help output", name)
+			continue
+		}
+		if f.Default != def {
+			t.Errorf("-%s default = %s, want %s", name, f.Default, def)
+		}
+	}
+}
+
+// TestFlagUsageNamesUnits requires every quantity-bearing flag to say
+// what it is measured in.
+func TestFlagUsageNamesUnits(t *testing.T) {
+	flags := helpFlags(t)
+	quantity := []string{"conns", "rate", "requests", "alpha", "hold", "seed", "timeout"}
+	for _, name := range quantity {
+		f, ok := flags[name]
+		if !ok {
+			t.Errorf("flag -%s missing from help output", name)
+			continue
+		}
+		if !flagcheck.NamesUnit(f.Usage) {
+			t.Errorf("-%s usage names no unit: %q", name, f.Usage)
+		}
+	}
+}
+
+// TestBadFlagExitCodes pins the exit-code contract: 2 for parse errors,
+// 1 for semantic validation failures.
+func TestBadFlagExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("unknown flag: run = %d, want 2", code)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-arrivals", "bogus"}, &out, &errb); code != 1 {
+		t.Errorf("bad -arrivals: run = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-conns", "0"}, &out, &errb); code != 1 {
+		t.Errorf("-conns 0: run = %d, want 1\nstderr: %s", code, errb.String())
+	}
+}

@@ -39,12 +39,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n           = fs.Int("n", 8, "fibers per side")
 		k           = fs.Int("k", 16, "wavelengths per fiber")
 		kindFlag    = fs.String("kind", "circular", "conversion kind: circular, noncircular, full")
-		d           = fs.Int("d", 3, "conversion degree (odd; ignored for kind=full)")
+		d           = fs.Int("d", 3, "conversion degree in channels (odd; ignored for kind=full)")
 		scheduler   = fs.String("scheduler", "exact", "scheduler: exact, fast, first-available, fast-first-available, break-first-available, fast-break-first-available, parallel-break-first-available, shortest-edge, delta-break(δ), full-range, hopcroft-karp")
 		selector    = fs.String("selector", "round-robin", "tie-break: round-robin, random or fixed-priority")
 		workload    = fs.String("workload", "bernoulli", "workload: bernoulli, hotspot, bursty")
-		load        = fs.Float64("load", 0.8, "offered load per input channel (bernoulli/hotspot)")
-		hot         = fs.Int("hot", 0, "hot output fiber (hotspot)")
+		load        = fs.Float64("load", 0.8, "offered load per input channel, fraction in [0,1] (bernoulli/hotspot)")
+		hot         = fs.Int("hot", 0, "hot output fiber index (hotspot)")
 		hotFrac     = fs.Float64("hotfrac", 0.5, "fraction of traffic to the hot fiber (hotspot)")
 		meanOn      = fs.Float64("on", 8, "mean burst length in slots (bursty)")
 		meanOff     = fs.Float64("off", 8, "mean idle length in slots (bursty)")
@@ -55,20 +55,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		validate    = fs.Bool("validate", false, "route every slot through the datapath model")
 		slots       = fs.Int("slots", 10000, "slots to simulate")
 		seed        = fs.Uint64("seed", 1, "random seed")
-		classes     = fs.Int("classes", 1, "strict-priority QoS classes (>1 marks packets uniformly high=20%/rest split)")
+		classes     = fs.Int("classes", 1, "strict-priority QoS classes (count; >1 marks packets uniformly high=20%/rest split)")
 		convFail    = fs.Float64("convfail", 0, "per-slot converter failure probability (fault injection)")
 		convRepair  = fs.Float64("convrepair", 0.1, "per-slot converter repair probability")
 		darkFail    = fs.Float64("darkfail", 0, "per-slot channel dark probability (fault injection)")
 		darkRepair  = fs.Float64("darkrepair", 0.1, "per-slot channel restore probability")
 		asyncMode   = fs.Bool("async", false, "asynchronous wavelength-routing mode (paper §I)")
 		erlangs     = fs.Float64("erlangs", 10, "offered Erlangs λ/µ in -async mode")
-		arrivals    = fs.Int("arrivals", 200000, "connection arrivals to simulate in -async mode")
+		arrivals    = fs.Int("arrivals", 200000, "connection arrivals to simulate in -async mode (count)")
 		clusterTo   = fs.String("cluster", "", "comma-separated wdmnode addresses; schedule over the networked cluster runtime")
-		nodes       = fs.Int("nodes", 0, "spawn this many in-process loopback nodes and cluster over them")
+		nodes       = fs.Int("nodes", 0, "spawn this many in-process loopback nodes and cluster over them (count)")
 		netDrop     = fs.Float64("netdrop", 0, "injected frame drop probability on the cluster transport")
 		netDup      = fs.Float64("netdup", 0, "injected frame duplication probability on the cluster transport")
 		netDelay    = fs.Float64("netdelay", 0, "injected frame delay probability on the cluster transport")
-		rpcTimeout  = fs.Duration("rpctimeout", 0, "cluster schedule RPC deadline (default 500ms)")
+		rpcTimeout  = fs.Duration("rpctimeout", 0, "cluster schedule RPC deadline as a duration (0 = use the runtime's 500ms)")
 		spanDump    = fs.String("spandump", "", "write the controller-side span dump (trace context + JSONL spans) to this file after a cluster run; merge with node /spans dumps via wdmtrace -merge")
 		clusterOut  = fs.String("clusterstats", "", "write cluster runtime statistics as JSON to this file (kept separate from -json so engine outputs stay byte-comparable)")
 		listen      = fs.String("listen", "", "serve live telemetry on this address (/metrics, /snapshot, /debug/pprof)")

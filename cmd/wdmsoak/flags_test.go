@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"wdmsched/internal/flagcheck"
+)
+
+func helpFlags(t *testing.T) map[string]flagcheck.Flag {
+	t.Helper()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-h) = %d, want 2", code)
+	}
+	flags := flagcheck.Parse(errb.String())
+	if len(flags) == 0 {
+		t.Fatalf("no flags parsed from help output:\n%s", errb.String())
+	}
+	return flags
+}
+
+// TestFlagDefaults pins the soak-harness defaults DESIGN.md documents.
+func TestFlagDefaults(t *testing.T) {
+	flags := helpFlags(t)
+	want := map[string]string{
+		"engines":    `"sequential,distributed,cluster"`,
+		"workload":   `"heavytail"`,
+		"n":          "8",
+		"k":          "16",
+		"kind":       `"circular"`,
+		"d":          "3",
+		"scheduler":  `"exact"`,
+		"load":       "0.7",
+		"alpha":      "1.5",
+		"slots":      "", // zero default: flag prints no suffix
+		"time":       "",
+		"resync":     "1000",
+		"seed":       "1",
+		"nodes":      "2",
+		"rpctimeout": "25ms",
+		"report":     `"wdmsoak.report.json"`,
+		"bundle":     `"wdmsoak.incident.tgz"`,
+	}
+	for name, def := range want {
+		f, ok := flags[name]
+		if !ok {
+			t.Errorf("flag -%s missing from help output", name)
+			continue
+		}
+		if f.Default != def {
+			t.Errorf("-%s default = %s, want %s", name, f.Default, def)
+		}
+	}
+}
+
+// TestFlagUsageNamesUnits requires every quantity-bearing flag to say
+// what it is measured in (slots vs ms vs fraction vs probability).
+func TestFlagUsageNamesUnits(t *testing.T) {
+	flags := helpFlags(t)
+	quantity := []string{
+		"n", "k", "d", "load", "alpha", "zipf", "users", "diurnal",
+		"floor", "hold", "bulkunits", "slots", "time", "resync", "nodes",
+		"convfail", "convrepair", "dark", "restore", "portdown", "portup",
+		"tdrop", "tdup", "tdelay", "rpctimeout", "progress",
+	}
+	for _, name := range quantity {
+		f, ok := flags[name]
+		if !ok {
+			t.Errorf("flag -%s missing from help output", name)
+			continue
+		}
+		if !flagcheck.NamesUnit(f.Usage) {
+			t.Errorf("-%s usage names no unit: %q", name, f.Usage)
+		}
+	}
+}

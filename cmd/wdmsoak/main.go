@@ -69,21 +69,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		n           = fs.Int("n", 8, "fibers per side")
 		k           = fs.Int("k", 16, "wavelengths per fiber")
 		kindFlag    = fs.String("kind", "circular", "conversion kind: circular, noncircular, full")
-		d           = fs.Int("d", 3, "conversion degree (ignored for full)")
+		d           = fs.Int("d", 3, "conversion degree in channels (ignored for full)")
 		scheduler   = fs.String("scheduler", "exact", "per-port scheduling algorithm")
-		load        = fs.Float64("load", 0.7, "offered load per channel")
+		load        = fs.Float64("load", 0.7, "offered load per channel, fraction in [0,1]")
 		alpha       = fs.Float64("alpha", 1.5, "Pareto tail index (heavytail/selfsimilar)")
 		zipf        = fs.Float64("zipf", 0.8, "destination zipf exponent (heavytail)")
-		users       = fs.Int("users", 0, "on/off users per fiber (selfsimilar; 0 = 12k)")
+		users       = fs.Int("users", 0, "on/off user count per fiber (selfsimilar; 0 = 12k)")
 		diurnal     = fs.Int("diurnal", 0, "diurnal load-curve period in slots (0 = off)")
 		floor       = fs.Float64("floor", 0.25, "diurnal trough as a fraction of peak load")
 		hold        = fs.Float64("hold", 1, "mean holding time in slots")
 		bulkUnits   = fs.Int("bulkunits", 50000, "total transfer units (-workload bulk)")
 		slots       = fs.Int64("slots", 0, "slot budget (0 = unbounded; need -slots or -time)")
-		timeBudget  = fs.Duration("time", 0, "wall-clock budget (0 = unbounded)")
+		timeBudget  = fs.Duration("time", 0, "wall-clock run budget as a duration, e.g. 2m (0 = unbounded)")
 		resync      = fs.Int64("resync", 1000, "slots between invariant checks")
 		seed        = fs.Uint64("seed", 1, "random seed for arrivals, faults and selectors")
-		nodes       = fs.Int("nodes", 2, "in-process worker nodes for the cluster engine")
+		nodes       = fs.Int("nodes", 2, "in-process worker node count for the cluster engine")
 		convFail    = fs.Float64("convfail", 0.001, "P[converter up->down] per slot")
 		convRepair  = fs.Float64("convrepair", 0.05, "P[converter down->up] per slot")
 		dark        = fs.Float64("dark", 0.0005, "P[channel up->dark] per slot")
@@ -93,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tDrop       = fs.Float64("tdrop", 0.002, "P[cluster frame dropped]")
 		tDup        = fs.Float64("tdup", 0.002, "P[cluster frame duplicated]")
 		tDelay      = fs.Float64("tdelay", 0.002, "P[cluster frame delayed]")
-		rpcTimeout  = fs.Duration("rpctimeout", 25*time.Millisecond, "cluster schedule RPC deadline (each dropped frame stalls this long)")
+		rpcTimeout  = fs.Duration("rpctimeout", 25*time.Millisecond, "cluster schedule RPC deadline as a duration (each dropped frame stalls this long)")
 		report      = fs.String("report", "wdmsoak.report.json", "incident report path (written on violation)")
 		bundle      = fs.String("bundle", "wdmsoak.incident.tgz", "flight-recorder bundle path (written on violation/panic/SIGQUIT; empty disables)")
 		spandir     = fs.String("spandir", "", "directory for cluster span dumps (always written when set)")

@@ -1,0 +1,84 @@
+// Package flagcheck parses the help text a flag.FlagSet prints so CLI
+// tests can pin their flag sets golden-style: names, defaults and usage
+// strings are asserted against what -h actually shows the user, catching
+// drift between the documentation and the registered flags.
+package flagcheck
+
+import (
+	"strings"
+)
+
+// Flag is one entry parsed from a flag.PrintDefaults dump.
+type Flag struct {
+	Name    string // without the leading dash
+	Type    string // "int", "string", "duration", ... ("" for booleans)
+	Usage   string // usage text with the "(default X)" suffix stripped
+	Default string // the X from "(default X)", or ""
+}
+
+// Parse reads the output of flag.FlagSet.PrintDefaults (as produced by
+// -h) and returns the flags keyed by name. The expected shape is
+//
+//	-name type
+//	  	usage text (default X)
+//
+// with booleans omitting the type token and long usage texts possibly
+// spanning several indented lines.
+func Parse(help string) map[string]Flag {
+	flags := make(map[string]Flag)
+	var cur *Flag
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		cur.Usage = strings.TrimSpace(cur.Usage)
+		if i := strings.LastIndex(cur.Usage, "(default "); i >= 0 && strings.HasSuffix(cur.Usage, ")") {
+			cur.Default = cur.Usage[i+len("(default ") : len(cur.Usage)-1]
+			cur.Usage = strings.TrimSpace(cur.Usage[:i])
+		}
+		flags[cur.Name] = *cur
+		cur = nil
+	}
+	for _, line := range strings.Split(help, "\n") {
+		if name, ok := strings.CutPrefix(line, "  -"); ok && !strings.HasPrefix(line, "   ") {
+			flush()
+			f := Flag{}
+			if sp := strings.IndexByte(name, ' '); sp >= 0 {
+				f.Name, f.Type = name[:sp], name[sp+1:]
+			} else {
+				f.Name = name
+			}
+			cur = &f
+			continue
+		}
+		if cur != nil && strings.TrimSpace(line) != "" {
+			if cur.Usage != "" {
+				cur.Usage += " "
+			}
+			cur.Usage += strings.TrimSpace(line)
+		}
+	}
+	flush()
+	return flags
+}
+
+// unitWords are the tokens that count as naming a unit or scale in a
+// usage string. A flag carrying a quantity should mention one of these
+// so the operator never guesses slots vs milliseconds vs fractions.
+var unitWords = []string{
+	"slot", "slots", "ms", "duration", "second", "seconds", "s)", "/s",
+	"fraction", "probability", "p[", "count", "erlang", "requests",
+	"channels", "fibers", "wavelength", "units", "bytes", "dimensionless",
+	"index", "exponent",
+}
+
+// NamesUnit reports whether the usage string names a unit or scale.
+func NamesUnit(usage string) bool {
+	u := strings.ToLower(usage)
+	for _, w := range unitWords {
+		if strings.Contains(u, w) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package flagcheck
+
+import (
+	"bytes"
+	"flag"
+	"testing"
+	"time"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Int("n", 8, "fibers per side")
+	fs.Float64("load", 0.8, "offered load per channel, fraction in [0,1]")
+	fs.Duration("time", 25*time.Millisecond, "wall-clock budget as a duration")
+	fs.Bool("quiet", false, "suppress output")
+	fs.String("kind", "circular", "conversion kind: circular, noncircular, full")
+	fs.PrintDefaults()
+
+	flags := Parse(buf.String())
+	if len(flags) != 5 {
+		t.Fatalf("parsed %d flags, want 5: %+v", len(flags), flags)
+	}
+	if f := flags["n"]; f.Type != "int" || f.Default != "8" || f.Usage != "fibers per side" {
+		t.Errorf("n = %+v", f)
+	}
+	if f := flags["load"]; f.Default != "0.8" {
+		t.Errorf("load = %+v", f)
+	}
+	if f := flags["time"]; f.Type != "duration" || f.Default != "25ms" {
+		t.Errorf("time = %+v", f)
+	}
+	if f := flags["quiet"]; f.Type != "" || f.Default != "" {
+		t.Errorf("quiet = %+v", f)
+	}
+	if f := flags["kind"]; f.Default != `"circular"` {
+		t.Errorf("kind = %+v", f)
+	}
+}
+
+func TestNamesUnit(t *testing.T) {
+	for _, ok := range []string{
+		"slots to simulate",
+		"mean holding time in slots",
+		"cluster RPC deadline as a duration",
+		"offered load, fraction in [0,1]",
+		"per-slot converter failure probability",
+		"P[cluster frame dropped]",
+		"aggregate offered load in requests/s",
+	} {
+		if !NamesUnit(ok) {
+			t.Errorf("%q should name a unit", ok)
+		}
+	}
+	for _, bad := range []string{
+		"the load",
+		"how long to wait",
+	} {
+		if NamesUnit(bad) {
+			t.Errorf("%q should not count as naming a unit", bad)
+		}
+	}
+}

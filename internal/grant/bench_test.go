@@ -1,0 +1,90 @@
+package grant
+
+import (
+	"testing"
+
+	"wdmsched/internal/interconnect"
+	"wdmsched/internal/wavelength"
+)
+
+// benchIngestService builds a service sized so one 64-request frame maps
+// onto 64 distinct input channels (8×8 shape), with admission wide open.
+// No listener and no round loop: the benchmark drives the hot path —
+// frame decode, admission booking, enqueue, batch build — directly.
+func benchIngestService(tb testing.TB) (*Service, *session, []byte) {
+	tb.Helper()
+	conv, err := wavelength.NewSymmetric(wavelength.Circular, 8, 3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s, err := NewService(Config{
+		Switch:  interconnect.Config{N: 8, Conv: conv, Scheduler: "exact", Seed: 1},
+		Default: Policy{Class: 0, Rate: 1e12, Burst: 1e6, Queue: 4096},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s.mu.Lock()
+	t := s.tenantLocked("bench")
+	s.mu.Unlock()
+	sess := &session{tenant: t}
+
+	const frame = 64
+	b := putU32(nil, frame)
+	for i := 0; i < frame; i++ {
+		b = putU64(b, uint64(i))   // id
+		b = putU32(b, uint32(i/8)) // in
+		b = putU16(b, uint16(i%8)) // wave
+		b = putU32(b, uint32(i%8)) // dest
+		b = putU16(b, 1)           // dur
+	}
+	return s, sess, b
+}
+
+// ingestAndBatch is one benchmark iteration: decode and admit a 64-request
+// frame, then drain it into a slot batch. Advancing s.slot stands in for
+// runRound so the channel stamps from the previous iteration go stale.
+func ingestAndBatch(tb testing.TB, s *Service, sess *session, payload []byte) {
+	if !s.ingest(sess, payload) {
+		tb.Fatal("ingest rejected the benchmark frame")
+	}
+	s.mu.Lock()
+	s.buildBatchLocked()
+	n := len(s.batch)
+	s.mu.Unlock()
+	if n != 64 {
+		tb.Fatalf("batch has %d packets, want 64", n)
+	}
+	s.slot++
+}
+
+// BenchmarkGrantIngest measures the wire-facing hot path of the grant
+// service: submit-frame decode, per-request admission, bounded-queue
+// enqueue and the strict-priority batch build. Steady state this path
+// must not allocate (TestGrantIngestZeroAllocs pins it).
+func BenchmarkGrantIngest(b *testing.B) {
+	s, sess, payload := benchIngestService(b)
+	ingestAndBatch(b, s, sess, payload) // warm the reused buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ingestAndBatch(b, s, sess, payload)
+	}
+	b.SetBytes(int64(len(payload)))
+}
+
+// TestGrantIngestZeroAllocs pins the ingest path as a -benchmem
+// assertion: decode → admit → enqueue → batch must report 0 allocs/op.
+func TestGrantIngestZeroAllocs(t *testing.T) {
+	s, sess, payload := benchIngestService(t)
+	ingestAndBatch(t, s, sess, payload)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ingestAndBatch(b, s, sess, payload)
+		}
+	})
+	if a := r.AllocsPerOp(); a != 0 {
+		t.Errorf("grant ingest: %d allocs/op, want 0 (%s)", a, r.MemString())
+	}
+}

@@ -1,0 +1,171 @@
+package grant
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Client is one grant-service session, used by wdmload and tests. One
+// goroutine may Submit while another Recvs (the transport's read and
+// write halves are independent); Submit/Bye themselves are serialized
+// by an internal mutex.
+type Client struct {
+	tr *transport
+
+	// Shape and effective policy echoed by the server at handshake.
+	N, K   int
+	Policy Policy
+
+	wmu sync.Mutex
+	enc []byte
+
+	notices []Notice // reused Recv decode buffer
+	ledger  Ledger
+}
+
+// Dial connects to a grant server, performs the hello handshake for the
+// given tenant and returns the ready client.
+func Dial(addr, tenant string) (*Client, error) {
+	return DialTimeout(addr, tenant, 10*time.Second)
+}
+
+// DialTimeout is Dial with an explicit dial-and-handshake deadline.
+func DialTimeout(addr, tenant string, timeout time.Duration) (*Client, error) {
+	network, address := splitAddr(addr)
+	conn, err := net.DialTimeout(network, address, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("grant: dial %s: %w", addr, err)
+	}
+	c := &Client{tr: newTransport(conn)}
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	const nonce = 0x77646d6772616e74 // "wdmgrant"
+	c.enc = encHello(c.enc[:0], nonce, tenant)
+	if err := c.tr.send(msgHello, c.enc); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	mt, payload, err := c.tr.recv()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if mt == msgError {
+		r := reader{b: payload}
+		msg := r.str()
+		conn.Close()
+		return nil, fmt.Errorf("grant: server rejected session: %s", msg)
+	}
+	if mt != msgHelloAck {
+		conn.Close()
+		return nil, fmt.Errorf("grant: expected hello-ack, got %v", mt)
+	}
+	r := reader{b: payload}
+	if got := r.u64(); got != nonce {
+		conn.Close()
+		return nil, fmt.Errorf("grant: hello-ack nonce mismatch")
+	}
+	c.N = int(r.u32())
+	c.K = int(r.u32())
+	c.Policy.Class = int(r.u8())
+	c.Policy.Rate = r.f64()
+	c.Policy.Burst = r.f64()
+	c.Policy.Queue = int(r.u32())
+	if r.Err() != nil {
+		conn.Close()
+		return nil, fmt.Errorf("grant: malformed hello-ack")
+	}
+	conn.SetDeadline(time.Time{})
+	return c, nil
+}
+
+// Submit sends one batch of requests. The request IDs are the client's
+// to choose; every submitted ID comes back in exactly one verdict.
+func (c *Client) Submit(reqs []Req) error {
+	if len(reqs) > maxBatch {
+		return fmt.Errorf("grant: batch of %d exceeds the %d-request frame cap", len(reqs), maxBatch)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	b := putU32(c.enc[:0], uint32(len(reqs)))
+	for _, q := range reqs {
+		b = putU64(b, q.ID)
+		b = putU32(b, q.In)
+		b = putU16(b, q.Wave)
+		b = putU32(b, q.Dest)
+		b = putU16(b, q.Dur)
+	}
+	c.enc = b
+	return c.tr.send(msgSubmit, b)
+}
+
+// Bye tells the server the client is done submitting and has collected
+// every verdict; the server replies with the session ledger (delivered
+// through Recv) and closes the session.
+func (c *Client) Bye() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.tr.send(msgBye, c.enc[:0])
+}
+
+// Event is one server-to-client frame, as returned by Recv. Exactly one
+// of the fields is set.
+type Event struct {
+	// Notices is a verdict batch; the slice is valid until the next
+	// Recv call.
+	Notices []Notice
+	// Drain reports the server announced a graceful drain: nothing new
+	// will be admitted, but queued requests still get verdicts.
+	Drain bool
+	// Ledger is the session's final accounting; the server closes the
+	// session after sending it.
+	Ledger *Ledger
+}
+
+// Recv reads one frame from the server. Server-sent error frames are
+// surfaced as Go errors.
+func (c *Client) Recv() (Event, error) {
+	mt, payload, err := c.tr.recv()
+	if err != nil {
+		return Event{}, err
+	}
+	r := reader{b: payload}
+	switch mt {
+	case msgVerdicts:
+		count := int(r.u32())
+		if r.Err() != nil || count < 0 || count > maxBatch || r.Rem() != count*verdictItemLen {
+			return Event{}, fmt.Errorf("grant: malformed verdicts frame")
+		}
+		c.notices = c.notices[:0]
+		for i := 0; i < count; i++ {
+			c.notices = append(c.notices, Notice{
+				ID:      r.u64(),
+				Verdict: Verdict(r.u8()),
+				Slot:    r.i64(),
+				Channel: r.i16(),
+				WaitMS:  r.u32(),
+			})
+		}
+		return Event{Notices: c.notices}, nil
+	case msgDrain:
+		return Event{Drain: true}, nil
+	case msgLedger:
+		c.ledger = decLedger(&r)
+		if r.Err() != nil {
+			return Event{}, fmt.Errorf("grant: malformed ledger frame")
+		}
+		return Event{Ledger: &c.ledger}, nil
+	case msgError:
+		return Event{}, fmt.Errorf("grant: server error: %s", r.str())
+	}
+	return Event{}, fmt.Errorf("grant: unexpected frame %v", mt)
+}
+
+// SetRecvDeadline bounds the next Recv; zero clears it.
+func (c *Client) SetRecvDeadline(t time.Time) error { return c.tr.setReadDeadline(t) }
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.tr.close() }

@@ -1,0 +1,145 @@
+package grant
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"wdmsched/internal/metrics"
+)
+
+// transport frames grant-protocol messages over one connection. It is
+// not safe for concurrent use by itself: the server serializes writes
+// with a per-session mutex (the ingest goroutine and the round loop both
+// emit verdicts) and reads only from the session goroutine; the client
+// splits one transport between a writing and a reading goroutine the
+// same way. Both frame buffers are reused, so the steady-state
+// send/receive path does not allocate.
+type transport struct {
+	c  net.Conn
+	br *bufio.Reader
+
+	wbuf []byte // whole outgoing frame: header + payload + crc
+	rbuf []byte // incoming payload
+
+	// bytesOut/bytesIn and framesOut/framesIn, when non-nil, total the
+	// wire traffic for the wdm_grant_* telemetry series.
+	bytesOut, bytesIn   *metrics.Counter
+	framesOut, framesIn *metrics.Counter
+}
+
+func newTransport(c net.Conn) *transport {
+	return &transport{c: c, br: bufio.NewReaderSize(c, 64<<10)}
+}
+
+// appendFrame appends one framed message (header + payload + CRC) to dst
+// and returns the extended slice. Shared by the synchronous send path and
+// the server's per-session egress buffers.
+func appendFrame(dst []byte, mt msgType, payload []byte) []byte {
+	dst = putU16(dst, wireMagic)
+	dst = append(dst, wireVersion, byte(mt))
+	dst = putU32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	dst = putU32(dst, crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// send frames and writes one message.
+func (t *transport) send(mt msgType, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("grant: payload %d exceeds limit", len(payload))
+	}
+	t.wbuf = appendFrame(t.wbuf[:0], mt, payload)
+	if _, err := t.c.Write(t.wbuf); err != nil {
+		return fmt.Errorf("grant: write %v: %w", mt, err)
+	}
+	if t.bytesOut != nil {
+		t.bytesOut.Add(int64(len(t.wbuf)))
+	}
+	if t.framesOut != nil {
+		t.framesOut.Inc()
+	}
+	return nil
+}
+
+// recv reads one frame and returns its type and payload. The payload
+// slice is valid until the next recv.
+func (t *transport) recv() (msgType, []byte, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(t.br, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("grant: read header: %w", err)
+	}
+	if m := uint16(hdr[0])<<8 | uint16(hdr[1]); m != wireMagic {
+		return 0, nil, fmt.Errorf("grant: bad magic %#04x", m)
+	}
+	if hdr[2] != wireVersion {
+		return 0, nil, fmt.Errorf("grant: wire protocol version mismatch: peer speaks v%d, this build speaks v%d",
+			hdr[2], wireVersion)
+	}
+	mt := msgType(hdr[3])
+	n := int(uint32(hdr[4])<<24 | uint32(hdr[5])<<16 | uint32(hdr[6])<<8 | uint32(hdr[7]))
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("grant: payload length %d exceeds limit", n)
+	}
+	if cap(t.rbuf) < n+crcLen {
+		t.rbuf = make([]byte, n+crcLen)
+	}
+	buf := t.rbuf[:n+crcLen]
+	if _, err := io.ReadFull(t.br, buf); err != nil {
+		return 0, nil, fmt.Errorf("grant: read payload: %w", err)
+	}
+	if t.bytesIn != nil {
+		t.bytesIn.Add(int64(headerLen + n + crcLen))
+	}
+	if t.framesIn != nil {
+		t.framesIn.Inc()
+	}
+	payload := buf[:n]
+	wantCRC := uint32(buf[n])<<24 | uint32(buf[n+1])<<16 | uint32(buf[n+2])<<8 | uint32(buf[n+3])
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return 0, nil, fmt.Errorf("grant: %v frame CRC mismatch (got %#08x want %#08x)", mt, got, wantCRC)
+	}
+	return mt, payload, nil
+}
+
+// setReadDeadline bounds the next read(s); zero clears it.
+func (t *transport) setReadDeadline(d time.Time) error { return t.c.SetReadDeadline(d) }
+
+// setWriteDeadline bounds the next write(s); zero clears it.
+func (t *transport) setWriteDeadline(d time.Time) error { return t.c.SetWriteDeadline(d) }
+
+// closeWrite half-closes the connection (FIN without RST) when the
+// underlying conn supports it — TCP and unix sockets both do. The server
+// uses this after sending a session's final ledger so that a racing
+// submit frame still sitting in the receive buffer does not turn the
+// close into an RST that destroys the client's unread ledger.
+func (t *transport) closeWrite() error {
+	if cw, ok := t.c.(interface{ CloseWrite() error }); ok {
+		return cw.CloseWrite()
+	}
+	return fmt.Errorf("grant: connection does not support half-close")
+}
+
+func (t *transport) close() error { return t.c.Close() }
+
+// SplitAddr maps a listen/dial address to a Go network/address pair, the
+// same way Dial does: anything with a "unix:" prefix or containing a path
+// separator is a unix socket; everything else is TCP host:port.
+func SplitAddr(addr string) (network, address string) { return splitAddr(addr) }
+
+// splitAddr maps a listen/dial address to a Go network/address pair:
+// anything with a "unix:" prefix or containing a path separator is a
+// unix socket; everything else is TCP host:port.
+func splitAddr(addr string) (network, address string) {
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", rest
+	}
+	if strings.Contains(addr, "/") {
+		return "unix", addr
+	}
+	return "tcp", addr
+}

@@ -1,0 +1,124 @@
+package grant
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHelloAckRoundTrip(t *testing.T) {
+	pol := Policy{Class: 3, Rate: 12345.5, Burst: 64, Queue: 512}
+	payload := encHelloAck(nil, 42, 16, 32, pol)
+	r := reader{b: payload}
+	if got := r.u64(); got != 42 {
+		t.Fatalf("nonce = %d", got)
+	}
+	if n, k := r.u32(), r.u32(); n != 16 || k != 32 {
+		t.Fatalf("shape = %d×%d", n, k)
+	}
+	got := Policy{Class: int(r.u8()), Rate: r.f64(), Burst: r.f64(), Queue: int(r.u32())}
+	if r.Err() != nil || r.Rem() != 0 {
+		t.Fatalf("decode: err=%v rem=%d", r.Err(), r.Rem())
+	}
+	if got != pol {
+		t.Fatalf("policy = %+v, want %+v", got, pol)
+	}
+}
+
+func TestLedgerRoundTrip(t *testing.T) {
+	l := Ledger{Submitted: 100, Admitted: 90, Granted: 70, Rejected: 20, Retried: 10}
+	payload := encLedger(nil, l)
+	r := reader{b: payload}
+	got := decLedger(&r)
+	if r.Err() != nil || got != l {
+		t.Fatalf("ledger round-trip: %+v (err %v)", got, r.Err())
+	}
+	if !l.Balanced() {
+		t.Fatal("ledger should balance")
+	}
+	l.Retried = 11
+	if l.Balanced() {
+		t.Fatal("imbalanced ledger reported balanced")
+	}
+}
+
+func TestReaderTruncationLatches(t *testing.T) {
+	r := reader{b: []byte{1, 2}}
+	_ = r.u32()
+	if r.Err() == nil {
+		t.Fatal("overrun not latched")
+	}
+	if v := r.u64(); v != 0 {
+		t.Fatalf("post-error read = %d, want 0", v)
+	}
+}
+
+func TestTransportFraming(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	ta, tb := newTransport(a), newTransport(b)
+	go func() {
+		payload := putString(nil, "hello over the grant wire")
+		ta.send(msgError, payload)
+	}()
+	mt, payload, err := tb.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt != msgError {
+		t.Fatalf("type = %v", mt)
+	}
+	r := reader{b: payload}
+	if s := r.str(); s != "hello over the grant wire" {
+		t.Fatalf("payload = %q", s)
+	}
+}
+
+func TestTransportRejectsCorruptFrames(t *testing.T) {
+	check := func(name string, frame []byte, want string) {
+		t.Helper()
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		go func() { a.Write(frame) }()
+		tr := newTransport(b)
+		tr.setReadDeadline(time.Now().Add(2 * time.Second))
+		_, _, err := tr.recv()
+		if err == nil || !strings.Contains(err.Error(), want) {
+			t.Fatalf("%s: err = %v, want %q", name, err, want)
+		}
+	}
+	// Bad magic.
+	check("magic", []byte{0x12, 0x34, wireVersion, byte(msgHello), 0, 0, 0, 0, 0, 0, 0, 0}, "bad magic")
+	// Wrong version.
+	check("version", []byte{0x57, 0xC2, 99, byte(msgHello), 0, 0, 0, 0, 0, 0, 0, 0}, "version mismatch")
+	// CRC mismatch: valid header, payload "x", wrong checksum.
+	frame := []byte{0x57, 0xC2, wireVersion, byte(msgHello), 0, 0, 0, 1, 'x', 0xde, 0xad, 0xbe, 0xef}
+	check("crc", frame, "CRC mismatch")
+	// Oversized length prefix.
+	huge := []byte{0x57, 0xC2, wireVersion, byte(msgHello), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	check("length", huge, "exceeds limit")
+}
+
+func TestVerdictPredicates(t *testing.T) {
+	for _, tc := range []struct {
+		v                      Verdict
+		granted, reject, retry bool
+	}{
+		{VerdictGranted, true, false, false},
+		{VerdictRejected, false, true, false},
+		{VerdictRejectedAdmission, false, true, false},
+		{VerdictRetryBucket, false, false, true},
+		{VerdictRetryQueue, false, false, true},
+		{VerdictRetryDrain, false, false, true},
+	} {
+		if tc.v.Granted() != tc.granted || tc.v.Rejected() != tc.reject || tc.v.Retry() != tc.retry {
+			t.Errorf("%v: predicates granted=%v rejected=%v retry=%v", tc.v, tc.v.Granted(), tc.v.Rejected(), tc.v.Retry())
+		}
+		if strings.Contains(tc.v.String(), "verdict(") {
+			t.Errorf("%d has no name", tc.v)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Grant-service smoke (CI: serve-smoke job; local: make serve-smoke).
+#
+# Boots wdmserve on loopback, drives it with wdmload's open-loop
+# generator for a few thousand scheduling slots, and asserts the serving
+# contract end to end: zero lost requests (wdmload fails internally if
+# any verdict goes missing), the server's exit ledger reconciled against
+# the client report by smokecheck, wdm_grant_* telemetry live on
+# /metrics mid-run, the structured report accepted by wdmbench
+# -validate, and a clean SIGTERM drain (exit 0 with the final ledger on
+# stdout).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d)
+cleanup() {
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir/wdmserve" ./cmd/wdmserve
+go build -o "$dir/wdmload" ./cmd/wdmload
+go build -o "$dir/wdmbench" ./cmd/wdmbench
+go build -o "$dir/smokecheck" ./scripts/smokecheck
+
+grant_addr=127.0.0.1:19411
+http_addr=127.0.0.1:19481
+
+"$dir/wdmserve" -n 8 -k 16 -d 3 -seed 7 -resync 256 \
+  -grant "$grant_addr" -listen "$http_addr" \
+  -bundle "$dir/serve.incident.tgz" -report "$dir/serve.report.json" \
+  > "$dir/server.json" 2> "$dir/server.log" &
+server=$!
+
+# The background server fails silently under `set -e`; surface an early
+# death (its log and exit status) instead of an opaque dial error, and
+# propagate the status like cluster_smoke.sh does for its nodes.
+check_server() {
+  if ! kill -0 "$server" 2>/dev/null; then
+    wait "$server" && status=0 || status=$?
+    echo "serve smoke: wdmserve exited early with status $status" >&2
+    sed 's/^/  server: /' "$dir/server.log" >&2
+    [ "$status" -ne 0 ] || status=1
+    exit "$status"
+  fi
+}
+
+# Wait for both listeners: the grant wire (log line) and telemetry.
+for _ in $(seq 1 50); do
+  grep -q "grant: listening on" "$dir/server.log" 2>/dev/null &&
+    curl -sf "http://$http_addr/metrics" > /dev/null 2>&1 && break
+  check_server
+  sleep 0.1
+done
+check_server
+
+# Open-loop drive: 20k requests at 40k req/s over 4 connections — a few
+# thousand scheduling rounds on the 8x16 switch. wdmload exits non-zero
+# on any lost request or client/server ledger mismatch.
+"$dir/wdmload" -server "$grant_addr" -conns 4 -rate 40000 -requests 20000 \
+  -hold 2 -seed 11 -o "$dir/load_report.json" -quiet
+echo "serve smoke: wdmload collected every verdict (zero lost requests)"
+
+# Telemetry: the grant-layer series must be live and populated.
+curl -sf "http://$http_addr/metrics" > "$dir/metrics.txt"
+grep -q '^wdm_grant_rounds_total [0-9]' "$dir/metrics.txt"
+grep -q '^wdm_grant_verdicts_total{verdict="granted"} [1-9]' "$dir/metrics.txt"
+grep -q '^# TYPE wdm_grant_latency_seconds histogram' "$dir/metrics.txt"
+grep -q '^wdm_grant_rx_frames_total [1-9]' "$dir/metrics.txt"
+grep -q '^wdm_grant_queue_depth{tenant="wdmload"}' "$dir/metrics.txt"
+echo "serve smoke: /metrics exposes the wdm_grant_* series"
+
+# The structured report must plug into the wdmbench tooling.
+"$dir/wdmbench" -validate < "$dir/load_report.json"
+
+# Graceful drain: SIGTERM stops admission, flushes in-flight slots, and
+# exits 0 with the final service ledger on stdout.
+kill -TERM "$server"
+drain=0
+wait "$server" || drain=$?
+if [ "$drain" -ne 0 ]; then
+  echo "serve smoke: drain exit status $drain, want 0" >&2
+  sed 's/^/  server: /' "$dir/server.log" >&2
+  exit "$drain"
+fi
+grep -q "draining" "$dir/server.log"
+echo "serve smoke: SIGTERM drained cleanly (exit 0)"
+
+# No invariant violation fired: the incident report must not exist.
+if [ -e "$dir/serve.report.json" ]; then
+  echo "serve smoke: server wrote an incident report on a clean run" >&2
+  cat "$dir/serve.report.json" >&2
+  exit 1
+fi
+
+# Byte-exact reconciliation of the server's exit ledger against the
+# client-side report.
+"$dir/smokecheck" grant "$dir/server.json" "$dir/load_report.json"

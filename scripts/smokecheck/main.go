@@ -18,6 +18,11 @@
 //	    Verify the merged Chrome timeline: a controller process row plus
 //	    one per node, node spans present, and RPC flow arrows in both
 //	    directions.
+//
+//	smokecheck grant <server.json> <load_report.json>
+//	    Reconcile the wdmserve final ledger (stdout JSON) against the
+//	    wdmload structured report: the terminal partition must hold and
+//	    the two sides must count the same verdicts.
 package main
 
 import (
@@ -67,8 +72,13 @@ func run(args []string) error {
 			return fmt.Errorf("usage: smokecheck trace <merged.trace.json>")
 		}
 		return checkTrace(args[1])
+	case "grant":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: smokecheck grant <server.json> <load_report.json>")
+		}
+		return checkGrant(args[1], args[2])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want frames, ledger or trace)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want frames, ledger, trace or grant)", cmd)
 	}
 }
 
@@ -159,5 +169,91 @@ func checkTrace(path string) error {
 	}
 	fmt.Printf("cluster smoke: merged timeline has %d processes, %d node spans, %d flow events\n",
 		len(procs), nodeSpans, flows)
+	return nil
+}
+
+// checkGrant reconciles the wdmserve exit ledger with the wdmload report:
+// both sides counted every request, none were lost, and the terminal
+// partition (submitted = granted + rejected + retried) holds.
+func checkGrant(serverPath, reportPath string) error {
+	raw, err := os.ReadFile(serverPath)
+	if err != nil {
+		return err
+	}
+	var srv struct {
+		Engine string `json:"engine"`
+		Slots  int64  `json:"slots"`
+		Ledger struct {
+			Submitted uint64 `json:"submitted"`
+			Admitted  uint64 `json:"admitted"`
+			Granted   uint64 `json:"granted"`
+			Rejected  uint64 `json:"rejected"`
+			Retried   uint64 `json:"retried"`
+		} `json:"ledger"`
+	}
+	if err := json.Unmarshal(raw, &srv); err != nil {
+		return fmt.Errorf("%s: %w", serverPath, err)
+	}
+	l := srv.Ledger
+	if l.Submitted == 0 || l.Granted == 0 {
+		return fmt.Errorf("server ledger empty: %+v", l)
+	}
+	if srv.Slots == 0 {
+		return fmt.Errorf("server ran no scheduling rounds")
+	}
+	if l.Submitted != l.Granted+l.Rejected+l.Retried {
+		return fmt.Errorf("server ledger does not balance: %+v", l)
+	}
+
+	raw, err = os.ReadFile(reportPath)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Results []struct {
+			ID     string `json:"id"`
+			Tables []struct {
+				Rows [][]string `json:"Rows"`
+			} `json:"tables"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", reportPath, err)
+	}
+	cells := map[string]string{}
+	for _, g := range doc.Results {
+		if g.ID != "grant-load" {
+			continue
+		}
+		for _, t := range g.Tables {
+			for _, row := range t.Rows {
+				if len(row) == 2 {
+					cells[row[0]] = row[1]
+				}
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("%s: no grant-load table rows", reportPath)
+	}
+	for cell, want := range map[string]uint64{
+		"submitted": l.Submitted,
+		"granted":   l.Granted,
+		"rejected":  l.Rejected,
+		"retried":   l.Retried,
+	} {
+		got, err := strconv.ParseUint(cells[cell], 10, 64)
+		if err != nil {
+			return fmt.Errorf("report cell %q = %q: %w", cell, cells[cell], err)
+		}
+		if got != want {
+			return fmt.Errorf("report %s = %d, server ledger says %d", cell, got, want)
+		}
+	}
+	if cells["grant latency p99"] == "" || cells["grant latency p99"] == "0s" {
+		return fmt.Errorf("report lacks a grant latency p99 cell (got %q)", cells["grant latency p99"])
+	}
+	fmt.Printf("serve smoke: %s engine ran %d slots; ledger reconciles (%d submitted = %d granted + %d rejected + %d retried), p99 %s\n",
+		srv.Engine, srv.Slots, l.Submitted, l.Granted, l.Rejected, l.Retried, cells["grant latency p99"])
 	return nil
 }
