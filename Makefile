@@ -30,7 +30,7 @@ LOADREQS ?= 100000
 
 .PHONY: check vet build test race fmt fmt-check bench fuzz fuzz-short output trace \
 	bench-save bench-diff examples-smoke cluster-smoke serve-smoke soak soak-smoke \
-	replay-verify serve load
+	replay-verify serve load top
 
 check: vet build test race
 
@@ -117,6 +117,12 @@ serve:
 load:
 	$(GO) run ./cmd/wdmload -server $(SERVEADDR) -conns $(LOADCONNS) \
 		-rate $(LOADRATE) -requests $(LOADREQS) -o wdmload_report.json
+
+# Live fleet console against a running `make serve` (refreshes until
+# interrupted; `wdmtop -once -json` is the scriptable form and what the
+# serve-smoke job feeds smokecheck).
+top:
+	$(GO) run ./cmd/wdmtop -targets 127.0.0.1:9480
 
 # Adversarial chaos soak: all three engines in lockstep on heavy-tailed
 # arrivals under Markov channel/converter faults and cluster transport

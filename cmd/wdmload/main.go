@@ -18,12 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"wdmsched/internal/grant"
 	"wdmsched/internal/metrics"
+	"wdmsched/internal/telemetry"
 	"wdmsched/internal/traffic"
 )
 
@@ -45,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout  = fs.Duration("timeout", 60*time.Second, "overall run deadline as a duration for collecting every verdict")
 		output   = fs.String("o", "", "write the structured load report as JSON to this file")
 		quiet    = fs.Bool("quiet", false, "suppress the summary table on stdout")
+		telemURL = fs.String("telemetry", "", "wdmserve telemetry base URL; after the run, scrape /snapshot and report server-observed stage means next to the client latency")
+		skewMax  = fs.Duration("skewmax", 0, "warn on stderr when client-minus-server mean latency skew exceeds this duration (0 disables the check)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,6 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	lat := metrics.NewDurationHistogram()
+	settled := metrics.NewDurationHistogram()
 	perConn := *requests / *conns
 	extra := *requests % *conns
 
@@ -94,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				budget: budget, rate: *rate / float64(*conns),
 				arrivals: *arrivals, alpha: *alpha, hold: *hold,
 				seed: *seed + uint64(i)*1000003, timeout: *timeout,
-			}, lat)
+			}, lat, settled)
 		}(i, budget)
 	}
 	wg.Wait()
@@ -146,6 +152,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 	table.AddNote("Open loop: the arrival schedule does not wait for verdicts, so offered load is an input.")
 	table.AddNote("Latency is request submission to verdict receipt, measured client side.")
 	table.AddNote("Every request terminated in exactly one verdict; the server ledger matched the client tally.")
+
+	// Server-observed stage breakdown: scrape the wdmserve /snapshot and
+	// put its per-stage means next to the client view of the same
+	// requests. The client clock includes the network round trip and the
+	// scheduler's inter-stage gaps; the server stage sum does not, so the
+	// skew (client minus server) is the unattributed remainder — large
+	// positive skew means time is being lost outside the stage clocks.
+	if *telemURL != "" {
+		st, err := fetchServerStages(*telemURL, *timeout)
+		if err != nil {
+			return fail(fmt.Errorf("scraping -telemetry: %w", err))
+		}
+		clientMean := settled.Mean()
+		table.AddRowf("client settled mean (granted+contention)", clientMean)
+		for _, name := range st.names {
+			table.AddRowf("server stage "+name+" mean", st.mean[name])
+		}
+		table.AddRowf("server lifecycle mean (stage sum)", st.total)
+		skew := clientMean - st.total
+		table.AddRowf("client-server skew", skew)
+		table.AddNote("Server stage means are cumulative since wdmserve start; on a fresh server they cover exactly this run.")
+		if *skewMax > 0 && skew > *skewMax {
+			fmt.Fprintf(stderr, "wdmload: warning: client-server skew %v exceeds -skewmax %v (network + unattributed gaps)\n",
+				skew, *skewMax)
+		}
+	}
 
 	if !*quiet {
 		fmt.Fprint(stdout, table.ASCII())
@@ -208,10 +240,66 @@ type connConfig struct {
 	timeout        time.Duration
 }
 
+// fetchServerStages scrapes a wdmserve telemetry /snapshot and reduces
+// the wdm_grant_stage_seconds series to per-stage means plus their sum
+// (the mean server-side request lifecycle).
+type serverStages struct {
+	names []string
+	mean  map[string]time.Duration
+	total time.Duration
+}
+
+func fetchServerStages(base string, timeout time.Duration) (*serverStages, error) {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /snapshot: %s", resp.Status)
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding /snapshot: %w", err)
+	}
+	st := &serverStages{mean: map[string]time.Duration{}}
+	byName := map[string]time.Duration{}
+	for _, m := range snap.Metrics {
+		if m.Name != "wdm_grant_stage_seconds" || m.Count == 0 {
+			continue
+		}
+		for _, l := range m.Labels {
+			if l.Key == "stage" {
+				byName[l.Value] = time.Duration(m.Sum / float64(m.Count) * float64(time.Second))
+			}
+		}
+	}
+	for _, name := range telemetry.GrantStageNames {
+		d, ok := byName[name]
+		if !ok {
+			continue
+		}
+		st.names = append(st.names, name)
+		st.mean[name] = d
+		st.total += d
+	}
+	if len(st.names) == 0 {
+		return nil, fmt.Errorf("no wdm_grant_stage_seconds series at %s (is this a wdmserve -listen endpoint with traffic?)", base)
+	}
+	return st, nil
+}
+
 // driveConn runs one open-loop session: a submitter goroutine fires
 // requests on the arrival schedule while the reader tallies verdicts and
-// observes latency; the session ends with bye → ledger.
-func driveConn(cfg connConfig, lat *metrics.DurationHistogram) (verdictTally, grant.Ledger, error) {
+// observes latency; the session ends with bye → ledger. settled gets
+// only the round-settled verdicts (granted + rejected-contention) — the
+// population the server's stage clocks observe — so the client and
+// server means are comparable.
+func driveConn(cfg connConfig, lat, settled *metrics.DurationHistogram) (verdictTally, grant.Ledger, error) {
 	var tally verdictTally
 	var ledger grant.Ledger
 	c, err := grant.Dial(cfg.server, cfg.tenant)
@@ -258,7 +346,11 @@ func driveConn(cfg connConfig, lat *metrics.DurationHistogram) (verdictTally, gr
 			mu.Lock()
 			for _, nt := range ev.Notices {
 				if nt.ID < uint64(len(sentNS)) && sentNS[nt.ID] > 0 {
-					lat.Observe(time.Duration(now - sentNS[nt.ID]))
+					d := time.Duration(now - sentNS[nt.ID])
+					lat.Observe(d)
+					if nt.Verdict == grant.VerdictGranted || nt.Verdict == grant.VerdictRejected {
+						settled.Observe(d)
+					}
 				}
 				switch {
 				case nt.Verdict.Granted():

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"wdmsched/internal/grant"
+	"wdmsched/internal/interconnect"
+	"wdmsched/internal/telemetry"
+	"wdmsched/internal/wavelength"
+)
+
+// startServer brings up a grant service with a telemetry endpoint — the
+// wdmserve wiring — and returns the grant address and telemetry URL.
+func startServer(t *testing.T) (string, string) {
+	t.Helper()
+	conv, err := wavelength.NewSymmetric(wavelength.Circular, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	svc, err := grant.NewService(grant.Config{
+		Switch:    interconnect.Config{N: 4, Conv: conv, Scheduler: "exact", Seed: 7},
+		Default:   grant.Policy{Class: 0, Rate: 1e9, Burst: 1 << 20, Queue: 1 << 16},
+		Resync:    64,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- svc.Serve(ln) }()
+	t.Cleanup(func() {
+		svc.Close()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("Serve did not return after Close")
+		}
+	})
+	srv, err := telemetry.NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), "http://" + srv.Addr()
+}
+
+// TestTelemetrySkewReport runs a small open-loop load against a live
+// server and pins the -telemetry report: server stage means appear next
+// to the client settled mean, the skew row is present, and a tiny
+// -skewmax trips the stderr warning (exit code unchanged — the report
+// is diagnostic, not a gate).
+func TestTelemetrySkewReport(t *testing.T) {
+	addr, telem := startServer(t)
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-server", addr, "-telemetry", telem, "-skewmax", "1ns",
+		"-conns", "2", "-rate", "20000", "-requests", "400", "-timeout", "30s",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"client settled mean",
+		"server stage ingest mean",
+		"server stage engine_schedule mean",
+		"server lifecycle mean (stage sum)",
+		"client-server skew",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+	// The client clock contains the wire round trip the server stage sum
+	// cannot see, so skew is reliably positive and 1ns must trip.
+	if !strings.Contains(errb.String(), "warning: client-server skew") {
+		t.Errorf("no skew warning on stderr with -skewmax 1ns:\n%s", errb.String())
+	}
+}
+
+// TestTelemetryScrapeFailure pins the failure mode: an unreachable
+// -telemetry endpoint is a hard error, not a silent omission.
+func TestTelemetryScrapeFailure(t *testing.T) {
+	addr, _ := startServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-server", addr, "-telemetry", dead,
+		"-conns", "1", "-rate", "20000", "-requests", "50", "-timeout", "30s", "-quiet",
+	}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "scraping -telemetry") {
+		t.Errorf("stderr missing scrape error:\n%s", errb.String())
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	wdm "wdmsched"
@@ -82,6 +83,7 @@ func run(args []string, stderr io.Writer) int {
 	cfg.Telemetry = wdm.NewTelemetryRegistry()
 	cfg.Spans = wdm.NewSpanTracer(1, *spanCap)
 	node := wdm.NewClusterNode(cfg)
+	var shuttingDown atomic.Bool
 	if *httpAddr != "" {
 		srv, err := wdm.ServeTelemetry(*httpAddr, cfg.Telemetry)
 		if err != nil {
@@ -89,6 +91,10 @@ func run(args []string, stderr io.Writer) int {
 			return 1
 		}
 		defer srv.Close()
+		// /readyz goes not-ready the moment a shutdown signal lands, so
+		// controllers probing the fleet stop assigning ports to a node
+		// that is about to close; /healthz stays pure liveness.
+		srv.SetReadiness(func() bool { return !shuttingDown.Load() })
 		srv.HandleFunc("/spans", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			if err := node.WriteSpans(w); err != nil {
@@ -102,6 +108,7 @@ func run(args []string, stderr io.Writer) int {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
+		shuttingDown.Store(true)
 		logger.Printf("received %v, shutting down", s)
 		node.Close()
 	}()

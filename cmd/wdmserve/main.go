@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +30,7 @@ import (
 
 	wdm "wdmsched"
 	"wdmsched/internal/grant"
+	"wdmsched/internal/telemetry"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -147,6 +149,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		defer srv.Close()
+		// Drain-aware readiness: /readyz flips to 503 the moment SIGTERM
+		// starts the drain, while /healthz stays a pure liveness probe.
+		srv.SetReadiness(func() bool { return !svc.Draining() })
+		// Exemplar drill-down for wdmtop and incident triage: the K
+		// slowest requests per window with their full stage waterfalls.
+		srv.HandleFunc("/exemplars", func(w http.ResponseWriter, _ *http.Request) {
+			ring := svc.Recorder().Exemplars()
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(struct {
+				WindowSlots int64                `json:"window_slots"`
+				K           int                  `json:"k"`
+				Exemplars   []telemetry.Exemplar `json:"exemplars"`
+			}{ring.WindowSlots(), ring.K(), ring.Snapshot()})
+		})
 		fmt.Fprintf(stderr, "telemetry: listening on http://%s\n", srv.Addr())
 	}
 

@@ -20,21 +20,15 @@ func helpFlags(t *testing.T) map[string]flagcheck.Flag {
 	return flags
 }
 
-// TestFlagDefaults pins the load-generator defaults DESIGN.md §15
-// documents.
+// TestFlagDefaults pins the console defaults DESIGN.md §16 documents.
 func TestFlagDefaults(t *testing.T) {
 	flags := helpFlags(t)
 	want := map[string]string{
-		"server":   `"127.0.0.1:9411"`,
-		"tenant":   `"wdmload"`,
-		"conns":    "4",
-		"rate":     "10000",
-		"requests": "50000",
-		"arrivals": `"poisson"`,
-		"alpha":    "1.5",
-		"hold":     "2",
-		"seed":     "1",
-		"timeout":  "1m0s",
+		"targets":  `"127.0.0.1:8080"`,
+		"interval": "2s",
+		"count":    "", // zero default: flag omits the "(default 0)" suffix
+		"slowest":  "4",
+		"timeout":  "5s",
 	}
 	for name, def := range want {
 		f, ok := flags[name]
@@ -46,13 +40,18 @@ func TestFlagDefaults(t *testing.T) {
 			t.Errorf("-%s default = %s, want %s", name, f.Default, def)
 		}
 	}
+	for _, name := range []string{"once", "json"} {
+		if _, ok := flags[name]; !ok {
+			t.Errorf("flag -%s missing from help output", name)
+		}
+	}
 }
 
 // TestFlagUsageNamesUnits requires every quantity-bearing flag to say
 // what it is measured in.
 func TestFlagUsageNamesUnits(t *testing.T) {
 	flags := helpFlags(t)
-	quantity := []string{"conns", "rate", "requests", "alpha", "hold", "seed", "timeout", "skewmax"}
+	quantity := []string{"interval", "count", "slowest", "timeout"}
 	for _, name := range quantity {
 		f, ok := flags[name]
 		if !ok {
@@ -72,14 +71,30 @@ func TestBadFlagExitCodes(t *testing.T) {
 	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
 		t.Errorf("unknown flag: run = %d, want 2", code)
 	}
-	out.Reset()
-	errb.Reset()
-	if code := run([]string{"-arrivals", "bogus"}, &out, &errb); code != 1 {
-		t.Errorf("bad -arrivals: run = %d, want 1\nstderr: %s", code, errb.String())
+	for _, bad := range [][]string{
+		{"-interval", "0s"},
+		{"-slowest", "-1"},
+		{"-count", "-1"},
+		{"-targets", ",,"},
+	} {
+		out.Reset()
+		errb.Reset()
+		if code := run(bad, &out, &errb); code != 1 {
+			t.Errorf("%v: run = %d, want 1\nstderr: %s", bad, code, errb.String())
+		}
 	}
-	out.Reset()
-	errb.Reset()
-	if code := run([]string{"-conns", "0"}, &out, &errb); code != 1 {
-		t.Errorf("-conns 0: run = %d, want 1\nstderr: %s", code, errb.String())
+}
+
+// TestSplitTargets pins the bare host:port → http URL normalisation.
+func TestSplitTargets(t *testing.T) {
+	got := splitTargets("127.0.0.1:8080, http://h:1/,unix.example:9,")
+	want := []string{"http://127.0.0.1:8080", "http://h:1", "http://unix.example:9"}
+	if len(got) != len(want) {
+		t.Fatalf("splitTargets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("target[%d] = %q, want %q", i, got[i], want[i])
+		}
 	}
 }

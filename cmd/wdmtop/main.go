@@ -1,0 +1,487 @@
+// Command wdmtop is a live fleet console for grant-path observability:
+// it scrapes the /snapshot and /exemplars endpoints of one or more
+// wdmserve (or wdmnode) telemetry servers and renders ingest and verdict
+// rates, per-tenant queue depth, the per-stage latency waterfall, SLO
+// burn, and the slowest exemplar requests — refreshing in place like
+// top(1). All rate computation is client-side from counter deltas
+// between refreshes, so the servers stay pull-only and stateless.
+//
+//	wdmserve -n 16 -k 16 -grant 127.0.0.1:9411 -listen 127.0.0.1:8080 &
+//	wdmtop -targets 127.0.0.1:8080
+//
+// Scripts and CI consume exactly the same view with -once -json: one
+// scrape, one machine-readable document on stdout, exit 0 only if at
+// least one target answered.
+//
+//	wdmtop -targets 127.0.0.1:8080 -once -json | scripts/smokecheck stages /dev/stdin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"wdmsched/internal/telemetry"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wdmtop", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		targets  = fs.String("targets", "127.0.0.1:8080", "comma-separated telemetry endpoints to scrape (host:port or http://host:port)")
+		interval = fs.Duration("interval", 2*time.Second, "refresh period between scrapes as a duration")
+		count    = fs.Int("count", 0, "refresh this many times then exit (count; 0 = run until interrupted)")
+		once     = fs.Bool("once", false, "scrape once, print, and exit (no screen clearing, no rates)")
+		jsonOut  = fs.Bool("json", false, "emit the machine-readable JSON document instead of the console view")
+		slowest  = fs.Int("slowest", 4, "exemplar requests shown per target, slowest first (count)")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-scrape HTTP timeout as a duration")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "wdmtop: %v\n", err)
+		return 1
+	}
+	if *interval <= 0 {
+		return fail(fmt.Errorf("-interval must be positive"))
+	}
+	if *slowest < 0 {
+		return fail(fmt.Errorf("-slowest must be non-negative"))
+	}
+	if *count < 0 {
+		return fail(fmt.Errorf("-count must be non-negative"))
+	}
+	urls := splitTargets(*targets)
+	if len(urls) == 0 {
+		return fail(fmt.Errorf("-targets names no endpoints"))
+	}
+
+	sc := &scraper{client: &http.Client{Timeout: *timeout}, slowest: *slowest}
+	var prev []targetView
+	var prevAt time.Time
+	upCount := 0
+	for iter := 0; ; iter++ {
+		at := time.Now()
+		views := make([]targetView, len(urls))
+		done := make(chan int, len(urls))
+		for i, u := range urls {
+			go func(i int, u string) { views[i] = sc.scrape(u); done <- i }(i, u)
+		}
+		for range urls {
+			<-done
+		}
+		upCount = 0
+		for i := range views {
+			if views[i].Up {
+				upCount++
+			}
+		}
+		if !prevAt.IsZero() {
+			dt := at.Sub(prevAt).Seconds()
+			for i := range views {
+				views[i].computeRates(&prev[i], dt)
+			}
+		}
+
+		if *jsonOut {
+			doc := topDoc{At: at.UTC().Format(time.RFC3339Nano), Targets: views}
+			if !prevAt.IsZero() {
+				doc.IntervalSeconds = at.Sub(prevAt).Seconds()
+			}
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				return fail(err)
+			}
+		} else {
+			if !*once {
+				fmt.Fprint(stdout, "\x1b[H\x1b[2J") // home + clear
+			}
+			render(stdout, at, *interval, views)
+		}
+
+		if *once || (*count > 0 && iter+1 >= *count) {
+			break
+		}
+		prev, prevAt = views, at
+		time.Sleep(*interval)
+	}
+
+	// A scrape pass against a dead fleet is an error on exit: CI pipes
+	// -once -json into checks that must not pass vacuously.
+	if upCount == 0 {
+		return fail(fmt.Errorf("no target answered"))
+	}
+	return 0
+}
+
+// splitTargets parses the -targets list, normalising bare host:port
+// entries to http URLs.
+func splitTargets(s string) []string {
+	var urls []string
+	for _, t := range strings.Split(s, ",") {
+		t = strings.TrimSpace(t)
+		if t == "" {
+			continue
+		}
+		if !strings.Contains(t, "://") {
+			t = "http://" + t
+		}
+		urls = append(urls, strings.TrimRight(t, "/"))
+	}
+	return urls
+}
+
+// topDoc is the -json document: one scrape of the whole fleet.
+// IntervalSeconds and the per-target rates appear from the second
+// refresh onward (never in -once mode — a single scrape has no delta).
+type topDoc struct {
+	At              string       `json:"at"`
+	IntervalSeconds float64      `json:"interval_seconds,omitempty"`
+	Targets         []targetView `json:"targets"`
+}
+
+// stageView summarises one wdm_grant_stage_seconds series.
+type stageView struct {
+	Count       int64   `json:"count"`
+	SumSeconds  float64 `json:"sum_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+}
+
+// sloView is one stage SLO: budget, live error fraction, burn rate.
+type sloView struct {
+	Stage         string  `json:"stage"`
+	BudgetSeconds float64 `json:"budget_seconds"`
+	ErrorFraction float64 `json:"error_fraction"`
+	BurnRate      float64 `json:"burn_rate"`
+}
+
+// targetView is everything wdmtop knows about one endpoint after a
+// scrape. Counters are totals since the server started; Rates are
+// per-second deltas against the previous refresh.
+type targetView struct {
+	Target         string               `json:"target"`
+	Up             bool                 `json:"up"`
+	Error          string               `json:"error,omitempty"`
+	Sessions       float64              `json:"sessions"`
+	Rounds         int64                `json:"rounds_total"`
+	Submitted      int64                `json:"submitted_total"`
+	Admitted       int64                `json:"admitted_total"`
+	Verdicts       map[string]int64     `json:"verdicts_total,omitempty"`
+	Rates          map[string]float64   `json:"rates_per_s,omitempty"`
+	QueueDepth     map[string]float64   `json:"queue_depth,omitempty"`
+	Stages         map[string]stageView `json:"stages,omitempty"`
+	SLO            []sloView            `json:"slo,omitempty"`
+	ExemplarWindow int64                `json:"exemplar_window_slots,omitempty"`
+	Exemplars      []telemetry.Exemplar `json:"exemplars,omitempty"`
+}
+
+// computeRates fills v.Rates from the counter deltas against the
+// previous scrape of the same target.
+func (v *targetView) computeRates(prev *targetView, dt float64) {
+	if !v.Up || !prev.Up || dt <= 0 {
+		return
+	}
+	v.Rates = map[string]float64{
+		"submitted": float64(v.Submitted-prev.Submitted) / dt,
+		"rounds":    float64(v.Rounds-prev.Rounds) / dt,
+	}
+	for verdict, n := range v.Verdicts {
+		v.Rates[verdict] = float64(n-prev.Verdicts[verdict]) / dt
+	}
+}
+
+// exemplarsDoc mirrors the wdmserve /exemplars response.
+type exemplarsDoc struct {
+	WindowSlots int64                `json:"window_slots"`
+	K           int                  `json:"k"`
+	Exemplars   []telemetry.Exemplar `json:"exemplars"`
+}
+
+type scraper struct {
+	client  *http.Client
+	slowest int
+}
+
+// scrape pulls one target's /snapshot (and /exemplars where served —
+// wdmnode has no grant path and answers 404) and folds the metric
+// samples into a view. A target that fails to answer is reported down,
+// never fatal: the console keeps rendering the rest of the fleet.
+func (sc *scraper) scrape(target string) targetView {
+	v := targetView{Target: target}
+	snap, err := sc.getSnapshot(target)
+	if err != nil {
+		v.Error = err.Error()
+		return v
+	}
+	v.Up = true
+	v.fold(snap.Metrics)
+	if ex, err := sc.getExemplars(target); err == nil && ex != nil {
+		v.ExemplarWindow = ex.WindowSlots
+		if len(ex.Exemplars) > sc.slowest {
+			ex.Exemplars = ex.Exemplars[:sc.slowest]
+		}
+		v.Exemplars = ex.Exemplars
+	}
+	return v
+}
+
+func (sc *scraper) getSnapshot(target string) (*telemetry.Snapshot, error) {
+	resp, err := sc.client.Get(target + "/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /snapshot: %s", resp.Status)
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding /snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+func (sc *scraper) getExemplars(target string) (*exemplarsDoc, error) {
+	resp, err := sc.client.Get(target + "/exemplars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil // endpoint absent (e.g. wdmnode): not an error
+	}
+	var doc exemplarsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decoding /exemplars: %w", err)
+	}
+	return &doc, nil
+}
+
+// labelValue returns the value of the named label, or "".
+func labelValue(m *telemetry.Metric, key string) string {
+	for _, l := range m.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// fold distributes one snapshot's samples into the view.
+func (v *targetView) fold(ms []telemetry.Metric) {
+	slo := map[string]*sloView{}
+	sloStage := func(stage string) *sloView {
+		if s, ok := slo[stage]; ok {
+			return s
+		}
+		s := &sloView{Stage: stage}
+		slo[stage] = s
+		return s
+	}
+	for i := range ms {
+		m := &ms[i]
+		switch m.Name {
+		case "wdm_grant_sessions":
+			v.Sessions = m.Value
+		case "wdm_grant_rounds_total":
+			v.Rounds = int64(m.Value)
+		case "wdm_grant_submitted_total":
+			v.Submitted = int64(m.Value)
+		case "wdm_grant_admitted_total":
+			v.Admitted = int64(m.Value)
+		case "wdm_grant_verdicts_total":
+			if v.Verdicts == nil {
+				v.Verdicts = map[string]int64{}
+			}
+			v.Verdicts[labelValue(m, "verdict")] = int64(m.Value)
+		case "wdm_grant_queue_depth":
+			if v.QueueDepth == nil {
+				v.QueueDepth = map[string]float64{}
+			}
+			v.QueueDepth[labelValue(m, "tenant")] = m.Value
+		case "wdm_grant_stage_seconds":
+			if v.Stages == nil {
+				v.Stages = map[string]stageView{}
+			}
+			sv := stageView{Count: m.Count, SumSeconds: m.Sum}
+			if m.Count > 0 {
+				sv.MeanSeconds = m.Sum / float64(m.Count)
+			}
+			sv.P99Seconds = bucketQuantile(m.Count, m.Buckets, 0.99)
+			v.Stages[labelValue(m, "stage")] = sv
+		case "wdm_slo_budget_seconds":
+			sloStage(labelValue(m, "stage")).BudgetSeconds = m.Value
+		case "wdm_slo_error_fraction":
+			sloStage(labelValue(m, "stage")).ErrorFraction = m.Value
+		case "wdm_slo_burn_rate":
+			sloStage(labelValue(m, "stage")).BurnRate = m.Value
+		}
+	}
+	for _, s := range slo {
+		v.SLO = append(v.SLO, *s)
+	}
+	sort.Slice(v.SLO, func(i, j int) bool { return v.SLO[i].Stage < v.SLO[j].Stage })
+}
+
+// bucketQuantile estimates a quantile from non-cumulative histogram
+// buckets (finite uppers only; the +Inf remainder is count minus the
+// bucket sum). Observations past the last finite bound report that
+// bound — an underestimate, flagged nowhere, same convention as the
+// registry's Prometheus exposition.
+func bucketQuantile(count int64, buckets []telemetry.Bucket, q float64) float64 {
+	if count <= 0 || len(buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(count)))
+	var cum int64
+	for _, b := range buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.Upper
+		}
+	}
+	return buckets[len(buckets)-1].Upper
+}
+
+// render writes the human console view for one scrape pass.
+func render(w io.Writer, at time.Time, interval time.Duration, views []targetView) {
+	fmt.Fprintf(w, "wdmtop — %d target(s) — %s — interval %s\n",
+		len(views), at.Format("15:04:05"), interval)
+	for i := range views {
+		renderTarget(w, &views[i])
+	}
+}
+
+func renderTarget(w io.Writer, v *targetView) {
+	if !v.Up {
+		fmt.Fprintf(w, "\n▸ %s   DOWN   %s\n", v.Target, v.Error)
+		return
+	}
+	fmt.Fprintf(w, "\n▸ %s   up   sessions %.0f   rounds %s%s\n",
+		v.Target, v.Sessions, fmtCount(v.Rounds), fmtRateSuffix(v.Rates, "rounds"))
+	fmt.Fprintf(w, "  submitted %s%s   admitted %s", fmtCount(v.Submitted),
+		fmtRateSuffix(v.Rates, "submitted"), fmtCount(v.Admitted))
+	for _, verdict := range verdictOrder {
+		if n, ok := v.Verdicts[verdict]; ok && n > 0 {
+			fmt.Fprintf(w, "   %s %s%s", verdict, fmtCount(n), fmtRateSuffix(v.Rates, verdict))
+		}
+	}
+	fmt.Fprintln(w)
+
+	if len(v.QueueDepth) > 0 {
+		tenants := make([]string, 0, len(v.QueueDepth))
+		for t := range v.QueueDepth {
+			tenants = append(tenants, t)
+		}
+		sort.Strings(tenants)
+		fmt.Fprint(w, "  queue depth  ")
+		for _, t := range tenants {
+			fmt.Fprintf(w, " %s:%.0f", t, v.QueueDepth[t])
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(v.Stages) > 0 {
+		var maxMean float64
+		for _, sv := range v.Stages {
+			if sv.MeanSeconds > maxMean {
+				maxMean = sv.MeanSeconds
+			}
+		}
+		fmt.Fprintf(w, "  %-18s %10s %10s %10s\n", "stage", "count", "mean", "p99")
+		for _, name := range telemetry.GrantStageNames {
+			sv, ok := v.Stages[name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "  %-18s %10s %10s %10s  %s\n", name, fmtCount(sv.Count),
+				fmtSeconds(sv.MeanSeconds), fmtSeconds(sv.P99Seconds), bar(sv.MeanSeconds, maxMean, 24))
+		}
+	}
+
+	for _, s := range v.SLO {
+		fmt.Fprintf(w, "  SLO %s: budget %s  err %.3f%%  burn %.2f\n",
+			s.Stage, fmtSeconds(s.BudgetSeconds), s.ErrorFraction*100, s.BurnRate)
+	}
+
+	if len(v.Exemplars) > 0 {
+		fmt.Fprintf(w, "  slowest requests (window %d slots):\n", v.ExemplarWindow)
+		for _, e := range v.Exemplars {
+			fmt.Fprintf(w, "    id %d  %s/c%d  slot %d  %s  total %s ",
+				e.ID, e.Tenant, e.Class, e.Slot, e.Verdict, fmtSeconds(float64(e.TotalNS)/1e9))
+			for st, name := range telemetry.GrantStageNames {
+				fmt.Fprintf(w, " %s %s", name, fmtSeconds(float64(e.Stages[st])/1e9))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// verdictOrder fixes the render order of the verdict counters.
+var verdictOrder = []string{
+	"granted", "rejected-contention", "rejected-admission",
+	"retry-bucket", "retry-queue", "retry-drain",
+}
+
+// bar renders a proportional meter for the stage waterfall.
+func bar(val, max float64, width int) string {
+	if max <= 0 || val <= 0 {
+		return ""
+	}
+	n := int(val / max * float64(width))
+	if n < 1 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}
+
+// fmtRateSuffix renders " (X/s)" when a rate is known for the key.
+func fmtRateSuffix(rates map[string]float64, key string) string {
+	r, ok := rates[key]
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf(" (%s/s)", fmtFloat(r))
+}
+
+// fmtCount humanises a counter: 812345 → 812.3k.
+func fmtCount(n int64) string { return fmtFloat(float64(n)) }
+
+func fmtFloat(f float64) string {
+	switch {
+	case math.Abs(f) >= 1e6:
+		return fmt.Sprintf("%.2fM", f/1e6)
+	case math.Abs(f) >= 1e4:
+		return fmt.Sprintf("%.1fk", f/1e3)
+	}
+	if f == math.Trunc(f) {
+		return fmt.Sprintf("%.0f", f)
+	}
+	return fmt.Sprintf("%.1f", f)
+}
+
+// fmtSeconds renders a seconds quantity as a rounded duration.
+func fmtSeconds(sec float64) string {
+	d := time.Duration(sec * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	}
+	return d.String()
+}

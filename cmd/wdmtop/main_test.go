@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wdmsched/internal/grant"
+	"wdmsched/internal/interconnect"
+	"wdmsched/internal/telemetry"
+	"wdmsched/internal/wavelength"
+)
+
+// startFleet brings up a real grant service plus its telemetry server —
+// the same wiring wdmserve does, including the /exemplars drill-down —
+// and returns the telemetry base URL and the service.
+func startFleet(t *testing.T) (*grant.Service, string) {
+	t.Helper()
+	conv, err := wavelength.NewSymmetric(wavelength.Circular, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	svc, err := grant.NewService(grant.Config{
+		Switch:    interconnect.Config{N: 4, Conv: conv, Scheduler: "exact", Seed: 7},
+		Default:   grant.Policy{Class: 0, Rate: 1e6, Burst: 4096, Queue: 4096},
+		Resync:    32,
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- svc.Serve(ln) }()
+	t.Cleanup(func() {
+		svc.Close()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Error("Serve did not return after Close")
+		}
+	})
+
+	srv, err := telemetry.NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srv.HandleFunc("/exemplars", func(w http.ResponseWriter, _ *http.Request) {
+		ring := svc.Recorder().Exemplars()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(exemplarsDoc{
+			WindowSlots: ring.WindowSlots(), K: ring.K(), Exemplars: ring.Snapshot(),
+		})
+	})
+
+	// Drive settled traffic through the service so every stage histogram
+	// and the exemplar ring have content before wdmtop scrapes.
+	c, err := grant.Dial(ln.Addr().String(), "toptest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const rounds, per = 6, 16
+	reqs := make([]grant.Req, 0, per)
+	id := uint64(1)
+	for in := 0; in < 4; in++ {
+		for w := 0; w < 4; w++ {
+			reqs = append(reqs, grant.Req{ID: id, In: uint32(in), Wave: uint16(w),
+				Dest: uint32((in + w) % 4), Dur: 1})
+			id++
+		}
+	}
+	c.SetRecvDeadline(time.Now().Add(20 * time.Second))
+	seen := 0
+	for round := 0; round < rounds; round++ {
+		for i := range reqs {
+			reqs[i].ID += per
+		}
+		if err := c.Submit(reqs); err != nil {
+			t.Fatal(err)
+		}
+		for seen < (round+1)*per {
+			ev, err := c.Recv()
+			if err != nil {
+				t.Fatalf("recv with %d verdicts: %v", seen, err)
+			}
+			seen += len(ev.Notices)
+		}
+	}
+	return svc, "http://" + srv.Addr()
+}
+
+// TestOnceJSONReconciles runs `wdmtop -once -json` against a live fleet
+// and pins the CI contract: the document parses, the target is up, all
+// six stage histograms are present and each count equals the settled
+// verdict count (granted + rejected-contention), and the exemplar
+// drill-down carries the slowest requests.
+func TestOnceJSONReconciles(t *testing.T) {
+	_, url := startFleet(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-once", "-json", "-targets", url}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	var doc topDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("decoding output: %v\n%s", err, out.String())
+	}
+	if len(doc.Targets) != 1 {
+		t.Fatalf("targets = %d, want 1", len(doc.Targets))
+	}
+	v := doc.Targets[0]
+	if !v.Up {
+		t.Fatalf("target down: %s", v.Error)
+	}
+	if doc.IntervalSeconds != 0 || len(v.Rates) != 0 {
+		t.Errorf("-once must not report rates (interval %v, rates %v)", doc.IntervalSeconds, v.Rates)
+	}
+	if v.Submitted != 96 {
+		t.Errorf("submitted = %d, want 96", v.Submitted)
+	}
+	settled := v.Verdicts["granted"] + v.Verdicts["rejected-contention"]
+	if settled == 0 {
+		t.Fatalf("no settled verdicts in %v", v.Verdicts)
+	}
+	if len(v.Stages) != telemetry.NumGrantStages {
+		t.Fatalf("stages = %d, want %d: %v", len(v.Stages), telemetry.NumGrantStages, v.Stages)
+	}
+	for _, name := range telemetry.GrantStageNames {
+		sv, ok := v.Stages[name]
+		if !ok {
+			t.Errorf("stage %s missing", name)
+			continue
+		}
+		if sv.Count != settled {
+			t.Errorf("stage %s count = %d, want %d", name, sv.Count, settled)
+		}
+		if sv.Count > 0 && sv.MeanSeconds <= 0 {
+			t.Errorf("stage %s mean = %v, want > 0", name, sv.MeanSeconds)
+		}
+	}
+	if len(v.Exemplars) == 0 {
+		t.Error("no exemplars in drill-down")
+	}
+	if v.ExemplarWindow <= 0 {
+		t.Errorf("exemplar window = %d, want > 0", v.ExemplarWindow)
+	}
+	for _, e := range v.Exemplars {
+		if e.Tenant != "toptest" {
+			t.Errorf("exemplar tenant = %q, want toptest", e.Tenant)
+		}
+		if e.TotalNS <= 0 {
+			t.Errorf("exemplar %d total = %d, want > 0", e.ID, e.TotalNS)
+		}
+	}
+	if len(v.SLO) == 0 {
+		t.Error("no SLO rows in view")
+	}
+}
+
+// TestOnceTextRenders pins the human view: one pass, no ANSI clear, the
+// stage waterfall and exemplar sections present.
+func TestOnceTextRenders(t *testing.T) {
+	_, url := startFleet(t)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-once", "-targets", url}, &out, &errb); code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	text := out.String()
+	if strings.Contains(text, "\x1b[") {
+		t.Error("-once output contains ANSI escapes")
+	}
+	for _, want := range []string{"up", "submitted", "stage", "engine_schedule", "slowest requests", "SLO grant"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("console view missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRefreshComputesRates drives two refreshes against the live fleet
+// and checks the second JSON document carries counter-delta rates.
+func TestRefreshComputesRates(t *testing.T) {
+	_, url := startFleet(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-count", "2", "-interval", "50ms", "-json", "-targets", url}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, errb.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out.Bytes()))
+	var first, second topDoc
+	if err := dec.Decode(&first); err != nil {
+		t.Fatalf("first doc: %v", err)
+	}
+	if err := dec.Decode(&second); err != nil {
+		t.Fatalf("second doc: %v", err)
+	}
+	if second.IntervalSeconds <= 0 {
+		t.Errorf("second doc interval = %v, want > 0", second.IntervalSeconds)
+	}
+	if second.Targets[0].Rates == nil {
+		t.Error("second doc has no rates")
+	} else if _, ok := second.Targets[0].Rates["submitted"]; !ok {
+		t.Errorf("rates missing submitted key: %v", second.Targets[0].Rates)
+	}
+}
+
+// TestDeadTargetFails pins the vacuous-success guard: a -once scrape
+// against nothing exits 1 and reports the target down.
+func TestDeadTargetFails(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // nothing listens here now
+	var out, errb bytes.Buffer
+	if code := run([]string{"-once", "-json", "-targets", addr, "-timeout", "500ms"}, &out, &errb); code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	var doc topDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("decoding output: %v", err)
+	}
+	if doc.Targets[0].Up || doc.Targets[0].Error == "" {
+		t.Errorf("dead target view = %+v, want down with error", doc.Targets[0])
+	}
+}

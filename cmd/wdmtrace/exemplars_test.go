@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wdmsched/internal/telemetry"
+)
+
+// writeExemplarFixture dumps two hand-built exemplars through the same
+// WriteJSONL path the incident bundle uses.
+func writeExemplarFixture(t *testing.T) string {
+	t.Helper()
+	r := telemetry.NewExemplarRing(4, 1024)
+	r.Offer(telemetry.Exemplar{
+		ID: 7, Tenant: "loadgen", Class: 0, Slot: 12, Verdict: "granted",
+		StartNS: 1_000_000, TotalNS: 5_000,
+		Stages: telemetry.StageDurations{1000, 200, 2000, 300, 1200, 300},
+	})
+	r.Offer(telemetry.Exemplar{
+		ID: 9, Tenant: "bursty", Class: 1, Slot: 13, Verdict: "rejected-contention",
+		StartNS: 2_000_000, TotalNS: 9_000,
+		Stages: telemetry.StageDurations{2000, 0, 4000, 500, 2000, 500},
+	})
+	path := filepath.Join(t.TempDir(), "exemplars.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestExemplarsChromeTrace pins the -exemplars rendering: stage spans on
+// per-stage lanes with microsecond durations, per-request flow chains,
+// and the lane-name metadata Perfetto needs.
+func TestExemplarsChromeTrace(t *testing.T) {
+	in := writeExemplarFixture(t)
+	out := filepath.Join(t.TempDir(), "exemplars.trace.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exemplars", in, "-xout", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("decoding trace: %v", err)
+	}
+
+	var spans, starts, steps, finishes, threadNames int
+	var sawProcessName bool
+	minSpanTS := -1.0
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			if e["name"] == "process_name" {
+				sawProcessName = true
+			}
+			if e["name"] == "thread_name" {
+				threadNames++
+			}
+		case "X":
+			spans++
+			if ts := e["ts"].(float64); minSpanTS < 0 || ts < minSpanTS {
+				minSpanTS = ts
+			}
+			if e["dur"].(float64) <= 0 {
+				t.Errorf("stage span %v has non-positive dur", e)
+			}
+		case "s":
+			starts++
+		case "t":
+			steps++
+		case "f":
+			finishes++
+			if e["bp"] != "e" {
+				t.Errorf("flow finish missing bp=e: %v", e)
+			}
+		}
+	}
+	// Exemplar 7 has 6 non-zero stages, exemplar 9 has 5.
+	if spans != 11 {
+		t.Errorf("stage spans = %d, want 11", spans)
+	}
+	if starts != 2 || finishes != 2 {
+		t.Errorf("flow chains: %d starts / %d finishes, want 2/2", starts, finishes)
+	}
+	if steps != 11-2-2 {
+		t.Errorf("flow steps = %d, want %d", steps, 11-2-2)
+	}
+	if threadNames != telemetry.NumGrantStages {
+		t.Errorf("thread_name metas = %d, want %d", threadNames, telemetry.NumGrantStages)
+	}
+	if !sawProcessName {
+		t.Error("no process_name meta event")
+	}
+	// The timeline is anchored at the earliest exemplar: its first stage
+	// span starts at ts 0.
+	if minSpanTS != 0 {
+		t.Errorf("earliest span ts = %v, want 0 (anchored)", minSpanTS)
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("2 requests, 11 stage spans")) {
+		t.Errorf("summary line missing counts:\n%s", stdout.String())
+	}
+}
+
+// TestExemplarsEmptyInput pins the failure mode for an empty dump.
+func TestExemplarsEmptyInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-exemplars", path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("run = %d, want 1", code)
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("no exemplars")) {
+		t.Errorf("stderr missing diagnostic:\n%s", stderr.String())
+	}
+}

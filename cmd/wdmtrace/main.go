@@ -19,6 +19,13 @@
 // stages summing to slot latency):
 //
 //	wdmtrace -merge -mout merged.trace.json -check ctrl.spans node0.spans node1.spans
+//
+// -exemplars renders a grant-path exemplar dump — the exemplars.jsonl
+// entry of a wdmserve incident bundle — as a standalone Chrome timeline:
+// one lane per lifecycle stage, a span per stage duration, and a flow
+// chain per request stitching its waterfall across the lanes:
+//
+//	wdmtrace -exemplars exemplars.jsonl -xout exemplars.trace.json
 package main
 
 import (
@@ -43,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mergeMode = fs.Bool("merge", false, "merge cluster span dumps (controller dump first, then node dumps) into one Chrome trace")
 		mout      = fs.String("mout", "merged.trace.json", "merged Chrome trace output path for -merge")
 		mcheck    = fs.Bool("check", false, "with -merge: verify containment and attribution invariants, non-zero exit on failure")
+		exemplars = fs.String("exemplars", "", "render a grant exemplar JSONL dump (incident-bundle exemplars.jsonl) as a Chrome trace")
+		xout      = fs.String("xout", "exemplars.trace.json", "Chrome trace output path for -exemplars")
 		info      = fs.String("info", "", "inspect an existing trace file")
 		decisions = fs.String("decisions", "", "replay a trace and dump scheduling decisions")
 		dump      = fs.String("dump", "decisions.jsonl", "decision dump path for -decisions")
@@ -79,6 +88,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch {
 	case *mergeMode:
 		if err := runMerge(stdout, fs.Args(), *mout, *mcheck); err != nil {
+			return fail(err)
+		}
+		return 0
+	case *exemplars != "":
+		if err := runExemplars(stdout, *exemplars, *xout); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -145,7 +159,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wrote %d packets over %d slots to %s\n", tr.NumPackets(), *slots, *out)
 		return 0
 	default:
-		fmt.Fprintln(stderr, "wdmtrace: need -gen, -info, -decisions or -merge (see -h)")
+		fmt.Fprintln(stderr, "wdmtrace: need -gen, -info, -decisions, -merge or -exemplars (see -h)")
 		return 2
 	}
 }

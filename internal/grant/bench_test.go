@@ -1,9 +1,11 @@
 package grant
 
 import (
+	"sync"
 	"testing"
 
 	"wdmsched/internal/interconnect"
+	"wdmsched/internal/telemetry"
 	"wdmsched/internal/wavelength"
 )
 
@@ -45,7 +47,7 @@ func benchIngestService(tb testing.TB) (*Service, *session, []byte) {
 // frame, then drain it into a slot batch. Advancing s.slot stands in for
 // runRound so the channel stamps from the previous iteration go stale.
 func ingestAndBatch(tb testing.TB, s *Service, sess *session, payload []byte) {
-	if !s.ingest(sess, payload) {
+	if !s.ingest(sess, payload, telemetry.NowNS()) {
 		tb.Fatal("ingest rejected the benchmark frame")
 	}
 	s.mu.Lock()
@@ -56,6 +58,31 @@ func ingestAndBatch(tb testing.TB, s *Service, sess *session, payload []byte) {
 		tb.Fatalf("batch has %d packets, want 64", n)
 	}
 	s.slot++
+}
+
+// ingestAndRound is one full-lifecycle iteration: ingest and batch as
+// above, then run the engine slot, settle every request (stage-histogram
+// observation and exemplar offers included) and encode the verdict
+// frames. Resetting the egress buffer afterwards stands in for the
+// session writer draining it.
+func ingestAndRound(tb testing.TB, s *Service, sess *session, payload []byte) {
+	if !s.ingest(sess, payload, telemetry.NowNS()) {
+		tb.Fatal("ingest rejected the benchmark frame")
+	}
+	s.mu.Lock()
+	s.buildBatchLocked()
+	n := len(s.batch)
+	s.mu.Unlock()
+	if n != 64 {
+		tb.Fatalf("batch has %d packets, want 64", n)
+	}
+	if err := s.runRound(); err != nil {
+		tb.Fatal(err)
+	}
+	sess.wmu.Lock()
+	sess.out = sess.out[:0]
+	sess.outN = 0
+	sess.wmu.Unlock()
 }
 
 // BenchmarkGrantIngest measures the wire-facing hot path of the grant
@@ -74,7 +101,8 @@ func BenchmarkGrantIngest(b *testing.B) {
 }
 
 // TestGrantIngestZeroAllocs pins the ingest path as a -benchmem
-// assertion: decode → admit → enqueue → batch must report 0 allocs/op.
+// assertion: decode → admit (stage stamps included) → enqueue → batch
+// must report 0 allocs/op.
 func TestGrantIngestZeroAllocs(t *testing.T) {
 	s, sess, payload := benchIngestService(t)
 	ingestAndBatch(t, s, sess, payload)
@@ -86,5 +114,58 @@ func TestGrantIngestZeroAllocs(t *testing.T) {
 	})
 	if a := r.AllocsPerOp(); a != 0 {
 		t.Errorf("grant ingest: %d allocs/op, want 0 (%s)", a, r.MemString())
+	}
+}
+
+// benchRoundService extends the ingest fixture for full rounds: the
+// session gets a writer condvar (flushRound signals it) and reconcile is
+// pushed out past the benchmark horizon so the measured loop is pure
+// request lifecycle — its first engine Snapshot would be a one-time
+// allocation, not a hot-path one.
+func benchRoundService(tb testing.TB) (*Service, *session, []byte) {
+	s, sess, payload := benchIngestService(tb)
+	sess.wcond = sync.NewCond(&sess.wmu)
+	sess.egressMax = defaultEgressBuffer
+	s.cfg.Resync = 1 << 40
+	return s, sess, payload
+}
+
+// BenchmarkGrantRound measures the full request lifecycle with the stage
+// clock and exemplar recording on: ingest, batch build, engine slot,
+// settle (six stage observations per request), verdict encode and
+// exemplar offers.
+func BenchmarkGrantRound(b *testing.B) {
+	s, sess, payload := benchRoundService(b)
+	ingestAndRound(b, s, sess, payload)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ingestAndRound(b, s, sess, payload)
+	}
+	b.SetBytes(int64(len(payload)))
+}
+
+// TestGrantRoundZeroAllocs pins the full lifecycle — stage clocks,
+// per-stage histogram observation and exemplar-ring offers included —
+// at 0 allocs/op.
+func TestGrantRoundZeroAllocs(t *testing.T) {
+	s, sess, payload := benchRoundService(t)
+	ingestAndRound(t, s, sess, payload)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ingestAndRound(b, s, sess, payload)
+		}
+	})
+	if a := r.AllocsPerOp(); a != 0 {
+		t.Errorf("grant round: %d allocs/op, want 0 (%s)", a, r.MemString())
+	}
+	if n := s.rec.Exemplars().Offered(); n == 0 {
+		t.Error("exemplar ring saw no offers; the pin no longer covers exemplar recording")
+	}
+	for st, h := range s.stages {
+		if h.Count() == 0 {
+			t.Errorf("stage %s histogram empty; the pin no longer covers the stage clock", telemetry.GrantStageNames[st])
+		}
 	}
 }

@@ -98,16 +98,30 @@ type Config struct {
 
 // request is one admitted connection request waiting for a scheduling
 // round. Stored by value in the tenant's preallocated ring so admission
-// does not allocate.
+// does not allocate. The three stage stamps carry the request's early
+// lifecycle (frame receipt, decode/lock wait, admission slice) into the
+// round loop, where settle turns them into the per-stage waterfall.
 type request struct {
-	id     uint64
-	sess   *session
-	in     int32
-	wave   int32
-	dest   int32
-	dur    int32
-	class  uint8
-	recvNS int64 // receipt stamp on the telemetry span clock
+	id      uint64
+	sess    *session
+	in      int32
+	wave    int32
+	dest    int32
+	dur     int32
+	class   uint8
+	recvNS  int64 // receipt stamp on the telemetry span clock
+	ingNS   int64 // ingest-stage duration: receipt → admission loop start
+	admNS   int64 // admission-stage duration: this request's slice of the loop
+	admitNS int64 // admission-done stamp, the queue-wait baseline
+}
+
+// stageRec is one settled request's stage waterfall, buffered on the
+// session alongside the verdict Notice until flushRound can stamp the
+// egress stage and observe all six.
+type stageRec struct {
+	start int64 // receipt stamp (recvNS)
+	class uint8
+	w     telemetry.StageDurations
 }
 
 // tenant is one admission domain: a policy, a token bucket and a
@@ -144,12 +158,14 @@ type session struct {
 	closing bool
 	wdone   chan struct{} // closed when the writer goroutine exits
 
-	iv   []Notice // ingest-side immediate verdicts (ingest goroutine only)
-	pend []Notice // round-loop verdicts for this round (round loop only)
+	iv        []Notice   // ingest-side immediate verdicts (ingest goroutine only)
+	pend      []Notice   // round-loop verdicts for this round (round loop only)
+	pendStage []stageRec // stage waterfalls, parallel to pend (round loop only)
 
-	inRound  bool // round loop's touched-set membership (round loop only)
-	dead     bool // write failed or reader exited; guarded by Service.mu
-	finished bool // final ledger sent; reader now only drains (Service.mu)
+	inRound     bool // round loop's touched-set membership (round loop only)
+	dead        bool // write failed or reader exited; guarded by Service.mu
+	deadAtFlush bool // dead as of this round's ledger fold (round loop only)
+	finished    bool // final ledger sent; reader now only drains (Service.mu)
 
 	// Session ledger. Every field is updated under Service.mu: the
 	// ingest side books submissions and immediate verdicts inline; the
@@ -193,6 +209,9 @@ type Service struct {
 
 	// Round loop state (round-loop goroutine only).
 	slot      int64
+	tBatch    int64   // batch-build start stamp for the current round
+	tEng0     int64   // engine handoff stamp (RunSlot entry)
+	tEng1     int64   // engine return stamp (RunSlot exit)
 	rr        int     // per-round rotation cursor for intra-class fairness
 	holds     []int32 // input-channel hold mirror, N*k
 	holdsLive int
@@ -207,6 +226,7 @@ type Service struct {
 
 	// Telemetry.
 	latency                                *metrics.DurationHistogram
+	stages                                 [telemetry.NumGrantStages]*metrics.DurationHistogram
 	verdicts                               [8]metrics.Counter // indexed by Verdict
 	rounds                                 metrics.Counter
 	sessionsGauge                          metrics.Gauge
@@ -254,8 +274,9 @@ func NewService(cfg Config) (*Service, error) {
 	k := cfg.Switch.Conv.K()
 	n := cfg.Switch.N
 	rec := telemetry.NewFlightRecorder(telemetry.FlightRecorderConfig{
-		Ports:         n,
-		SnapshotEvery: cfg.Resync,
+		Ports:          n,
+		SnapshotEvery:  cfg.Resync,
+		ExemplarWindow: cfg.Resync,
 	})
 	cfg.Switch.Recorder = rec
 	cfg.Switch.Telemetry = cfg.Telemetry
@@ -280,6 +301,9 @@ func NewService(cfg Config) (*Service, error) {
 		grants:   make([]interconnect.SlotGrant, 0, n*k),
 		perInput: make([]int64, n),
 		latency:  metrics.NewDurationHistogram(),
+	}
+	for st := range s.stages {
+		s.stages[st] = metrics.NewDurationHistogram()
 	}
 	s.cond = sync.NewCond(&s.mu)
 
@@ -306,7 +330,16 @@ func NewService(cfg Config) (*Service, error) {
 		// set; only the grant-layer series are registered here.
 		reg.DurationHistogram("wdm_grant_latency_seconds",
 			"End-to-end grant latency: request receipt to verdict emission.", nil, s.latency)
+		for st := range s.stages {
+			reg.DurationHistogram("wdm_grant_stage_seconds",
+				"Per-stage grant-path latency; every round-settled request is observed into each stage exactly once.",
+				[]telemetry.Label{{Key: "stage", Value: telemetry.GrantStageNames[st]}}, s.stages[st])
+		}
 		reg.Counter("wdm_grant_rounds_total", "Scheduling rounds (slots) run by the grant service.", nil, &s.rounds)
+		reg.CounterFunc("wdm_grant_submitted_total", "Requests submitted on the grant wire.", nil,
+			func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.submitted })
+		reg.CounterFunc("wdm_grant_admitted_total", "Requests admitted into tenant ingress queues.", nil,
+			func() int64 { s.mu.Lock(); defer s.mu.Unlock(); return s.admitted })
 		reg.Gauge("wdm_grant_sessions", "Connected client sessions.", nil, &s.sessionsGauge)
 		reg.Counter("wdm_grant_rx_bytes_total", "Bytes received on the grant wire.", nil, &s.bytesIn)
 		reg.Counter("wdm_grant_tx_bytes_total", "Bytes sent on the grant wire.", nil, &s.bytesOut)
@@ -347,6 +380,16 @@ func (s *Service) ledgerLocked() Ledger {
 
 // Slots returns the rounds run so far.
 func (s *Service) Slots() int64 { return s.rounds.Value() }
+
+// Draining reports whether the service has stopped admitting — either a
+// graceful Drain has begun or the service is stopping. The /readyz
+// probe keys off this so load balancers route away before the listener
+// goes down.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.stopping
+}
 
 // Incident returns the invariant violation that stopped the service, or
 // nil after a clean run.
@@ -481,6 +524,9 @@ func (s *Service) serveSession(c net.Conn) {
 			s.killSession(sess)
 			return
 		}
+		// Frame-receipt stamp: the ingest stage starts here, before any
+		// lock waits or decode work.
+		recvNS := telemetry.NowNS()
 		s.mu.Lock()
 		fin := sess.finished
 		s.mu.Unlock()
@@ -492,7 +538,7 @@ func (s *Service) serveSession(c net.Conn) {
 		}
 		switch mt {
 		case msgSubmit:
-			ok, werr := s.ingestFrame(sess, payload)
+			ok, werr := s.ingestFrame(sess, payload, recvNS)
 			if !ok {
 				s.sessionError(sess, "malformed submit")
 				s.finishSession(sess)
@@ -555,7 +601,7 @@ func (s *Service) tenantLocked(name string) *tenant {
 // immediate verdict appended to sess.iv. Returns false on a malformed
 // frame. This is the wire-facing hot path: steady-state it allocates
 // nothing (bounded queue, reused verdict buffer).
-func (s *Service) ingest(sess *session, payload []byte) bool {
+func (s *Service) ingest(sess *session, payload []byte, recvNS int64) bool {
 	r := reader{b: payload}
 	count := int(r.u32())
 	if r.Err() != nil || count < 0 || count > maxBatch || r.Rem() != count*submitItemLen {
@@ -564,7 +610,6 @@ func (s *Service) ingest(sess *session, payload []byte) bool {
 	n, k := s.cfg.Switch.N, s.k
 	t := sess.tenant
 	sess.iv = sess.iv[:0]
-	now := telemetry.NowNS()
 	enqueued := 0
 
 	s.mu.Lock()
@@ -575,6 +620,17 @@ func (s *Service) ingest(sess *session, payload []byte) bool {
 		s.mu.Unlock()
 		return true
 	}
+	// Stage clock: everything between frame receipt and here — header
+	// decode, the session write lock, the service lock wait — is the
+	// frame's ingest stage. The admission loop below is then partitioned
+	// across its requests by chained stamps, so the per-request admission
+	// durations sum to the loop's wall time.
+	admStart := telemetry.NowNS()
+	ingNS := admStart - recvNS
+	if ingNS < 0 {
+		ingNS = 0
+	}
+	prev := admStart
 	for i := 0; i < count; i++ {
 		id := r.u64()
 		in := int32(r.u32())
@@ -587,11 +643,18 @@ func (s *Service) ingest(sess *session, payload []byte) bool {
 		}
 		s.submitted++
 		sess.ledger.Submitted++
-		verdict, wait := s.admitLocked(t, now)
+		verdict, wait := s.admitLocked(t, prev)
+		admitNS := telemetry.NowNS()
+		admNS := admitNS - prev
+		if admNS < 0 {
+			admNS = 0
+		}
+		prev = admitNS
 		if verdict == 0 {
 			t.q = append(t.q, request{
 				id: id, sess: sess, in: in, wave: wave, dest: dest, dur: dur,
-				class: uint8(t.pol.Class), recvNS: now,
+				class: uint8(t.pol.Class), recvNS: recvNS,
+				ingNS: ingNS, admNS: admNS, admitNS: admitNS,
 			})
 			t.depth.Set(float64(len(t.q)))
 			s.admitted++
@@ -615,7 +678,7 @@ func (s *Service) ingest(sess *session, payload []byte) bool {
 	}
 	s.mu.Unlock()
 	if len(sess.iv) > 0 {
-		s.latencyBatch(sess.iv, now)
+		s.latencyBatch(sess.iv, recvNS)
 	}
 	return true
 }
@@ -667,10 +730,10 @@ func (s *Service) latencyBatch(notices []Notice, recvNS int64) {
 // final-ledger enqueue: the ledger either includes this frame's requests
 // and follows their verdicts in the egress buffer, or excludes them and
 // the frame is discarded; the ledger frame is always the session's last.
-func (s *Service) ingestFrame(sess *session, payload []byte) (ok bool, werr error) {
+func (s *Service) ingestFrame(sess *session, payload []byte, recvNS int64) (ok bool, werr error) {
 	sess.wmu.Lock()
 	defer sess.wmu.Unlock()
-	if !s.ingest(sess, payload) {
+	if !s.ingest(sess, payload, recvNS) {
 		return false, nil
 	}
 	if len(sess.iv) == 0 {
@@ -895,6 +958,7 @@ func (s *Service) Close() {
 // request whose input channel is held or already taken this round stays
 // queued without blocking the requests behind it. Caller holds s.mu.
 func (s *Service) buildBatchLocked() {
+	s.tBatch = telemetry.NowNS() // queue-wait ends / round-batch begins here
 	k := s.k
 	s.batch = s.batch[:0]
 	s.pendLive = s.pendLive[:0]
@@ -947,9 +1011,11 @@ func (s *Service) buildBatchLocked() {
 // runRound runs one engine slot over the built batch and settles every
 // dispatched request as granted or rejected.
 func (s *Service) runRound() error {
+	s.tEng0 = telemetry.NowNS()
 	if err := s.sw.RunSlot(s.batch); err != nil {
 		return s.violation("engine", fmt.Sprintf("RunSlot: %v", err))
 	}
+	s.tEng1 = telemetry.NowNS()
 	s.slot++
 	s.rounds.Inc()
 
@@ -966,7 +1032,7 @@ func (s *Service) runRound() error {
 		}
 	}
 
-	now := telemetry.NowNS()
+	now := s.tEng1
 	var granted, rejected int64
 	s.grants = s.sw.LastGrants(s.grants[:0])
 	for _, g := range s.grants {
@@ -1017,7 +1083,10 @@ func (s *Service) runRound() error {
 }
 
 // settle books one terminal verdict for a dispatched request onto its
-// session's round buffer. Ledger folding happens in flushRound.
+// session's round buffer, along with the stage waterfall computed from
+// the request's stamps and the round's batch/engine stamps. The egress
+// stage is stamped later, in flushRound. Ledger folding happens in
+// flushRound too.
 func (s *Service) settle(req request, nt Notice, nowNS int64) {
 	s.verdicts[nt.Verdict].Inc()
 	d := time.Duration(nowNS - req.recvNS)
@@ -1025,17 +1094,37 @@ func (s *Service) settle(req request, nt Notice, nowNS int64) {
 		d = 0
 	}
 	s.latency.Observe(d)
+	rec := stageRec{start: req.recvNS, class: req.class}
+	rec.w[telemetry.StageIngest] = req.ingNS
+	rec.w[telemetry.StageAdmission] = req.admNS
+	rec.w[telemetry.StageQueueWait] = nonneg(s.tBatch - req.admitNS)
+	rec.w[telemetry.StageRoundBatch] = nonneg(s.tEng0 - s.tBatch)
+	rec.w[telemetry.StageEngineSchedule] = nonneg(s.tEng1 - s.tEng0)
 	sess := req.sess
 	if !sess.inRound {
 		sess.inRound = true
 		s.touched = append(s.touched, sess)
 	}
 	sess.pend = append(sess.pend, nt)
+	sess.pendStage = append(sess.pendStage, rec)
+}
+
+// nonneg clamps clock skew between stamps to zero.
+func nonneg(ns int64) int64 {
+	if ns < 0 {
+		return 0
+	}
+	return ns
 }
 
 // flushRound folds the round's tallies into the service and session
 // ledgers under the mutex, then writes every touched session's verdicts
-// frame outside it.
+// frame outside it. After each session's frame lands in its egress
+// buffer the egress stage is stamped and the full waterfall is observed
+// into the stage histograms and offered to the exemplar ring — dead
+// sessions included (their verdicts have nowhere to go, but the ledger
+// booked them, and the stage counts must keep partitioning exactly like
+// the ledger does).
 func (s *Service) flushRound(granted, rejected int64) {
 	s.mu.Lock()
 	s.granted += granted
@@ -1048,20 +1137,37 @@ func (s *Service) flushRound(granted, rejected int64) {
 				sess.ledger.Rejected++
 			}
 		}
-		if sess.dead {
-			// The connection is gone; the verdicts have nowhere to go.
-			sess.pend = sess.pend[:0]
-		}
+		sess.deadAtFlush = sess.dead
 	}
 	s.mu.Unlock()
+	ex := s.rec.Exemplars()
 	for _, sess := range s.touched {
 		sess.inRound = false
-		if len(sess.pend) == 0 {
-			continue
+		var werr error
+		if !sess.deadAtFlush && len(sess.pend) > 0 {
+			werr = s.writeVerdicts(sess, sess.pend)
 		}
-		err := s.writeVerdicts(sess, sess.pend)
+		if len(sess.pend) > 0 {
+			end := telemetry.NowNS()
+			eg := nonneg(end - s.tEng1)
+			tname := sess.tenant.name
+			for i := range sess.pend {
+				rec := &sess.pendStage[i]
+				rec.w[telemetry.StageEgressWrite] = eg
+				for st := range rec.w {
+					s.stages[st].Observe(time.Duration(rec.w[st]))
+				}
+				nt := &sess.pend[i]
+				ex.Offer(telemetry.Exemplar{
+					ID: nt.ID, Tenant: tname, Class: rec.class, Slot: nt.Slot,
+					Verdict: nt.Verdict.String(), StartNS: rec.start,
+					TotalNS: nonneg(end - rec.start), Stages: rec.w,
+				})
+			}
+		}
 		sess.pend = sess.pend[:0]
-		if err != nil {
+		sess.pendStage = sess.pendStage[:0]
+		if werr != nil {
 			s.killSession(sess)
 		}
 	}
@@ -1177,6 +1283,9 @@ func (s *Service) dumpBundle(path, trigger string, inc *Incident, ledger Ledger)
 		return err
 	}
 	if err := w.AddFunc("faults.jsonl", s.rec.WriteFaultsJSONL); err != nil {
+		return err
+	}
+	if err := w.AddFunc("exemplars.jsonl", s.rec.Exemplars().WriteJSONL); err != nil {
 		return err
 	}
 	if err := w.AddJSON("ledger.json", ledger); err != nil {

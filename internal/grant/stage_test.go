@@ -1,0 +1,124 @@
+package grant
+
+import (
+	"testing"
+	"time"
+
+	"wdmsched/internal/telemetry"
+)
+
+// TestStageHistogramsReconcile drives real traffic through a live
+// service and pins the stage-clock contract: every round-settled verdict
+// (granted + contention-rejected) is observed into every stage histogram
+// exactly once, so the six per-stage counts all equal the settled
+// verdict count from the double-entry ledger.
+func TestStageHistogramsReconcile(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s, addr, errc := startService(t, func(cfg *Config) { cfg.Telemetry = reg })
+	c, err := Dial(addr, "stages")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const waves = 4
+	reqs := make([]Req, 0, testN*waves)
+	id := uint64(1)
+	for in := 0; in < testN; in++ {
+		for w := 0; w < waves; w++ {
+			reqs = append(reqs, Req{ID: id, In: uint32(in), Wave: uint16(w),
+				Dest: uint32((in + w) % testN), Dur: 1})
+			id++
+		}
+	}
+	var ta tally
+	for round := 0; round < 8; round++ {
+		for i := range reqs {
+			reqs[i].ID += uint64(len(reqs))
+		}
+		if err := c.Submit(reqs); err != nil {
+			t.Fatal(err)
+		}
+		recvUntil(t, c, &ta, (round+1)*len(reqs))
+	}
+	if ta.retried != 0 {
+		t.Fatalf("expected no retries under a wide-open policy, got %d", ta.retried)
+	}
+
+	settled := int64(ta.granted + ta.rejected)
+	for st, h := range s.stages {
+		if h.Count() != settled {
+			t.Errorf("stage %s count = %d, want %d (granted %d + rejected %d)",
+				telemetry.GrantStageNames[st], h.Count(), settled, ta.granted, ta.rejected)
+		}
+	}
+
+	// The registry view must agree with the internal histograms: six
+	// wdm_grant_stage_seconds series, one per stage name, same counts.
+	seen := map[string]int64{}
+	for _, m := range reg.Snapshot() {
+		if m.Name != "wdm_grant_stage_seconds" {
+			continue
+		}
+		if len(m.Labels) != 1 || m.Labels[0].Key != "stage" {
+			t.Fatalf("stage series labels = %v", m.Labels)
+		}
+		seen[m.Labels[0].Value] = m.Count
+	}
+	if len(seen) != telemetry.NumGrantStages {
+		t.Fatalf("registry exposes %d stage series, want %d: %v", len(seen), telemetry.NumGrantStages, seen)
+	}
+	for _, name := range telemetry.GrantStageNames {
+		if seen[name] != settled {
+			t.Errorf("registry stage %s count = %d, want %d", name, seen[name], settled)
+		}
+	}
+
+	// Exemplars: the ring retained slow requests with coherent waterfalls.
+	exs := s.Recorder().Exemplars().Snapshot()
+	if len(exs) == 0 {
+		t.Fatal("exemplar ring is empty after settled traffic")
+	}
+	for _, e := range exs {
+		if e.Tenant != "stages" {
+			t.Errorf("exemplar tenant = %q, want %q", e.Tenant, "stages")
+		}
+		if e.Verdict != "granted" && e.Verdict != "rejected-contention" {
+			t.Errorf("exemplar verdict = %q, want a settled verdict", e.Verdict)
+		}
+		if e.TotalNS <= 0 {
+			t.Errorf("exemplar %d total = %d, want > 0", e.ID, e.TotalNS)
+		}
+		// Stage sums can undershoot the receipt→egress total (inter-stage
+		// gaps are not attributed) but must never exceed it by more than
+		// scheduling noise on the chained stamps.
+		if sum := e.Stages.Total(); sum > e.TotalNS+int64(time.Millisecond) {
+			t.Errorf("exemplar %d stage sum %d exceeds total %d", e.ID, sum, e.TotalNS)
+		}
+	}
+
+	l := byeLedger(t, c)
+	if got := uint64(ta.granted); l.Granted != got {
+		t.Errorf("ledger granted %d != client tally %d", l.Granted, got)
+	}
+	s.Drain()
+	if err := <-errc; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// TestDrainingAccessor pins the /readyz signal source: false while
+// serving, true once Drain begins.
+func TestDrainingAccessor(t *testing.T) {
+	s, _, errc := startService(t, nil)
+	if s.Draining() {
+		t.Error("Draining() true before drain")
+	}
+	s.Drain()
+	if !s.Draining() {
+		t.Error("Draining() false after Drain()")
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}

@@ -88,6 +88,103 @@ func TestConcurrentPrimitives(t *testing.T) {
 	}
 }
 
+// TestDurationHistogramQuantileUnderWriters scrapes quantiles while
+// writers are mid-flight and pins the property a live wdmtop scrape
+// depends on: every reported value stays within
+// [0, bucket-upper(max observed)] — a torn read must never fabricate an
+// impossible latency. Monotonicity in q is NOT asserted mid-flight
+// (each Quantile call sees a different prefix of the write stream, so
+// a later higher-q call can legitimately report a smaller value); it is
+// asserted once the writers have joined and the histogram is quiescent.
+func TestDurationHistogramQuantileUnderWriters(t *testing.T) {
+	const writers, perWriter = 8, 4000
+	const maxObs = 1 << 20 // ns; bucket upper bound for it is < 2^21
+	h := NewDurationHistogram()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		qs := []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, q := range qs {
+				v := h.Quantile(q)
+				if v < 0 || v > 2*maxObs {
+					t.Errorf("Quantile(%v) = %v, outside [0, %v]", q, v, time.Duration(2*maxObs))
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				h.Observe(time.Duration((j*2654435761 + i) % maxObs))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	if h.Count() != writers*perWriter {
+		t.Errorf("count = %d, want %d", h.Count(), writers*perWriter)
+	}
+	// Quiescent: the full quantile curve must be monotone non-decreasing.
+	prev := time.Duration(-1)
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("settled Quantile(%v) = %v < %v at lower q (not monotone)", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestWelfordConcurrentExact joins concurrent writers feeding a known
+// multiset and requires the post-join aggregate to be exact: the mean of
+// values 0..9 in equal proportion is 4.5 and the count is the write
+// total — the mutex-guarded merge must not lose or double-book an
+// observation.
+func TestWelfordConcurrentExact(t *testing.T) {
+	const writers, perWriter = 8, 5000
+	var w Welford
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				w.Observe(float64(j % 10))
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = writers * perWriter
+	if w.N() != total {
+		t.Errorf("N = %d, want %d", w.N(), total)
+	}
+	if mean := w.Mean(); mean < 4.5-1e-9 || mean > 4.5+1e-9 {
+		t.Errorf("Mean = %v, want 4.5 exactly (±1e-9)", mean)
+	}
+	// Population stddev of uniform 0..9 is sqrt(8.25) ≈ 2.87228; the
+	// sample correction at N=40000 is far below the tolerance.
+	if sd := w.Stddev(); sd < 2.87 || sd > 2.88 {
+		t.Errorf("Stddev = %v, want ≈ 2.872", sd)
+	}
+}
+
 func TestHistogramQuantileEdgeCases(t *testing.T) {
 	h := NewHistogram(4)
 	if got := h.Quantile(0.5); got != 0 {

@@ -58,6 +58,9 @@ func (h *Harness) DumpBundle(path, trigger string, slot int64, inc *Incident) er
 		if err := add("faults.jsonl", e.rec.WriteFaultsJSONL); err != nil {
 			return err
 		}
+		if err := add("exemplars.jsonl", e.rec.Exemplars().WriteJSONL); err != nil {
+			return err
+		}
 		if e.ctrl == nil {
 			continue
 		}

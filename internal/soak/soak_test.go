@@ -79,6 +79,7 @@ func TestChaosbugBundleReplayVerify(t *testing.T) {
 		"engines/0-sequential/decisions.jsonl",
 		"engines/0-sequential/snapshots.jsonl",
 		"engines/0-sequential/faults.jsonl",
+		"engines/0-sequential/exemplars.jsonl",
 		"engines/1-distributed/snapshots.jsonl",
 	} {
 		if !b.Has(name) {

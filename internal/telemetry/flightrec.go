@@ -41,6 +41,8 @@ type FlightRecorder struct {
 	nodes     []NodeSample
 	nodeTotal atomic.Int64
 
+	exemplars *ExemplarRing
+
 	// Dump health, exposed as wdm_recorder_* gauges.
 	dumps      atomic.Int64
 	dumpNS     atomic.Int64 // cumulative bundle-dump wall time
@@ -67,6 +69,13 @@ type FlightRecorderConfig struct {
 	FaultCap int
 	// NodeCap is the per-node cluster samples retained (default 1024).
 	NodeCap int
+	// ExemplarK is the slowest-request exemplars retained per window by
+	// the grant-path exemplar ring (default 16).
+	ExemplarK int
+	// ExemplarWindow is the exemplar window width in slots (default
+	// SnapshotEvery): exemplars compete within a window, and the previous
+	// window's retained set stays readable until the next rollover.
+	ExemplarWindow int64
 	// Spans optionally attaches a cluster span tracer so bundles can carry
 	// the span rings alongside the recorder's own.
 	Spans *SpanTracer
@@ -139,6 +148,9 @@ func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
 	if cfg.NodeCap <= 0 {
 		cfg.NodeCap = 1024
 	}
+	if cfg.ExemplarWindow <= 0 {
+		cfg.ExemplarWindow = cfg.SnapshotEvery
+	}
 	return &FlightRecorder{
 		cfg:       cfg,
 		decisions: NewDecisionTracer(cfg.Ports, cfg.DecisionCap),
@@ -146,6 +158,7 @@ func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
 		snaps:     make([]SnapshotRecord, cfg.SnapshotCap),
 		faults:    make([]FaultTransition, cfg.FaultCap),
 		nodes:     make([]NodeSample, cfg.NodeCap),
+		exemplars: NewExemplarRing(cfg.ExemplarK, cfg.ExemplarWindow),
 	}
 }
 
@@ -160,6 +173,10 @@ func (r *FlightRecorder) Spans() *SpanTracer { return r.spans }
 
 // SnapshotEvery returns the snapshot cadence in slots.
 func (r *FlightRecorder) SnapshotEvery() int64 { return r.cfg.SnapshotEvery }
+
+// Exemplars returns the slowest-request exemplar ring. Unlike the other
+// rings it is internally locked, so it may be read at any time.
+func (r *FlightRecorder) Exemplars() *ExemplarRing { return r.exemplars }
 
 // EnsureShape pre-allocates the per-input and per-channel slices of every
 // snapshot ring entry for an n×n switch with k channels per fiber, so
@@ -370,6 +387,10 @@ func (r *FlightRecorder) RegisterTelemetry(reg *Registry) {
 		[]Label{{Key: "ring", Value: "decisions"}}, r.decisions.Emitted)
 	reg.CounterFunc("wdm_recorder_dropped_total", "Records overwritten by ring wraparound.",
 		[]Label{{Key: "ring", Value: "decisions"}}, r.decisions.Dropped)
+	exl := []Label{{Key: "ring", Value: "exemplars"}}
+	reg.CounterFunc("wdm_recorder_records_total", "Records emitted into a flight-recorder ring.", exl, r.exemplars.Offered)
+	reg.CounterFunc("wdm_recorder_dropped_total", "Records overwritten by ring wraparound.", exl, r.exemplars.Dropped)
+	reg.GaugeFunc("wdm_recorder_ring_occupancy", "Fill fraction of a flight-recorder ring (1 = wrapped).", exl, r.exemplars.Occupancy)
 	reg.CounterFunc("wdm_recorder_dumps_total", "Incident bundles dumped.", nil, r.dumps.Load)
 	reg.GaugeFunc("wdm_recorder_last_dump_seconds", "Wall time of the most recent bundle dump.", nil,
 		func() float64 { return time.Duration(r.lastDumpNS.Load()).Seconds() })

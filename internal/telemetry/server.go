@@ -40,6 +40,9 @@ type Server struct {
 	srv *http.Server
 	reg *Registry
 	mux *http.ServeMux
+
+	// readiness is the /readyz probe callback (nil = always ready).
+	readiness atomic.Pointer[func() bool]
 }
 
 // NewServer binds addr (e.g. ":8080" or "127.0.0.1:0") and starts serving
@@ -60,6 +63,8 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -83,6 +88,14 @@ func (s *Server) HandleFunc(pattern string, f func(http.ResponseWriter, *http.Re
 	s.mux.HandleFunc(pattern, f)
 }
 
+// SetReadiness installs the /readyz probe callback. Without one the
+// endpoint always reports ready; with one it reports 503 whenever fn
+// returns false — wdmserve wires the service's drain state here so load
+// balancers stop routing to a draining process while /healthz (pure
+// liveness) stays green. fn must be safe for concurrent use; installing
+// is safe at any time, including while serving.
+func (s *Server) SetReadiness(fn func() bool) { s.readiness.Store(&fn) }
+
 // Close stops the server and releases the listener.
 func (s *Server) Close() error { return s.srv.Close() }
 
@@ -97,11 +110,27 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <ul>
 <li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
 <li><a href="/snapshot">/snapshot</a> — JSON metric snapshot</li>
+<li><a href="/healthz">/healthz</a> — liveness probe</li>
+<li><a href="/readyz">/readyz</a> — readiness probe (503 while draining)</li>
 <li><a href="/debug/vars">/debug/vars</a> — expvar</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiler</li>
 </ul>
 </body></html>
 `)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if fn := s.readiness.Load(); fn != nil && !(*fn)() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"wdmsched/internal/metrics"
@@ -115,5 +116,38 @@ func TestServerClose(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
 		t.Error("server still reachable after Close")
+	}
+}
+
+// TestServerHealthEndpoints pins the probe contract: /healthz is pure
+// liveness (always 200), /readyz defaults to ready and flips to 503 the
+// moment the installed readiness callback reports false — the
+// drain-aware signal load balancers key off.
+func TestServerHealthEndpoints(t *testing.T) {
+	s, _ := testServer(t)
+	resp, body := get(t, "http://"+s.Addr()+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 ok", resp.StatusCode, body)
+	}
+	resp, body = get(t, "http://"+s.Addr()+"/readyz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz with no callback = %d %q, want 200 ready", resp.StatusCode, body)
+	}
+
+	var draining atomic.Bool
+	s.SetReadiness(func() bool { return !draining.Load() })
+	resp, _ = get(t, "http://"+s.Addr()+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d, want 200", resp.StatusCode)
+	}
+	draining.Store(true)
+	resp, body = get(t, "http://"+s.Addr()+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain = %d %q, want 503", resp.StatusCode, body)
+	}
+	// Liveness is unaffected by drain.
+	resp, _ = get(t, "http://"+s.Addr()+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during drain = %d, want 200", resp.StatusCode)
 	}
 }

@@ -22,6 +22,7 @@ trap cleanup EXIT
 go build -o "$dir/wdmserve" ./cmd/wdmserve
 go build -o "$dir/wdmload" ./cmd/wdmload
 go build -o "$dir/wdmbench" ./cmd/wdmbench
+go build -o "$dir/wdmtop" ./cmd/wdmtop
 go build -o "$dir/smokecheck" ./scripts/smokecheck
 
 grant_addr=127.0.0.1:19411
@@ -70,6 +71,19 @@ grep -q '^# TYPE wdm_grant_latency_seconds histogram' "$dir/metrics.txt"
 grep -q '^wdm_grant_rx_frames_total [1-9]' "$dir/metrics.txt"
 grep -q '^wdm_grant_queue_depth{tenant="wdmload"}' "$dir/metrics.txt"
 echo "serve smoke: /metrics exposes the wdm_grant_* series"
+
+# Health endpoints: liveness and drain-aware readiness both green while
+# the service is serving.
+curl -sf "http://$http_addr/healthz" | grep -q ok
+curl -sf "http://$http_addr/readyz" | grep -q ready
+echo "serve smoke: /healthz and /readyz answer while serving"
+
+# Fleet console against the live service: one -once -json scrape must
+# parse, and the stage histograms must reconcile with the verdict
+# counters — every settled request observed into every stage exactly
+# once (the double-entry stage contract).
+"$dir/wdmtop" -once -json -targets "$http_addr" > "$dir/top.json"
+"$dir/smokecheck" stages "$dir/top.json"
 
 # The structured report must plug into the wdmbench tooling.
 "$dir/wdmbench" -validate < "$dir/load_report.json"

@@ -23,6 +23,12 @@
 //	    Reconcile the wdmserve final ledger (stdout JSON) against the
 //	    wdmload structured report: the terminal partition must hold and
 //	    the two sides must count the same verdicts.
+//
+//	smokecheck stages <wdmtop.json>
+//	    Verify a `wdmtop -once -json` capture: every target up, all six
+//	    grant stage histograms present, and each stage count equal to the
+//	    settled verdict count — every round-settled request observed into
+//	    every stage exactly once.
 package main
 
 import (
@@ -30,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+
+	"wdmsched/internal/telemetry"
 )
 
 func main() {
@@ -77,8 +85,13 @@ func run(args []string) error {
 			return fmt.Errorf("usage: smokecheck grant <server.json> <load_report.json>")
 		}
 		return checkGrant(args[1], args[2])
+	case "stages":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: smokecheck stages <wdmtop.json>")
+		}
+		return checkStages(args[1])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want frames, ledger, trace or grant)", cmd)
+		return fmt.Errorf("unknown subcommand %q (want frames, ledger, trace, grant or stages)", cmd)
 	}
 }
 
@@ -169,6 +182,65 @@ func checkTrace(path string) error {
 	}
 	fmt.Printf("cluster smoke: merged timeline has %d processes, %d node spans, %d flow events\n",
 		len(procs), nodeSpans, flows)
+	return nil
+}
+
+// checkStages verifies a `wdmtop -once -json` capture against the
+// stage-clock contract: every scraped target answered, all six grant
+// stages are present, each stage histogram count equals the settled
+// verdict count (granted + rejected-contention) — the double-entry
+// property that every round-settled request is observed into every
+// stage exactly once — and the exemplar drill-down is non-empty.
+func checkStages(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Targets []struct {
+			Target   string           `json:"target"`
+			Up       bool             `json:"up"`
+			Error    string           `json:"error"`
+			Verdicts map[string]int64 `json:"verdicts_total"`
+			Stages   map[string]struct {
+				Count int64 `json:"count"`
+			} `json:"stages"`
+			Exemplars []json.RawMessage `json:"exemplars"`
+		} `json:"targets"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Targets) == 0 {
+		return fmt.Errorf("%s: no targets in wdmtop capture", path)
+	}
+	for _, tg := range doc.Targets {
+		if !tg.Up {
+			return fmt.Errorf("target %s down: %s", tg.Target, tg.Error)
+		}
+		settled := tg.Verdicts["granted"] + tg.Verdicts["rejected-contention"]
+		if settled == 0 {
+			return fmt.Errorf("target %s settled no requests: %v", tg.Target, tg.Verdicts)
+		}
+		if len(tg.Stages) != len(telemetry.GrantStageNames) {
+			return fmt.Errorf("target %s exposes %d stages, want %d", tg.Target, len(tg.Stages), len(telemetry.GrantStageNames))
+		}
+		for _, stage := range telemetry.GrantStageNames {
+			sv, ok := tg.Stages[stage]
+			if !ok {
+				return fmt.Errorf("target %s missing stage %q", tg.Target, stage)
+			}
+			if sv.Count != settled {
+				return fmt.Errorf("target %s stage %q count %d != settled verdicts %d (granted %d + rejected-contention %d)",
+					tg.Target, stage, sv.Count, settled, tg.Verdicts["granted"], tg.Verdicts["rejected-contention"])
+			}
+		}
+		if len(tg.Exemplars) == 0 {
+			return fmt.Errorf("target %s has no exemplars in the drill-down", tg.Target)
+		}
+		fmt.Printf("serve smoke: %s stage histograms reconcile (%d settled requests in all %d stages, %d exemplars)\n",
+			tg.Target, settled, len(telemetry.GrantStageNames), len(tg.Exemplars))
+	}
 	return nil
 }
 
